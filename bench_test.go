@@ -1,0 +1,262 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure
+// of the paper's evaluation section. Each benchmark regenerates its
+// artifact and reports headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the entire evaluation.
+package tbaa_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/bench"
+	"tbaa/internal/driver"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+)
+
+// BenchmarkTable4 regenerates the benchmark descriptions (sizes,
+// instruction counts, load mix).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var instr uint64
+		for _, r := range rows {
+			instr += r.Instructions
+		}
+		b.ReportMetric(float64(instr), "instructions")
+	}
+}
+
+// BenchmarkTable5 regenerates the static alias-pair counts.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var td, sm int
+		for _, r := range rows {
+			td += r.Local[0]
+			sm += r.Local[2]
+		}
+		b.ReportMetric(float64(td), "TypeDecl-local-pairs")
+		b.ReportMetric(float64(sm), "SMFieldTypeRefs-local-pairs")
+	}
+}
+
+// BenchmarkTable6 regenerates the static RLE removal counts.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var td, ftd int
+		for _, r := range rows {
+			td += r.Removed[0]
+			ftd += r.Removed[1]
+		}
+		b.ReportMetric(float64(td), "TypeDecl-removed")
+		b.ReportMetric(float64(ftd), "FieldTypeDecl-removed")
+	}
+}
+
+// BenchmarkFigure8 regenerates the simulated run-time impact of RLE.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.Pct[2]
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg-pct-of-base")
+	}
+}
+
+// BenchmarkFigure9 regenerates the dynamic redundancy limit study.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var before, after float64
+		for _, r := range rows {
+			before += r.Original
+			after += r.Optimized
+		}
+		b.ReportMetric(before/float64(len(rows)), "avg-redundant-before")
+		b.ReportMetric(after/float64(len(rows)), "avg-redundant-after")
+	}
+}
+
+// BenchmarkFigure10 regenerates the redundancy classification.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var enc, aliasFail float64
+		for _, r := range rows {
+			enc += r.Fractions[0]
+			aliasFail += r.Fractions[3]
+		}
+		b.ReportMetric(enc/float64(len(rows)), "avg-encapsulated")
+		b.ReportMetric(aliasFail/float64(len(rows)), "avg-alias-failure")
+	}
+}
+
+// BenchmarkFigure11 regenerates the cumulative optimization impact.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var both float64
+		for _, r := range rows {
+			both += r.Both
+		}
+		b.ReportMetric(both/float64(len(rows)), "avg-pct-rle+minv")
+	}
+}
+
+// BenchmarkFigure12 regenerates the open/closed world comparison.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var diff float64
+		for _, r := range rows {
+			diff += r.Open - r.Closed
+		}
+		b.ReportMetric(diff/float64(len(rows)), "avg-open-minus-closed-pct")
+	}
+}
+
+// --- Ablation benches (DESIGN.md Section 5) -------------------------------
+
+// BenchmarkAblationAnalysisCost measures the cost of building each
+// analysis level over the whole suite — the paper's "fast" claim
+// (Section 2.5: a single linear pass plus unions).
+func BenchmarkAblationAnalysisCost(b *testing.B) {
+	progs := compileSuite(b)
+	for _, lvl := range []alias.Level{
+		alias.LevelTypeDecl, alias.LevelFieldTypeDecl, alias.LevelSMFieldTypeRefs,
+	} {
+		lvl := lvl
+		b.Run(lvl.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, prog := range progs {
+					alias.New(prog, alias.Options{Level: lvl})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPerTypeGroups compares the union-find SMTypeRefs
+// against the paper's footnote-2 per-type-groups variant.
+func BenchmarkAblationPerTypeGroups(b *testing.B) {
+	progs := compileSuite(b)
+	for _, perType := range []bool{false, true} {
+		name := "union-find"
+		if perType {
+			name = "per-type-groups"
+		}
+		perType := perType
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var pairs int
+				for _, prog := range progs {
+					a := alias.New(prog, alias.Options{
+						Level: alias.LevelSMFieldTypeRefs, PerTypeGroups: perType,
+					})
+					pairs += alias.CountPairs(prog, a).Local
+				}
+				b.ReportMetric(float64(pairs), "local-pairs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationKillPrecision measures RLE removals as the kill
+// oracle weakens from the perfect upper bound down to assume-everything.
+func BenchmarkAblationKillPrecision(b *testing.B) {
+	cases := []string{"AssumeAll", "TypeDecl", "SMFieldTypeRefs", "AssumeNone"}
+	for _, name := range cases {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, bm := range bench.All() {
+					prog, _, err := driver.Compile(bm.Name, bm.Source)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var o alias.Oracle
+					switch name {
+					case "AssumeAll":
+						o = alias.AssumeAll{}
+					case "TypeDecl":
+						o = alias.New(prog, alias.Options{Level: alias.LevelTypeDecl})
+					case "SMFieldTypeRefs":
+						o = alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+					case "AssumeNone":
+						o = alias.AssumeNone{}
+					}
+					mr := modref.Compute(prog)
+					total += opt.RLE(prog, o, mr).Removed()
+				}
+				b.ReportMetric(float64(total), "loads-removed")
+			}
+		})
+	}
+}
+
+func compileSuite(b *testing.B) []*ir.Program {
+	b.Helper()
+	var out []*ir.Program
+	for _, bm := range bench.All() {
+		prog, _, err := driver.Compile(bm.Name, bm.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, prog)
+	}
+	return out
+}
+
+// BenchmarkAblationPRE measures the paper's future-work extension:
+// partial redundancy elimination after RLE. Reports how many additional
+// loads the insertion+elimination pass removes across the suite.
+func BenchmarkAblationPRE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		extra := 0
+		inserted := 0
+		for _, bm := range bench.Measured() {
+			prog, _, err := driver.Compile(bm.Name, bm.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+			mr := modref.Compute(prog)
+			opt.RLE(prog, o, mr)
+			res := opt.PRE(prog, o, mr)
+			extra += res.Eliminated
+			inserted += res.Inserted
+		}
+		b.ReportMetric(float64(extra), "extra-loads-removed")
+		b.ReportMetric(float64(inserted), "compensation-loads")
+	}
+}

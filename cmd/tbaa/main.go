@@ -1,0 +1,214 @@
+// Command tbaa compiles a MiniM3 module and exposes the analyses and
+// optimizations of the library.
+//
+// Usage:
+//
+//	tbaa [flags] file.m3
+//
+//	-dump-ast        print the parsed module
+//	-dump-ir         print the lowered IR (after optimization, if any)
+//	-alias LEVEL     typedecl | fieldtypedecl | smfieldtyperefs (default)
+//	-open            use the open-world (incomplete program) assumption
+//	-pairs           print static alias-pair counts (Table 5 metrics)
+//	-typerefs        print the SMTypeRefs TypeRefsTable
+//	-rle             run redundant load elimination
+//	-pre             run partial redundancy elimination after RLE
+//	-minv            devirtualize + inline before RLE
+//	-run             execute the program and print its output and stats
+//	-sim             execute under the cache timing model
+//	-limit           run the dynamic redundant-load limit study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/ast"
+	"tbaa/internal/bench"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/ir"
+	"tbaa/internal/limit"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+	"tbaa/internal/parser"
+	"tbaa/internal/sim"
+	"tbaa/internal/types"
+)
+
+func main() {
+	dumpAST := flag.Bool("dump-ast", false, "print the parsed module")
+	dumpIR := flag.Bool("dump-ir", false, "print the lowered IR")
+	aliasLevel := flag.String("alias", "smfieldtyperefs", "alias analysis level")
+	open := flag.Bool("open", false, "open-world assumption")
+	pairs := flag.Bool("pairs", false, "print alias-pair counts")
+	typeRefs := flag.Bool("typerefs", false, "print the TypeRefsTable")
+	rle := flag.Bool("rle", false, "run redundant load elimination")
+	pre := flag.Bool("pre", false, "run partial redundancy elimination after RLE")
+	minv := flag.Bool("minv", false, "devirtualize and inline first")
+	run := flag.Bool("run", false, "execute the program")
+	simulate := flag.Bool("sim", false, "execute under the timing model")
+	limitStudy := flag.Bool("limit", false, "run the limit study")
+	benchName := flag.String("bench", "", "use a built-in benchmark instead of a file")
+	flag.Parse()
+
+	var file, src string
+	switch {
+	case *benchName != "":
+		b, ok := bench.ByName(*benchName)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+		}
+		file, src = b.Name+".m3", b.Source
+	case flag.NArg() == 1:
+		file = flag.Arg(0)
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tbaa [flags] file.m3 (or -bench NAME)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if *dumpAST {
+		m, err := parser.Parse(file, src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ast.Print(m))
+		if !*dumpIR && !*run && !*pairs {
+			return
+		}
+	}
+
+	prog, _, err := driver.Compile(file, src)
+	if err != nil {
+		fatal(err)
+	}
+
+	level := parseLevel(*aliasLevel)
+	a := alias.New(prog, alias.Options{Level: level, OpenWorld: *open})
+
+	if *typeRefs {
+		printTypeRefs(prog, a)
+	}
+	if *pairs {
+		pc := alias.CountPairs(prog, a)
+		fmt.Printf("%s: references=%d local-pairs=%d global-pairs=%d\n",
+			a.Name(), pc.References, pc.Local, pc.Global)
+	}
+	if *minv {
+		refine := func(o *types.Object) []int {
+			refs := a.TypeRefs(o)
+			if refs == nil {
+				return nil
+			}
+			ids := make([]int, 0, len(refs))
+			for id := range refs {
+				ids = append(ids, id)
+			}
+			return ids
+		}
+		nd := opt.Devirtualize(prog, refine)
+		ni := opt.Inline(prog)
+		fmt.Printf("devirtualized %d calls, inlined %d sites\n", nd, ni)
+		a = alias.New(prog, alias.Options{Level: level, OpenWorld: *open})
+	}
+	if *rle || *pre {
+		mr := modref.Compute(prog)
+		res := opt.RLE(prog, a, mr)
+		fmt.Printf("RLE (%s): hoisted=%d eliminated=%d\n", a.Name(), res.Hoisted, res.Eliminated)
+		if *pre {
+			pr := opt.PRE(prog, a, mr)
+			fmt.Printf("PRE: inserted=%d eliminated=%d\n", pr.Inserted, pr.Eliminated)
+		}
+		if len(res.PerProc) > 0 {
+			var names []string
+			for n := range res.PerProc {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("  %-20s %d\n", n, res.PerProc[n])
+			}
+		}
+	}
+	if *dumpIR {
+		fmt.Print(prog.String())
+	}
+	if *run {
+		in := interp.New(prog)
+		out, err := in.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		st := in.Stats()
+		fmt.Printf("[%d instructions, %d heap loads (%d dope), %d other loads, %d allocs]\n",
+			st.Instructions, st.HeapLoads, st.DopeLoads, st.OtherLoads, st.Allocs)
+	}
+	if *simulate {
+		r, out, err := sim.Run(prog, sim.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%d cycles, %d instructions, %d loads (%.1f%% miss)]\n",
+			r.Cycles, r.Instructions, r.Loads, 100*r.MissRate())
+	}
+	if *limitStudy {
+		mr := modref.Compute(prog)
+		rep, out, err := limit.Measure(prog, a, mr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%d heap loads, %d redundant]\n", rep.HeapLoads, rep.Redundant)
+		for c := limit.CatEncapsulated; c <= limit.CatRest; c++ {
+			fmt.Printf("  %-14s %d\n", c, rep.ByCategory[c])
+		}
+	}
+}
+
+func parseLevel(s string) alias.Level {
+	switch strings.ToLower(s) {
+	case "typedecl":
+		return alias.LevelTypeDecl
+	case "fieldtypedecl":
+		return alias.LevelFieldTypeDecl
+	case "smfieldtyperefs", "tbaa":
+		return alias.LevelSMFieldTypeRefs
+	default:
+		fatal(fmt.Errorf("unknown alias level %q", s))
+		return 0
+	}
+}
+
+func printTypeRefs(prog *ir.Program, a *alias.Analysis) {
+	fmt.Println("TypeRefsTable:")
+	for _, t := range prog.Universe.ReferenceTypes() {
+		refs := a.TypeRefs(t)
+		if refs == nil {
+			fmt.Printf("  %-20s (level has no table; Subtypes used)\n", t)
+			continue
+		}
+		var names []string
+		for id := range refs {
+			names = append(names, prog.Universe.ByID(id).String())
+		}
+		sort.Strings(names)
+		fmt.Printf("  %-20s {%s}\n", t, strings.Join(names, ", "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tbaa:", err)
+	os.Exit(1)
+}

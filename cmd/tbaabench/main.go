@@ -1,0 +1,95 @@
+// Command tbaabench regenerates every table and figure from the paper's
+// evaluation section (Tables 4-6, Figures 8-12).
+//
+// Usage:
+//
+//	tbaabench              # everything
+//	tbaabench -table 5     # one table
+//	tbaabench -figure 10   # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tbaa/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (4, 5, or 6)")
+	figure := flag.Int("figure", 0, "regenerate one figure (8..12)")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tbaabench:", err)
+		os.Exit(1)
+	}
+	out := os.Stdout
+
+	if all || *table == 4 {
+		rows, err := bench.Table4()
+		if err != nil {
+			fail(err)
+		}
+		bench.FprintTable4(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 5 {
+		rows, err := bench.Table5()
+		if err != nil {
+			fail(err)
+		}
+		bench.FprintTable5(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 6 {
+		rows, err := bench.Table6()
+		if err != nil {
+			fail(err)
+		}
+		bench.FprintTable6(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *figure == 8 {
+		rows, err := bench.Figure8()
+		if err != nil {
+			fail(err)
+		}
+		bench.FprintFigure8(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *figure == 9 {
+		rows, err := bench.Figure9()
+		if err != nil {
+			fail(err)
+		}
+		bench.FprintFigure9(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *figure == 10 {
+		rows, err := bench.Figure10()
+		if err != nil {
+			fail(err)
+		}
+		bench.FprintFigure10(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *figure == 11 {
+		rows, err := bench.Figure11()
+		if err != nil {
+			fail(err)
+		}
+		bench.FprintFigure11(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *figure == 12 {
+		rows, err := bench.Figure12()
+		if err != nil {
+			fail(err)
+		}
+		bench.FprintFigure12(out, rows)
+		fmt.Fprintln(out)
+	}
+}

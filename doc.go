@@ -1,0 +1,10 @@
+// Package tbaa reproduces "Type-Based Alias Analysis" (Diwan, McKinley,
+// Moss; PLDI 1998): the three type-based alias analyses (TypeDecl,
+// FieldTypeDecl, SMFieldTypeRefs), redundant load elimination, and the
+// paper's full evaluation methodology (static alias pairs, simulated
+// run time, and a dynamic upper-bound limit study) over a Modula-3
+// subset compiled and executed by this module.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package tbaa

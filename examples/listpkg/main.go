@@ -1,0 +1,100 @@
+// listpkg demonstrates the paper's motivating example for SMTypeRefs
+// (Section 2.4): a generic list package used monomorphically. TypeDecl
+// must assume a List of Apples may reference Oranges; selective type
+// merging proves it cannot, because the program never assigns an Orange
+// to a List element.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+)
+
+const src = `
+MODULE ListPkg;
+TYPE
+  (* A "generic" list package: elements are any Fruit. *)
+  Fruit = OBJECT weight: INTEGER; END;
+  Apple = Fruit OBJECT crisp: INTEGER; END;
+  Orange = Fruit OBJECT peel: INTEGER; END;
+  List = OBJECT head: Fruit; tail: List; END;
+
+VAR
+  apples: List;
+  a: Apple;
+  o: Orange;
+  i, total: INTEGER;
+
+PROCEDURE Push(l: List; f: Fruit): List =
+VAR n: List;
+BEGIN
+  n := NEW(List);
+  n.head := f;
+  n.tail := l;
+  RETURN n;
+END Push;
+
+BEGIN
+  (* The list is only ever used with apples. *)
+  apples := NIL;
+  FOR i := 1 TO 10 DO
+    a := NEW(Apple);
+    a.weight := i;
+    apples := Push(apples, a);
+  END;
+  (* Oranges exist but never enter a list. *)
+  o := NEW(Orange);
+  o.weight := 500;
+  total := 0;
+  WHILE apples # NIL DO
+    total := total + apples.head.weight;
+    apples := apples.tail;
+  END;
+  PutInt(total); PutLn();
+END ListPkg.
+`
+
+func main() {
+	prog, _, err := driver.Compile("listpkg.m3", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+
+	fmt.Println("TypeRefsTable (what can a reference of each type point at?):")
+	for _, t := range prog.Universe.ReferenceTypes() {
+		refs := sm.TypeRefs(t)
+		if refs == nil {
+			continue
+		}
+		var names []string
+		for id := range refs {
+			names = append(names, prog.Universe.ByID(id).String())
+		}
+		sort.Strings(names)
+		fmt.Printf("  %-8s -> {%s}\n", t, strings.Join(names, ", "))
+	}
+
+	// The headline fact: a Fruit reference (the list's element slot) may
+	// point at Apples but never at Oranges, because no assignment ever
+	// merged Orange into Fruit.
+	var fruitRow map[int]bool
+	var orangeID, appleID int
+	for _, o := range prog.Universe.ObjectTypes() {
+		switch o.Name {
+		case "Fruit":
+			fruitRow = sm.TypeRefs(o)
+		case "Orange":
+			orangeID = o.ID()
+		case "Apple":
+			appleID = o.ID()
+		}
+	}
+	fmt.Printf("\nFruit may reference Apple:  %v\n", fruitRow[appleID])
+	fmt.Printf("Fruit may reference Orange: %v  (TypeDecl would say true)\n", fruitRow[orangeID])
+}

@@ -1,0 +1,96 @@
+// openworld demonstrates Section 4 of the paper: analyzing an incomplete
+// program. A library module is analyzed under the closed-world and
+// open-world assumptions; branded types stay precise even in the open
+// world because unavailable code cannot reconstruct them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/ir"
+)
+
+const src = `
+MODULE Lib;
+TYPE
+  (* A public, structural type: unavailable clients can make their own. *)
+  Node = OBJECT val: INTEGER; next: Node; END;
+  Wide = Node OBJECT extra: INTEGER; END;
+  (* A branded type observes name equivalence: clients cannot forge it. *)
+  Secret = BRANDED "Lib.Secret" OBJECT val: INTEGER; next: Secret; END;
+  SecretSub = BRANDED "Lib.SecretSub" Secret OBJECT more: INTEGER; END;
+
+VAR
+  pub: Node;
+  sec: Secret;
+  x: INTEGER;
+
+PROCEDURE Touch(n: Node): INTEGER =
+BEGIN
+  RETURN n.val;
+END Touch;
+
+BEGIN
+  pub := NEW(Node);
+  sec := NEW(Secret);
+  x := Touch(pub) + sec.val;
+  PutInt(x); PutLn();
+END Lib.
+`
+
+func main() {
+	prog, _, err := driver.Compile("lib.m3", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	find := func(name string) *ir.AP {
+		for _, p := range prog.Procs {
+			for _, b := range p.Blocks {
+				for i := range b.Instrs {
+					if in := &b.Instrs[i]; in.AP != nil && in.AP.String() == name {
+						return in.AP
+					}
+				}
+			}
+		}
+		log.Fatalf("no path %s", name)
+		return nil
+	}
+
+	closed := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	open := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs, OpenWorld: true})
+
+	u := prog.Universe
+	var nodeT, wideT, secretT, secretSubT int
+	for _, o := range u.ObjectTypes() {
+		switch o.Name {
+		case "Node":
+			nodeT = o.ID()
+		case "Wide":
+			wideT = o.ID()
+		case "Secret":
+			secretT = o.ID()
+		case "SecretSub":
+			secretSubT = o.ID()
+		}
+	}
+
+	fmt.Println("May a Node reference a Wide (the program never assigns one)?")
+	fmt.Printf("  closed world: %v\n", closed.TypeRefs(u.ByID(nodeT))[wideT])
+	fmt.Printf("  open world:   %v  (clients may construct and assign Wide)\n",
+		open.TypeRefs(u.ByID(nodeT))[wideT])
+
+	fmt.Println("May a Secret reference a SecretSub?")
+	fmt.Printf("  closed world: %v\n", closed.TypeRefs(u.ByID(secretT))[secretSubT])
+	fmt.Printf("  open world:   %v  (branded: clients cannot forge it)\n",
+		open.TypeRefs(u.ByID(secretT))[secretSubT])
+
+	nval := find("n.val")
+	fmt.Println("AddressTaken(n.val) — n is a value parameter a client could alias:")
+	fmt.Printf("  closed world: %v\n", closed.AddressTaken(nval))
+	fmt.Printf("  open world:   %v (no VAR formal of INTEGER exists here)\n",
+		open.AddressTaken(nval))
+}

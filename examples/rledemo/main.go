@@ -1,0 +1,91 @@
+// rledemo shows redundant load elimination end to end: the IR of a hot
+// loop before and after RLE, with dynamic load counts under each of the
+// paper's three alias analyses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+)
+
+// The loop loads a.b^ every iteration (the paper's Figure 6) and also
+// re-reads t.f after a store to t.g, which only a field-sensitive
+// analysis can keep available.
+const src = `
+MODULE Demo;
+TYPE
+  Inner = REF INTEGER;
+  Outer = OBJECT b: Inner; END;
+  T = OBJECT f, g: INTEGER; END;
+VAR
+  a: Outer;
+  t: T;
+  i, x: INTEGER;
+BEGIN
+  a := NEW(Outer);
+  a.b := NEW(Inner);
+  a.b^ := 5;
+  t := NEW(T);
+  t.f := 3;
+  x := 0;
+  FOR i := 1 TO 1000 DO
+    x := x + a.b^;    (* loop-invariant: hoistable *)
+    t.g := i;         (* kills t.f only under TypeDecl *)
+    x := x + t.f;     (* redundant under FieldTypeDecl and up *)
+  END;
+  PutInt(x); PutLn();
+END Demo.
+`
+
+func main() {
+	fmt.Println("=== unoptimized ===")
+	baseline := measure(nil)
+	fmt.Printf("heap loads: %d\n\n", baseline)
+
+	for _, lvl := range []alias.Level{
+		alias.LevelTypeDecl, alias.LevelFieldTypeDecl, alias.LevelSMFieldTypeRefs,
+	} {
+		lvl := lvl
+		fmt.Printf("=== RLE with %v ===\n", lvl)
+		loads := measure(&lvl)
+		fmt.Printf("heap loads: %d (%.0f%% of baseline)\n\n",
+			loads, 100*float64(loads)/float64(baseline))
+	}
+}
+
+func measure(lvl *alias.Level) uint64 {
+	prog, _, err := driver.Compile("demo.m3", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if lvl != nil {
+		o := alias.New(prog, alias.Options{Level: *lvl})
+		mr := modref.Compute(prog)
+		res := opt.RLE(prog, o, mr)
+		fmt.Printf("hoisted %d loads, eliminated %d\n", res.Hoisted, res.Eliminated)
+		if *lvl == alias.LevelSMFieldTypeRefs {
+			fmt.Println("-- main loop IR after RLE --")
+			for _, b := range prog.Main.Blocks {
+				if b.Name == "for.body" || b.Name == "preheader" {
+					fmt.Printf("b%d (%s):\n", b.ID, b.Name)
+					for i := range b.Instrs {
+						fmt.Printf("  %s\n", b.Instrs[i].String())
+					}
+				}
+			}
+		}
+	}
+	in := interp.New(prog)
+	out, err := in.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("output: %s", out)
+	return in.Stats().HeapLoads
+}

@@ -1,0 +1,552 @@
+package alias_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/ir"
+)
+
+// compile lowers a source module and returns the IR program.
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, _, err := driver.Compile("test.m3", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// apOf finds the AP of the first load/store whose string form matches.
+func apOf(t *testing.T, prog *ir.Program, s string) *ir.AP {
+	t.Helper()
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.AP != nil && in.AP.String() == s {
+					return in.AP
+				}
+			}
+		}
+	}
+	t.Fatalf("no access path %q in program", s)
+	return nil
+}
+
+const fig1 = `
+MODULE Fig1;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+  S3 = T OBJECT c: INTEGER; END;
+VAR
+  t: T;
+  s: S1;
+  u: S2;
+  sink: T;
+BEGIN
+  t := NEW(T); s := NEW(S1); u := NEW(S2);
+  sink := t.f;
+  sink := s.f;
+  sink := u.f;
+  sink := t.g;
+END Fig1.
+`
+
+func analyses(prog *ir.Program) (td, ftd, sm *alias.Analysis) {
+	td = alias.New(prog, alias.Options{Level: alias.LevelTypeDecl})
+	ftd = alias.New(prog, alias.Options{Level: alias.LevelFieldTypeDecl})
+	sm = alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	return
+}
+
+// varAP builds a bare-variable access path for a global.
+func varAP(t *testing.T, prog *ir.Program, name string) *ir.AP {
+	t.Helper()
+	for _, g := range prog.Globals {
+		if g.Name == name {
+			return &ir.AP{Root: g}
+		}
+	}
+	t.Fatalf("no global %q", name)
+	return nil
+}
+
+func TestTypeDeclFig1(t *testing.T) {
+	prog := compile(t, fig1)
+	td, _, _ := analyses(prog)
+	tv := varAP(t, prog, "t")
+	sv := varAP(t, prog, "s")
+	uv := varAP(t, prog, "u")
+	// Section 2.2: t~s and t~u may reference the same location; s~u not.
+	if !td.MayAlias(tv, sv) {
+		t.Error("TypeDecl: t ~ s expected")
+	}
+	if !td.MayAlias(tv, uv) {
+		t.Error("TypeDecl: t ~ u expected")
+	}
+	if td.MayAlias(sv, uv) {
+		t.Error("TypeDecl: s ~ u must not alias (sibling subtypes)")
+	}
+	// TypeDecl ignores fields: t.f and t.g have compatible types (both T),
+	// and even s.f vs u.f alias because both fields have type T.
+	tf := apOf(t, prog, "t.f")
+	tg := apOf(t, prog, "t.g")
+	sf := apOf(t, prog, "s.f")
+	uf := apOf(t, prog, "u.f")
+	if !td.MayAlias(tf, tg) {
+		t.Error("TypeDecl: t.f ~ t.g expected (same types)")
+	}
+	if !td.MayAlias(sf, uf) {
+		t.Error("TypeDecl: s.f ~ u.f expected (both have type T)")
+	}
+	// FieldTypeDecl refines this through the prefix recursion: the f
+	// fields of incompatible objects cannot be the same location.
+	_, ftd, _ := analyses(prog)
+	if ftd.MayAlias(sf, uf) {
+		t.Error("FieldTypeDecl: s.f vs u.f must not alias (incompatible prefixes)")
+	}
+}
+
+func TestFieldTypeDeclDistinguishesFields(t *testing.T) {
+	prog := compile(t, fig1)
+	_, ftd, _ := analyses(prog)
+	tf := apOf(t, prog, "t.f")
+	tg := apOf(t, prog, "t.g")
+	sf := apOf(t, prog, "s.f")
+	// Table 2 case 2: different field names never alias.
+	if ftd.MayAlias(tf, tg) {
+		t.Error("FieldTypeDecl: t.f vs t.g must not alias (distinct fields)")
+	}
+	// Same field, compatible prefixes: alias.
+	if !ftd.MayAlias(tf, sf) {
+		t.Error("FieldTypeDecl: t.f ~ s.f expected")
+	}
+	// Identical AP: case 1.
+	if !ftd.MayAlias(tf, tf) {
+		t.Error("FieldTypeDecl: identical APs must alias")
+	}
+}
+
+// Figure 3 of the paper: selective merging.
+const fig3 = `
+MODULE Fig3;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+  S3 = T OBJECT c: INTEGER; END;
+VAR
+  s1: S1;
+  s2: S2;
+  s3: S3;
+  t: T;
+  sink: T;
+BEGIN
+  s1 := NEW(S1);
+  s2 := NEW(S2);
+  s3 := NEW(S3);
+  t := s1; (* Statement 1 *)
+  t := s2; (* Statement 2 *)
+  sink := t.f;
+  sink := s1.f;
+  sink := s2.f;
+  sink := s3.f;
+END Fig3.
+`
+
+func TestSMTypeRefsFig3(t *testing.T) {
+	prog := compile(t, fig3)
+	sm := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	u := prog.Universe
+	find := func(name string) int {
+		for _, ot := range u.ObjectTypes() {
+			if ot.Name == name {
+				return ot.ID()
+			}
+		}
+		t.Fatalf("type %s not found", name)
+		return -1
+	}
+	tID, s1ID, s2ID, s3ID := find("T"), find("S1"), find("S2"), find("S3")
+	refsT := sm.TypeRefs(u.ByID(tID))
+	// Table 3 of the paper: TypeRefsTable(T) = {T, S1, S2}; S3 excluded.
+	if !refsT[tID] || !refsT[s1ID] || !refsT[s2ID] {
+		t.Errorf("TypeRefsTable(T) = %v, want to include T, S1, S2", refsT)
+	}
+	if refsT[s3ID] {
+		t.Errorf("TypeRefsTable(T) includes S3; selective merging failed")
+	}
+	// Asymmetry (Step 3): S1 may only reference S1.
+	refsS1 := sm.TypeRefs(u.ByID(s1ID))
+	if len(refsS1) != 1 || !refsS1[s1ID] {
+		t.Errorf("TypeRefsTable(S1) = %v, want {S1}", refsS1)
+	}
+	// Consequences for aliasing.
+	tf := apOf(t, prog, "t.f")
+	s3f := apOf(t, prog, "s3.f")
+	s1f := apOf(t, prog, "s1.f")
+	if sm.MayAlias(tf, s3f) {
+		t.Error("SMFieldTypeRefs: t.f vs s3.f must not alias (no merge with S3)")
+	}
+	if !sm.MayAlias(tf, s1f) {
+		t.Error("SMFieldTypeRefs: t.f ~ s1.f expected (merged)")
+	}
+}
+
+func TestSMTypeRefsNoAssignments(t *testing.T) {
+	// Section 2.4's motivating example: declared subtyping alone does not
+	// make t and s alias when the program never assigns between them.
+	prog := compile(t, `
+MODULE M;
+TYPE
+  T = OBJECT f: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+VAR
+  t: T;
+  s: S1;
+  sink: T;
+BEGIN
+  t := NEW(T);
+  s := NEW(S1);
+  sink := t.f;
+  sink := s.f;
+END M.
+`)
+	td, _, sm := analyses(prog)
+	tf := apOf(t, prog, "t.f")
+	sf := apOf(t, prog, "s.f")
+	if !td.MayAlias(tf, sf) {
+		t.Error("TypeDecl must merge declared subtypes")
+	}
+	if sm.MayAlias(tf, sf) {
+		t.Error("SMFieldTypeRefs: no assignment between T and S1, must not alias")
+	}
+}
+
+func TestDerefAndAddressTaken(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE
+  T = OBJECT f: INTEGER; g: INTEGER; END;
+PROCEDURE P(VAR x: INTEGER): INTEGER =
+BEGIN
+  RETURN x;
+END P;
+VAR t: T; r: INTEGER;
+BEGIN
+  t := NEW(T);
+  r := P(t.f);
+  r := t.g;
+END M.
+`)
+	_, ftd, _ := analyses(prog)
+	// x^ inside P vs t.f: the program passes t.f by reference, so
+	// AddressTaken(t.f) holds and the types match (INTEGER): may alias.
+	xDeref := apOf(t, prog, "x^")
+	tf := apOf(t, prog, "t.f")
+	tg := apOf(t, prog, "t.g")
+	if !ftd.MayAlias(xDeref, tf) {
+		t.Error("x^ ~ t.f expected (address taken via VAR parameter)")
+	}
+	// t.g's address is never taken: x^ cannot alias it.
+	if ftd.MayAlias(xDeref, tg) {
+		t.Error("x^ vs t.g must not alias (address never taken)")
+	}
+}
+
+func TestSubscriptCases(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE
+  A = ARRAY OF INTEGER;
+  B = ARRAY OF CHAR;
+  T = OBJECT f: INTEGER; END;
+PROCEDURE Q(VAR e: INTEGER) = BEGIN e := 1; END Q;
+VAR a: A; b: B; t: T; i, j: INTEGER; c: CHAR;
+BEGIN
+  a := NEW(A, 4); b := NEW(B, 4); t := NEW(T);
+  i := 0; j := 1;
+  a[i] := 5;
+  i := a[j];
+  c := b[i];
+  t.f := 1;
+  Q(a[0]);
+END M.
+`)
+	_, ftd, _ := analyses(prog)
+	ai := apOf(t, prog, "a[i]")
+	aj := apOf(t, prog, "a[j]")
+	bi := apOf(t, prog, "b[i]")
+	tf := apOf(t, prog, "t.f")
+	// Case 6: same array, any subscripts: alias.
+	if !ftd.MayAlias(ai, aj) {
+		t.Error("a[i] ~ a[j] expected (case 6 ignores subscripts)")
+	}
+	// Different element types: arrays incompatible.
+	if ftd.MayAlias(ai, bi) {
+		t.Error("a[i] vs b[i] must not alias (INTEGER vs CHAR arrays)")
+	}
+	// Case 5: qualified vs subscripted never alias.
+	if ftd.MayAlias(tf, ai) {
+		t.Error("t.f vs a[i] must not alias (case 5)")
+	}
+	// Case 4: e^ vs a[i] with AddressTaken(a[0]) via Q(a[0]).
+	eDeref := apOf(t, prog, "e^")
+	if !ftd.MayAlias(eDeref, ai) {
+		t.Error("e^ ~ a[i] expected (element address taken)")
+	}
+}
+
+func TestSubscriptNoAddressTaken(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE A = ARRAY OF INTEGER;
+PROCEDURE Q(VAR e: INTEGER) = BEGIN e := 1; END Q;
+VAR a: A; x: INTEGER;
+BEGIN
+  a := NEW(A, 4);
+  a[0] := 2;
+  x := 5;
+  Q(x);
+END M.
+`)
+	_, ftd, _ := analyses(prog)
+	eDeref := apOf(t, prog, "e^")
+	a0 := apOf(t, prog, "a[0]")
+	if ftd.MayAlias(eDeref, a0) {
+		t.Error("e^ vs a[0] must not alias: no element address taken")
+	}
+}
+
+func TestRefTypes(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE
+  PI = REF INTEGER;
+  PC = REF CHAR;
+VAR p, q: PI; r: PC; x: INTEGER; c: CHAR;
+BEGIN
+  p := NEW(PI); q := NEW(PI); r := NEW(PC);
+  p^ := 1;
+  x := q^;
+  c := r^;
+END M.
+`)
+	_, ftd, _ := analyses(prog)
+	pd := apOf(t, prog, "p^")
+	qd := apOf(t, prog, "q^")
+	rd := apOf(t, prog, "r^")
+	// Two REF INTEGER derefs: may alias (case 7 → TypeDecl).
+	if !ftd.MayAlias(pd, qd) {
+		t.Error("p^ ~ q^ expected (same REF INTEGER)")
+	}
+	// REF INTEGER vs REF CHAR: targets have different types.
+	if ftd.MayAlias(pd, rd) {
+		t.Error("p^ vs r^ must not alias (different target types)")
+	}
+}
+
+func TestDopeVectorNeverAliasesSource(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE A = ARRAY OF INTEGER;
+VAR a: A; x: INTEGER;
+BEGIN
+  a := NEW(A, 3);
+  a[0] := 1;
+  x := NUMBER(a);
+END M.
+`)
+	_, ftd, _ := analyses(prog)
+	a0 := apOf(t, prog, "a[0]")
+	alen := apOf(t, prog, "a{len}")
+	if ftd.MayAlias(a0, alen) {
+		t.Error("a[0] vs dope length must not alias")
+	}
+	if !ftd.MayAlias(alen, alen) {
+		t.Error("identical dope paths alias")
+	}
+}
+
+// TestPrecisionOrdering checks the paper's containment property over all
+// reference pairs of a program exercising every AP form: may-alias sets
+// satisfy SMFieldTypeRefs ⊆ FieldTypeDecl ⊆ TypeDecl.
+func TestPrecisionOrdering(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+  A = ARRAY OF T;
+  PI = REF INTEGER;
+PROCEDURE P(VAR x: T; VAR y: INTEGER): T =
+BEGIN
+  y := 3;
+  RETURN x;
+END P;
+VAR t: T; s: S1; u: S2; arr: A; p: PI; n: INTEGER; sink: T;
+BEGIN
+  t := NEW(T); s := NEW(S1); u := NEW(S2);
+  arr := NEW(A, 3); p := NEW(PI);
+  t := s;
+  arr[0] := t;
+  sink := t.f; sink := t.g; sink := s.f; sink := u.g;
+  sink := arr[1];
+  p^ := n;
+  sink := P(t, n);
+END M.
+`)
+	td, ftd, sm := analyses(prog)
+	refs := alias.References(prog)
+	if len(refs) < 8 {
+		t.Fatalf("expected several references, got %d", len(refs))
+	}
+	for i := 0; i < len(refs); i++ {
+		for j := i; j < len(refs); j++ {
+			p, q := refs[i].AP, refs[j].AP
+			smA := sm.MayAlias(p, q)
+			ftdA := ftd.MayAlias(p, q)
+			tdA := td.MayAlias(p, q)
+			if smA && !ftdA {
+				t.Errorf("%s ~ %s: SMFieldTypeRefs aliases but FieldTypeDecl does not", p, q)
+			}
+			if ftdA && !tdA {
+				t.Errorf("%s ~ %s: FieldTypeDecl aliases but TypeDecl does not", p, q)
+			}
+			// Symmetry of each analysis.
+			if sm.MayAlias(q, p) != smA || ftd.MayAlias(q, p) != ftdA || td.MayAlias(q, p) != tdA {
+				t.Errorf("%s ~ %s: asymmetric answer", p, q)
+			}
+		}
+	}
+}
+
+func TestPairCountsOrdering(t *testing.T) {
+	prog := compile(t, fig3)
+	td, ftd, sm := analyses(prog)
+	cTD := alias.CountPairs(prog, td)
+	cFTD := alias.CountPairs(prog, ftd)
+	cSM := alias.CountPairs(prog, sm)
+	if cTD.References != cFTD.References || cFTD.References != cSM.References {
+		t.Fatal("reference counts must agree across analyses")
+	}
+	if cFTD.Local > cTD.Local || cFTD.Global > cTD.Global {
+		t.Errorf("FieldTypeDecl pairs exceed TypeDecl: %+v vs %+v", cFTD, cTD)
+	}
+	if cSM.Local > cFTD.Local || cSM.Global > cFTD.Global {
+		t.Errorf("SMFieldTypeRefs pairs exceed FieldTypeDecl: %+v vs %+v", cSM, cFTD)
+	}
+}
+
+func TestOpenWorldWidening(t *testing.T) {
+	prog := compile(t, fig3)
+	closed := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	open := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs, OpenWorld: true})
+	tf := apOf(t, prog, "t.f")
+	s3f := apOf(t, prog, "s3.f")
+	// Closed world: no merge between T and S3.
+	if closed.MayAlias(tf, s3f) {
+		t.Error("closed world: t.f vs s3.f must not alias")
+	}
+	// Open world: unavailable code may assign S3 refs to T refs (both are
+	// unbranded), so the analysis must be conservative.
+	if !open.MayAlias(tf, s3f) {
+		t.Error("open world: t.f ~ s3.f expected (unbranded types merge)")
+	}
+	// Open-world results must contain closed-world results.
+	refs := alias.References(prog)
+	for i := range refs {
+		for j := range refs {
+			if closed.MayAlias(refs[i].AP, refs[j].AP) && !open.MayAlias(refs[i].AP, refs[j].AP) {
+				t.Errorf("open world dropped %s ~ %s", refs[i].AP, refs[j].AP)
+			}
+		}
+	}
+}
+
+func TestOpenWorldBrandedImmune(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE
+  T = BRANDED "T" OBJECT f: INTEGER; END;
+  S = BRANDED "S" T OBJECT a: INTEGER; END;
+VAR t: T; s: S; x: INTEGER;
+BEGIN
+  t := NEW(T); s := NEW(S);
+  x := t.f;
+  x := s.a;
+END M.
+`)
+	open := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs, OpenWorld: true})
+	u := prog.Universe
+	var tID, sID int
+	for _, o := range u.ObjectTypes() {
+		switch o.Name {
+		case "T":
+			tID = o.ID()
+		case "S":
+			sID = o.ID()
+		}
+	}
+	refs := open.TypeRefs(u.ByID(tID))
+	if refs[sID] {
+		t.Error("branded types must not merge under the open-world assumption")
+	}
+}
+
+func TestPerTypeGroupsAtLeastAsPrecise(t *testing.T) {
+	prog := compile(t, fig3)
+	uf := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	pt := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs, PerTypeGroups: true})
+	refs := alias.References(prog)
+	for i := range refs {
+		for j := range refs {
+			if pt.MayAlias(refs[i].AP, refs[j].AP) && !uf.MayAlias(refs[i].AP, refs[j].AP) {
+				t.Errorf("per-type groups less precise on %s ~ %s", refs[i].AP, refs[j].AP)
+			}
+		}
+	}
+}
+
+func TestTrivialOracles(t *testing.T) {
+	prog := compile(t, fig1)
+	tf := apOf(t, prog, "t.f")
+	sf := apOf(t, prog, "s.f")
+	all := alias.AssumeAll{}
+	none := alias.AssumeNone{}
+	if !all.MayAlias(tf, sf) {
+		t.Error("AssumeAll must alias everything")
+	}
+	if none.MayAlias(tf, sf) {
+		t.Error("AssumeNone must only alias identical paths")
+	}
+	if !none.MayAlias(tf, tf) {
+		t.Error("AssumeNone must alias identical paths")
+	}
+}
+
+func TestWithAliasAddressTaken(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; g: INTEGER; END;
+VAR t: T; x: INTEGER;
+BEGIN
+  t := NEW(T);
+  WITH w = t.f DO
+    w := 5;
+    x := t.g;
+  END;
+END M.
+`)
+	_, ftd, _ := analyses(prog)
+	wDeref := apOf(t, prog, "w^")
+	tg := apOf(t, prog, "t.g")
+	if ftd.MayAlias(wDeref, tg) {
+		t.Error("w^ vs t.g must not alias (only t.f's address taken)")
+	}
+}

@@ -1,0 +1,64 @@
+package alias
+
+import "tbaa/internal/ir"
+
+// Ref is one static heap memory reference (a source-level load or store
+// through a pointer).
+type Ref struct {
+	Proc  *ir.Proc
+	Instr *ir.Instr
+	AP    *ir.AP
+}
+
+// References collects every source-level heap memory reference in the
+// program: loads and stores through pointers, excluding the implicit
+// dope-vector accesses (which do not appear in the paper's AST-level
+// representation) and excluding record-variable accesses (stack, not heap).
+func References(prog *ir.Program) []Ref {
+	var refs []Ref
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+					continue
+				}
+				if in.AP == nil || in.AP.IsDope() {
+					continue
+				}
+				refs = append(refs, Ref{Proc: p, Instr: in, AP: in.AP})
+			}
+		}
+	}
+	return refs
+}
+
+// PairCounts are the Table 5 metrics.
+type PairCounts struct {
+	References int
+	// Local counts intraprocedural may-alias pairs: pairs of distinct
+	// references within the same procedure that may alias.
+	Local int
+	// Global counts may-alias pairs over all references in the program
+	// (the paper's interprocedural "G Alias" column).
+	Global int
+}
+
+// CountPairs computes the paper's static alias-pair metrics for an oracle.
+// Each reference trivially aliases itself; self-pairs are excluded.
+func CountPairs(prog *ir.Program, o Oracle) PairCounts {
+	refs := References(prog)
+	pc := PairCounts{References: len(refs)}
+	for i := 0; i < len(refs); i++ {
+		for j := i + 1; j < len(refs); j++ {
+			if !o.MayAlias(refs[i].AP, refs[j].AP) {
+				continue
+			}
+			pc.Global++
+			if refs[i].Proc == refs[j].Proc {
+				pc.Local++
+			}
+		}
+	}
+	return pc
+}

@@ -1,0 +1,167 @@
+package alias
+
+import (
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
+
+// buildTypeRefsUnionFind implements Figure 2 of the paper:
+//
+//	Step 1: put each (reference) type in its own set.
+//	Step 2: for every pointer assignment a := b with Type(a) != Type(b),
+//	        union their groups.
+//	Step 3: TypeRefsTable(t) = group(t) ∩ Subtypes(t).
+//
+// Open-world mode additionally merges every non-branded object type with
+// its non-branded supertype (Section 4: unavailable code can reconstruct
+// any structural type and assign through it; branded types are immune).
+func buildTypeRefsUnionFind(prog *ir.Program, openWorld bool) map[int]map[int]bool {
+	u := prog.Universe
+	uf := newUnionFind(u.NumTypes())
+	for _, m := range prog.Merges {
+		uf.union(m.Dst.ID(), m.Src.ID())
+	}
+	if openWorld {
+		for _, o := range u.ObjectTypes() {
+			if o.Branded || o.Super == nil || o.Super.Branded {
+				continue
+			}
+			uf.union(o.ID(), o.Super.ID())
+		}
+	}
+	// Collect groups.
+	groups := make(map[int][]int)
+	for _, t := range u.ReferenceTypes() {
+		r := uf.find(t.ID())
+		groups[r] = append(groups[r], t.ID())
+	}
+	// Step 3: filter by the subtype relation.
+	table := make(map[int]map[int]bool)
+	for _, t := range u.ReferenceTypes() {
+		g := groups[uf.find(t.ID())]
+		subs := u.Subtypes(t)
+		subSet := make(map[int]bool, len(subs))
+		for _, id := range subs {
+			subSet[id] = true
+		}
+		refs := make(map[int]bool)
+		for _, id := range g {
+			if subSet[id] {
+				refs[id] = true
+			}
+		}
+		refs[t.ID()] = true
+		table[t.ID()] = refs
+	}
+	return table
+}
+
+// buildTypeRefsPerType implements the footnote-2 variant: a separate
+// group per type with directed propagation. An assignment a := b makes
+// everything b may reference also referenceable through a, but not vice
+// versa. Iterates to a fixpoint, then applies the Step 3 subtype filter.
+func buildTypeRefsPerType(prog *ir.Program, openWorld bool) map[int]map[int]bool {
+	u := prog.Universe
+	group := make(map[int]map[int]bool)
+	for _, t := range u.ReferenceTypes() {
+		group[t.ID()] = map[int]bool{t.ID(): true}
+	}
+	type edge struct{ dst, src int }
+	var edges []edge
+	for _, m := range prog.Merges {
+		edges = append(edges, edge{m.Dst.ID(), m.Src.ID()})
+		// Flow-insensitivity makes the reverse direction observable too
+		// (a := b lets an AP of b's declared type reach objects stored
+		// through a earlier in any execution order), but the directed
+		// variant keeps only dst ⊇ src, which is what makes it more
+		// precise than the equivalence-class formulation.
+	}
+	if openWorld {
+		for _, o := range u.ObjectTypes() {
+			if o.Branded || o.Super == nil || o.Super.Branded {
+				continue
+			}
+			edges = append(edges, edge{o.Super.ID(), o.ID()}, edge{o.ID(), o.Super.ID()})
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, e := range edges {
+			gd, gs := group[e.dst], group[e.src]
+			if gd == nil || gs == nil {
+				continue
+			}
+			for id := range gs {
+				if !gd[id] {
+					gd[id] = true
+					changed = true
+				}
+			}
+		}
+	}
+	table := make(map[int]map[int]bool)
+	for _, t := range u.ReferenceTypes() {
+		subs := u.Subtypes(t)
+		subSet := make(map[int]bool, len(subs))
+		for _, id := range subs {
+			subSet[id] = true
+		}
+		refs := make(map[int]bool)
+		for id := range group[t.ID()] {
+			if subSet[id] {
+				refs[id] = true
+			}
+		}
+		refs[t.ID()] = true
+		table[t.ID()] = refs
+	}
+	return table
+}
+
+// TypeRefs exposes the TypeRefsTable row for a type (nil if the analysis
+// level does not build one). Useful for reports and tests.
+func (a *Analysis) TypeRefs(t types.Type) map[int]bool {
+	if a.typeRefs == nil {
+		return nil
+	}
+	return a.typeRefs[t.ID()]
+}
+
+// ---------------------------------------------------------------------------
+// Union-find
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

@@ -1,0 +1,364 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"tbaa/internal/token"
+)
+
+// Print renders a module back to MiniM3 source. The output re-parses to an
+// equivalent tree, which the parser round-trip tests rely on.
+func Print(m *Module) string {
+	var p printer
+	p.module(m)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.b.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("  ")
+	}
+}
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&p.b, format, args...)
+}
+
+func (p *printer) module(m *Module) {
+	p.printf("MODULE %s;", m.Name)
+	p.nl()
+	for _, d := range m.Decls {
+		p.decl(d)
+	}
+	if len(m.Body) > 0 {
+		p.nl()
+		p.printf("BEGIN")
+		p.stmts(m.Body)
+		p.nl()
+	} else {
+		p.nl()
+	}
+	p.printf("END %s.", m.Name)
+	p.nl()
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *TypeDecl:
+		p.nl()
+		p.printf("TYPE %s = ", d.Name)
+		p.typeExpr(d.Type)
+		p.printf(";")
+	case *ConstDecl:
+		p.nl()
+		p.printf("CONST %s = ", d.Name)
+		p.expr(d.Value)
+		p.printf(";")
+	case *VarDecl:
+		p.nl()
+		p.printf("VAR %s: ", strings.Join(d.Names, ", "))
+		p.typeExpr(d.Type)
+		if d.Init != nil {
+			p.printf(" := ")
+			p.expr(d.Init)
+		}
+		p.printf(";")
+	case *ProcDecl:
+		p.nl()
+		p.nl()
+		p.printf("PROCEDURE %s(", d.Name)
+		p.params(d.Params)
+		p.printf(")")
+		if d.Result != nil {
+			p.printf(": ")
+			p.typeExpr(d.Result)
+		}
+		p.printf(" =")
+		p.indent++
+		for _, l := range d.Locals {
+			p.decl(l)
+		}
+		p.indent--
+		p.nl()
+		p.printf("BEGIN")
+		p.stmts(d.Body)
+		p.nl()
+		p.printf("END %s;", d.Name)
+	}
+}
+
+func (p *printer) params(ps []*Param) {
+	for i, pr := range ps {
+		if i > 0 {
+			p.printf("; ")
+		}
+		switch pr.Mode {
+		case VarParam:
+			p.printf("VAR ")
+		case ReadonlyParam:
+			p.printf("READONLY ")
+		}
+		p.printf("%s: ", strings.Join(pr.Names, ", "))
+		p.typeExpr(pr.Type)
+	}
+}
+
+func (p *printer) typeExpr(t TypeExpr) {
+	switch t := t.(type) {
+	case *NamedType:
+		p.printf("%s", t.Name)
+	case *ObjectType:
+		if t.Branded {
+			if t.Brand != "" {
+				p.printf("BRANDED %q ", t.Brand)
+			} else {
+				p.printf("BRANDED ")
+			}
+		}
+		if t.Super != "" {
+			p.printf("%s ", t.Super)
+		}
+		p.printf("OBJECT")
+		p.indent++
+		for _, f := range t.Fields {
+			p.nl()
+			p.printf("%s: ", strings.Join(f.Names, ", "))
+			p.typeExpr(f.Type)
+			p.printf(";")
+		}
+		if len(t.Methods) > 0 {
+			p.indent--
+			p.nl()
+			p.printf("METHODS")
+			p.indent++
+			for _, m := range t.Methods {
+				p.nl()
+				p.printf("%s(", m.Name)
+				p.params(m.Params)
+				p.printf(")")
+				if m.Result != nil {
+					p.printf(": ")
+					p.typeExpr(m.Result)
+				}
+				if m.Default != "" {
+					p.printf(" := %s", m.Default)
+				}
+				p.printf(";")
+			}
+		}
+		if len(t.Overrides) > 0 {
+			p.indent--
+			p.nl()
+			p.printf("OVERRIDES")
+			p.indent++
+			for _, o := range t.Overrides {
+				p.nl()
+				p.printf("%s := %s;", o.Name, o.Proc)
+			}
+		}
+		p.indent--
+		p.nl()
+		p.printf("END")
+	case *RecordType:
+		p.printf("RECORD")
+		p.indent++
+		for _, f := range t.Fields {
+			p.nl()
+			p.printf("%s: ", strings.Join(f.Names, ", "))
+			p.typeExpr(f.Type)
+			p.printf(";")
+		}
+		p.indent--
+		p.nl()
+		p.printf("END")
+	case *ArrayType:
+		p.printf("ARRAY OF ")
+		p.typeExpr(t.Elem)
+	case *RefType:
+		p.printf("REF ")
+		p.typeExpr(t.Elem)
+	}
+}
+
+func (p *printer) stmts(ss []Stmt) {
+	p.indent++
+	for _, s := range ss {
+		p.nl()
+		p.stmt(s)
+		p.printf(";")
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		p.expr(s.LHS)
+		p.printf(" := ")
+		p.expr(s.RHS)
+	case *CallStmt:
+		p.expr(s.Call)
+	case *IfStmt:
+		p.printf("IF ")
+		p.expr(s.Cond)
+		p.printf(" THEN")
+		p.stmts(s.Then)
+		if len(s.Else) > 0 {
+			p.nl()
+			p.printf("ELSE")
+			p.stmts(s.Else)
+		}
+		p.nl()
+		p.printf("END")
+	case *WhileStmt:
+		p.printf("WHILE ")
+		p.expr(s.Cond)
+		p.printf(" DO")
+		p.stmts(s.Body)
+		p.nl()
+		p.printf("END")
+	case *RepeatStmt:
+		p.printf("REPEAT")
+		p.stmts(s.Body)
+		p.nl()
+		p.printf("UNTIL ")
+		p.expr(s.Cond)
+	case *ForStmt:
+		p.printf("FOR %s := ", s.Var)
+		p.expr(s.Lo)
+		p.printf(" TO ")
+		p.expr(s.Hi)
+		if s.Step != nil {
+			p.printf(" BY ")
+			p.expr(s.Step)
+		}
+		p.printf(" DO")
+		p.stmts(s.Body)
+		p.nl()
+		p.printf("END")
+	case *LoopStmt:
+		p.printf("LOOP")
+		p.stmts(s.Body)
+		p.nl()
+		p.printf("END")
+	case *ExitStmt:
+		p.printf("EXIT")
+	case *ReturnStmt:
+		p.printf("RETURN")
+		if s.Value != nil {
+			p.printf(" ")
+			p.expr(s.Value)
+		}
+	case *WithStmt:
+		p.printf("WITH %s = ", s.Name)
+		p.expr(s.Expr)
+		p.printf(" DO")
+		p.stmts(s.Body)
+		p.nl()
+		p.printf("END")
+	}
+}
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *Ident:
+		p.printf("%s", e.Name)
+	case *IntLit:
+		p.printf("%d", e.Value)
+	case *BoolLit:
+		if e.Value {
+			p.printf("TRUE")
+		} else {
+			p.printf("FALSE")
+		}
+	case *CharLit:
+		switch e.Value {
+		case '\n':
+			p.printf(`'\n'`)
+		case '\t':
+			p.printf(`'\t'`)
+		case '\'':
+			p.printf(`'\''`)
+		case '\\':
+			p.printf(`'\\'`)
+		default:
+			p.printf("'%c'", e.Value)
+		}
+	case *TextLit:
+		p.printf("%q", e.Value)
+	case *NilLit:
+		p.printf("NIL")
+	case *BinaryExpr:
+		p.printf("(")
+		p.expr(e.L)
+		p.printf(" %s ", opString(e.Op))
+		p.expr(e.R)
+		p.printf(")")
+	case *UnaryExpr:
+		if e.Op == token.NOT {
+			p.printf("NOT ")
+		} else {
+			p.printf("-")
+		}
+		p.printf("(")
+		p.expr(e.X)
+		p.printf(")")
+	case *QualifyExpr:
+		p.expr(e.X)
+		p.printf(".%s", e.Field)
+	case *DerefExpr:
+		p.expr(e.X)
+		p.printf("^")
+	case *SubscriptExpr:
+		p.expr(e.X)
+		p.printf("[")
+		p.expr(e.Index)
+		p.printf("]")
+	case *CallExpr:
+		p.expr(e.Fun)
+		p.printf("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.expr(a)
+		}
+		p.printf(")")
+	case *NewExpr:
+		p.printf("NEW(%s", e.TypeName)
+		if e.Len != nil {
+			p.printf(", ")
+			p.expr(e.Len)
+		}
+		p.printf(")")
+	}
+}
+
+func opString(k token.Kind) string { return k.String() }
+
+// PathString renders a designator expression the way the paper writes
+// access paths, e.g. "a.b^[i].c". Non-designator subexpressions (such as
+// subscript indices) are abbreviated.
+func PathString(e Expr) string {
+	switch e := e.(type) {
+	case *Ident:
+		return e.Name
+	case *QualifyExpr:
+		return PathString(e.X) + "." + e.Field
+	case *DerefExpr:
+		return PathString(e.X) + "^"
+	case *SubscriptExpr:
+		return PathString(e.X) + "[" + PathString(e.Index) + "]"
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,45 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"tbaa/internal/bench"
+)
+
+// goldenOutputs pins the first output line of every benchmark. A change
+// here means a benchmark's behavior changed — intentional changes must
+// update both this table and EXPERIMENTS.md, because all paper-vs-
+// measured comparisons assume these workloads.
+var goldenOutputs = map[string]string{
+	"format":       "lines=109 avgw=21",
+	"dformat":      "blocks=90 pages=6 hash=41326",
+	"write-pickle": "roundtrip=ok sum=139897",
+	"k-tree":       "count=260 total=134140",
+	"slisp":        "fib14=377 tri400=80200 arith=84 evals=14983 cells=1714 stats=81250",
+	"pp":           "lines=396 endcol=34 hash=27019",
+	"dom":          "delivered=40 processed=40 drained=40 state=36498",
+	"postcard":     "opened=40 filed=8 expunged=8 kept=42",
+	"m2tom3":       "tokens=1646 hits=1655 hash=97370",
+	"m3cg":         "spills=73 words=120 sum=329437",
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			want, ok := goldenOutputs[b.Name]
+			if !ok {
+				t.Fatalf("no golden output recorded for %s", b.Name)
+			}
+			out, _, err := driverRun(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := strings.SplitN(strings.TrimRight(out, "\n"), "\n", 2)[0]
+			if got != want {
+				t.Errorf("output changed:\n got %q\nwant %q", got, want)
+			}
+		})
+	}
+}

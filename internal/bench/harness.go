@@ -1,0 +1,501 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/ir"
+	"tbaa/internal/limit"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+	"tbaa/internal/sim"
+	"tbaa/internal/types"
+)
+
+// Levels in paper order.
+var Levels = []alias.Level{
+	alias.LevelTypeDecl,
+	alias.LevelFieldTypeDecl,
+	alias.LevelSMFieldTypeRefs,
+}
+
+// compileBench compiles a benchmark from scratch (each configuration
+// mutates the IR, so every measurement gets a fresh program).
+func compileBench(b Benchmark) (*ir.Program, error) {
+	prog, _, err := driver.Compile(b.Name+".m3", b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return prog, nil
+}
+
+// optimize applies RLE under a level (optionally with devirt+inline
+// first, and optionally under the open-world assumption).
+func optimize(prog *ir.Program, level alias.Level, openWorld, minvInline bool) (*alias.Analysis, opt.RLEResult) {
+	a := alias.New(prog, alias.Options{Level: level, OpenWorld: openWorld})
+	if minvInline {
+		refine := func(o *types.Object) []int {
+			refs := a.TypeRefs(o)
+			if refs == nil {
+				return nil
+			}
+			ids := make([]int, 0, len(refs))
+			for id := range refs {
+				ids = append(ids, id)
+			}
+			return ids
+		}
+		opt.Devirtualize(prog, refine)
+		opt.Inline(prog)
+		// Inlining created new code; rebuild the analysis facts that
+		// depend on program structure (merges are unchanged; address
+		// taken sets were updated in place).
+		a = alias.New(prog, alias.Options{Level: level, OpenWorld: openWorld})
+	}
+	mr := modref.Compute(prog)
+	res := opt.RLE(prog, a, mr)
+	return a, res
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — benchmark descriptions
+
+// Table4Row describes one benchmark (paper Table 4).
+type Table4Row struct {
+	Name         string
+	Lines        int
+	Instructions uint64
+	HeapLoadPct  float64
+	OtherLoadPct float64
+	Description  string
+	Interactive  bool
+}
+
+// Table4 runs every benchmark unoptimized and reports its profile.
+// Interactive programs get only their static size, as in the paper.
+func Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, b := range All() {
+		row := Table4Row{
+			Name:        b.Name,
+			Lines:       SourceLines(b.Source),
+			Description: b.Description,
+			Interactive: b.Interactive,
+		}
+		if !b.Interactive {
+			prog, err := compileBench(b)
+			if err != nil {
+				return nil, err
+			}
+			in := interp.New(prog)
+			if _, err := in.Run(); err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			st := in.Stats()
+			row.Instructions = st.Instructions
+			row.HeapLoadPct = 100 * float64(st.HeapLoads) / float64(st.Instructions)
+			row.OtherLoadPct = 100 * float64(st.OtherLoads) / float64(st.Instructions)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintTable4 renders Table 4.
+func FprintTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintf(w, "Table 4: Description of Benchmark Programs\n")
+	fmt.Fprintf(w, "%-14s %6s %14s %12s %13s\n", "Name", "Lines", "Instructions", "% Heap loads", "% Other loads")
+	for _, r := range rows {
+		if r.Interactive {
+			fmt.Fprintf(w, "%-14s %6d %14s %12s %13s\n", r.Name, r.Lines, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %6d %14d %12.0f %13.0f\n",
+			r.Name, r.Lines, r.Instructions, r.HeapLoadPct, r.OtherLoadPct)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — static alias pairs
+
+// Table5Row holds local/global alias pairs per analysis (paper Table 5).
+type Table5Row struct {
+	Name       string
+	References int
+	Local      [3]int
+	Global     [3]int
+}
+
+// Table5 counts may-alias pairs under the three analyses.
+func Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, b := range All() {
+		prog, err := compileBench(b)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Name: b.Name}
+		for i, lvl := range Levels {
+			a := alias.New(prog, alias.Options{Level: lvl})
+			pc := alias.CountPairs(prog, a)
+			row.References = pc.References
+			row.Local[i] = pc.Local
+			row.Global[i] = pc.Global
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintTable5 renders Table 5.
+func FprintTable5(w io.Writer, rows []Table5Row) {
+	fmt.Fprintf(w, "Table 5: Alias Pairs\n")
+	fmt.Fprintf(w, "%-14s %5s | %9s %9s | %9s %9s | %9s %9s\n",
+		"", "", "TypeDecl", "", "FieldTD", "", "SMFieldTR", "")
+	fmt.Fprintf(w, "%-14s %5s | %9s %9s | %9s %9s | %9s %9s\n",
+		"Program", "Refs", "L Alias", "G Alias", "L Alias", "G Alias", "L Alias", "G Alias")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %5d | %9d %9d | %9d %9d | %9d %9d\n",
+			r.Name, r.References,
+			r.Local[0], r.Global[0], r.Local[1], r.Global[1], r.Local[2], r.Global[2])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 — redundant loads removed statically
+
+// Table6Row reports static RLE removals per analysis (paper Table 6).
+type Table6Row struct {
+	Name    string
+	Removed [3]int
+}
+
+// Table6 runs RLE per level and counts removed loads.
+func Table6() ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, b := range Measured() {
+		row := Table6Row{Name: b.Name}
+		for i, lvl := range Levels {
+			prog, err := compileBench(b)
+			if err != nil {
+				return nil, err
+			}
+			_, res := optimize(prog, lvl, false, false)
+			row.Removed[i] = res.Removed()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintTable6 renders Table 6.
+func FprintTable6(w io.Writer, rows []Table6Row) {
+	fmt.Fprintf(w, "Table 6: Number of Redundant Loads Removed Statically\n")
+	fmt.Fprintf(w, "%-14s %9s %14s %16s\n", "Program", "TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %9d %14d %16d\n", r.Name, r.Removed[0], r.Removed[1], r.Removed[2])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — simulated execution time of RLE per analysis
+
+// Figure8Row reports percent-of-base simulated time per level.
+type Figure8Row struct {
+	Name       string
+	BaseCycles uint64
+	Pct        [3]float64 // TypeDecl, FieldTypeDecl, SMFieldTypeRefs
+}
+
+// Figure8 simulates every benchmark unoptimized and under RLE at each
+// analysis level.
+func Figure8() ([]Figure8Row, error) {
+	var rows []Figure8Row
+	cfg := sim.DefaultConfig()
+	for _, b := range Measured() {
+		base, err := compileBench(b)
+		if err != nil {
+			return nil, err
+		}
+		rBase, outBase, err := sim.Run(base, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		row := Figure8Row{Name: b.Name, BaseCycles: rBase.Cycles}
+		for i, lvl := range Levels {
+			prog, err := compileBench(b)
+			if err != nil {
+				return nil, err
+			}
+			optimize(prog, lvl, false, false)
+			r, out, err := sim.Run(prog, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s (%v): %w", b.Name, lvl, err)
+			}
+			if out != outBase {
+				return nil, fmt.Errorf("%s (%v): output changed by optimization", b.Name, lvl)
+			}
+			row.Pct[i] = 100 * float64(r.Cycles) / float64(rBase.Cycles)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintFigure8 renders Figure 8.
+func FprintFigure8(w io.Writer, rows []Figure8Row) {
+	fmt.Fprintf(w, "Figure 8: Impact of RLE (percent of original running time)\n")
+	fmt.Fprintf(w, "%-14s %5s %10s %13s %16s\n", "Program", "Base", "TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %5d %10.0f %13.0f %16.0f\n",
+			r.Name, 100, r.Pct[0], r.Pct[1], r.Pct[2])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — dynamically redundant loads before/after TBAA+RLE
+
+// Figure9Row reports redundant-load fractions of original heap loads.
+type Figure9Row struct {
+	Name      string
+	Original  float64 // fraction redundant in the unoptimized program
+	Optimized float64 // fraction remaining after TBAA+RLE
+}
+
+// Figure9 runs the limit study on original and optimized programs.
+func Figure9() ([]Figure9Row, error) {
+	var rows []Figure9Row
+	for _, b := range Measured() {
+		base, err := compileBench(b)
+		if err != nil {
+			return nil, err
+		}
+		repBase, _, err := limit.Measure(base, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		prog, err := compileBench(b)
+		if err != nil {
+			return nil, err
+		}
+		a, _ := optimize(prog, alias.LevelSMFieldTypeRefs, false, false)
+		mr := modref.Compute(prog)
+		repOpt, _, err := limit.Measure(prog, a, mr)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		rows = append(rows, Figure9Row{
+			Name:      b.Name,
+			Original:  repBase.Fraction(repBase.HeapLoads),
+			Optimized: repOpt.Fraction(repBase.HeapLoads),
+		})
+	}
+	return rows, nil
+}
+
+// FprintFigure9 renders Figure 9.
+func FprintFigure9(w io.Writer, rows []Figure9Row) {
+	fmt.Fprintf(w, "Figure 9: Comparing TBAA to an Upper Bound\n")
+	fmt.Fprintf(w, "(fraction of original heap references that are dynamically redundant)\n")
+	fmt.Fprintf(w, "%-14s %22s %22s\n", "Program", "Redundant originally", "Redundant after opts")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %22.2f %22.2f\n", r.Name, r.Original, r.Optimized)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — classification of remaining redundant loads
+
+// Figure10Row splits remaining redundancy into the paper's categories,
+// as fractions of the original program's heap loads.
+type Figure10Row struct {
+	Name      string
+	Fractions [5]float64 // Encapsulated, Conditional, Breakup, AliasFailure, Rest
+}
+
+// Figure10 classifies the redundant loads remaining after TBAA+RLE.
+func Figure10() ([]Figure10Row, error) {
+	var rows []Figure10Row
+	for _, b := range Measured() {
+		base, err := compileBench(b)
+		if err != nil {
+			return nil, err
+		}
+		repBase, _, err := limit.Measure(base, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := compileBench(b)
+		if err != nil {
+			return nil, err
+		}
+		a, _ := optimize(prog, alias.LevelSMFieldTypeRefs, false, false)
+		mr := modref.Compute(prog)
+		rep, _, err := limit.Measure(prog, a, mr)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure10Row{Name: b.Name}
+		den := float64(repBase.HeapLoads)
+		if den > 0 {
+			for c := 0; c < 5; c++ {
+				row.Fractions[c] = float64(rep.ByCategory[c]) / den
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintFigure10 renders Figure 10.
+func FprintFigure10(w io.Writer, rows []Figure10Row) {
+	fmt.Fprintf(w, "Figure 10: Source of Redundant Loads after Optimizations\n")
+	fmt.Fprintf(w, "(fraction of original heap references)\n")
+	fmt.Fprintf(w, "%-14s %13s %12s %9s %13s %7s\n",
+		"Program", "Encapsulated", "Conditional", "Breakup", "AliasFailure", "Rest")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %13.3f %12.3f %9.3f %13.3f %7.3f\n",
+			r.Name, r.Fractions[0], r.Fractions[1], r.Fractions[2], r.Fractions[3], r.Fractions[4])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — cumulative impact of RLE and Minv+Inlining
+
+// Figure11Row reports percent-of-base time for the three configurations.
+type Figure11Row struct {
+	Name       string
+	RLE        float64
+	MinvInline float64
+	Both       float64
+}
+
+// Figure11 measures RLE, devirt+inline, and their combination.
+func Figure11() ([]Figure11Row, error) {
+	var rows []Figure11Row
+	cfg := sim.DefaultConfig()
+	for _, b := range Measured() {
+		base, err := compileBench(b)
+		if err != nil {
+			return nil, err
+		}
+		rBase, outBase, err := sim.Run(base, cfg)
+		if err != nil {
+			return nil, err
+		}
+		measure := func(minv, rle bool) (float64, error) {
+			prog, err := compileBench(b)
+			if err != nil {
+				return 0, err
+			}
+			if minv {
+				a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+				refine := func(o *types.Object) []int {
+					refs := a.TypeRefs(o)
+					if refs == nil {
+						return nil
+					}
+					ids := make([]int, 0, len(refs))
+					for id := range refs {
+						ids = append(ids, id)
+					}
+					return ids
+				}
+				opt.Devirtualize(prog, refine)
+				opt.Inline(prog)
+			}
+			if rle {
+				a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+				mr := modref.Compute(prog)
+				opt.RLE(prog, a, mr)
+			}
+			r, out, err := sim.Run(prog, cfg)
+			if err != nil {
+				return 0, err
+			}
+			if out != outBase {
+				return 0, fmt.Errorf("%s: output changed", b.Name)
+			}
+			return 100 * float64(r.Cycles) / float64(rBase.Cycles), nil
+		}
+		row := Figure11Row{Name: b.Name}
+		if row.RLE, err = measure(false, true); err != nil {
+			return nil, err
+		}
+		if row.MinvInline, err = measure(true, false); err != nil {
+			return nil, err
+		}
+		if row.Both, err = measure(true, true); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintFigure11 renders Figure 11.
+func FprintFigure11(w io.Writer, rows []Figure11Row) {
+	fmt.Fprintf(w, "Figure 11: Cumulative Impact of Optimizations (percent of original time)\n")
+	fmt.Fprintf(w, "%-14s %5s %6s %14s %18s\n", "Program", "Base", "RLE", "Minv+Inlining", "RLE+Minv+Inlining")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %5d %6.0f %14.0f %18.0f\n", r.Name, 100, r.RLE, r.MinvInline, r.Both)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — open vs closed world
+
+// Figure12Row reports percent-of-base time for closed- and open-world TBAA.
+type Figure12Row struct {
+	Name   string
+	Closed float64
+	Open   float64
+}
+
+// Figure12 compares RLE under the closed- and open-world assumptions.
+func Figure12() ([]Figure12Row, error) {
+	var rows []Figure12Row
+	cfg := sim.DefaultConfig()
+	for _, b := range Measured() {
+		base, err := compileBench(b)
+		if err != nil {
+			return nil, err
+		}
+		rBase, _, err := sim.Run(base, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure12Row{Name: b.Name}
+		for _, open := range []bool{false, true} {
+			prog, err := compileBench(b)
+			if err != nil {
+				return nil, err
+			}
+			optimize(prog, alias.LevelSMFieldTypeRefs, open, false)
+			r, _, err := sim.Run(prog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			pct := 100 * float64(r.Cycles) / float64(rBase.Cycles)
+			if open {
+				row.Open = pct
+			} else {
+				row.Closed = pct
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintFigure12 renders Figure 12.
+func FprintFigure12(w io.Writer, rows []Figure12Row) {
+	fmt.Fprintf(w, "Figure 12: Open and Closed World Assumptions (percent of original time)\n")
+	fmt.Fprintf(w, "%-14s %12s %12s\n", "Program", "RLE", "RLE Open")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12.0f %12.0f\n", r.Name, r.Closed, r.Open)
+	}
+}

@@ -1,0 +1,195 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "dformat",
+		Description: "Device-style formatter with a block hierarchy and method dispatch",
+		Source:      dformatSrc,
+	})
+}
+
+const dformatSrc = `
+MODULE DFormat;
+
+(* A second formatter (the paper's dformat) built around a block
+   hierarchy with virtual measurement: paragraphs, headings, and rules
+   are Block subtypes measured and rendered through dispatch. *)
+
+TYPE
+  CharArr = ARRAY OF CHAR;
+  Block = OBJECT
+    next: Block;
+    indent: INTEGER;
+  METHODS
+    height(): INTEGER := BlockHeight;
+    render(): INTEGER := BlockRender;
+  END;
+  Para = Block OBJECT
+    text: CharArr;
+    len: INTEGER;
+  OVERRIDES
+    height := ParaHeight;
+    render := ParaRender;
+  END;
+  Heading = Block OBJECT
+    level: INTEGER;
+    text: CharArr;
+    len: INTEGER;
+  OVERRIDES
+    height := HeadingHeight;
+    render := HeadingRender;
+  END;
+  Rule = Block OBJECT
+    width: INTEGER;
+  OVERRIDES
+    render := RuleRender;
+  END;
+
+CONST
+  PageWidth = 32;
+
+VAR
+  first, last: Block;
+  nblocks: INTEGER;
+  hash: INTEGER;
+
+PROCEDURE BlockHeight(self: Block): INTEGER =
+BEGIN
+  RETURN 1;
+END BlockHeight;
+
+PROCEDURE BlockRender(self: Block): INTEGER =
+BEGIN
+  RETURN self.indent;
+END BlockRender;
+
+PROCEDURE ParaHeight(self: Para): INTEGER =
+VAR lines, col, i: INTEGER;
+BEGIN
+  lines := 1;
+  col := self.indent;
+  FOR i := 0 TO self.len - 1 DO
+    INC(col);
+    IF col >= PageWidth THEN
+      INC(lines);
+      col := self.indent;
+    END;
+  END;
+  RETURN lines;
+END ParaHeight;
+
+PROCEDURE ParaRender(self: Para): INTEGER =
+VAR acc, i: INTEGER;
+BEGIN
+  acc := self.indent;
+  FOR i := 0 TO self.len - 1 DO
+    acc := (acc * 3 + ORD(self.text[i])) MOD 65521;
+  END;
+  RETURN acc;
+END ParaRender;
+
+PROCEDURE HeadingHeight(self: Heading): INTEGER =
+BEGIN
+  RETURN 2 + self.level;
+END HeadingHeight;
+
+PROCEDURE HeadingRender(self: Heading): INTEGER =
+VAR acc, i: INTEGER;
+BEGIN
+  acc := self.level * 101;
+  FOR i := 0 TO self.len - 1 DO
+    acc := (acc + ORD(self.text[i]) * (i + 1)) MOD 65521;
+  END;
+  RETURN acc;
+END HeadingRender;
+
+PROCEDURE RuleRender(self: Rule): INTEGER =
+BEGIN
+  RETURN self.width * 7;
+END RuleRender;
+
+PROCEDURE Append(b: Block) =
+BEGIN
+  IF last = NIL THEN
+    first := b;
+  ELSE
+    last.next := b;
+  END;
+  last := b;
+  INC(nblocks);
+END Append;
+
+PROCEDURE FillText(a: CharArr; seed: INTEGER) =
+VAR i, s: INTEGER;
+BEGIN
+  s := seed;
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    s := (s * 37 + 11) MOD 211;
+    a[i] := CHR(ORD('a') + (s MOD 26));
+  END;
+END FillText;
+
+PROCEDURE BuildDoc(n: INTEGER) =
+VAR i, kind: INTEGER; p: Para; h: Heading; r: Rule;
+BEGIN
+  first := NIL;
+  last := NIL;
+  nblocks := 0;
+  FOR i := 1 TO n DO
+    kind := i MOD 5;
+    IF kind = 0 THEN
+      h := NEW(Heading);
+      h.level := 1 + (i MOD 3);
+      h.len := 8 + (i MOD 9);
+      h.text := NEW(CharArr, h.len);
+      FillText(h.text, i);
+      h.indent := 0;
+      Append(h);
+    ELSIF kind = 4 THEN
+      r := NEW(Rule);
+      r.width := PageWidth - (i MOD 7);
+      r.indent := 0;
+      Append(r);
+    ELSE
+      p := NEW(Para);
+      p.len := 20 + (i * 13 MOD 60);
+      p.text := NEW(CharArr, p.len);
+      FillText(p.text, i * 7);
+      p.indent := (i MOD 4) * 2;
+      Append(p);
+    END;
+  END;
+END BuildDoc;
+
+PROCEDURE Layout(): INTEGER =
+VAR b: Block; page, pageH, totalPages: INTEGER;
+CONST PageHeight = 40;
+BEGIN
+  page := 1;
+  pageH := 0;
+  totalPages := 1;
+  b := first;
+  WHILE b # NIL DO
+    pageH := pageH + b.height();
+    IF pageH > PageHeight THEN
+      INC(totalPages);
+      pageH := b.height();
+    END;
+    hash := (hash + b.render()) MOD 65521;
+    b := b.next;
+  END;
+  RETURN totalPages;
+END Layout;
+
+VAR pass, pages: INTEGER;
+BEGIN
+  hash := 0;
+  BuildDoc(90);
+  FOR pass := 1 TO 8 DO
+    pages := Layout();
+  END;
+  PutText("blocks="); PutInt(nblocks);
+  PutText(" pages="); PutInt(pages);
+  PutText(" hash="); PutInt(hash); PutLn();
+END DFormat.
+`

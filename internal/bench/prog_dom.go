@@ -1,0 +1,200 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "dom",
+		Description: "Distributed-object messaging system (paper: interactive; static metrics only)",
+		Source:      domSrc,
+		Interactive: true,
+	})
+}
+
+const domSrc = `
+MODULE DOM;
+
+(* The paper's dom is a system for building distributed applications;
+   it is interactive, so only static metrics are reported. This model
+   captures its shape: a registry of remote objects, stub/skeleton
+   dispatch, marshalled message buffers, and a generalized dispatcher. *)
+
+TYPE
+  IntArr = ARRAY OF INTEGER;
+  EndpointArr = ARRAY OF Endpoint;
+  Message = OBJECT
+    kind: INTEGER;
+    payload: IntArr;
+    len: INTEGER;
+    reply: Message;
+    next: Message;
+  END;
+  Endpoint = OBJECT
+    id: INTEGER;
+    queue: Message;
+    qtail: Message;
+    pending: INTEGER;
+  METHODS
+    deliver(m: Message) := EndpointDeliver;
+    poll(): Message := EndpointPoll;
+  END;
+  Stub = Endpoint OBJECT
+    remote: Endpoint;
+    hops: INTEGER;
+  OVERRIDES
+    deliver := StubDeliver;
+  END;
+  Skeleton = Endpoint OBJECT
+    impl: Servant;
+  OVERRIDES
+    deliver := SkeletonDeliver;
+  END;
+  Servant = OBJECT
+    state: INTEGER;
+    calls: INTEGER;
+  METHODS
+    invoke(m: Message): INTEGER := ServantInvoke;
+  END;
+  Counter = Servant OBJECT
+    step: INTEGER;
+  OVERRIDES
+    invoke := CounterInvoke;
+  END;
+  Registry = OBJECT
+    eps: EndpointArr;
+    neps: INTEGER;
+  END;
+
+VAR
+  registry: Registry;
+  delivered, processed: INTEGER;
+
+PROCEDURE EndpointDeliver(self: Endpoint; m: Message) =
+BEGIN
+  IF self.qtail = NIL THEN
+    self.queue := m;
+  ELSE
+    self.qtail.next := m;
+  END;
+  self.qtail := m;
+  INC(self.pending);
+  INC(delivered);
+END EndpointDeliver;
+
+PROCEDURE EndpointPoll(self: Endpoint): Message =
+VAR m: Message;
+BEGIN
+  m := self.queue;
+  IF m # NIL THEN
+    self.queue := m.next;
+    IF self.queue = NIL THEN self.qtail := NIL; END;
+    DEC(self.pending);
+  END;
+  RETURN m;
+END EndpointPoll;
+
+PROCEDURE StubDeliver(self: Stub; m: Message) =
+BEGIN
+  (* Forward across the "network": count a hop and hand to the remote. *)
+  INC(self.hops);
+  IF self.remote # NIL THEN
+    self.remote.deliver(m);
+  END;
+END StubDeliver;
+
+PROCEDURE SkeletonDeliver(self: Skeleton; m: Message) =
+VAR r: INTEGER;
+BEGIN
+  EndpointDeliver(self, m);
+  IF self.impl # NIL THEN
+    r := self.impl.invoke(m);
+    IF m.reply # NIL THEN
+      m.reply.kind := r;
+    END;
+    INC(processed);
+  END;
+END SkeletonDeliver;
+
+PROCEDURE ServantInvoke(self: Servant; m: Message): INTEGER =
+BEGIN
+  INC(self.calls);
+  RETURN self.state;
+END ServantInvoke;
+
+PROCEDURE CounterInvoke(self: Counter; m: Message): INTEGER =
+VAR i, acc: INTEGER;
+BEGIN
+  INC(self.calls);
+  acc := self.state;
+  FOR i := 0 TO m.len - 1 DO
+    acc := (acc + m.payload[i] * self.step) MOD 99991;
+  END;
+  self.state := acc;
+  RETURN acc;
+END CounterInvoke;
+
+PROCEDURE NewMessage(kind, n: INTEGER): Message =
+VAR m: Message; i: INTEGER;
+BEGIN
+  m := NEW(Message);
+  m.kind := kind;
+  m.len := n;
+  m.payload := NEW(IntArr, n);
+  FOR i := 0 TO n - 1 DO
+    m.payload[i] := (kind * 31 + i * 7) MOD 101;
+  END;
+  RETURN m;
+END NewMessage;
+
+PROCEDURE Lookup(id: INTEGER): Endpoint =
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO registry.neps - 1 DO
+    IF registry.eps[i].id = id THEN RETURN registry.eps[i]; END;
+  END;
+  RETURN NIL;
+END Lookup;
+
+PROCEDURE RegisterEp(e: Endpoint) =
+BEGIN
+  registry.eps[registry.neps] := e;
+  INC(registry.neps);
+END RegisterEp;
+
+VAR
+  sk: Skeleton;
+  st: Stub;
+  sv: Counter;
+  m: Message;
+  round, drained: INTEGER;
+  ep: Endpoint;
+BEGIN
+  registry := NEW(Registry);
+  registry.eps := NEW(EndpointArr, 8);
+  registry.neps := 0;
+  sv := NEW(Counter);
+  sv.step := 3;
+  sk := NEW(Skeleton);
+  sk.id := 1;
+  sk.impl := sv;
+  st := NEW(Stub);
+  st.id := 2;
+  st.remote := sk;
+  RegisterEp(sk);
+  RegisterEp(st);
+  FOR round := 1 TO 40 DO
+    ep := Lookup(2);
+    m := NewMessage(round, 4 + round MOD 5);
+    m.reply := NewMessage(0, 1);
+    ep.deliver(m);
+  END;
+  drained := 0;
+  LOOP
+    m := sk.poll();
+    IF m = NIL THEN EXIT; END;
+    INC(drained);
+  END;
+  PutText("delivered="); PutInt(delivered);
+  PutText(" processed="); PutInt(processed);
+  PutText(" drained="); PutInt(drained);
+  PutText(" state="); PutInt(sv.state); PutLn();
+END DOM.
+`

@@ -1,0 +1,189 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "format",
+		Description: "Text formatter: fills words into fixed-width lines (paper: Liskov & Guttag formatter)",
+		Source:      formatSrc,
+	})
+}
+
+const formatSrc = `
+MODULE Format;
+
+(* A text formatter in the style of Liskov & Guttag: split input into
+   word objects, fill them into lines of a fixed width, and render with
+   padding. Exercises linked lists of objects and character arrays. *)
+
+TYPE
+  CharArr = ARRAY OF CHAR;
+  Word = OBJECT
+    text: CharArr;
+    len: INTEGER;
+    next: Word;
+  END;
+  Line = OBJECT
+    words: Word;
+    nwords: INTEGER;
+    width: INTEGER;
+    next: Line;
+  END;
+  Doc = OBJECT
+    lines: Line;
+    lastLine: Line;
+    nlines: INTEGER;
+  END;
+
+CONST
+  LineWidth = 24;
+
+VAR
+  input: CharArr;
+  inputLen: INTEGER;
+  firstWord, wordTail: Word;
+  doc: Doc;
+  curLine: Line;
+  checksum: INTEGER;
+
+PROCEDURE MakeInput() =
+VAR i, phase: INTEGER; c: CHAR;
+BEGIN
+  input := NEW(CharArr, 2600);
+  inputLen := NUMBER(input);
+  phase := 7;
+  FOR i := 0 TO inputLen - 1 DO
+    phase := (phase * 31 + 17) MOD 97;
+    IF phase MOD 6 = 0 THEN
+      c := ' ';
+    ELSE
+      c := CHR(ORD('a') + (phase MOD 26));
+    END;
+    input[i] := c;
+  END;
+END MakeInput;
+
+PROCEDURE EmitWord(from, to: INTEGER) =
+VAR j: INTEGER; nw: Word;
+BEGIN
+  IF to <= from THEN RETURN; END;
+  nw := NEW(Word);
+  nw.len := to - from;
+  nw.text := NEW(CharArr, nw.len);
+  FOR j := from TO to - 1 DO
+    nw.text[j - from] := input[j];
+  END;
+  IF wordTail = NIL THEN
+    firstWord := nw;
+  ELSE
+    wordTail.next := nw;
+  END;
+  wordTail := nw;
+END EmitWord;
+
+PROCEDURE SplitWords() =
+VAR i, start: INTEGER;
+BEGIN
+  firstWord := NIL;
+  wordTail := NIL;
+  start := 0;
+  i := 0;
+  WHILE i < inputLen DO
+    IF input[i] = ' ' THEN
+      EmitWord(start, i);
+      start := i + 1;
+    END;
+    INC(i);
+  END;
+  EmitWord(start, inputLen);
+END SplitWords;
+
+PROCEDURE FlushLine() =
+BEGIN
+  IF curLine = NIL THEN RETURN; END;
+  IF doc.lastLine = NIL THEN
+    doc.lines := curLine;
+  ELSE
+    doc.lastLine.next := curLine;
+  END;
+  doc.lastLine := curLine;
+  INC(doc.nlines);
+  curLine := NIL;
+END FlushLine;
+
+PROCEDURE Fill() =
+VAR w: Word;
+BEGIN
+  doc := NEW(Doc);
+  w := firstWord;
+  curLine := NIL;
+  WHILE w # NIL DO
+    IF (curLine # NIL) AND (curLine.width + 1 + w.len > LineWidth) THEN
+      FlushLine();
+    END;
+    IF curLine = NIL THEN
+      curLine := NEW(Line);
+      curLine.words := w;
+      curLine.nwords := 1;
+      curLine.width := w.len;
+    ELSE
+      INC(curLine.nwords);
+      curLine.width := curLine.width + 1 + w.len;
+    END;
+    w := w.next;
+  END;
+  FlushLine();
+END Fill;
+
+PROCEDURE Render() =
+VAR
+  l: Line;
+  w: Word;
+  i, k: INTEGER;
+BEGIN
+  checksum := 0;
+  l := doc.lines;
+  WHILE l # NIL DO
+    w := l.words;
+    i := 0;
+    WHILE (w # NIL) AND (i < l.nwords) DO
+      FOR k := 0 TO w.len - 1 DO
+        checksum := (checksum * 2 + ORD(w.text[k])) MOD 99991;
+      END;
+      checksum := (checksum + 1) MOD 99991;
+      w := w.next;
+      INC(i);
+    END;
+    checksum := (checksum + l.width) MOD 99991;
+    l := l.next;
+  END;
+END Render;
+
+PROCEDURE Stats() =
+VAR l: Line; total, count: INTEGER;
+BEGIN
+  total := 0;
+  count := 0;
+  l := doc.lines;
+  WHILE l # NIL DO
+    total := total + l.width;
+    INC(count);
+    l := l.next;
+  END;
+  PutText("lines="); PutInt(count);
+  PutText(" avgw=");
+  IF count > 0 THEN PutInt(total DIV count); ELSE PutInt(0); END;
+  PutLn();
+END Stats;
+
+VAR round: INTEGER;
+BEGIN
+  MakeInput();
+  SplitWords();
+  FOR round := 1 TO 6 DO
+    Fill();
+    Render();
+  END;
+  Stats();
+  PutText("checksum="); PutInt(checksum); PutLn();
+END Format.
+`

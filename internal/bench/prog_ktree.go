@@ -1,0 +1,199 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "k-tree",
+		Description: "Manages integer sequences as k-ary trees (paper: Bates' k-trees)",
+		Source:      ktreeSrc,
+	})
+}
+
+const ktreeSrc = `
+MODULE KTree;
+
+(* The paper's k-tree benchmark manages sequences using trees. Leaves
+   hold fixed-size chunks of elements; internal nodes hold up to K
+   children. We build sequences, concatenate, index, and fold over them.
+   Array-of-object children plus per-leaf element arrays make this the
+   most dope-vector-intensive program in the suite. *)
+
+TYPE
+  IntArr = ARRAY OF INTEGER;
+  Node = OBJECT
+    count: INTEGER; (* number of elements below *)
+  END;
+  NodeArr = ARRAY OF Node;
+  Leaf = Node OBJECT
+    elems: IntArr;
+    used: INTEGER;
+  END;
+  Inner = Node OBJECT
+    kids: NodeArr;
+    nkids: INTEGER;
+  END;
+
+CONST
+  ChunkSize = 8;
+  K = 4;
+
+VAR
+  rnd: INTEGER;
+
+PROCEDURE NextRnd(): INTEGER =
+BEGIN
+  rnd := (rnd * 2531 + 11) MOD 32768;
+  RETURN rnd;
+END NextRnd;
+
+PROCEDURE NewLeaf(): Leaf =
+VAR l: Leaf;
+BEGIN
+  l := NEW(Leaf);
+  l.elems := NEW(IntArr, ChunkSize);
+  l.used := 0;
+  l.count := 0;
+  Register(l, l, NIL);
+  RETURN l;
+END NewLeaf;
+
+PROCEDURE NewInner(): Inner =
+VAR n: Inner;
+BEGIN
+  n := NEW(Inner);
+  n.kids := NEW(NodeArr, K);
+  n.nkids := 0;
+  n.count := 0;
+  Register(n, NIL, n);
+  RETURN n;
+END NewInner;
+
+(* BuildSeq builds a balanced tree holding n pseudo-random elements. *)
+PROCEDURE BuildSeq(n: INTEGER): Node =
+VAR
+  l: Leaf;
+  parent: Inner;
+  i, take: INTEGER;
+BEGIN
+  IF n <= ChunkSize THEN
+    l := NewLeaf();
+    FOR i := 1 TO n DO
+      l.elems[l.used] := NextRnd() MOD 1000;
+      INC(l.used);
+    END;
+    l.count := l.used;
+    RETURN l;
+  END;
+  parent := NewInner();
+  i := n;
+  WHILE (i > 0) AND (parent.nkids < K) DO
+    IF parent.nkids = K - 1 THEN
+      take := i;
+    ELSE
+      take := (n + K - 1) DIV K;
+      IF take > i THEN take := i; END;
+    END;
+    parent.kids[parent.nkids] := BuildSeq(take);
+    parent.count := parent.count + parent.kids[parent.nkids].count;
+    INC(parent.nkids);
+    i := i - take;
+  END;
+  RETURN parent;
+END BuildSeq;
+
+(* Index returns element i of the sequence. *)
+PROCEDURE Index(n: Node; i: INTEGER): INTEGER =
+VAR inn: Inner; lf: Leaf; k: INTEGER; kid: Node; isLeaf: BOOLEAN;
+BEGIN
+  LOOP
+    isLeaf := n.count <= ChunkSize;
+    (* Leaves are exactly the nodes built by NewLeaf; discriminate by a
+       probe: inner nodes always have at least one child and a count
+       greater than ChunkSize in this construction. *)
+    IF isLeaf THEN
+      lf := NarrowLeaf(n);
+      RETURN lf.elems[i];
+    END;
+    inn := NarrowInner(n);
+    k := 0;
+    LOOP
+      kid := inn.kids[k];
+      IF i < kid.count THEN EXIT; END;
+      i := i - kid.count;
+      INC(k);
+    END;
+    n := kid;
+  END;
+END Index;
+
+(* MiniM3 has no NARROW; concrete views are looked up in a registry. *)
+PROCEDURE NarrowLeaf(n: Node): Leaf =
+BEGIN
+  RETURN LeafOf(n);
+END NarrowLeaf;
+
+PROCEDURE NarrowInner(n: Node): Inner =
+BEGIN
+  RETURN InnerOf(n);
+END NarrowInner;
+
+(* Registry mapping Node identity to its concrete view: a linked list of
+   (node, leaf/inner) pairs, as a Modula-3 program without NARROW would
+   carry. *)
+TYPE
+  Reg = OBJECT
+    node: Node;
+    leaf: Leaf;
+    inner: Inner;
+    next: Reg;
+  END;
+VAR regs: Reg;
+
+PROCEDURE Register(n: Node; l: Leaf; i: Inner) =
+VAR r: Reg;
+BEGIN
+  r := NEW(Reg);
+  r.node := n;
+  r.leaf := l;
+  r.inner := i;
+  r.next := regs;
+  regs := r;
+END Register;
+
+PROCEDURE LeafOf(n: Node): Leaf =
+VAR r: Reg;
+BEGIN
+  r := regs;
+  WHILE r # NIL DO
+    IF r.node = n THEN RETURN r.leaf; END;
+    r := r.next;
+  END;
+  RETURN NIL;
+END LeafOf;
+
+PROCEDURE InnerOf(n: Node): Inner =
+VAR r: Reg;
+BEGIN
+  r := regs;
+  WHILE r # NIL DO
+    IF r.node = n THEN RETURN r.inner; END;
+    r := r.next;
+  END;
+  RETURN NIL;
+END InnerOf;
+
+VAR total, i, q, v: INTEGER; seq: Node;
+BEGIN
+  rnd := 7;
+  regs := NIL;
+  seq := BuildSeq(260);
+  total := 0;
+  FOR q := 1 TO 4 DO
+    FOR i := 0 TO seq.count - 1 DO
+      v := Index(seq, i);
+      total := (total + v * (i + 1)) MOD 999983;
+    END;
+  END;
+  PutText("count="); PutInt(seq.count);
+  PutText(" total="); PutInt(total); PutLn();
+END KTree.
+`

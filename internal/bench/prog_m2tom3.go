@@ -1,0 +1,216 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "m2tom3",
+		Description: "Modula-2 to Modula-3 converter: tokenize, map keywords, rewrite",
+		Source:      m2tom3Src,
+	})
+}
+
+const m2tom3Src = `
+MODULE M2toM3;
+
+(* The paper's m2tom3 converts Modula-2 code to Modula-3. This version
+   tokenizes a synthetic Modula-2-like input from a character array,
+   looks keywords up in a linked dictionary, applies rewrite rules, and
+   emits a rewritten token stream into arrays. *)
+
+TYPE
+  CharArr = ARRAY OF CHAR;
+  IntArr = ARRAY OF INTEGER;
+  Entry = OBJECT
+    keyHash: INTEGER;
+    replacement: INTEGER;
+    hits: INTEGER;
+    next: Entry;
+  END;
+  Token = OBJECT
+    kind: INTEGER;  (* 0 ident, 1 number, 2 op, 3 keyword *)
+    hash: INTEGER;
+    start, len: INTEGER;
+    next: Token;
+  END;
+
+VAR
+  dict: Entry;
+  input: CharArr;
+  inputLen: INTEGER;
+  tokens, tokenTail: Token;
+  ntokens: INTEGER;
+  outHash: INTEGER;
+  rnd: INTEGER;
+
+PROCEDURE NextRnd(): INTEGER =
+BEGIN
+  rnd := (rnd * 733 + 41) MOD 16384;
+  RETURN rnd;
+END NextRnd;
+
+PROCEDURE AddEntry(keyHash, repl: INTEGER) =
+VAR e: Entry;
+BEGIN
+  e := NEW(Entry);
+  e.keyHash := keyHash;
+  e.replacement := repl;
+  e.hits := 0;
+  e.next := dict;
+  dict := e;
+END AddEntry;
+
+PROCEDURE LookupDict(h: INTEGER): Entry =
+VAR e: Entry;
+BEGIN
+  e := dict;
+  WHILE e # NIL DO
+    IF e.keyHash = h THEN RETURN e; END;
+    e := e.next;
+  END;
+  RETURN NIL;
+END LookupDict;
+
+PROCEDURE BuildDict() =
+VAR k: INTEGER;
+BEGIN
+  dict := NIL;
+  (* 24 keyword mappings keyed by small hashes. *)
+  FOR k := 1 TO 24 DO
+    AddEntry(k * 7 MOD 53, 1000 + k);
+  END;
+END BuildDict;
+
+PROCEDURE MakeInput() =
+VAR i, s: INTEGER;
+BEGIN
+  input := NEW(CharArr, 3000);
+  inputLen := NUMBER(input);
+  s := 3;
+  FOR i := 0 TO inputLen - 1 DO
+    s := (s * 211 + 9) MOD 1009;
+    IF s MOD 7 = 0 THEN
+      input[i] := ' ';
+    ELSIF s MOD 7 = 1 THEN
+      input[i] := CHR(ORD('0') + (s MOD 10));
+    ELSIF s MOD 7 = 2 THEN
+      input[i] := ';';
+    ELSE
+      input[i] := CHR(ORD('A') + (s MOD 26));
+    END;
+  END;
+END MakeInput;
+
+PROCEDURE AppendToken(kind, hash, start, len: INTEGER) =
+VAR t: Token;
+BEGIN
+  t := NEW(Token);
+  t.kind := kind;
+  t.hash := hash;
+  t.start := start;
+  t.len := len;
+  IF tokenTail = NIL THEN
+    tokens := t;
+  ELSE
+    tokenTail.next := t;
+  END;
+  tokenTail := t;
+  INC(ntokens);
+END AppendToken;
+
+PROCEDURE IsLetter(c: CHAR): BOOLEAN =
+BEGIN
+  RETURN (c >= 'A') AND (c <= 'Z');
+END IsLetter;
+
+PROCEDURE IsDigit(c: CHAR): BOOLEAN =
+BEGIN
+  RETURN (c >= '0') AND (c <= '9');
+END IsDigit;
+
+PROCEDURE Tokenize() =
+VAR i, start, h: INTEGER; c: CHAR;
+BEGIN
+  tokens := NIL;
+  tokenTail := NIL;
+  ntokens := 0;
+  i := 0;
+  WHILE i < inputLen DO
+    c := input[i];
+    IF c = ' ' THEN
+      INC(i);
+    ELSIF IsLetter(c) THEN
+      start := i;
+      h := 0;
+      WHILE (i < inputLen) AND IsLetter(input[i]) DO
+        h := (h * 31 + ORD(input[i])) MOD 53;
+        INC(i);
+      END;
+      IF LookupDict(h) # NIL THEN
+        AppendToken(3, h, start, i - start);
+      ELSE
+        AppendToken(0, h, start, i - start);
+      END;
+    ELSIF IsDigit(c) THEN
+      start := i;
+      h := 0;
+      WHILE (i < inputLen) AND IsDigit(input[i]) DO
+        h := h * 10 + (ORD(input[i]) - ORD('0'));
+        INC(i);
+      END;
+      AppendToken(1, h MOD 997, start, i - start);
+    ELSE
+      AppendToken(2, ORD(c), i, 1);
+      INC(i);
+    END;
+  END;
+END Tokenize;
+
+PROCEDURE Rewrite() =
+VAR t: Token; e: Entry; k: INTEGER;
+BEGIN
+  outHash := 0;
+  t := tokens;
+  WHILE t # NIL DO
+    k := t.kind;
+    IF k = 3 THEN
+      e := LookupDict(t.hash);
+      IF e # NIL THEN
+        INC(e.hits);
+        outHash := (outHash * 5 + e.replacement) MOD 99991;
+      END;
+    ELSIF k = 0 THEN
+      outHash := (outHash * 5 + t.hash + t.len) MOD 99991;
+    ELSIF k = 1 THEN
+      outHash := (outHash * 5 + t.hash) MOD 99991;
+    ELSE
+      outHash := (outHash * 5 + t.hash + 3) MOD 99991;
+    END;
+    t := t.next;
+  END;
+END Rewrite;
+
+PROCEDURE DictHits(): INTEGER =
+VAR e: Entry; s: INTEGER;
+BEGIN
+  s := 0;
+  e := dict;
+  WHILE e # NIL DO
+    s := s + e.hits;
+    e := e.next;
+  END;
+  RETURN s;
+END DictHits;
+
+VAR pass: INTEGER;
+BEGIN
+  rnd := 1;
+  BuildDict();
+  MakeInput();
+  FOR pass := 1 TO 5 DO
+    Tokenize();
+    Rewrite();
+  END;
+  PutText("tokens="); PutInt(ntokens);
+  PutText(" hits="); PutInt(DictHits());
+  PutText(" hash="); PutInt(outHash); PutLn();
+END M2toM3.
+`

@@ -1,0 +1,284 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "m3cg",
+		Description: "Toy code generator: IR blocks, liveness, linear-scan allocation, emission",
+		Source:      m3cgSrc,
+	})
+}
+
+const m3cgSrc = `
+MODULE M3CG;
+
+(* The paper's largest benchmark is the Modula-3 code generator. This
+   miniature version builds an instruction IR (objects in linked blocks),
+   computes per-block use/def summaries, allocates virtual registers to
+   a small physical set with a linear scan over live ranges (arrays),
+   and emits encoded instructions into an output array. *)
+
+TYPE
+  IntArr = ARRAY OF INTEGER;
+  Instr = OBJECT
+    op: INTEGER;      (* 0 const, 1 add, 2 mul, 3 load, 4 store, 5 cmp *)
+    dst, src1, src2: INTEGER; (* virtual registers *)
+    next: Instr;
+  END;
+  Block = OBJECT
+    id: INTEGER;
+    first, last: Instr;
+    ninstr: INTEGER;
+    succ1, succ2: Block;
+    next: Block;
+  END;
+  Proc = OBJECT
+    blocks: Block;
+    lastBlock: Block;
+    nblocks: INTEGER;
+    nvregs: INTEGER;
+  END;
+  (* Annotations are declared as a subtype of Instr (they share the list
+     plumbing) but the generator never stores one into an instruction
+     stream — the paper's "list packages used monomorphically" pattern
+     that selective type merging exploits. *)
+  Annot = Instr OBJECT
+    line: INTEGER;
+    anext: Annot;
+  END;
+
+CONST
+  NPhys = 8;
+
+VAR
+  rnd: INTEGER;
+  emitted: IntArr;
+  emitPos: INTEGER;
+  spills: INTEGER;
+  annots: Annot;
+  annotSum: INTEGER;
+
+PROCEDURE NextRnd(): INTEGER =
+BEGIN
+  rnd := (rnd * 1021 + 77) MOD 32749;
+  RETURN rnd;
+END NextRnd;
+
+PROCEDURE AddBlock(p: Proc): Block =
+VAR b: Block;
+BEGIN
+  b := NEW(Block);
+  b.id := p.nblocks;
+  IF p.lastBlock = NIL THEN
+    p.blocks := b;
+  ELSE
+    p.lastBlock.next := b;
+  END;
+  p.lastBlock := b;
+  INC(p.nblocks);
+  RETURN b;
+END AddBlock;
+
+PROCEDURE Emit(b: Block; op, dst, s1, s2: INTEGER) =
+VAR i: Instr;
+BEGIN
+  i := NEW(Instr);
+  i.op := op;
+  i.dst := dst;
+  i.src1 := s1;
+  i.src2 := s2;
+  IF b.last = NIL THEN
+    b.first := i;
+  ELSE
+    b.last.next := i;
+  END;
+  b.last := i;
+  INC(b.ninstr);
+END Emit;
+
+PROCEDURE BuildProc(nblocks, perBlock: INTEGER): Proc =
+VAR
+  p: Proc;
+  b: Block;
+  i, j, vr: INTEGER;
+BEGIN
+  p := NEW(Proc);
+  p.nvregs := 0;
+  FOR i := 1 TO nblocks DO
+    b := AddBlock(p);
+    FOR j := 1 TO perBlock DO
+      vr := p.nvregs;
+      INC(p.nvregs);
+      IF j = 1 THEN
+        Emit(b, 0, vr, NextRnd() MOD 100, 0);
+      ELSE
+        Emit(b, 1 + NextRnd() MOD 2, vr,
+             NextRnd() MOD p.nvregs, NextRnd() MOD p.nvregs);
+      END;
+    END;
+    (* a compare and conditional use at block end *)
+    Emit(b, 5, p.nvregs - 1, NextRnd() MOD p.nvregs, 0);
+  END;
+  (* Wire successors: fall-through plus a pseudo-random edge. *)
+  b := p.blocks;
+  WHILE b # NIL DO
+    b.succ1 := b.next;
+    b.succ2 := NIL;
+    IF NextRnd() MOD 3 = 0 THEN
+      b.succ2 := p.blocks; (* back edge to entry *)
+    END;
+    b := b.next;
+  END;
+  RETURN p;
+END BuildProc;
+
+(* Live ranges: first and last instruction index using each vreg. *)
+VAR
+  firstUse, lastUse, assignment: IntArr;
+
+PROCEDURE ComputeRanges(p: Proc) =
+VAR
+  b: Block;
+  i: Instr;
+  idx, v: INTEGER;
+BEGIN
+  firstUse := NEW(IntArr, p.nvregs);
+  lastUse := NEW(IntArr, p.nvregs);
+  assignment := NEW(IntArr, p.nvregs);
+  FOR v := 0 TO p.nvregs - 1 DO
+    firstUse[v] := -1;
+    lastUse[v] := -1;
+    assignment[v] := -1;
+  END;
+  idx := 0;
+  b := p.blocks;
+  WHILE b # NIL DO
+    i := b.first;
+    WHILE i # NIL DO
+      IF firstUse[i.dst] < 0 THEN firstUse[i.dst] := idx; END;
+      lastUse[i.dst] := idx;
+      IF i.op # 0 THEN
+        IF firstUse[i.src1] < 0 THEN firstUse[i.src1] := idx; END;
+        lastUse[i.src1] := idx;
+        IF (i.op # 5) AND (i.src2 < NUMBER(lastUse)) THEN
+          IF firstUse[i.src2] < 0 THEN firstUse[i.src2] := idx; END;
+          lastUse[i.src2] := idx;
+        END;
+      END;
+      INC(idx);
+      i := i.next;
+    END;
+    b := b.next;
+  END;
+END ComputeRanges;
+
+(* Linear scan: walk vregs in first-use order (they are created in
+   order), free expired registers, spill when none free. *)
+PROCEDURE Allocate(p: Proc) =
+VAR
+  regFree: IntArr;   (* index of vreg occupying phys r, or -1 *)
+  v, r, chosen: INTEGER;
+BEGIN
+  regFree := NEW(IntArr, NPhys);
+  FOR r := 0 TO NPhys - 1 DO regFree[r] := -1; END;
+  spills := 0;
+  FOR v := 0 TO p.nvregs - 1 DO
+    IF firstUse[v] >= 0 THEN
+      chosen := -1;
+      FOR r := 0 TO NPhys - 1 DO
+        IF chosen < 0 THEN
+          IF regFree[r] < 0 THEN
+            chosen := r;
+          ELSIF lastUse[regFree[r]] < firstUse[v] THEN
+            chosen := r; (* expired *)
+          END;
+        END;
+      END;
+      IF chosen >= 0 THEN
+        regFree[chosen] := v;
+        assignment[v] := chosen;
+      ELSE
+        assignment[v] := NPhys; (* spill slot *)
+        INC(spills);
+      END;
+    END;
+  END;
+END Allocate;
+
+PROCEDURE Encode(p: Proc) =
+VAR b: Block; i: Instr; word: INTEGER;
+BEGIN
+  emitted := NEW(IntArr, 4096);
+  emitPos := 0;
+  b := p.blocks;
+  WHILE b # NIL DO
+    i := b.first;
+    WHILE i # NIL DO
+      word := i.op * 65536 + assignment[i.dst] * 4096;
+      IF i.op # 0 THEN
+        word := word + assignment[i.src1] * 64;
+      END;
+      IF emitPos < NUMBER(emitted) THEN
+        emitted[emitPos] := word;
+        INC(emitPos);
+      END;
+      i := i.next;
+    END;
+    b := b.next;
+  END;
+END Encode;
+
+(* Source-line annotations are declared as Instr subtypes but live in
+   their own monomorphic list linked through anext — no annotation is
+   ever stored into an instruction stream, which selective type merging
+   proves. *)
+PROCEDURE Annotate(line, op: INTEGER) =
+VAR a: Annot;
+BEGIN
+  a := NEW(Annot);
+  a.line := line;
+  a.op := op;
+  a.anext := annots;
+  annots := a;
+END Annotate;
+
+PROCEDURE SumAnnots(): INTEGER =
+VAR a: Annot; s: INTEGER;
+BEGIN
+  s := 0;
+  a := annots;
+  WHILE a # NIL DO
+    s := (s + a.line * 3 + a.op) MOD 99991;
+    a := a.anext;
+  END;
+  RETURN s;
+END SumAnnots;
+
+PROCEDURE Checksum(): INTEGER =
+VAR i, h: INTEGER;
+BEGIN
+  h := 0;
+  FOR i := 0 TO emitPos - 1 DO
+    h := (h * 3 + emitted[i]) MOD 999983;
+  END;
+  RETURN h;
+END Checksum;
+
+VAR p: Proc; pass, sum: INTEGER;
+BEGIN
+  rnd := 13;
+  sum := 0;
+  annots := NIL;
+  FOR pass := 1 TO 6 DO
+    p := BuildProc(12, 9);
+    Annotate(pass * 11, pass MOD 6);
+    ComputeRanges(p);
+    Allocate(p);
+    Encode(p);
+    annotSum := SumAnnots();
+    sum := (sum + Checksum() + annotSum) MOD 999983;
+  END;
+  PutText("spills="); PutInt(spills);
+  PutText(" words="); PutInt(emitPos);
+  PutText(" sum="); PutInt(sum); PutLn();
+END M3CG.
+`

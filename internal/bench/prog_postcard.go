@@ -1,0 +1,264 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "postcard",
+		Description: "Mail reader model: folders, messages, filters, an event loop (paper: interactive; static metrics only)",
+		Source:      postcardSrc,
+		Interactive: true,
+	})
+}
+
+const postcardSrc = `
+MODULE Postcard;
+
+(* The paper's postcard is a graphical mail reader; interactive, so only
+   static metrics are reported. This model has its data shapes: folders
+   of messages, header parsing into character arrays, filter rules, and
+   a command loop dispatching user events. *)
+
+TYPE
+  CharArr = ARRAY OF CHAR;
+  Msg = OBJECT
+    subjHash: INTEGER;
+    from: INTEGER;
+    size: INTEGER;
+    unread: BOOLEAN;
+    body: CharArr;
+    next: Msg;
+  END;
+  Folder = OBJECT
+    id: INTEGER;
+    msgs: Msg;
+    count, unread: INTEGER;
+    next: Folder;
+  END;
+  Rule = OBJECT
+    fromKey: INTEGER;
+    target: INTEGER; (* folder id *)
+    hits: INTEGER;
+    next: Rule;
+  METHODS
+    matches(m: Msg): BOOLEAN := RuleMatches;
+  END;
+  SizeRule = Rule OBJECT
+    minSize: INTEGER;
+  OVERRIDES
+    matches := SizeRuleMatches;
+  END;
+  Event = OBJECT
+    kind: INTEGER; (* 1 fetch, 2 read, 3 file, 4 expunge *)
+    arg: INTEGER;
+    next: Event;
+  END;
+
+VAR
+  folders: Folder;
+  rules: Rule;
+  events, evTail: Event;
+  seq: INTEGER;
+  opened, filed, expunged: INTEGER;
+
+PROCEDURE RuleMatches(self: Rule; m: Msg): BOOLEAN =
+BEGIN
+  RETURN m.from = self.fromKey;
+END RuleMatches;
+
+PROCEDURE SizeRuleMatches(self: SizeRule; m: Msg): BOOLEAN =
+BEGIN
+  RETURN (m.from = self.fromKey) AND (m.size >= self.minSize);
+END SizeRuleMatches;
+
+PROCEDURE FolderById(id: INTEGER): Folder =
+VAR f: Folder;
+BEGIN
+  f := folders;
+  WHILE f # NIL DO
+    IF f.id = id THEN RETURN f; END;
+    f := f.next;
+  END;
+  RETURN NIL;
+END FolderById;
+
+PROCEDURE AddFolder(id: INTEGER): Folder =
+VAR f: Folder;
+BEGIN
+  f := NEW(Folder);
+  f.id := id;
+  f.next := folders;
+  folders := f;
+  RETURN f;
+END AddFolder;
+
+PROCEDURE Deliver(f: Folder; m: Msg) =
+BEGIN
+  m.next := f.msgs;
+  f.msgs := m;
+  INC(f.count);
+  IF m.unread THEN INC(f.unread); END;
+END Deliver;
+
+PROCEDURE NewMsg(): Msg =
+VAR m: Msg; i: INTEGER;
+BEGIN
+  seq := (seq * 137 + 29) MOD 10007;
+  m := NEW(Msg);
+  m.subjHash := seq MOD 997;
+  m.from := seq MOD 17;
+  m.size := 40 + seq MOD 400;
+  m.unread := TRUE;
+  m.body := NEW(CharArr, 16 + seq MOD 48);
+  FOR i := 0 TO NUMBER(m.body) - 1 DO
+    m.body[i] := CHR(ORD('a') + ((seq + i) MOD 26));
+  END;
+  RETURN m;
+END NewMsg;
+
+PROCEDURE ApplyRules(m: Msg): INTEGER =
+VAR r: Rule;
+BEGIN
+  r := rules;
+  WHILE r # NIL DO
+    IF r.matches(m) THEN
+      INC(r.hits);
+      RETURN r.target;
+    END;
+    r := r.next;
+  END;
+  RETURN 0; (* inbox *)
+END ApplyRules;
+
+PROCEDURE PushEvent(kind, arg: INTEGER) =
+VAR e: Event;
+BEGIN
+  e := NEW(Event);
+  e.kind := kind;
+  e.arg := arg;
+  IF evTail = NIL THEN
+    events := e;
+  ELSE
+    evTail.next := e;
+  END;
+  evTail := e;
+END PushEvent;
+
+PROCEDURE ReadBody(m: Msg): INTEGER =
+VAR i, h: INTEGER;
+BEGIN
+  h := 0;
+  FOR i := 0 TO NUMBER(m.body) - 1 DO
+    h := (h * 2 + ORD(m.body[i])) MOD 65521;
+  END;
+  IF m.unread THEN
+    m.unread := FALSE;
+  END;
+  RETURN h;
+END ReadBody;
+
+PROCEDURE DoFetch(n: INTEGER) =
+VAR m: Msg; inbox: Folder; dst: INTEGER; i: INTEGER;
+BEGIN
+  inbox := FolderById(0);
+  FOR i := 1 TO n DO
+    m := NewMsg();
+    dst := ApplyRules(m);
+    IF dst = 0 THEN
+      Deliver(inbox, m);
+    ELSE
+      Deliver(FolderById(dst), m);
+      INC(filed);
+    END;
+  END;
+END DoFetch;
+
+PROCEDURE DoRead(folderId: INTEGER) =
+VAR f: Folder; m: Msg; h: INTEGER;
+BEGIN
+  f := FolderById(folderId);
+  IF f = NIL THEN RETURN; END;
+  m := f.msgs;
+  WHILE m # NIL DO
+    IF m.unread THEN
+      h := ReadBody(m);
+      DEC(f.unread);
+      INC(opened);
+    END;
+    m := m.next;
+  END;
+END DoRead;
+
+PROCEDURE DoExpunge(folderId: INTEGER) =
+VAR f: Folder; m, keep, nxt: Msg; kept: INTEGER;
+BEGIN
+  f := FolderById(folderId);
+  IF f = NIL THEN RETURN; END;
+  keep := NIL;
+  kept := 0;
+  m := f.msgs;
+  WHILE m # NIL DO
+    nxt := m.next;
+    IF m.size > 100 THEN
+      (* keep large messages (reverses order), drop the rest *)
+      m.next := keep;
+      keep := m;
+      INC(kept);
+    ELSE
+      INC(expunged);
+    END;
+    m := nxt;
+  END;
+  f.msgs := keep;
+  f.count := kept;
+END DoExpunge;
+
+PROCEDURE EventLoop() =
+VAR e: Event;
+BEGIN
+  e := events;
+  WHILE e # NIL DO
+    IF e.kind = 1 THEN
+      DoFetch(e.arg);
+    ELSIF e.kind = 2 THEN
+      DoRead(e.arg);
+    ELSIF e.kind = 4 THEN
+      DoExpunge(e.arg);
+    END;
+    e := e.next;
+  END;
+END EventLoop;
+
+VAR r: Rule; sr: SizeRule; i: INTEGER; f: Folder; total: INTEGER;
+BEGIN
+  seq := 11;
+  FOR i := 0 TO 3 DO
+    f := AddFolder(i);
+  END;
+  r := NEW(Rule);
+  r.fromKey := 5;
+  r.target := 1;
+  r.next := NIL;
+  sr := NEW(SizeRule);
+  sr.fromKey := 9;
+  sr.minSize := 120;
+  sr.target := 2;
+  sr.next := r;
+  rules := sr;
+  PushEvent(1, 30);
+  PushEvent(2, 0);
+  PushEvent(1, 20);
+  PushEvent(2, 1);
+  PushEvent(4, 0);
+  PushEvent(2, 0);
+  EventLoop();
+  total := 0;
+  f := folders;
+  WHILE f # NIL DO
+    total := total + f.count;
+    f := f.next;
+  END;
+  PutText("opened="); PutInt(opened);
+  PutText(" filed="); PutInt(filed);
+  PutText(" expunged="); PutInt(expunged);
+  PutText(" kept="); PutInt(total); PutLn();
+END Postcard.
+`

@@ -1,0 +1,150 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "pp",
+		Description: "Pretty printer: box layout over a token stream (paper: Modula-3 pretty printer)",
+		Source:      ppSrc,
+	})
+}
+
+const ppSrc = `
+MODULE PP;
+
+(* A pretty printer in the Oppen style: a token stream is grouped into
+   boxes (horizontal, vertical, text) whose widths are computed bottom-up
+   and which are then laid out against a right margin. *)
+
+TYPE
+  BoxArr = ARRAY OF Box;
+  Box = OBJECT
+    parent: Box;
+  METHODS
+    width(): INTEGER := BoxWidth;
+    layout(indent, col: INTEGER): INTEGER := BoxLayout;
+  END;
+  TextBox = Box OBJECT
+    len: INTEGER;
+    hash: INTEGER;
+  OVERRIDES
+    width := TextWidth;
+    layout := TextLayout;
+  END;
+  Group = Box OBJECT
+    kids: BoxArr;
+    nkids: INTEGER;
+    horizontal: BOOLEAN;
+  OVERRIDES
+    width := GroupWidth;
+    layout := GroupLayout;
+  END;
+
+CONST
+  Margin = 40;
+  IndentStep = 2;
+
+VAR
+  outCol, outLines, outHash: INTEGER;
+  rnd: INTEGER;
+
+PROCEDURE NextRnd(): INTEGER =
+BEGIN
+  rnd := (rnd * 421 + 17) MOD 6561;
+  RETURN rnd;
+END NextRnd;
+
+PROCEDURE BoxWidth(self: Box): INTEGER =
+BEGIN
+  RETURN 0;
+END BoxWidth;
+
+PROCEDURE BoxLayout(self: Box; indent, col: INTEGER): INTEGER =
+BEGIN
+  RETURN col;
+END BoxLayout;
+
+PROCEDURE TextWidth(self: TextBox): INTEGER =
+BEGIN
+  RETURN self.len;
+END TextWidth;
+
+PROCEDURE TextLayout(self: TextBox; indent, col: INTEGER): INTEGER =
+BEGIN
+  IF col + self.len > Margin THEN
+    INC(outLines);
+    col := indent;
+  END;
+  outHash := (outHash * 7 + self.hash + col) MOD 99991;
+  RETURN col + self.len + 1;
+END TextLayout;
+
+PROCEDURE GroupWidth(self: Group): INTEGER =
+VAR i, w: INTEGER;
+BEGIN
+  w := 0;
+  FOR i := 0 TO self.nkids - 1 DO
+    w := w + self.kids[i].width() + 1;
+  END;
+  RETURN w;
+END GroupWidth;
+
+PROCEDURE GroupLayout(self: Group; indent, col: INTEGER): INTEGER =
+VAR i: INTEGER; fits: BOOLEAN;
+BEGIN
+  fits := col + self.width() <= Margin;
+  IF self.horizontal OR fits THEN
+    FOR i := 0 TO self.nkids - 1 DO
+      col := self.kids[i].layout(indent, col);
+    END;
+    RETURN col;
+  END;
+  (* vertical: each child on its own line, indented *)
+  FOR i := 0 TO self.nkids - 1 DO
+    INC(outLines);
+    col := self.kids[i].layout(indent + IndentStep, indent + IndentStep);
+  END;
+  RETURN indent;
+END GroupLayout;
+
+PROCEDURE MakeText(len: INTEGER): Box =
+VAR t: TextBox;
+BEGIN
+  t := NEW(TextBox);
+  t.len := len;
+  t.hash := NextRnd();
+  RETURN t;
+END MakeText;
+
+PROCEDURE MakeTree(depth: INTEGER): Box =
+VAR g: Group; i, n: INTEGER;
+BEGIN
+  IF depth <= 0 THEN
+    RETURN MakeText(2 + NextRnd() MOD 9);
+  END;
+  g := NEW(Group);
+  n := 2 + NextRnd() MOD 3;
+  g.kids := NEW(BoxArr, n);
+  g.nkids := n;
+  g.horizontal := NextRnd() MOD 3 = 0;
+  FOR i := 0 TO n - 1 DO
+    g.kids[i] := MakeTree(depth - 1);
+    g.kids[i].parent := g;
+  END;
+  RETURN g;
+END MakeTree;
+
+VAR doc: Box; pass: INTEGER;
+BEGIN
+  rnd := 5;
+  doc := MakeTree(6);
+  FOR pass := 1 TO 10 DO
+    outCol := 0;
+    outLines := 1;
+    outHash := 0;
+    outCol := doc.layout(0, 0);
+  END;
+  PutText("lines="); PutInt(outLines);
+  PutText(" endcol="); PutInt(outCol);
+  PutText(" hash="); PutInt(outHash); PutLn();
+END PP.
+`

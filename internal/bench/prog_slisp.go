@@ -1,0 +1,265 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "slisp",
+		Description: "Small lisp interpreter over tagged cons cells: arithmetic, conditionals, recursion",
+		Source:      slispSrc,
+	})
+}
+
+const slispSrc = `
+MODULE SLisp;
+
+(* A small lisp interpreter (the paper's slisp). Values are tagged cells;
+   the evaluator re-derives operands from expression cells the way naive
+   interpreters do, so a large share of its heap loads are dynamically
+   redundant within one Eval activation — slisp has the highest heap-load
+   density and redundancy in the paper's suite (Table 4: 27%; Figure 9:
+   0.56). *)
+
+TYPE
+  Cell = OBJECT
+    kind: INTEGER;   (* 1 num, 2 sym, 3 pair *)
+    value: INTEGER;  (* for numbers *)
+    id: INTEGER;     (* for symbols *)
+    car, cdr: Cell;
+    alloc: Cell;     (* allocation chain for statistics *)
+  END;
+  Env = OBJECT
+    id: INTEGER;
+    value: Cell;
+    next: Env;
+  END;
+  Fun = OBJECT
+    id: INTEGER;
+    param: INTEGER;
+    body: Cell;
+    next: Fun;
+  END;
+  (* World holds interpreter-wide configuration consulted in hot loops;
+     its fields are the classic loop-invariant loads RLE hoists. *)
+  World = OBJECT
+    seed: INTEGER;
+    modulus: INTEGER;
+  END;
+
+CONST
+  KNum = 1;
+  KSym = 2;
+  KPair = 3;
+
+  SymPlus = 1;
+  SymMinus = 2;
+  SymTimes = 3;
+  SymIf = 4;
+  SymLess = 5;
+  SymCall = 7;
+  SymX = 10;
+  SymN = 11;
+
+VAR
+  funs: Fun;
+  evals: INTEGER;
+  world: World;
+  allCells: Cell;
+  ncells: INTEGER;
+
+PROCEDURE NewCell(kind: INTEGER): Cell =
+VAR c: Cell;
+BEGIN
+  c := NEW(Cell);
+  c.kind := kind;
+  c.alloc := allCells;
+  allCells := c;
+  INC(ncells);
+  RETURN c;
+END NewCell;
+
+PROCEDURE TNum(v: INTEGER): Cell =
+VAR c: Cell;
+BEGIN
+  c := NewCell(KNum);
+  c.value := v;
+  RETURN c;
+END TNum;
+
+PROCEDURE TSym(id: INTEGER): Cell =
+VAR c: Cell;
+BEGIN
+  c := NewCell(KSym);
+  c.id := id;
+  RETURN c;
+END TSym;
+
+PROCEDURE TCons(a, d: Cell): Cell =
+VAR c: Cell;
+BEGIN
+  c := NewCell(KPair);
+  c.car := a;
+  c.cdr := d;
+  RETURN c;
+END TCons;
+
+PROCEDURE List3(a, b, c: Cell): Cell =
+BEGIN
+  RETURN TCons(a, TCons(b, TCons(c, NIL)));
+END List3;
+
+PROCEDURE Lookup(env: Env; id: INTEGER): Cell =
+VAR e: Env;
+BEGIN
+  e := env;
+  WHILE e # NIL DO
+    IF e.id = id THEN RETURN e.value; END;
+    e := e.next;
+  END;
+  RETURN NIL;
+END Lookup;
+
+PROCEDURE FunOf(id: INTEGER): Fun =
+VAR f: Fun;
+BEGIN
+  f := funs;
+  WHILE f # NIL DO
+    IF f.id = id THEN RETURN f; END;
+    f := f.next;
+  END;
+  RETURN NIL;
+END FunOf;
+
+(* Eval re-derives operands from the expression cell when it needs them
+   (expr.cdr, expr.cdr.car, ...), as naive interpreters do. *)
+PROCEDURE Eval(expr: Cell; env: Env): INTEGER =
+VAR
+  op: INTEGER;
+  a, b: INTEGER;
+  f: Fun;
+  bound: Cell;
+  e2: Env;
+BEGIN
+  INC(evals);
+  IF expr.kind # KPair THEN
+    IF expr.kind = KSym THEN
+      bound := Lookup(env, expr.id);
+      IF bound # NIL THEN RETURN bound.value; END;
+      RETURN 0;
+    END;
+    RETURN expr.value;
+  END;
+  op := expr.car.id;
+  IF op = SymPlus THEN
+    a := Eval(expr.cdr.car, env);
+    b := Eval(expr.cdr.cdr.car, env);
+    RETURN (a + b) MOD 1000003;
+  ELSIF op = SymMinus THEN
+    a := Eval(expr.cdr.car, env);
+    b := Eval(expr.cdr.cdr.car, env);
+    RETURN a - b;
+  ELSIF op = SymTimes THEN
+    a := Eval(expr.cdr.car, env);
+    b := Eval(expr.cdr.cdr.car, env);
+    RETURN (a * b) MOD 1000003;
+  ELSIF op = SymLess THEN
+    a := Eval(expr.cdr.car, env);
+    b := Eval(expr.cdr.cdr.car, env);
+    IF a < b THEN RETURN 1; ELSE RETURN 0; END;
+  ELSIF op = SymIf THEN
+    a := Eval(expr.cdr.car, env);
+    IF a # 0 THEN
+      RETURN Eval(expr.cdr.cdr.car, env);
+    ELSE
+      RETURN Eval(expr.cdr.cdr.cdr.car, env);
+    END;
+  ELSIF op = SymCall THEN
+    f := FunOf(expr.cdr.car.id);
+    a := Eval(expr.cdr.cdr.car, env);
+    IF f = NIL THEN RETURN 0; END;
+    e2 := NEW(Env);
+    e2.id := f.param;
+    e2.value := TNum(a);
+    e2.next := NIL;
+    RETURN Eval(f.body, e2);
+  END;
+  RETURN 0;
+END Eval;
+
+PROCEDURE Define(id, param: INTEGER; body: Cell) =
+VAR f: Fun;
+BEGIN
+  f := NEW(Fun);
+  f.id := id;
+  f.param := param;
+  f.body := body;
+  f.next := funs;
+  funs := f;
+END Define;
+
+(* (def (fib n) (if (< n 2) n (+ (call fib (- n 1)) (call fib (- n 2))))) *)
+PROCEDURE BuildFib() =
+VAR cond, rec1, rec2, body: Cell;
+BEGIN
+  cond := List3(TSym(SymLess), TSym(SymN), TNum(2));
+  rec1 := List3(TSym(SymCall), TSym(100), List3(TSym(SymMinus), TSym(SymN), TNum(1)));
+  rec2 := List3(TSym(SymCall), TSym(100), List3(TSym(SymMinus), TSym(SymN), TNum(2)));
+  body := TCons(TSym(SymIf), TCons(cond, TCons(TSym(SymN),
+            TCons(List3(TSym(SymPlus), rec1, rec2), NIL))));
+  Define(100, SymN, body);
+END BuildFib;
+
+(* (def (tri x) (if (< x 1) 0 (+ x (call tri (- x 1))))) *)
+PROCEDURE BuildTri() =
+VAR cond, rec, body: Cell;
+BEGIN
+  cond := List3(TSym(SymLess), TSym(SymX), TNum(1));
+  rec := List3(TSym(SymCall), TSym(101), List3(TSym(SymMinus), TSym(SymX), TNum(1)));
+  body := TCons(TSym(SymIf), TCons(cond, TCons(TNum(0),
+            TCons(List3(TSym(SymPlus), TSym(SymX), rec), NIL))));
+  Define(101, SymX, body);
+END BuildTri;
+
+(* CellStats folds every allocated cell with the world configuration;
+   world.seed and world.modulus are loop-invariant loads. *)
+PROCEDURE CellStats(): INTEGER =
+VAR c: Cell; acc: INTEGER;
+BEGIN
+  acc := 0;
+  c := allCells;
+  WHILE c # NIL DO
+    acc := (acc * 2 + c.kind + world.seed) MOD world.modulus;
+    c := c.alloc;
+  END;
+  RETURN acc;
+END CellStats;
+
+VAR r1, r2, r3, stats, pass: INTEGER; prog: Cell;
+BEGIN
+  funs := NIL;
+  allCells := NIL;
+  ncells := 0;
+  evals := 0;
+  world := NEW(World);
+  world.seed := 3;
+  world.modulus := 99991;
+  BuildFib();
+  BuildTri();
+  prog := List3(TSym(SymCall), TSym(100), TNum(14));
+  r1 := Eval(prog, NIL);
+  prog := List3(TSym(SymCall), TSym(101), TNum(400));
+  r2 := Eval(prog, NIL);
+  prog := List3(TSym(SymPlus),
+            List3(TSym(SymTimes), TNum(6), TNum(7)),
+            List3(TSym(SymMinus), TNum(100), TNum(58)));
+  r3 := Eval(prog, NIL);
+  stats := 0;
+  FOR pass := 1 TO 20 DO
+    stats := (stats + CellStats()) MOD 99991;
+  END;
+  PutText("fib14="); PutInt(r1);
+  PutText(" tri400="); PutInt(r2);
+  PutText(" arith="); PutInt(r3);
+  PutText(" evals="); PutInt(evals);
+  PutText(" cells="); PutInt(ncells);
+  PutText(" stats="); PutInt(stats); PutLn();
+END SLisp.
+`

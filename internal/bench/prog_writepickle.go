@@ -1,0 +1,199 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "write-pickle",
+		Description: "Builds an expression AST, pickles it to an integer array, reads it back, and compares evaluations",
+		Source:      writePickleSrc,
+	})
+}
+
+const writePickleSrc = `
+MODULE WritePickle;
+
+(* The paper's write-pickle reads and writes an AST. We build expression
+   trees, serialize them to a flat integer array (the pickle), rebuild
+   them, and check both trees evaluate identically. *)
+
+TYPE
+  IntArr = ARRAY OF INTEGER;
+  Node = OBJECT
+  METHODS
+    eval(): INTEGER := NodeEval;
+    size(): INTEGER := NodeSize;
+    write() := NodeWrite;
+  END;
+  Num = Node OBJECT
+    value: INTEGER;
+  OVERRIDES
+    eval := NumEval;
+    size := NumSize;
+    write := NumWrite;
+  END;
+  Bin = Node OBJECT
+    op: INTEGER; (* 0 add, 1 sub, 2 mul *)
+    left, right: Node;
+  OVERRIDES
+    eval := BinEval;
+    size := BinSize;
+    write := BinWrite;
+  END;
+  Neg = Node OBJECT
+    arg: Node;
+  OVERRIDES
+    eval := NegEval;
+    size := NegSize;
+    write := NegWrite;
+  END;
+
+CONST
+  TagNum = 1;
+  TagBin = 2;
+  TagNeg = 3;
+
+VAR
+  pickle: IntArr;
+  pos: INTEGER;
+  rnd: INTEGER;
+
+PROCEDURE NodeEval(self: Node): INTEGER = BEGIN RETURN 0; END NodeEval;
+PROCEDURE NodeSize(self: Node): INTEGER = BEGIN RETURN 1; END NodeSize;
+
+PROCEDURE NumEval(self: Num): INTEGER = BEGIN RETURN self.value; END NumEval;
+PROCEDURE NumSize(self: Num): INTEGER = BEGIN RETURN 2; END NumSize;
+
+PROCEDURE BinEval(self: Bin): INTEGER =
+VAR l, r: INTEGER;
+BEGIN
+  l := self.left.eval();
+  r := self.right.eval();
+  IF self.op = 0 THEN RETURN (l + r) MOD 1000003; END;
+  IF self.op = 1 THEN RETURN (l - r) MOD 1000003; END;
+  RETURN (l * r) MOD 1000003;
+END BinEval;
+
+PROCEDURE BinSize(self: Bin): INTEGER =
+BEGIN
+  RETURN 2 + self.left.size() + self.right.size();
+END BinSize;
+
+PROCEDURE NegEval(self: Neg): INTEGER =
+BEGIN
+  RETURN 0 - self.arg.eval();
+END NegEval;
+
+PROCEDURE NegSize(self: Neg): INTEGER =
+BEGIN
+  RETURN 1 + self.arg.size();
+END NegSize;
+
+PROCEDURE NextRnd(): INTEGER =
+BEGIN
+  rnd := (rnd * 1103 + 12345) MOD 65536;
+  RETURN rnd;
+END NextRnd;
+
+PROCEDURE Build(depth: INTEGER): Node =
+VAR n: Num; b: Bin; g: Neg; pick: INTEGER;
+BEGIN
+  pick := NextRnd() MOD 8;
+  IF (depth <= 0) OR (pick < 3) THEN
+    n := NEW(Num);
+    n.value := NextRnd() MOD 997;
+    RETURN n;
+  END;
+  IF pick = 3 THEN
+    g := NEW(Neg);
+    g.arg := Build(depth - 1);
+    RETURN g;
+  END;
+  b := NEW(Bin);
+  b.op := NextRnd() MOD 3;
+  b.left := Build(depth - 1);
+  b.right := Build(depth - 1);
+  RETURN b;
+END Build;
+
+PROCEDURE Emit(v: INTEGER) =
+BEGIN
+  pickle[pos] := v;
+  INC(pos);
+END Emit;
+
+PROCEDURE NodeWrite(self: Node) =
+BEGIN
+  Emit(0);
+END NodeWrite;
+
+PROCEDURE NumWrite(self: Num) =
+BEGIN
+  Emit(TagNum);
+  Emit(self.value);
+END NumWrite;
+
+PROCEDURE BinWrite(self: Bin) =
+BEGIN
+  Emit(TagBin);
+  Emit(self.op);
+  self.left.write();
+  self.right.write();
+END BinWrite;
+
+PROCEDURE NegWrite(self: Neg) =
+BEGIN
+  Emit(TagNeg);
+  self.arg.write();
+END NegWrite;
+
+PROCEDURE WriteTagged(n: Node) =
+BEGIN
+  n.write();
+END WriteTagged;
+
+PROCEDURE ReadNode(): Node =
+VAR tag: INTEGER; m: Num; b: Bin; g: Neg;
+BEGIN
+  tag := pickle[pos];
+  INC(pos);
+  IF tag = TagNum THEN
+    m := NEW(Num);
+    m.value := pickle[pos];
+    INC(pos);
+    RETURN m;
+  ELSIF tag = TagNeg THEN
+    g := NEW(Neg);
+    g.arg := ReadNode();
+    RETURN g;
+  ELSE
+    b := NEW(Bin);
+    b.op := pickle[pos];
+    INC(pos);
+    b.left := ReadNode();
+    b.right := ReadNode();
+    RETURN b;
+  END;
+END ReadNode;
+
+VAR
+  roots: INTEGER;
+  tree, back: Node;
+  sum1, sum2, trees: INTEGER;
+BEGIN
+  rnd := 42;
+  sum1 := 0;
+  sum2 := 0;
+  trees := 12;
+  FOR roots := 1 TO trees DO
+    tree := Build(7);
+    pickle := NEW(IntArr, tree.size() + 8);
+    pos := 0;
+    WriteTagged(tree);
+    pos := 0;
+    back := ReadNode();
+    sum1 := (sum1 + tree.eval()) MOD 1000003;
+    sum2 := (sum2 + back.eval()) MOD 1000003;
+  END;
+  IF sum1 = sum2 THEN PutText("roundtrip=ok "); ELSE PutText("roundtrip=BAD "); END;
+  PutText("sum="); PutInt(sum1); PutLn();
+END WritePickle.
+`

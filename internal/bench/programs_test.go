@@ -1,0 +1,134 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/bench"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	all := bench.All()
+	if len(all) != 10 {
+		t.Fatalf("expected 10 benchmarks, got %d", len(all))
+	}
+	want := []string{"format", "dformat", "write-pickle", "k-tree", "slisp",
+		"pp", "dom", "postcard", "m2tom3", "m3cg"}
+	for i, b := range all {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, b.Name, want[i])
+		}
+	}
+	if len(bench.Measured()) != 8 {
+		t.Errorf("expected 8 measured benchmarks, got %d", len(bench.Measured()))
+	}
+}
+
+// TestInteractiveBenchmarksRun: the paper's interactive programs (dom,
+// postcard) still execute deterministically in our suite, they are just
+// excluded from the dynamic experiments.
+func TestInteractiveBenchmarksRun(t *testing.T) {
+	for _, b := range bench.All() {
+		if !b.Interactive {
+			continue
+		}
+		prog, _, err := driver.Compile(b.Name+".m3", b.Source)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", b.Name, err)
+		}
+		in := interp.New(prog)
+		in.MaxSteps = 10_000_000
+		out, err := in.Run()
+		if err != nil {
+			t.Fatalf("%s: run: %v", b.Name, err)
+		}
+		t.Logf("%s: %d instrs, out=%q", b.Name, in.Stats().Instructions, strings.TrimSpace(out))
+	}
+}
+
+func TestBenchmarksRun(t *testing.T) {
+	for _, b := range bench.Measured() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, _, err := driver.Compile(b.Name+".m3", b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			in := interp.New(prog)
+			in.MaxSteps = 80_000_000
+			out, err := in.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.HasSuffix(out, "\n") || len(out) < 5 {
+				t.Errorf("suspicious output %q", out)
+			}
+			stats := in.Stats()
+			if stats.HeapLoads == 0 {
+				t.Error("benchmark performs no heap loads")
+			}
+			if stats.Instructions < 50_000 {
+				t.Errorf("benchmark too small: %d instructions", stats.Instructions)
+			}
+			if stats.Instructions > 60_000_000 {
+				t.Errorf("benchmark too large: %d instructions", stats.Instructions)
+			}
+			t.Logf("%s: %d instrs, %d heap loads (%.1f%%), %d other, out=%q",
+				b.Name, stats.Instructions, stats.HeapLoads,
+				100*float64(stats.HeapLoads)/float64(stats.Instructions),
+				stats.OtherLoads, strings.TrimSpace(out))
+		})
+	}
+}
+
+// TestBenchmarksSurviveFullPipeline runs every benchmark through
+// devirt+inline+RLE at the strongest level and checks identical output.
+func TestBenchmarksSurviveFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, b := range bench.All() { // includes the interactive programs
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			base, _, err := driver.Compile(b.Name+".m3", b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in1 := interp.New(base)
+			in1.MaxSteps = 80_000_000
+			want, err := in1.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, _, err := driver.Compile(b.Name+".m3", b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Devirtualize(prog, nil)
+			opt.Inline(prog)
+			o := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+			mr := modref.Compute(prog)
+			res := opt.RLE(prog, o, mr)
+			in2 := interp.New(prog)
+			in2.MaxSteps = 80_000_000
+			got, err := in2.Run()
+			if err != nil {
+				t.Fatalf("optimized run: %v", err)
+			}
+			if got != want {
+				t.Fatalf("pipeline changed output\nwant %q\ngot  %q", want, got)
+			}
+			if in2.Stats().HeapLoads > in1.Stats().HeapLoads {
+				t.Errorf("optimization increased heap loads: %d -> %d",
+					in1.Stats().HeapLoads, in2.Stats().HeapLoads)
+			}
+			t.Logf("%s: removed %d static loads; dyn heap loads %d -> %d",
+				b.Name, res.Removed(), in1.Stats().HeapLoads, in2.Stats().HeapLoads)
+		})
+	}
+}

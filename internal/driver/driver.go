@@ -1,0 +1,35 @@
+// Package driver orchestrates the compilation pipeline:
+// source → parse → check → lower → (analyses, optimizations) → run.
+package driver
+
+import (
+	"tbaa/internal/interp"
+	"tbaa/internal/ir"
+	"tbaa/internal/lower"
+	"tbaa/internal/parser"
+	"tbaa/internal/sema"
+)
+
+// Compile parses, checks, and lowers a MiniM3 module.
+func Compile(file, src string) (*ir.Program, *sema.Program, error) {
+	m, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := sema.Check(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lower.Lower(sp), sp, nil
+}
+
+// Run compiles and executes a module, returning its output and stats.
+func Run(file, src string) (string, interp.Stats, error) {
+	prog, _, err := Compile(file, src)
+	if err != nil {
+		return "", interp.Stats{}, err
+	}
+	in := interp.New(prog)
+	out, err := in.Run()
+	return out, in.Stats(), err
+}

@@ -1,0 +1,77 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"tbaa/internal/driver"
+)
+
+func TestCompileAndRun(t *testing.T) {
+	out, stats, err := driver.Run("ok.m3", `
+MODULE M;
+BEGIN
+  PutInt(6 * 7); PutLn();
+END M.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "42\n" {
+		t.Errorf("output %q", out)
+	}
+	if stats.Instructions == 0 {
+		t.Error("stats must be populated")
+	}
+}
+
+func TestCompileParseError(t *testing.T) {
+	_, _, err := driver.Compile("bad.m3", "MODULE M BEGIN END M.")
+	if err == nil || !strings.Contains(err.Error(), "syntax") {
+		t.Errorf("expected syntax error, got %v", err)
+	}
+}
+
+func TestCompileSemaError(t *testing.T) {
+	_, _, err := driver.Compile("bad.m3", "MODULE M; BEGIN x := 1; END M.")
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("expected sema error, got %v", err)
+	}
+}
+
+func TestRunPropagatesTraps(t *testing.T) {
+	_, _, err := driver.Run("trap.m3", `
+MODULE M;
+VAR x: INTEGER;
+BEGIN
+  x := 1 DIV 0;
+END M.
+`)
+	if err == nil || !strings.Contains(err.Error(), "division") {
+		t.Errorf("expected runtime trap, got %v", err)
+	}
+}
+
+func TestCompileProducesWholeProgram(t *testing.T) {
+	prog, sp, err := driver.Compile("p.m3", `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+PROCEDURE P() = BEGIN END P;
+VAR t: T;
+BEGIN
+  P();
+END M.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Main == nil || prog.ProcByName["P"] == nil || prog.ProcByName["__main__"] == nil {
+		t.Error("program structure incomplete")
+	}
+	if sp.Universe != prog.Universe {
+		t.Error("sema and IR must share the type universe")
+	}
+	if len(prog.Globals) != 1 || prog.Globals[0].Name != "t" {
+		t.Errorf("globals: %v", prog.Globals)
+	}
+}

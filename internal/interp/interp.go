@@ -1,0 +1,913 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
+
+// MemEvent describes one dynamic memory access.
+type MemEvent struct {
+	Load       bool
+	Addr       uint64
+	ValueHash  uint64
+	Instr      *ir.Instr
+	Proc       *ir.Proc
+	Activation uint64
+	Heap       bool // heap access (vs stack/global storage)
+}
+
+// Listener observes execution. Any field may be nil.
+type Listener struct {
+	// Mem is called for every load and store.
+	Mem func(ev *MemEvent)
+	// Step is called once per executed instruction.
+	Step func(in *ir.Instr, proc *ir.Proc)
+}
+
+// Stats are the dynamic counts the paper's Table 4 reports.
+type Stats struct {
+	Instructions uint64
+	HeapLoads    uint64 // loads through pointers (incl. dope-vector loads)
+	DopeLoads    uint64 // subset of HeapLoads: implicit dope accesses
+	OtherLoads   uint64 // stack and global-area loads
+	HeapStores   uint64
+	OtherStores  uint64
+	Calls        uint64
+	Allocs       uint64
+}
+
+// RuntimeError is a trap during execution.
+type RuntimeError struct {
+	Msg  string
+	Proc string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s: %s", e.Proc, e.Msg)
+}
+
+// Interp executes an IR program.
+type Interp struct {
+	prog     *ir.Program
+	globals  []Value
+	out      strings.Builder
+	stats    Stats
+	listener Listener
+	nextAddr uint64
+	nextAct  uint64
+	halted   bool
+	depth    int
+	// MaxSteps bounds execution (0 = unlimited); exceeding it traps.
+	MaxSteps uint64
+	// MaxDepth bounds call nesting; exceeding it traps (default 100000).
+	MaxDepth int
+	// globalAddrs maps global slot -> address.
+	globalAddrs []uint64
+	stackTop    uint64
+}
+
+// New creates an interpreter for the program.
+func New(prog *ir.Program) *Interp {
+	// The three storage areas start at different cache-set offsets so a
+	// direct-mapped cache does not see pathological global/heap/stack
+	// conflicts at address zero of each region.
+	in := &Interp{
+		prog:     prog,
+		globals:  make([]Value, len(prog.Globals)),
+		nextAddr: 0x1000_2000,
+		stackTop: 0x7000_4000,
+	}
+	in.globalAddrs = make([]uint64, len(prog.Globals))
+	for i, g := range prog.Globals {
+		in.globalAddrs[i] = 0x0010_0000 + uint64(i)*8
+		in.globals[i] = zeroValue(g.Type)
+	}
+	return in
+}
+
+// SetListener installs an execution observer.
+func (in *Interp) SetListener(l Listener) { in.listener = l }
+
+// Output returns everything the program printed.
+func (in *Interp) Output() string { return in.out.String() }
+
+// Stats returns the dynamic counters.
+func (in *Interp) Stats() Stats { return in.stats }
+
+// Run executes __main__. It returns the program output.
+func (in *Interp) Run() (string, error) {
+	main := in.prog.Main
+	if main == nil {
+		return "", &RuntimeError{Msg: "no main", Proc: "?"}
+	}
+	_, err := in.callProc(main, nil)
+	return in.out.String(), err
+}
+
+func zeroValue(t types.Type) Value {
+	switch t := t.(type) {
+	case *types.Basic:
+		switch t.Kind {
+		case types.Integer:
+			return Value{K: VInt}
+		case types.Boolean:
+			return Value{K: VBool}
+		case types.Char:
+			return Value{K: VChar}
+		case types.Text:
+			return Value{K: VText}
+		}
+		return Value{K: VNil}
+	case *types.Record:
+		r := &Record{Type: t, Fields: make([]Value, len(t.Fields))}
+		for i, f := range t.Fields {
+			r.Fields[i] = zeroValue(f.Type)
+		}
+		return Value{K: VRecord, Rec: r}
+	default:
+		return Value{K: VNil}
+	}
+}
+
+type frame struct {
+	proc  *ir.Proc
+	regs  []Value
+	slots []Value
+	act   uint64
+	base  uint64 // stack frame base address
+}
+
+func (in *Interp) trap(f *frame, format string, args ...any) error {
+	name := "?"
+	if f != nil {
+		name = f.proc.Name
+	}
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...), Proc: name}
+}
+
+// callProc runs a procedure with evaluated arguments.
+func (in *Interp) callProc(p *ir.Proc, args []Value) (Value, error) {
+	maxDepth := in.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 100000
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > maxDepth {
+		return Value{}, &RuntimeError{Msg: "call stack overflow", Proc: p.Name}
+	}
+	in.nextAct++
+	nSlots := len(p.Params) + len(p.Locals)
+	f := &frame{
+		proc:  p,
+		regs:  make([]Value, p.NumRegs),
+		slots: make([]Value, nSlots),
+		act:   in.nextAct,
+		base:  in.stackTop,
+	}
+	in.stackTop -= uint64(nSlots+8) * 8
+	defer func() { in.stackTop += uint64(nSlots+8) * 8 }()
+	for i := range p.Params {
+		if i < len(args) {
+			f.slots[i] = args[i]
+		}
+	}
+	for i, l := range p.Locals {
+		f.slots[len(p.Params)+i] = zeroValue(l.Type)
+	}
+	b := p.Entry
+	for {
+		next, ret, retVal, err := in.execBlock(f, b)
+		if err != nil {
+			return Value{}, err
+		}
+		if ret {
+			return retVal, nil
+		}
+		if next == nil {
+			return Value{}, in.trap(f, "block b%d fell through", b.ID)
+		}
+		b = next
+	}
+}
+
+func (in *Interp) slotAddr(f *frame, v *ir.Var) uint64 {
+	if v.Kind == ir.GlobalVar {
+		return in.globalAddrs[v.Slot]
+	}
+	return f.base - uint64(v.Slot)*8
+}
+
+// readVar reads a variable operand. Global reads count as "other loads".
+func (in *Interp) readVar(f *frame, v *ir.Var, instr *ir.Instr) Value {
+	if v.Kind == ir.GlobalVar {
+		in.stats.OtherLoads++
+		val := in.globals[v.Slot]
+		in.memEvent(f, instr, true, in.globalAddrs[v.Slot], val, false)
+		return val
+	}
+	return f.slots[v.Slot]
+}
+
+func (in *Interp) writeVar(f *frame, v *ir.Var, val Value, instr *ir.Instr) {
+	if v.Kind == ir.GlobalVar {
+		in.stats.OtherStores++
+		in.globals[v.Slot] = val
+		in.memEvent(f, instr, false, in.globalAddrs[v.Slot], val, false)
+		return
+	}
+	f.slots[v.Slot] = val
+}
+
+func (in *Interp) memEvent(f *frame, instr *ir.Instr, load bool, addr uint64, val Value, heap bool) {
+	if in.listener.Mem == nil {
+		return
+	}
+	ev := MemEvent{Load: load, Addr: addr, ValueHash: hashValue(val),
+		Instr: instr, Proc: f.proc, Activation: f.act, Heap: heap}
+	in.listener.Mem(&ev)
+}
+
+func (in *Interp) operand(f *frame, o ir.Operand, instr *ir.Instr) Value {
+	switch o.Kind {
+	case ir.ConstOp:
+		switch o.Const.Kind {
+		case ir.IntConst:
+			return Value{K: VInt, Int: o.Const.Int}
+		case ir.BoolConst:
+			return Value{K: VBool, Int: o.Const.Int}
+		case ir.CharConst:
+			return Value{K: VChar, Int: o.Const.Int}
+		case ir.TextConst:
+			return Value{K: VText, Text: o.Const.Text}
+		case ir.NilConst:
+			return Value{K: VNil}
+		}
+	case ir.RegOp:
+		return f.regs[o.Reg]
+	case ir.VarOp:
+		return in.readVar(f, o.Var, instr)
+	}
+	return Value{K: VNil}
+}
+
+func (in *Interp) setReg(f *frame, r ir.Reg, v Value) {
+	if r != ir.NoReg {
+		f.regs[r] = v
+	}
+}
+
+// execBlock executes one block; returns the successor or a return value.
+func (in *Interp) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret bool, retVal Value, err error) {
+	for idx := range b.Instrs {
+		instr := &b.Instrs[idx]
+		in.stats.Instructions++
+		if in.MaxSteps > 0 && in.stats.Instructions > in.MaxSteps {
+			return nil, false, Value{}, in.trap(f, "step limit exceeded (%d)", in.MaxSteps)
+		}
+		if in.listener.Step != nil {
+			in.listener.Step(instr, f.proc)
+		}
+		switch instr.Op {
+		case ir.OpConst, ir.OpCopy:
+			in.setReg(f, instr.Dst, in.operand(f, instr.Args[0], instr))
+		case ir.OpBin:
+			v, e := in.binop(f, instr)
+			if e != nil {
+				return nil, false, Value{}, e
+			}
+			in.setReg(f, instr.Dst, v)
+		case ir.OpUn:
+			x := in.operand(f, instr.Args[0], instr)
+			if instr.UnOp == ir.Neg {
+				in.setReg(f, instr.Dst, Value{K: VInt, Int: -x.Int})
+			} else {
+				in.setReg(f, instr.Dst, Value{K: VBool, Int: 1 - x.Int})
+			}
+		case ir.OpSetVar:
+			in.writeVar(f, instr.Var, in.operand(f, instr.Args[0], instr), instr)
+		case ir.OpLoad:
+			v, e := in.load(f, instr)
+			if e != nil {
+				if instr.Speculative {
+					// A load hoisted above its loop guard must not trap
+					// when the loop body would never have executed.
+					v = zeroValue(instr.Type)
+				} else {
+					return nil, false, Value{}, e
+				}
+			}
+			in.setReg(f, instr.Dst, v)
+		case ir.OpStore:
+			if e := in.store(f, instr); e != nil {
+				return nil, false, Value{}, e
+			}
+		case ir.OpLoadVarField:
+			base := in.readVar(f, instr.Var, instr)
+			if base.K != VRecord {
+				return nil, false, Value{}, in.trap(f, "vload of non-record %s", instr.Var.Name)
+			}
+			i := fieldIndexOf(base.Rec.Type, instr.Field)
+			val := base.Rec.Fields[i]
+			in.stats.OtherLoads++
+			in.memEvent(f, instr, true, in.slotAddr(f, instr.Var)+uint64(i)*8, val, false)
+			in.setReg(f, instr.Dst, val)
+		case ir.OpStoreVarField:
+			base := in.readVar(f, instr.Var, instr)
+			if base.K != VRecord {
+				return nil, false, Value{}, in.trap(f, "vstore of non-record %s", instr.Var.Name)
+			}
+			i := fieldIndexOf(base.Rec.Type, instr.Field)
+			val := in.operand(f, instr.Args[0], instr)
+			base.Rec.Fields[i] = val
+			in.stats.OtherStores++
+			in.memEvent(f, instr, false, in.slotAddr(f, instr.Var)+uint64(i)*8, val, false)
+		case ir.OpMkLoc:
+			loc, e := in.mkLoc(f, instr)
+			if e != nil {
+				return nil, false, Value{}, e
+			}
+			in.setReg(f, instr.Dst, Value{K: VLoc, Loc: loc})
+		case ir.OpMkLocVar:
+			v := instr.Var
+			var loc Loc
+			if v.Kind == ir.GlobalVar {
+				loc = Loc{Kind: LocSlot, Slots: &in.globals, Index: v.Slot, Addr: in.globalAddrs[v.Slot]}
+			} else {
+				loc = Loc{Kind: LocSlot, Slots: &f.slots, Index: v.Slot, Addr: in.slotAddr(f, v)}
+			}
+			in.setReg(f, instr.Dst, Value{K: VLoc, Loc: loc})
+		case ir.OpNew:
+			in.stats.Allocs++
+			in.setReg(f, instr.Dst, in.alloc(instr.Type))
+		case ir.OpNewArray:
+			in.stats.Allocs++
+			ln := in.operand(f, instr.Args[0], instr)
+			if ln.Int < 0 {
+				return nil, false, Value{}, in.trap(f, "NEW with negative length %d", ln.Int)
+			}
+			in.setReg(f, instr.Dst, in.allocArray(instr.Type.(*types.Array), int(ln.Int)))
+		case ir.OpCall:
+			callee := in.prog.ProcByName[instr.Callee]
+			if callee == nil {
+				return nil, false, Value{}, in.trap(f, "undefined procedure %s", instr.Callee)
+			}
+			args := make([]Value, len(instr.Args))
+			for i, a := range instr.Args {
+				args[i] = in.operand(f, a, instr)
+			}
+			in.stats.Calls++
+			rv, e := in.callProc(callee, args)
+			if e != nil {
+				return nil, false, Value{}, e
+			}
+			if in.halted {
+				return nil, true, Value{}, nil
+			}
+			in.setReg(f, instr.Dst, rv)
+		case ir.OpMethodCall:
+			recv := in.operand(f, instr.Args[0], instr)
+			if recv.K != VRef || recv.Ref.Obj == nil {
+				return nil, false, Value{}, in.trap(f, "method call %s on non-object", instr.Method)
+			}
+			implName := recv.Ref.Obj.Implementation(instr.Method)
+			if implName == "" {
+				return nil, false, Value{}, in.trap(f, "abstract method %s on %s", instr.Method, recv.Ref.Obj)
+			}
+			callee := in.prog.ProcByName[implName]
+			if callee == nil {
+				return nil, false, Value{}, in.trap(f, "method %s bound to missing procedure %s", instr.Method, implName)
+			}
+			args := make([]Value, len(instr.Args))
+			for i, a := range instr.Args {
+				args[i] = in.operand(f, a, instr)
+			}
+			in.stats.Calls++
+			rv, e := in.callProc(callee, args)
+			if e != nil {
+				return nil, false, Value{}, e
+			}
+			if in.halted {
+				return nil, true, Value{}, nil
+			}
+			in.setReg(f, instr.Dst, rv)
+		case ir.OpBuiltin:
+			v, stop, e := in.builtin(f, instr)
+			if e != nil {
+				return nil, false, Value{}, e
+			}
+			if stop {
+				return nil, true, Value{}, nil
+			}
+			in.setReg(f, instr.Dst, v)
+		case ir.OpJump:
+			return instr.Target, false, Value{}, nil
+		case ir.OpBranch:
+			c := in.operand(f, instr.Args[0], instr)
+			if c.Int != 0 {
+				return instr.Then, false, Value{}, nil
+			}
+			return instr.Else, false, Value{}, nil
+		case ir.OpReturn:
+			if len(instr.Args) > 0 {
+				return nil, true, in.operand(f, instr.Args[0], instr), nil
+			}
+			return nil, true, Value{}, nil
+		}
+	}
+	return nil, false, Value{}, in.trap(f, "block b%d has no terminator", b.ID)
+}
+
+func fieldIndexOf(r *types.Record, name string) int {
+	for i, f := range r.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// alloc creates a heap cell for NEW(T).
+func (in *Interp) alloc(t types.Type) Value {
+	c := &Cell{Type: t, Addr: in.nextAddr}
+	switch t := t.(type) {
+	case *types.Object:
+		c.Obj = t
+		fs := t.AllFields()
+		c.Field = make([]Value, len(fs))
+		c.fidx = make(map[string]int, len(fs))
+		for i, fd := range fs {
+			c.Field[i] = zeroValue(fd.Type)
+			c.fidx[fd.Name] = i
+		}
+		in.nextAddr += uint64(len(fs)+1) * 8
+	case *types.Ref:
+		if rt, ok := t.Elem.(*types.Record); ok {
+			c.Field = make([]Value, len(rt.Fields))
+			c.fidx = make(map[string]int, len(rt.Fields))
+			for i, fd := range rt.Fields {
+				c.Field[i] = zeroValue(fd.Type)
+				c.fidx[fd.Name] = i
+			}
+			in.nextAddr += uint64(len(rt.Fields)+1) * 8
+		} else {
+			c.Val = zeroValue(t.Elem)
+			in.nextAddr += 16
+		}
+	}
+	// Round allocations to 16 bytes to spread cache sets realistically.
+	in.nextAddr = (in.nextAddr + 15) &^ 15
+	return Value{K: VRef, Ref: c}
+}
+
+func (in *Interp) allocArray(t *types.Array, n int) Value {
+	c := &Cell{Type: t, Addr: in.nextAddr}
+	in.nextAddr += 16 // dope vector: len + elems pointer
+	c.EAddr = in.nextAddr
+	in.nextAddr += uint64(n) * 8
+	in.nextAddr = (in.nextAddr + 15) &^ 15
+	c.Elems = make([]Value, n)
+	for i := range c.Elems {
+		c.Elems[i] = zeroValue(t.Elem)
+	}
+	return Value{K: VRef, Ref: c}
+}
+
+// load performs an OpLoad.
+func (in *Interp) load(f *frame, instr *ir.Instr) (Value, error) {
+	base := in.operand(f, instr.Base, instr)
+	switch instr.Sel.Kind {
+	case ir.SelField:
+		switch base.K {
+		case VRef:
+			i := base.Ref.FieldIndex(instr.Sel.Field)
+			if i < 0 {
+				return Value{}, in.trap(f, "no field %s", instr.Sel.Field)
+			}
+			val := base.Ref.Field[i]
+			in.noteLoad(f, instr, base.Ref.Addr+8+uint64(i)*8, val, true)
+			return val, nil
+		case VLoc:
+			// Field of a record behind a location.
+			tgt, addr, err := in.locTarget(f, base.Loc)
+			if err != nil {
+				return Value{}, err
+			}
+			if tgt.K == VRecord {
+				i := fieldIndexOf(tgt.Rec.Type, instr.Sel.Field)
+				val := tgt.Rec.Fields[i]
+				in.noteLoad(f, instr, addr+uint64(i)*8, val, base.Loc.Kind != LocSlot)
+				return val, nil
+			}
+			if tgt.K == VRef {
+				i := tgt.Ref.FieldIndex(instr.Sel.Field)
+				if i < 0 {
+					return Value{}, in.trap(f, "no field %s", instr.Sel.Field)
+				}
+				val := tgt.Ref.Field[i]
+				in.noteLoad(f, instr, tgt.Ref.Addr+8+uint64(i)*8, val, true)
+				return val, nil
+			}
+			return Value{}, in.trap(f, "field %s of non-record location", instr.Sel.Field)
+		case VNil:
+			return Value{}, in.trap(f, "NIL dereference (.%s)", instr.Sel.Field)
+		}
+		return Value{}, in.trap(f, "field access on %s", base)
+	case ir.SelDeref:
+		switch base.K {
+		case VRef:
+			val := base.Ref.Val
+			in.noteLoad(f, instr, base.Ref.Addr, val, true)
+			return val, nil
+		case VLoc:
+			val, addr, err := in.locTarget(f, base.Loc)
+			if err != nil {
+				return Value{}, err
+			}
+			in.noteLoad(f, instr, addr, val, base.Loc.Kind != LocSlot)
+			return val, nil
+		case VNil:
+			return Value{}, in.trap(f, "NIL dereference (^)")
+		}
+		return Value{}, in.trap(f, "dereference of %s", base)
+	case ir.SelIndex:
+		idx := in.operand(f, instr.Sel.Index, instr)
+		if base.K == VNil {
+			return Value{}, in.trap(f, "NIL array subscript")
+		}
+		if base.K != VRef || base.Ref.Elems == nil {
+			return Value{}, in.trap(f, "subscript of non-array %s", base)
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(base.Ref.Elems)) {
+			return Value{}, in.trap(f, "subscript %d out of range [0..%d)", idx.Int, len(base.Ref.Elems))
+		}
+		val := base.Ref.Elems[idx.Int]
+		in.noteLoad(f, instr, base.Ref.EAddr+uint64(idx.Int)*8, val, true)
+		return val, nil
+	case ir.SelDopeLen:
+		if base.K == VNil {
+			return Value{}, in.trap(f, "NUMBER of NIL array")
+		}
+		if base.K != VRef || base.Ref.Elems == nil {
+			return Value{}, in.trap(f, "NUMBER of non-array %s", base)
+		}
+		val := Value{K: VInt, Int: int64(len(base.Ref.Elems))}
+		in.stats.DopeLoads++
+		in.noteLoad(f, instr, base.Ref.Addr, val, true)
+		return val, nil
+	case ir.SelDopeElems:
+		if base.K == VNil {
+			return Value{}, in.trap(f, "NIL array subscript")
+		}
+		if base.K != VRef || base.Ref.Elems == nil {
+			return Value{}, in.trap(f, "subscript of non-array %s", base)
+		}
+		in.stats.DopeLoads++
+		in.noteLoad(f, instr, base.Ref.Addr+8, base, true)
+		return base, nil
+	}
+	return Value{}, in.trap(f, "bad selector")
+}
+
+func (in *Interp) noteLoad(f *frame, instr *ir.Instr, addr uint64, val Value, heap bool) {
+	if heap {
+		in.stats.HeapLoads++
+	} else {
+		in.stats.OtherLoads++
+	}
+	in.memEvent(f, instr, true, addr, val, heap)
+}
+
+func (in *Interp) noteStore(f *frame, instr *ir.Instr, addr uint64, val Value, heap bool) {
+	if heap {
+		in.stats.HeapStores++
+	} else {
+		in.stats.OtherStores++
+	}
+	in.memEvent(f, instr, false, addr, val, heap)
+}
+
+// locTarget reads the value a location denotes.
+func (in *Interp) locTarget(f *frame, l Loc) (Value, uint64, error) {
+	switch l.Kind {
+	case LocSlot:
+		return (*l.Slots)[l.Index], l.Addr, nil
+	case LocField:
+		return l.Cell.Field[l.Index], l.Addr, nil
+	case LocElem:
+		return l.Cell.Elems[l.Index], l.Addr, nil
+	case LocRefVal:
+		return l.Cell.Val, l.Addr, nil
+	case LocRecField:
+		return l.Rec.Fields[l.Index], l.Addr, nil
+	}
+	return Value{}, 0, in.trap(f, "bad location")
+}
+
+func (in *Interp) locWrite(f *frame, l Loc, v Value) error {
+	switch l.Kind {
+	case LocSlot:
+		(*l.Slots)[l.Index] = v
+	case LocField:
+		l.Cell.Field[l.Index] = v
+	case LocElem:
+		l.Cell.Elems[l.Index] = v
+	case LocRefVal:
+		l.Cell.Val = v
+	case LocRecField:
+		l.Rec.Fields[l.Index] = v
+	default:
+		return in.trap(f, "bad location")
+	}
+	return nil
+}
+
+// store performs an OpStore.
+func (in *Interp) store(f *frame, instr *ir.Instr) error {
+	base := in.operand(f, instr.Base, instr)
+	val := in.operand(f, instr.Args[0], instr)
+	switch instr.Sel.Kind {
+	case ir.SelField:
+		switch base.K {
+		case VRef:
+			i := base.Ref.FieldIndex(instr.Sel.Field)
+			if i < 0 {
+				return in.trap(f, "no field %s", instr.Sel.Field)
+			}
+			base.Ref.Field[i] = val
+			in.noteStore(f, instr, base.Ref.Addr+8+uint64(i)*8, val, true)
+			return nil
+		case VLoc:
+			tgt, addr, err := in.locTarget(f, base.Loc)
+			if err != nil {
+				return err
+			}
+			if tgt.K == VRecord {
+				i := fieldIndexOf(tgt.Rec.Type, instr.Sel.Field)
+				tgt.Rec.Fields[i] = val
+				in.noteStore(f, instr, addr+uint64(i)*8, val, base.Loc.Kind != LocSlot)
+				return nil
+			}
+			if tgt.K == VRef {
+				i := tgt.Ref.FieldIndex(instr.Sel.Field)
+				if i < 0 {
+					return in.trap(f, "no field %s", instr.Sel.Field)
+				}
+				tgt.Ref.Field[i] = val
+				in.noteStore(f, instr, tgt.Ref.Addr+8+uint64(i)*8, val, true)
+				return nil
+			}
+			return in.trap(f, "field store to non-record location")
+		case VNil:
+			return in.trap(f, "NIL dereference (store .%s)", instr.Sel.Field)
+		}
+		return in.trap(f, "field store on %s", base)
+	case ir.SelDeref:
+		switch base.K {
+		case VRef:
+			base.Ref.Val = val
+			in.noteStore(f, instr, base.Ref.Addr, val, true)
+			return nil
+		case VLoc:
+			_, addr, err := in.locTarget(f, base.Loc)
+			if err != nil {
+				return err
+			}
+			if err := in.locWrite(f, base.Loc, val); err != nil {
+				return err
+			}
+			in.noteStore(f, instr, addr, val, base.Loc.Kind != LocSlot)
+			return nil
+		case VNil:
+			return in.trap(f, "NIL dereference (store ^)")
+		}
+		return in.trap(f, "store through %s", base)
+	case ir.SelIndex:
+		idx := in.operand(f, instr.Sel.Index, instr)
+		if base.K == VNil {
+			return in.trap(f, "NIL array subscript")
+		}
+		if base.K != VRef || base.Ref.Elems == nil {
+			return in.trap(f, "subscript store to non-array")
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(base.Ref.Elems)) {
+			return in.trap(f, "subscript %d out of range [0..%d)", idx.Int, len(base.Ref.Elems))
+		}
+		base.Ref.Elems[idx.Int] = val
+		in.noteStore(f, instr, base.Ref.EAddr+uint64(idx.Int)*8, val, true)
+		return nil
+	}
+	return in.trap(f, "bad store selector")
+}
+
+// mkLoc builds a location value for OpMkLoc.
+func (in *Interp) mkLoc(f *frame, instr *ir.Instr) (Loc, error) {
+	base := in.operand(f, instr.Base, instr)
+	switch instr.Sel.Kind {
+	case ir.SelField:
+		switch base.K {
+		case VRef:
+			i := base.Ref.FieldIndex(instr.Sel.Field)
+			if i < 0 {
+				return Loc{}, in.trap(f, "no field %s", instr.Sel.Field)
+			}
+			return Loc{Kind: LocField, Cell: base.Ref, Index: i,
+				Addr: base.Ref.Addr + 8 + uint64(i)*8}, nil
+		case VLoc:
+			tgt, addr, err := in.locTarget(f, base.Loc)
+			if err != nil {
+				return Loc{}, err
+			}
+			if tgt.K == VRecord {
+				i := fieldIndexOf(tgt.Rec.Type, instr.Sel.Field)
+				return Loc{Kind: LocRecField, Rec: tgt.Rec, Index: i,
+					Addr: addr + uint64(i)*8}, nil
+			}
+			if tgt.K == VRef {
+				i := tgt.Ref.FieldIndex(instr.Sel.Field)
+				return Loc{Kind: LocField, Cell: tgt.Ref, Index: i,
+					Addr: tgt.Ref.Addr + 8 + uint64(i)*8}, nil
+			}
+			return Loc{}, in.trap(f, "cannot take address of field of %s", tgt)
+		case VNil:
+			return Loc{}, in.trap(f, "NIL dereference (address of .%s)", instr.Sel.Field)
+		}
+		// Field of a record variable reached via VarOp base.
+		if instr.Base.Kind == ir.VarOp {
+			rv := in.readVar(f, instr.Base.Var, instr)
+			if rv.K == VRecord {
+				i := fieldIndexOf(rv.Rec.Type, instr.Sel.Field)
+				return Loc{Kind: LocRecField, Rec: rv.Rec, Index: i,
+					Addr: in.slotAddr(f, instr.Base.Var) + uint64(i)*8}, nil
+			}
+		}
+		return Loc{}, in.trap(f, "cannot take address of field of %s", base)
+	case ir.SelDeref:
+		switch base.K {
+		case VRef:
+			return Loc{Kind: LocRefVal, Cell: base.Ref, Addr: base.Ref.Addr}, nil
+		case VLoc:
+			return base.Loc, nil
+		case VNil:
+			return Loc{}, in.trap(f, "NIL dereference (address of ^)")
+		}
+		return Loc{}, in.trap(f, "cannot take address through %s", base)
+	case ir.SelIndex:
+		idx := in.operand(f, instr.Sel.Index, instr)
+		if base.K != VRef || base.Ref.Elems == nil {
+			return Loc{}, in.trap(f, "cannot take address of element of %s", base)
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(base.Ref.Elems)) {
+			return Loc{}, in.trap(f, "subscript %d out of range", idx.Int)
+		}
+		return Loc{Kind: LocElem, Cell: base.Ref, Index: int(idx.Int),
+			Addr: base.Ref.EAddr + uint64(idx.Int)*8}, nil
+	}
+	return Loc{}, in.trap(f, "bad address selector")
+}
+
+func (in *Interp) binop(f *frame, instr *ir.Instr) (Value, error) {
+	l := in.operand(f, instr.Args[0], instr)
+	r := in.operand(f, instr.Args[1], instr)
+	b := func(ok bool) Value {
+		if ok {
+			return Value{K: VBool, Int: 1}
+		}
+		return Value{K: VBool}
+	}
+	switch instr.BinOp {
+	case ir.Add:
+		return Value{K: VInt, Int: l.Int + r.Int}, nil
+	case ir.Sub:
+		return Value{K: VInt, Int: l.Int - r.Int}, nil
+	case ir.Mul:
+		return Value{K: VInt, Int: l.Int * r.Int}, nil
+	case ir.Div:
+		if r.Int == 0 {
+			return Value{}, in.trap(f, "division by zero")
+		}
+		return Value{K: VInt, Int: floorDiv(l.Int, r.Int)}, nil
+	case ir.Mod:
+		if r.Int == 0 {
+			return Value{}, in.trap(f, "modulo by zero")
+		}
+		return Value{K: VInt, Int: floorMod(l.Int, r.Int)}, nil
+	case ir.Concat:
+		return Value{K: VText, Text: l.Text + r.Text}, nil
+	case ir.Eq:
+		return b(valueEq(l, r)), nil
+	case ir.Ne:
+		return b(!valueEq(l, r)), nil
+	case ir.Lt:
+		if l.K == VText {
+			return b(l.Text < r.Text), nil
+		}
+		return b(l.Int < r.Int), nil
+	case ir.Gt:
+		if l.K == VText {
+			return b(l.Text > r.Text), nil
+		}
+		return b(l.Int > r.Int), nil
+	case ir.Le:
+		if l.K == VText {
+			return b(l.Text <= r.Text), nil
+		}
+		return b(l.Int <= r.Int), nil
+	case ir.Ge:
+		if l.K == VText {
+			return b(l.Text >= r.Text), nil
+		}
+		return b(l.Int >= r.Int), nil
+	}
+	return Value{}, in.trap(f, "bad binop")
+}
+
+// floorDiv implements Modula-3 DIV (floor division).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// floorMod implements Modula-3 MOD (result has the sign of the divisor).
+func floorMod(a, b int64) int64 {
+	return a - floorDiv(a, b)*b
+}
+
+func valueEq(l, r Value) bool {
+	switch {
+	case l.K == VNil && r.K == VNil:
+		return true
+	case l.K == VNil:
+		return r.K == VRef && r.Ref == nil
+	case r.K == VNil:
+		return l.K == VRef && l.Ref == nil
+	case l.K == VRef && r.K == VRef:
+		return l.Ref == r.Ref
+	case l.K == VText && r.K == VText:
+		return l.Text == r.Text
+	default:
+		return l.Int == r.Int && l.K == r.K
+	}
+}
+
+func (in *Interp) builtin(f *frame, instr *ir.Instr) (Value, bool, error) {
+	arg := func(i int) Value { return in.operand(f, instr.Args[i], instr) }
+	switch instr.Builtin {
+	case ir.BPutInt:
+		fmt.Fprintf(&in.out, "%d", arg(0).Int)
+	case ir.BPutChar:
+		in.out.WriteByte(byte(arg(0).Int))
+	case ir.BPutText:
+		in.out.WriteString(arg(0).Text)
+	case ir.BPutLn:
+		in.out.WriteByte('\n')
+	case ir.BAssert:
+		if arg(0).Int == 0 {
+			return Value{}, false, in.trap(f, "assertion failed at %s", instr.Pos)
+		}
+	case ir.BHalt:
+		in.halted = true
+		return Value{}, true, nil
+	case ir.BAbs:
+		v := arg(0).Int
+		if v < 0 {
+			v = -v
+		}
+		return Value{K: VInt, Int: v}, false, nil
+	case ir.BMin:
+		a, bv := arg(0).Int, arg(1).Int
+		if bv < a {
+			a = bv
+		}
+		return Value{K: VInt, Int: a}, false, nil
+	case ir.BMax:
+		a, bv := arg(0).Int, arg(1).Int
+		if bv > a {
+			a = bv
+		}
+		return Value{K: VInt, Int: a}, false, nil
+	case ir.BOrd:
+		return Value{K: VInt, Int: arg(0).Int}, false, nil
+	case ir.BChr:
+		return Value{K: VChar, Int: arg(0).Int & 0xff}, false, nil
+	case ir.BTextLen:
+		return Value{K: VInt, Int: int64(len(arg(0).Text))}, false, nil
+	case ir.BTextChar:
+		s := arg(0).Text
+		i := arg(1).Int
+		if i < 0 || i >= int64(len(s)) {
+			return Value{}, false, in.trap(f, "TextChar index %d out of range", i)
+		}
+		return Value{K: VChar, Int: int64(s[i])}, false, nil
+	case ir.BIntToText:
+		return Value{K: VText, Text: strconv.FormatInt(arg(0).Int, 10)}, false, nil
+	}
+	return Value{}, false, nil
+}

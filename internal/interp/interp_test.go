@@ -1,0 +1,429 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+)
+
+func run(t *testing.T, src string) (string, interp.Stats) {
+	t.Helper()
+	out, stats, err := driver.Run("test.m3", src)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out, stats
+}
+
+func runErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, _, err := driver.Run("test.m3", src)
+	if err == nil {
+		t.Fatalf("expected runtime error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err, wantSubstr)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+BEGIN
+  PutInt(2 + 3 * 4); PutLn();
+  PutInt(10 DIV 3); PutLn();
+  PutInt((-7) DIV 2); PutLn();
+  PutInt((-7) MOD 2); PutLn();
+  PutInt(-7 DIV 2); PutLn();
+  PutInt(ABS(-9) + MIN(1, 2) + MAX(1, 2)); PutLn();
+END M.
+`)
+	// Unary minus binds the whole term in Modula-3, so -7 DIV 2 is -(7 DIV 2).
+	want := "14\n3\n-4\n1\n-3\n12\n"
+	if out != want {
+		t.Errorf("got %q want %q", out, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+VAR i, acc: INTEGER;
+BEGIN
+  acc := 0;
+  FOR i := 1 TO 5 DO acc := acc + i; END;
+  PutInt(acc); PutLn();
+  acc := 0;
+  FOR i := 10 TO 0 BY -2 DO acc := acc + 1; END;
+  PutInt(acc); PutLn();
+  i := 0;
+  WHILE i < 3 DO INC(i); END;
+  PutInt(i); PutLn();
+  i := 10;
+  REPEAT DEC(i, 3); UNTIL i < 0;
+  PutInt(i); PutLn();
+  i := 0;
+  LOOP INC(i); IF i >= 7 THEN EXIT; END; END;
+  PutInt(i); PutLn();
+  IF (i = 7) AND (acc = 6) THEN PutText("ok"); ELSE PutText("no"); END;
+  PutLn();
+END M.
+`)
+	want := "15\n6\n3\n-2\n7\nok\n"
+	if out != want {
+		t.Errorf("got %q want %q", out, want)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+VAR calls: INTEGER;
+PROCEDURE Tick(r: BOOLEAN): BOOLEAN =
+BEGIN
+  INC(calls);
+  RETURN r;
+END Tick;
+BEGIN
+  calls := 0;
+  IF Tick(FALSE) AND Tick(TRUE) THEN END;
+  PutInt(calls); PutLn();
+  calls := 0;
+  IF Tick(TRUE) OR Tick(TRUE) THEN END;
+  PutInt(calls); PutLn();
+END M.
+`)
+	if out != "1\n1\n" {
+		t.Errorf("short circuit broken: %q", out)
+	}
+}
+
+func TestObjectsAndDispatch(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+TYPE
+  Shape = OBJECT name: TEXT; METHODS area(): INTEGER := BaseArea; END;
+  Square = Shape OBJECT side: INTEGER; OVERRIDES area := SquareArea; END;
+  Rect = Square OBJECT h: INTEGER; OVERRIDES area := RectArea; END;
+PROCEDURE BaseArea(self: Shape): INTEGER = BEGIN RETURN 0; END BaseArea;
+PROCEDURE SquareArea(self: Square): INTEGER = BEGIN RETURN self.side * self.side; END SquareArea;
+PROCEDURE RectArea(self: Rect): INTEGER = BEGIN RETURN self.side * self.h; END RectArea;
+VAR s: Shape; q: Square; r: Rect;
+BEGIN
+  s := NEW(Shape);
+  PutInt(s.area()); PutLn();
+  q := NEW(Square);
+  q.side := 4;
+  PutInt(q.area()); PutLn();
+  r := NEW(Rect);
+  r.side := 3; r.h := 5;
+  q := r;
+  PutInt(q.area()); PutLn();
+END M.
+`)
+	if out != "0\n16\n15\n" {
+		t.Errorf("dispatch: %q", out)
+	}
+}
+
+func TestLinkedList(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; next: Node; END;
+VAR head, n: Node; i, sum: INTEGER;
+BEGIN
+  head := NIL;
+  FOR i := 1 TO 5 DO
+    n := NEW(Node);
+    n.val := i;
+    n.next := head;
+    head := n;
+  END;
+  sum := 0;
+  n := head;
+  WHILE n # NIL DO
+    sum := sum + n.val;
+    n := n.next;
+  END;
+  PutInt(sum); PutLn();
+END M.
+`)
+	if out != "15\n" {
+		t.Errorf("list sum: %q", out)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	out, stats := run(t, `
+MODULE M;
+TYPE A = ARRAY OF INTEGER;
+VAR a: A; i, s: INTEGER;
+BEGIN
+  a := NEW(A, 10);
+  FOR i := 0 TO NUMBER(a) - 1 DO a[i] := i * i; END;
+  s := 0;
+  FOR i := 0 TO NUMBER(a) - 1 DO s := s + a[i]; END;
+  PutInt(s); PutLn();
+END M.
+`)
+	if out != "285\n" {
+		t.Errorf("array sum: %q", out)
+	}
+	if stats.DopeLoads == 0 {
+		t.Error("expected dope-vector loads to be counted")
+	}
+	if stats.HeapLoads <= stats.DopeLoads {
+		t.Error("expected element loads in addition to dope loads")
+	}
+}
+
+func TestRefScalarsAndRecords(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+TYPE
+  PI = REF INTEGER;
+  R = RECORD x, y: INTEGER; END;
+  PR = REF R;
+VAR p: PI; q: PR; r1, r2: R;
+BEGIN
+  p := NEW(PI);
+  p^ := 42;
+  PutInt(p^); PutLn();
+  q := NEW(PR);
+  q.x := 1; q^.y := 2;
+  PutInt(q.x + q.y); PutLn();
+  r1.x := 10; r1.y := 20;
+  r2 := r1;
+  r1.x := 99;
+  PutInt(r2.x + r2.y); PutLn();
+END M.
+`)
+	if out != "42\n3\n30\n" {
+		t.Errorf("refs/records: %q", out)
+	}
+}
+
+func TestByRefParams(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+TYPE Node = OBJECT v: INTEGER; END;
+PROCEDURE Bump(VAR x: INTEGER) = BEGIN x := x + 1; END Bump;
+PROCEDURE Swap(VAR a, b: INTEGER) =
+VAR t: INTEGER;
+BEGIN
+  t := a; a := b; b := t;
+END Swap;
+VAR i, j: INTEGER; n: Node;
+BEGIN
+  i := 5; j := 9;
+  Bump(i);
+  PutInt(i); PutLn();
+  Swap(i, j);
+  PutInt(i); PutInt(j); PutLn();
+  n := NEW(Node);
+  n.v := 7;
+  Bump(n.v);
+  PutInt(n.v); PutLn();
+END M.
+`)
+	if out != "6\n96\n8\n" {
+		t.Errorf("byref: %q", out)
+	}
+}
+
+func TestWithAlias(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+TYPE Node = OBJECT v: INTEGER; END;
+VAR n: Node; x: INTEGER;
+BEGIN
+  n := NEW(Node);
+  WITH w = n.v DO
+    w := 3;
+    w := w + 4;
+  END;
+  PutInt(n.v); PutLn();
+  x := 10;
+  WITH w = x DO w := w * 2; END;
+  PutInt(x); PutLn();
+  WITH v = x + 5 DO PutInt(v); END;
+  PutLn();
+END M.
+`)
+	if out != "7\n20\n25\n" {
+		t.Errorf("with: %q", out)
+	}
+}
+
+func TestTextOps(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+VAR s: TEXT;
+BEGIN
+  s := "ab" & "cd";
+  PutText(s); PutLn();
+  PutInt(TextLen(s)); PutLn();
+  PutChar(TextChar(s, 2)); PutLn();
+  PutText(IntToText(123) & "!"); PutLn();
+  IF s = "abcd" THEN PutText("eq"); END;
+  PutLn();
+END M.
+`)
+	if out != "abcd\n4\nc\n123!\neq\n" {
+		t.Errorf("text: %q", out)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+PROCEDURE Fib(n: INTEGER): INTEGER =
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN Fib(n - 1) + Fib(n - 2);
+END Fib;
+BEGIN
+  PutInt(Fib(15)); PutLn();
+END M.
+`)
+	if out != "610\n" {
+		t.Errorf("fib: %q", out)
+	}
+}
+
+func TestRuntimeTraps(t *testing.T) {
+	runErr(t, `
+MODULE M;
+TYPE Node = OBJECT v: INTEGER; END;
+VAR n: Node;
+BEGIN
+  PutInt(n.v);
+END M.`, "NIL dereference")
+	runErr(t, `
+MODULE M;
+TYPE A = ARRAY OF INTEGER;
+VAR a: A;
+BEGIN
+  a := NEW(A, 3);
+  a[5] := 1;
+END M.`, "out of range")
+	runErr(t, `
+MODULE M;
+VAR x: INTEGER;
+BEGIN
+  x := 0;
+  PutInt(10 DIV x);
+END M.`, "division by zero")
+	runErr(t, `
+MODULE M;
+BEGIN
+  Assert(1 = 2);
+END M.`, "assertion failed")
+	runErr(t, `
+MODULE M;
+TYPE A = ARRAY OF INTEGER;
+VAR a: A;
+BEGIN
+  a := NEW(A, -1);
+END M.`, "negative length")
+}
+
+func TestHalt(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+PROCEDURE P() =
+BEGIN
+  PutText("before");
+  Halt();
+  PutText("after");
+END P;
+BEGIN
+  P();
+  PutText("unreached");
+END M.
+`)
+	if out != "before" {
+		t.Errorf("halt: %q", out)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+TYPE Node = OBJECT v: INTEGER; END;
+VAR g: INTEGER := 41;
+VAR n: Node := NEW(Node);
+BEGIN
+  n.v := g + 1;
+  PutInt(n.v); PutLn();
+END M.
+`)
+	if out != "42\n" {
+		t.Errorf("globals: %q", out)
+	}
+}
+
+func TestAggregateThroughRef(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+TYPE R = RECORD x, y: INTEGER; END;
+     PR = REF R;
+VAR p, q: PR; r: R;
+BEGIN
+  p := NEW(PR); q := NEW(PR);
+  p.x := 1; p.y := 2;
+  q^ := p^;
+  r := q^;
+  p.x := 100;
+  PutInt(r.x + q.x); PutLn();
+END M.
+`)
+	if out != "2\n" {
+		t.Errorf("aggregate: %q", out)
+	}
+}
+
+func TestStatsCounted(t *testing.T) {
+	_, stats := run(t, `
+MODULE M;
+TYPE Node = OBJECT v: INTEGER; next: Node; END;
+VAR n: Node; i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  FOR i := 1 TO 10 DO
+    n.v := n.v + 1;
+  END;
+END M.
+`)
+	if stats.Instructions == 0 || stats.HeapLoads < 10 || stats.HeapStores < 10 {
+		t.Errorf("stats: %+v", stats)
+	}
+	if stats.Allocs != 1 {
+		t.Errorf("allocs: %d", stats.Allocs)
+	}
+}
+
+func TestMethodWithVarParam(t *testing.T) {
+	out, _ := run(t, `
+MODULE M;
+TYPE
+  Counter = OBJECT n: INTEGER; METHODS take(VAR dst: INTEGER) := Take; END;
+PROCEDURE Take(self: Counter; VAR dst: INTEGER) =
+BEGIN
+  dst := self.n;
+  self.n := 0;
+END Take;
+VAR c: Counter; got: INTEGER;
+BEGIN
+  c := NEW(Counter);
+  c.n := 55;
+  c.take(got);
+  PutInt(got); PutInt(c.n); PutLn();
+END M.
+`)
+	if out != "550\n" {
+		t.Errorf("method var param: %q", out)
+	}
+}

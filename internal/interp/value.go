@@ -1,0 +1,132 @@
+// Package interp executes IR programs on a synthetic heap with
+// deterministic addresses. It counts instructions and loads, and streams
+// memory events to listeners (the cache simulator and the limit study).
+package interp
+
+import (
+	"fmt"
+
+	"tbaa/internal/types"
+)
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	VNil ValueKind = iota
+	VInt
+	VBool
+	VChar
+	VText
+	VRef    // reference to a heap cell (object, array, or ref cell)
+	VLoc    // location value (by-ref arguments, WITH aliases)
+	VRecord // record composite held in a variable slot
+)
+
+// Value is a runtime value.
+type Value struct {
+	K    ValueKind
+	Int  int64 // ints, bools (0/1), chars
+	Text string
+	Ref  *Cell
+	Loc  Loc
+	Rec  *Record
+}
+
+// Record is a record composite value stored in a variable slot.
+type Record struct {
+	Type   *types.Record
+	Fields []Value
+	Addr   uint64 // address of the underlying storage (stack or global)
+}
+
+// Cell is a heap allocation: an object, an open array, or a REF cell.
+type Cell struct {
+	Type  types.Type // allocation type: *types.Object, *types.Array, *types.Ref
+	Obj   *types.Object
+	Field []Value // object fields (AllFields order) or REF RECORD fields
+	Elems []Value // open array elements
+	Val   Value   // REF-to-scalar target
+	Addr  uint64  // base address (dope vector base for arrays)
+	EAddr uint64  // elements block base address for arrays
+	fidx  map[string]int
+}
+
+// FieldIndex returns the slot of a named field in the cell.
+func (c *Cell) FieldIndex(name string) int {
+	if i, ok := c.fidx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// LocKind discriminates Loc.
+type LocKind int
+
+// Location kinds.
+const (
+	LocNone     LocKind = iota
+	LocSlot             // variable slot in a frame or the global area
+	LocField            // field of a heap cell
+	LocElem             // element of a heap array
+	LocRefVal           // target of a REF-to-scalar cell
+	LocRecField         // field of a record held in a slot
+)
+
+// Loc is a first-class location (what a by-ref argument denotes).
+type Loc struct {
+	Kind  LocKind
+	Slots *[]Value // for LocSlot: the slot array (frame or globals)
+	Index int      // slot index / field index / element index
+	Cell  *Cell
+	Rec   *Record
+	Addr  uint64 // address of the denoted storage
+}
+
+func (v Value) String() string {
+	switch v.K {
+	case VNil:
+		return "NIL"
+	case VInt:
+		return fmt.Sprintf("%d", v.Int)
+	case VBool:
+		if v.Int != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case VChar:
+		return fmt.Sprintf("'%c'", byte(v.Int))
+	case VText:
+		return fmt.Sprintf("%q", v.Text)
+	case VRef:
+		return fmt.Sprintf("ref@%#x", v.Ref.Addr)
+	case VLoc:
+		return fmt.Sprintf("loc@%#x", v.Loc.Addr)
+	case VRecord:
+		return "record"
+	}
+	return "?"
+}
+
+// hashValue folds a value to a comparable word for the limit study's
+// "same value" test.
+func hashValue(v Value) uint64 {
+	switch v.K {
+	case VInt, VBool, VChar:
+		return uint64(v.Int) ^ uint64(v.K)<<56
+	case VText:
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(v.Text); i++ {
+			h = (h ^ uint64(v.Text[i])) * 1099511628211
+		}
+		return h
+	case VRef:
+		return v.Ref.Addr
+	case VLoc:
+		return v.Loc.Addr ^ 0x10c
+	case VNil:
+		return 0
+	}
+	return uint64(v.K)
+}

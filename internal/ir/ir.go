@@ -1,0 +1,521 @@
+// Package ir defines the control-flow-graph intermediate representation
+// that the alias analyses, the optimizer, and the interpreter share.
+//
+// Every heap memory access is an explicit Load or Store instruction that
+// carries a symbolic access path (AP) — the source-level expression the
+// paper's analyses reason about (Qualify p.f, Dereference p^, Subscript
+// p[i]). Open-array subscripts additionally expand to explicit dope-vector
+// loads, which are tagged so the limit study can classify them as the
+// paper's "Encapsulation" category.
+package ir
+
+import (
+	"tbaa/internal/token"
+	"tbaa/internal/types"
+)
+
+// Reg is a virtual register index within a procedure.
+type Reg int
+
+// NoReg marks an absent destination.
+const NoReg Reg = -1
+
+// VarKind classifies IR variables.
+type VarKind int
+
+// Variable kinds.
+const (
+	GlobalVar VarKind = iota
+	LocalVar
+	ParamVar
+)
+
+// Var is a global or procedure-local variable with an addressable slot.
+type Var struct {
+	Name  string
+	Type  types.Type
+	Kind  VarKind
+	ByRef bool // pass-by-reference formal: the slot holds a location
+	Slot  int  // frame or global slot index
+}
+
+func (v *Var) String() string { return v.Name }
+
+// ---------------------------------------------------------------------------
+// Operands
+
+// OperandKind discriminates Operand.
+type OperandKind int
+
+// Operand kinds.
+const (
+	NoOperand OperandKind = iota
+	ConstOp
+	RegOp
+	VarOp
+)
+
+// ConstKind discriminates constant operands.
+type ConstKind int
+
+// Constant kinds.
+const (
+	IntConst ConstKind = iota
+	BoolConst
+	CharConst
+	TextConst
+	NilConst
+)
+
+// Const is a literal operand value.
+type Const struct {
+	Kind ConstKind
+	Int  int64 // also holds bool (0/1) and char
+	Text string
+}
+
+// Operand is an instruction input: a constant, a register, or a variable
+// read (variables are directly readable; writes go through SetVar).
+type Operand struct {
+	Kind  OperandKind
+	Reg   Reg
+	Var   *Var
+	Const Const
+}
+
+// R returns a register operand.
+func R(r Reg) Operand { return Operand{Kind: RegOp, Reg: r} }
+
+// V returns a variable operand.
+func V(v *Var) Operand { return Operand{Kind: VarOp, Var: v} }
+
+// CInt returns an integer constant operand.
+func CInt(v int64) Operand {
+	return Operand{Kind: ConstOp, Const: Const{Kind: IntConst, Int: v}}
+}
+
+// CBool returns a boolean constant operand.
+func CBool(v bool) Operand {
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	return Operand{Kind: ConstOp, Const: Const{Kind: BoolConst, Int: n}}
+}
+
+// CChar returns a character constant operand.
+func CChar(c byte) Operand {
+	return Operand{Kind: ConstOp, Const: Const{Kind: CharConst, Int: int64(c)}}
+}
+
+// CText returns a text constant operand.
+func CText(s string) Operand {
+	return Operand{Kind: ConstOp, Const: Const{Kind: TextConst, Text: s}}
+}
+
+// CNil returns the NIL constant operand.
+func CNil() Operand {
+	return Operand{Kind: ConstOp, Const: Const{Kind: NilConst}}
+}
+
+// Equal reports operand equality (used by RLE's syntactic AP matching).
+func (o Operand) Equal(p Operand) bool {
+	if o.Kind != p.Kind {
+		return false
+	}
+	switch o.Kind {
+	case ConstOp:
+		return o.Const == p.Const
+	case RegOp:
+		return o.Reg == p.Reg
+	case VarOp:
+		return o.Var == p.Var
+	default:
+		return true
+	}
+}
+
+// UsesVar reports whether the operand reads v.
+func (o Operand) UsesVar(v *Var) bool { return o.Kind == VarOp && o.Var == v }
+
+// ---------------------------------------------------------------------------
+// Selectors and access paths
+
+// SelKind is the kind of the final selector of a memory access.
+type SelKind int
+
+// Selector kinds. DopeLen and DopeElems are the implicit dope-vector
+// accesses of open-array subscripting; they exist in the machine but not
+// in the source-level (AST) representation, exactly as in the paper.
+const (
+	SelField     SelKind = iota // Base.f      (Qualify)
+	SelDeref                    // Base^       (Dereference; also by-ref formals, WITH aliases)
+	SelIndex                    // Base[i]     (Subscript; Base is the elements block)
+	SelDopeLen                  // implicit: number of elements
+	SelDopeElems                // implicit: elements block pointer
+)
+
+// Sel is the final selector of a Load/Store: what the instruction actually
+// reads or writes relative to the Base pointer operand.
+type Sel struct {
+	Kind  SelKind
+	Field string  // for SelField
+	Index Operand // for SelIndex
+}
+
+// APSel is one step of a symbolic access path.
+type APSel struct {
+	Kind  SelKind
+	Field string
+	Index Operand    // for SelIndex: the index operand (Var/Const match syntactically)
+	Type  types.Type // static type of the path after this selector
+}
+
+// AP is a symbolic source-level access path rooted at a variable,
+// e.g. a.b^[i].c. The alias analyses and RLE reason over these.
+type AP struct {
+	Root *Var
+	Sels []APSel
+}
+
+// Type returns the static type of the full path.
+func (p *AP) Type() types.Type {
+	if len(p.Sels) == 0 {
+		return p.Root.Type
+	}
+	return p.Sels[len(p.Sels)-1].Type
+}
+
+// Last returns the final selector, or nil for a bare variable.
+func (p *AP) Last() *APSel {
+	if len(p.Sels) == 0 {
+		return nil
+	}
+	return &p.Sels[len(p.Sels)-1]
+}
+
+// Prefix returns the path with the final selector removed.
+func (p *AP) Prefix() *AP {
+	return &AP{Root: p.Root, Sels: p.Sels[:len(p.Sels)-1]}
+}
+
+// IsDope reports whether the path ends in an implicit dope-vector access.
+func (p *AP) IsDope() bool {
+	l := p.Last()
+	return l != nil && (l.Kind == SelDopeLen || l.Kind == SelDopeElems)
+}
+
+// Extend returns a new path with one more selector.
+func (p *AP) Extend(s APSel) *AP {
+	sels := make([]APSel, len(p.Sels)+1)
+	copy(sels, p.Sels)
+	sels[len(p.Sels)] = s
+	return &AP{Root: p.Root, Sels: sels}
+}
+
+// Equal reports syntactic equality of two paths: same root, same
+// selectors, and syntactically identical subscript operands. This is the
+// "same memory expression" test RLE uses for redundancy.
+func (p *AP) Equal(q *AP) bool {
+	if p.Root != q.Root || len(p.Sels) != len(q.Sels) {
+		return false
+	}
+	for i := range p.Sels {
+		a, b := &p.Sels[i], &q.Sels[i]
+		if a.Kind != b.Kind || a.Field != b.Field {
+			return false
+		}
+		if a.Kind == SelIndex && !a.Index.Equal(b.Index) {
+			return false
+		}
+	}
+	return true
+}
+
+// UsesVar reports whether the path mentions v (as root or subscript).
+func (p *AP) UsesVar(v *Var) bool {
+	if p.Root == v {
+		return true
+	}
+	for i := range p.Sels {
+		if p.Sels[i].Index.UsesVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesReg reports whether any subscript of the path reads register r.
+func (p *AP) UsesReg(r Reg) bool {
+	for i := range p.Sels {
+		s := &p.Sels[i]
+		if s.Kind == SelIndex && s.Index.Kind == RegOp && s.Index.Reg == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *AP) String() string {
+	s := p.Root.Name
+	for i := range p.Sels {
+		sel := &p.Sels[i]
+		switch sel.Kind {
+		case SelField:
+			s += "." + sel.Field
+		case SelDeref:
+			s += "^"
+		case SelIndex:
+			s += "[" + sel.Index.String() + "]"
+		case SelDopeLen:
+			s += "{len}"
+		case SelDopeElems:
+			s += "{elems}"
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Instructions
+
+// Op is an instruction opcode.
+type Op int
+
+// Instruction opcodes.
+const (
+	OpConst         Op = iota // Dst := Args[0] (a constant operand)
+	OpCopy                    // Dst := Args[0]
+	OpBin                     // Dst := Args[0] <BinOp> Args[1]
+	OpUn                      // Dst := <UnOp> Args[0]
+	OpSetVar                  // Var := Args[0]
+	OpLoad                    // Dst := mem[Base.Sel]    (heap or via location)
+	OpStore                   // mem[Base.Sel] := Args[0]
+	OpLoadVarField            // Dst := Var.f            (record-typed variable; stack/global access)
+	OpStoreVarField           // Var.f := Args[0]
+	OpMkLoc                   // Dst := &(Base.Sel)      (location of a heap path, for by-ref)
+	OpMkLocVar                // Dst := &Var             (location of a variable slot)
+	OpNew                     // Dst := NEW(Type)
+	OpNewArray                // Dst := NEW(Type, Args[0])
+	OpCall                    // Dst? := Callee(Args...)
+	OpMethodCall              // Dst? := Args[0].Method(Args[1:]...)
+	OpBuiltin                 // Dst? := Builtin(Args...)
+	OpJump                    // goto Target
+	OpBranch                  // if Args[0] then Then else Else
+	OpReturn                  // return Args[0]?
+)
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators. And/Or do not appear in lowered code (short-circuit
+// lowering turns them into control flow) but exist for IR construction in
+// tests.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+	Eq
+	Ne
+	Lt
+	Gt
+	Le
+	Ge
+	Concat
+)
+
+// UnOp is a unary operator.
+type UnOp int
+
+// Unary operators.
+const (
+	Neg UnOp = iota
+	Not
+)
+
+// Builtin identifies a builtin operation surviving to the IR.
+type Builtin int
+
+// IR-level builtins. NUMBER and INC/DEC are lowered away.
+const (
+	BPutInt Builtin = iota
+	BPutChar
+	BPutText
+	BPutLn
+	BAssert
+	BTextLen
+	BTextChar
+	BIntToText
+	BHalt
+	BAbs
+	BMin
+	BMax
+	BOrd
+	BChr
+)
+
+// Instr is a single IR instruction. Fields are used according to Op.
+type Instr struct {
+	Op     Op
+	Pos    token.Pos
+	Dst    Reg
+	Args   []Operand
+	BinOp  BinOp
+	UnOp   UnOp
+	Var    *Var   // SetVar, LoadVarField, StoreVarField, MkLocVar
+	Field  string // LoadVarField, StoreVarField
+	Base   Operand
+	Sel    Sel
+	AP     *AP        // Load, Store, MkLoc, LoadVarField, StoreVarField
+	Type   types.Type // result type; New/NewArray allocation type
+	Callee string
+	Method string
+	// RecvType is the static receiver type of a MethodCall (bounds the
+	// possible dynamic dispatch targets for mod-ref and devirtualization).
+	RecvType *types.Object
+	ByRef    []bool // per-arg: true if the operand is a location
+	Builtin  Builtin
+	// Speculative marks loads hoisted out of loops: they must not trap
+	// when the loop would not have executed (NIL or out-of-range bases
+	// yield a zero value instead).
+	Speculative bool
+	Target      *Block // Jump
+	Then        *Block // Branch
+	Else        *Block // Branch
+}
+
+// DefinedReg returns the register the instruction defines, or NoReg.
+// Instructions that never produce a value report NoReg even if their Dst
+// field holds the zero value (register 0).
+func (i *Instr) DefinedReg() Reg {
+	switch i.Op {
+	case OpSetVar, OpStore, OpStoreVarField, OpJump, OpBranch, OpReturn:
+		return NoReg
+	}
+	return i.Dst
+}
+
+// IsMemLoad reports whether the instruction reads memory through a pointer
+// (the paper's "heap load" candidates, including dope-vector loads).
+func (i *Instr) IsMemLoad() bool { return i.Op == OpLoad }
+
+// IsMemStore reports whether the instruction writes memory through a pointer.
+func (i *Instr) IsMemStore() bool { return i.Op == OpStore }
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (i *Instr) IsTerminator() bool {
+	switch i.Op {
+	case OpJump, OpBranch, OpReturn:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Blocks and procedures
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []Instr
+	Preds  []*Block
+	Succs  []*Block
+}
+
+// Proc is a lowered procedure.
+type Proc struct {
+	Name    string
+	Params  []*Var
+	Result  types.Type
+	Locals  []*Var // includes compiler temps materialized as vars (WITH, FOR)
+	Blocks  []*Block
+	Entry   *Block
+	NumRegs int
+	// MethodOf is the object type whose method table names this procedure,
+	// or nil.
+	MethodOf *types.Object
+}
+
+// AllVars returns params then locals.
+func (p *Proc) AllVars() []*Var {
+	vs := make([]*Var, 0, len(p.Params)+len(p.Locals))
+	vs = append(vs, p.Params...)
+	return append(vs, p.Locals...)
+}
+
+// NewReg allocates a fresh virtual register.
+func (p *Proc) NewReg() Reg {
+	r := Reg(p.NumRegs)
+	p.NumRegs++
+	return r
+}
+
+// Program is a whole lowered module.
+type Program struct {
+	Name     string
+	Universe *types.Universe
+	Globals  []*Var
+	Procs    []*Proc
+	// Main is the module body (global initializers plus BEGIN block),
+	// lowered as a parameterless procedure named "__main__". It is also
+	// present in Procs.
+	Main *Proc
+	// ProcByName indexes Procs.
+	ProcByName map[string]*Proc
+	// AddressTakenFields records (object/record type ID, field name) pairs
+	// whose address the program takes (via WITH or by-ref actuals).
+	AddressTakenFields map[FieldKey]bool
+	// AddressTakenElems records array type IDs some element of which has
+	// its address taken.
+	AddressTakenElems map[int]bool
+	// AddressTakenVars records variables whose slot address escapes (via
+	// WITH aliasing or by-ref actuals rooted at the variable itself).
+	AddressTakenVars map[*Var]bool
+	// Merges records every implicit and explicit pointer assignment
+	// (dst := src) by static type — the input to SMTypeRefs' selective
+	// type merging (Figure 2 of the paper).
+	Merges []Merge
+	// ByRefFormalTypes records the type IDs of pass-by-reference formals;
+	// open-world AddressTaken consults it (Section 4 of the paper).
+	ByRefFormalTypes map[int]bool
+}
+
+// Merge is one pointer assignment's (destination, source) static types.
+type Merge struct {
+	Dst, Src types.Type
+}
+
+// FieldKey identifies a field of a type for AddressTaken queries.
+type FieldKey struct {
+	TypeID int
+	Field  string
+}
+
+// ComputeCFGEdges rebuilds Preds/Succs from terminators. Call after any
+// structural edit.
+func (p *Proc) ComputeCFGEdges() {
+	for _, b := range p.Blocks {
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range p.Blocks {
+		if len(b.Instrs) == 0 {
+			continue
+		}
+		t := &b.Instrs[len(b.Instrs)-1]
+		switch t.Op {
+		case OpJump:
+			b.Succs = append(b.Succs, t.Target)
+		case OpBranch:
+			b.Succs = append(b.Succs, t.Then, t.Else)
+		}
+	}
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}

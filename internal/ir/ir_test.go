@@ -1,0 +1,206 @@
+package ir_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
+
+func mkVars() (*types.Universe, []*ir.Var) {
+	u := types.NewUniverse()
+	obj := u.NewObject("T", nil, false, "")
+	obj.Fields = append(obj.Fields, &types.Field{Name: "f", Type: u.IntT})
+	arr := u.NewArray("A", u.IntT)
+	vars := []*ir.Var{
+		{Name: "a", Type: obj},
+		{Name: "b", Type: obj},
+		{Name: "arr", Type: arr},
+		{Name: "i", Type: u.IntT},
+		{Name: "j", Type: u.IntT},
+	}
+	return u, vars
+}
+
+// randAP builds a random access path over the fixed universe.
+func randAP(r *rand.Rand, vars []*ir.Var, u *types.Universe) *ir.AP {
+	ap := &ir.AP{Root: vars[r.Intn(len(vars))]}
+	n := r.Intn(3)
+	for k := 0; k < n; k++ {
+		switch r.Intn(3) {
+		case 0:
+			ap = ap.Extend(ir.APSel{Kind: ir.SelField, Field: []string{"f", "g"}[r.Intn(2)], Type: u.IntT})
+		case 1:
+			ap = ap.Extend(ir.APSel{Kind: ir.SelDeref, Type: u.IntT})
+		default:
+			idx := []ir.Operand{ir.CInt(int64(r.Intn(3))), ir.V(vars[3]), ir.V(vars[4])}[r.Intn(3)]
+			ap = ap.Extend(ir.APSel{Kind: ir.SelIndex, Index: idx, Type: u.IntT})
+		}
+	}
+	return ap
+}
+
+// TestAPEqualProperties: Equal is reflexive, symmetric, and consistent
+// with String rendering.
+func TestAPEqualProperties(t *testing.T) {
+	u, vars := mkVars()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := randAP(r, vars, u)
+		q := randAP(r, vars, u)
+		if !p.Equal(p) {
+			t.Fatalf("Equal not reflexive: %s", p)
+		}
+		if p.Equal(q) != q.Equal(p) {
+			t.Fatalf("Equal not symmetric: %s vs %s", p, q)
+		}
+		if p.Equal(q) && p.String() != q.String() {
+			t.Fatalf("equal paths render differently: %s vs %s", p, q)
+		}
+	}
+}
+
+// TestAPExtendPrefix: Prefix undoes Extend.
+func TestAPExtendPrefix(t *testing.T) {
+	u, vars := mkVars()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		p := randAP(r, vars, u)
+		ext := p.Extend(ir.APSel{Kind: ir.SelField, Field: "f", Type: u.IntT})
+		if !ext.Prefix().Equal(p) {
+			t.Fatalf("Prefix(Extend(p)) != p for %s", p)
+		}
+		if ext.Last().Field != "f" {
+			t.Fatal("Last must see the extension")
+		}
+	}
+}
+
+// TestAPUsesVar matches a naive recomputation.
+func TestAPUsesVar(t *testing.T) {
+	u, vars := mkVars()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		p := randAP(r, vars, u)
+		for _, v := range vars {
+			want := p.Root == v
+			for _, s := range p.Sels {
+				if s.Kind == ir.SelIndex && s.Index.Kind == ir.VarOp && s.Index.Var == v {
+					want = true
+				}
+			}
+			if p.UsesVar(v) != want {
+				t.Fatalf("UsesVar(%s, %s) = %v want %v", p, v.Name, p.UsesVar(v), want)
+			}
+		}
+	}
+}
+
+func TestOperandEqual(t *testing.T) {
+	u, vars := mkVars()
+	_ = u
+	cases := []struct {
+		a, b ir.Operand
+		want bool
+	}{
+		{ir.CInt(1), ir.CInt(1), true},
+		{ir.CInt(1), ir.CInt(2), false},
+		{ir.CBool(true), ir.CBool(true), true},
+		{ir.CBool(true), ir.CInt(1), false},
+		{ir.R(3), ir.R(3), true},
+		{ir.R(3), ir.R(4), false},
+		{ir.V(vars[0]), ir.V(vars[0]), true},
+		{ir.V(vars[0]), ir.V(vars[1]), false},
+		{ir.CText("x"), ir.CText("x"), true},
+		{ir.CNil(), ir.CNil(), true},
+		{ir.CNil(), ir.CInt(0), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v want %v", c.a, c.b, got, c.want)
+		}
+		if c.a.Equal(c.b) != c.b.Equal(c.a) {
+			t.Errorf("Equal not symmetric for %s, %s", c.a, c.b)
+		}
+	}
+}
+
+func TestComputeCFGEdges(t *testing.T) {
+	u, _ := mkVars()
+	p := &ir.Proc{Name: "p", Result: u.VoidT}
+	b0 := &ir.Block{ID: 0}
+	b1 := &ir.Block{ID: 1}
+	b2 := &ir.Block{ID: 2}
+	p.Blocks = []*ir.Block{b0, b1, b2}
+	p.Entry = b0
+	r := p.NewReg()
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: r, Args: []ir.Operand{ir.CBool(true)}},
+		{Op: ir.OpBranch, Args: []ir.Operand{ir.R(r)}, Then: b1, Else: b2},
+	}
+	b1.Instrs = []ir.Instr{{Op: ir.OpJump, Target: b2}}
+	b2.Instrs = []ir.Instr{{Op: ir.OpReturn}}
+	p.ComputeCFGEdges()
+	if len(b0.Succs) != 2 || len(b2.Preds) != 2 || len(b1.Preds) != 1 {
+		t.Errorf("edges wrong: b0.Succs=%d b2.Preds=%d b1.Preds=%d",
+			len(b0.Succs), len(b2.Preds), len(b1.Preds))
+	}
+	// Recomputing is idempotent.
+	p.ComputeCFGEdges()
+	if len(b2.Preds) != 2 {
+		t.Error("ComputeCFGEdges not idempotent")
+	}
+}
+
+func TestInstrStringTotal(t *testing.T) {
+	// Every opcode renders without panicking.
+	u, vars := mkVars()
+	b := &ir.Block{ID: 7}
+	ins := []ir.Instr{
+		{Op: ir.OpConst, Dst: 0, Args: []ir.Operand{ir.CInt(4)}},
+		{Op: ir.OpCopy, Dst: 1, Args: []ir.Operand{ir.R(0)}},
+		{Op: ir.OpBin, Dst: 2, BinOp: ir.Add, Args: []ir.Operand{ir.R(0), ir.R(1)}},
+		{Op: ir.OpUn, Dst: 3, UnOp: ir.Not, Args: []ir.Operand{ir.R(2)}},
+		{Op: ir.OpSetVar, Var: vars[3], Args: []ir.Operand{ir.R(0)}},
+		{Op: ir.OpLoad, Dst: 4, Base: ir.V(vars[0]), Sel: ir.Sel{Kind: ir.SelField, Field: "f"},
+			AP: &ir.AP{Root: vars[0]}},
+		{Op: ir.OpStore, Base: ir.V(vars[0]), Sel: ir.Sel{Kind: ir.SelDeref},
+			Args: []ir.Operand{ir.CInt(1)}},
+		{Op: ir.OpLoadVarField, Dst: 5, Var: vars[0], Field: "f"},
+		{Op: ir.OpStoreVarField, Var: vars[0], Field: "f", Args: []ir.Operand{ir.CInt(2)}},
+		{Op: ir.OpMkLoc, Dst: 6, Base: ir.V(vars[0]), Sel: ir.Sel{Kind: ir.SelIndex, Index: ir.CInt(0)}},
+		{Op: ir.OpMkLocVar, Dst: 7, Var: vars[3]},
+		{Op: ir.OpNew, Dst: 8, Type: u.IntT},
+		{Op: ir.OpNewArray, Dst: 9, Type: u.IntT, Args: []ir.Operand{ir.CInt(3)}},
+		{Op: ir.OpCall, Dst: 10, Callee: "F", Args: []ir.Operand{ir.CInt(1)}},
+		{Op: ir.OpMethodCall, Dst: 11, Method: "m", Args: []ir.Operand{ir.V(vars[0])}},
+		{Op: ir.OpBuiltin, Dst: 12, Builtin: ir.BAbs, Args: []ir.Operand{ir.CInt(-1)}},
+		{Op: ir.OpJump, Target: b},
+		{Op: ir.OpBranch, Args: []ir.Operand{ir.R(3)}, Then: b, Else: b},
+		{Op: ir.OpReturn},
+		{Op: ir.OpReturn, Args: []ir.Operand{ir.R(0)}},
+	}
+	for i := range ins {
+		if s := ins[i].String(); s == "" {
+			t.Errorf("instr %d renders empty", i)
+		}
+	}
+}
+
+// TestSelKindsCovered uses quick.Check to confirm Sel rendering is total
+// over the kind space.
+func TestSelKindsCovered(t *testing.T) {
+	f := func(k uint8) bool {
+		s := ir.Sel{Kind: ir.SelKind(int(k) % 5), Field: "x", Index: ir.CInt(1)}
+		return s.String() != ""
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(uint8(r.Intn(255)))
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

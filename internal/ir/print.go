@@ -1,0 +1,169 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case NoOperand:
+		return "_"
+	case ConstOp:
+		switch o.Const.Kind {
+		case IntConst:
+			return fmt.Sprintf("%d", o.Const.Int)
+		case BoolConst:
+			if o.Const.Int != 0 {
+				return "TRUE"
+			}
+			return "FALSE"
+		case CharConst:
+			return fmt.Sprintf("'%c'", byte(o.Const.Int))
+		case TextConst:
+			return fmt.Sprintf("%q", o.Const.Text)
+		case NilConst:
+			return "NIL"
+		}
+	case RegOp:
+		return fmt.Sprintf("r%d", o.Reg)
+	case VarOp:
+		return o.Var.Name
+	}
+	return "?"
+}
+
+var binNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "DIV", Mod: "MOD",
+	Eq: "=", Ne: "#", Lt: "<", Gt: ">", Le: "<=", Ge: ">=", Concat: "&",
+}
+
+var builtinNames = [...]string{
+	BPutInt: "PutInt", BPutChar: "PutChar", BPutText: "PutText",
+	BPutLn: "PutLn", BAssert: "Assert", BTextLen: "TextLen",
+	BTextChar: "TextChar", BIntToText: "IntToText", BHalt: "Halt",
+	BAbs: "ABS", BMin: "MIN", BMax: "MAX", BOrd: "ORD", BChr: "CHR",
+}
+
+func (s Sel) String() string {
+	switch s.Kind {
+	case SelField:
+		return "." + s.Field
+	case SelDeref:
+		return "^"
+	case SelIndex:
+		return "[" + s.Index.String() + "]"
+	case SelDopeLen:
+		return "{len}"
+	case SelDopeElems:
+		return "{elems}"
+	}
+	return "?sel"
+}
+
+// String renders one instruction.
+func (i *Instr) String() string {
+	dst := ""
+	if i.Dst != NoReg {
+		dst = fmt.Sprintf("r%d := ", i.Dst)
+	}
+	ap := ""
+	if i.AP != nil {
+		ap = fmt.Sprintf("  ; ap=%s", i.AP)
+	}
+	switch i.Op {
+	case OpConst, OpCopy:
+		return fmt.Sprintf("%s%s", dst, i.Args[0])
+	case OpBin:
+		return fmt.Sprintf("%s%s %s %s", dst, i.Args[0], binNames[i.BinOp], i.Args[1])
+	case OpUn:
+		op := "-"
+		if i.UnOp == Not {
+			op = "NOT "
+		}
+		return fmt.Sprintf("%s%s%s", dst, op, i.Args[0])
+	case OpSetVar:
+		return fmt.Sprintf("%s := %s", i.Var.Name, i.Args[0])
+	case OpLoad:
+		return fmt.Sprintf("%sload %s%s%s", dst, i.Base, i.Sel, ap)
+	case OpStore:
+		return fmt.Sprintf("store %s%s := %s%s", i.Base, i.Sel, i.Args[0], ap)
+	case OpLoadVarField:
+		return fmt.Sprintf("%svload %s.%s", dst, i.Var.Name, i.Field)
+	case OpStoreVarField:
+		return fmt.Sprintf("vstore %s.%s := %s", i.Var.Name, i.Field, i.Args[0])
+	case OpMkLoc:
+		return fmt.Sprintf("%sloc %s%s%s", dst, i.Base, i.Sel, ap)
+	case OpMkLocVar:
+		return fmt.Sprintf("%sloc &%s", dst, i.Var.Name)
+	case OpNew:
+		return fmt.Sprintf("%snew %s", dst, i.Type)
+	case OpNewArray:
+		return fmt.Sprintf("%snewarray %s, len=%s", dst, i.Type, i.Args[0])
+	case OpCall:
+		return fmt.Sprintf("%scall %s(%s)", dst, i.Callee, opList(i.Args))
+	case OpMethodCall:
+		return fmt.Sprintf("%sdispatch %s.%s(%s)", dst, i.Args[0], i.Method, opList(i.Args[1:]))
+	case OpBuiltin:
+		return fmt.Sprintf("%s%s(%s)", dst, builtinNames[i.Builtin], opList(i.Args))
+	case OpJump:
+		return fmt.Sprintf("jump b%d", i.Target.ID)
+	case OpBranch:
+		return fmt.Sprintf("branch %s ? b%d : b%d", i.Args[0], i.Then.ID, i.Else.ID)
+	case OpReturn:
+		if len(i.Args) > 0 {
+			return fmt.Sprintf("return %s", i.Args[0])
+		}
+		return "return"
+	}
+	return fmt.Sprintf("op(%d)", i.Op)
+}
+
+func opList(args []Operand) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders a whole procedure.
+func (p *Proc) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proc %s(", p.Name)
+	for i, v := range p.Params {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		if v.ByRef {
+			b.WriteString("VAR ")
+		}
+		fmt.Fprintf(&b, "%s: %s", v.Name, v.Type)
+	}
+	fmt.Fprintf(&b, "): %s\n", p.Result)
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.ID)
+		if blk.Name != "" {
+			fmt.Fprintf(&b, " ; %s", blk.Name)
+		}
+		b.WriteByte('\n')
+		for j := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", blk.Instrs[j].String())
+		}
+	}
+	return b.String()
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", p.Name)
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "global %s: %s\n", g.Name, g.Type)
+	}
+	for _, proc := range p.Procs {
+		b.WriteByte('\n')
+		b.WriteString(proc.String())
+	}
+	return b.String()
+}

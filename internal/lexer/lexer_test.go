@@ -1,0 +1,183 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tbaa/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	l := New("test", src)
+	var ks []token.Kind
+	for {
+		t := l.Next()
+		ks = append(ks, t.Kind)
+		if t.Kind == token.EOF {
+			return ks
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	l := New("t", "MODULE Foo BEGIN END while While")
+	want := []struct {
+		k   token.Kind
+		lit string
+	}{
+		{token.MODULE, "MODULE"}, {token.IDENT, "Foo"},
+		{token.BEGIN, "BEGIN"}, {token.END, "END"},
+		{token.IDENT, "while"}, {token.IDENT, "While"},
+		{token.EOF, ""},
+	}
+	for i, w := range want {
+		tok := l.Next()
+		if tok.Kind != w.k {
+			t.Fatalf("token %d: got %s want %s", i, tok.Kind, w.k)
+		}
+		if w.k == token.IDENT && tok.Lit != w.lit {
+			t.Fatalf("token %d: got lit %q want %q", i, tok.Lit, w.lit)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(":= : = # <= >= < > .. . ^ & ( ) [ ] { } + - * , ;")
+	want := []token.Kind{
+		token.ASSIGN, token.COLON, token.EQ, token.NEQ, token.LE, token.GE,
+		token.LT, token.GT, token.DOTDOT, token.DOT, token.CARET, token.AMP,
+		token.LPAREN, token.RPAREN, token.LBRACK, token.RBRACK,
+		token.LBRACE, token.RBRACE, token.PLUS, token.MINUS, token.STAR,
+		token.COMMA, token.SEMICOLON, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens want %d: %v", len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNestedComments(t *testing.T) {
+	got := kinds("a (* outer (* inner *) still out *) b")
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	l := New("t", "a (* never closed")
+	for l.Next().Kind != token.EOF {
+	}
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected an error for unterminated comment")
+	}
+}
+
+func TestCharAndTextLiterals(t *testing.T) {
+	l := New("t", `'a' '\n' "hello\tworld" ""`)
+	c1 := l.Next()
+	if c1.Kind != token.CHARLIT || c1.Lit != "a" {
+		t.Fatalf("got %v", c1)
+	}
+	c2 := l.Next()
+	if c2.Kind != token.CHARLIT || c2.Lit != "\n" {
+		t.Fatalf("got %v", c2)
+	}
+	s1 := l.Next()
+	if s1.Kind != token.STRING || s1.Lit != "hello\tworld" {
+		t.Fatalf("got %v %q", s1, s1.Lit)
+	}
+	s2 := l.Next()
+	if s2.Kind != token.STRING || s2.Lit != "" {
+		t.Fatalf("got %v", s2)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	l := New("t", "\"abc\ndef")
+	l.Next()
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected error for string crossing newline")
+	}
+}
+
+func TestIntegers(t *testing.T) {
+	l := New("t", "0 42 123456789")
+	for _, want := range []string{"0", "42", "123456789"} {
+		tok := l.Next()
+		if tok.Kind != token.INT || tok.Lit != want {
+			t.Fatalf("got %v want INT(%s)", tok, want)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("f.m3", "a\n  bc")
+	t1 := l.Next()
+	if t1.Pos.Line != 1 || t1.Pos.Col != 1 {
+		t.Errorf("a at %v", t1.Pos)
+	}
+	t2 := l.Next()
+	if t2.Pos.Line != 2 || t2.Pos.Col != 3 {
+		t.Errorf("bc at %v", t2.Pos)
+	}
+	if t2.Pos.File != "f.m3" {
+		t.Errorf("file %q", t2.Pos.File)
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	l := New("t", "a $ b")
+	var sawIllegal bool
+	for {
+		tok := l.Next()
+		if tok.Kind == token.ILLEGAL {
+			sawIllegal = true
+		}
+		if tok.Kind == token.EOF {
+			break
+		}
+	}
+	if !sawIllegal || len(l.Errors()) == 0 {
+		t.Fatal("expected ILLEGAL token and error")
+	}
+}
+
+// TestLexerTotality checks the lexer terminates and never panics on
+// arbitrary input — a basic robustness property.
+func TestLexerTotality(t *testing.T) {
+	f := func(src string) bool {
+		l := New("q", src)
+		for i := 0; ; i++ {
+			tok := l.Next()
+			if tok.Kind == token.EOF {
+				return true
+			}
+			if i > len(src)+10 {
+				return false // not making progress
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdentRoundTrip: any identifier-shaped string lexes to one token
+// with the same spelling (keywords excluded).
+func TestIdentRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		name := "v" + strings.Repeat("x", int(n%20))
+		l := New("q", name)
+		tok := l.Next()
+		return tok.Kind == token.IDENT && tok.Lit == name && l.Next().Kind == token.EOF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+package limit
+
+import (
+	"tbaa/internal/alias"
+	"tbaa/internal/cfg"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+)
+
+// availFlags records, for a load instruction, the static availability of
+// its access path at that point under three dataflows:
+//
+//	must           — available on every path (intersection meet)
+//	may            — available on at least one path (union meet)
+//	mustNoMemKills — available on every path when ignoring store/call
+//	                 kills (only variable-write kills applied); if this
+//	                 holds but must does not, a memory kill was the cause.
+type availFlags struct {
+	must           bool
+	may            bool
+	mustNoMemKills bool
+}
+
+type availMode int
+
+const (
+	modeMust availMode = iota
+	modeMay
+	modeMustNoMemKills
+)
+
+// computeAvailFlags runs the three dataflows over every procedure.
+func computeAvailFlags(prog *ir.Program, o alias.Oracle, mr *modref.ModRef) map[*ir.Instr]availFlags {
+	flags := make(map[*ir.Instr]availFlags)
+	for _, p := range prog.Procs {
+		for mode := modeMust; mode <= modeMustNoMemKills; mode++ {
+			runAvail(prog, p, o, mr, mode, flags)
+		}
+	}
+	return flags
+}
+
+func runAvail(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef, mode availMode, flags map[*ir.Instr]availFlags) {
+	p.ComputeCFGEdges()
+	var classes []*ir.AP
+	classOf := func(ap *ir.AP) int {
+		for i, c := range classes {
+			if c.Equal(ap) {
+				return i
+			}
+		}
+		classes = append(classes, ap)
+		return len(classes) - 1
+	}
+	type site struct {
+		b   *ir.Block
+		idx int
+	}
+	gen := make(map[site]int)
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpLoad, ir.OpLoadVarField, ir.OpStore, ir.OpStoreVarField:
+				if in.AP != nil && !in.AP.IsDope() {
+					gen[site{b, i}] = classOf(in.AP)
+				}
+			}
+		}
+	}
+	n := len(classes)
+	if n == 0 {
+		return
+	}
+	at := prog.AddressTakenVars
+	kills := func(avail []bool, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpSetVar:
+			for i, c := range classes {
+				if avail[i] && modref.VarWriteKills(c, in.Var, at) {
+					avail[i] = false
+				}
+			}
+		case ir.OpStore, ir.OpStoreVarField:
+			if mode == modeMustNoMemKills {
+				// Memory kills ignored; but a store still changes which
+				// variables hold what when it writes through a location.
+				return
+			}
+			st := in.AP
+			if st == nil {
+				for i := range avail {
+					avail[i] = false
+				}
+				return
+			}
+			isDeref := in.Op == ir.OpStore && in.Sel.Kind == ir.SelDeref
+			for i, c := range classes {
+				if !avail[i] {
+					continue
+				}
+				if o.MayAlias(c, st) {
+					avail[i] = false
+				} else if isDeref && modref.LocStoreKills(c, st.Type().ID(), at) {
+					avail[i] = false
+				}
+			}
+		case ir.OpCall, ir.OpMethodCall:
+			if mode == modeMustNoMemKills {
+				return
+			}
+			eff := mr.CallEffects(in)
+			for i, c := range classes {
+				if avail[i] && modref.MayModify(eff, c, o, at) {
+					avail[i] = false
+				}
+			}
+		}
+	}
+	union := mode == modeMay
+	transfer := func(b *ir.Block, avail []bool, record bool) {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			cls, isGen := gen[site{b, i}]
+			if (in.Op == ir.OpLoad || in.Op == ir.OpLoadVarField) && isGen {
+				if record {
+					f := flags[in]
+					switch mode {
+					case modeMust:
+						f.must = f.must || avail[cls]
+					case modeMay:
+						f.may = f.may || avail[cls]
+					case modeMustNoMemKills:
+						f.mustNoMemKills = f.mustNoMemKills || avail[cls]
+					}
+					flags[in] = f
+				}
+				avail[cls] = true
+				continue
+			}
+			kills(avail, in)
+			if isGen {
+				avail[cls] = true
+			}
+		}
+	}
+	rpo := cfg.ReversePostorder(p)
+	out := make(map[*ir.Block][]bool, len(rpo))
+	for _, b := range rpo {
+		s := make([]bool, n)
+		if b != p.Entry && !union {
+			for i := range s {
+				s[i] = true
+			}
+		}
+		out[b] = s
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			in := make([]bool, n)
+			if b != p.Entry {
+				if union {
+					for _, pred := range b.Preds {
+						if po := out[pred]; po != nil {
+							for i := 0; i < n; i++ {
+								if po[i] {
+									in[i] = true
+								}
+							}
+						}
+					}
+				} else {
+					for i := 0; i < n; i++ {
+						in[i] = true
+					}
+					for _, pred := range b.Preds {
+						if po := out[pred]; po != nil {
+							for i := 0; i < n; i++ {
+								if !po[i] {
+									in[i] = false
+								}
+							}
+						}
+					}
+				}
+			}
+			transfer(b, in, false)
+			if !equalBools(in, out[b]) {
+				out[b] = in
+				changed = true
+			}
+		}
+	}
+	// Final recording pass with converged in-sets.
+	for _, b := range rpo {
+		in := make([]bool, n)
+		if b != p.Entry {
+			if union {
+				for _, pred := range b.Preds {
+					if po := out[pred]; po != nil {
+						for i := 0; i < n; i++ {
+							if po[i] {
+								in[i] = true
+							}
+						}
+					}
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					in[i] = true
+				}
+				for _, pred := range b.Preds {
+					if po := out[pred]; po != nil {
+						for i := 0; i < n; i++ {
+							if !po[i] {
+								in[i] = false
+							}
+						}
+					}
+				}
+			}
+		}
+		transfer(b, in, true)
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,279 @@
+package limit_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/ir"
+	"tbaa/internal/limit"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, _, err := driver.Compile("t.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestDetectsRedundantLoads(t *testing.T) {
+	// The original program loads t.f twice with no intervening store:
+	// the second is dynamically redundant.
+	prog := compile(t, `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T; a, b: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 4;
+  a := t.f;
+  b := t.f;
+  PutInt(a + b);
+END M.
+`)
+	rep, _, err := limit.Measure(prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Redundant < 1 {
+		t.Errorf("expected a redundant load, got %d of %d", rep.Redundant, rep.HeapLoads)
+	}
+}
+
+func TestSameAddressDifferentActivationNotRedundant(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T;
+PROCEDURE Get(): INTEGER =
+BEGIN
+  RETURN t.f; (* one load per activation *)
+END Get;
+VAR s: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 2;
+  s := Get() + Get();
+  PutInt(s);
+END M.
+`)
+	rep, _, err := limit.Measure(prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Redundant != 0 {
+		t.Errorf("cross-activation loads must not count: %d", rep.Redundant)
+	}
+}
+
+func TestValueChangeNotRedundant(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T; a, b: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 1;
+  a := t.f;
+  t.f := 2;
+  b := t.f;
+  PutInt(a + b);
+END M.
+`)
+	rep, _, err := limit.Measure(prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Redundant != 0 {
+		t.Errorf("value-changing reloads must not count: %d", rep.Redundant)
+	}
+}
+
+// runOptimized applies RLE and measures with classification.
+func runOptimized(t *testing.T, src string) limit.Report {
+	t.Helper()
+	prog := compile(t, src)
+	o := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	mr := modref.Compute(prog)
+	opt.RLE(prog, o, mr)
+	rep, _, err := limit.Measure(prog, o, mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRLEReducesDynamicRedundancy(t *testing.T) {
+	src := `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T; i, x: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 3;
+  x := 0;
+  FOR i := 1 TO 100 DO
+    x := x + t.f;
+  END;
+  PutInt(x);
+END M.
+`
+	progBase := compile(t, src)
+	before, _, err := limit.Measure(progBase, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := runOptimized(t, src)
+	if before.Redundant < 99 {
+		t.Errorf("baseline should have ~99 redundant loads, got %d", before.Redundant)
+	}
+	if after.Redundant >= before.Redundant {
+		t.Errorf("RLE should eliminate dynamic redundancy: %d -> %d",
+			before.Redundant, after.Redundant)
+	}
+}
+
+func TestEncapsulationCategory(t *testing.T) {
+	// Varying subscripts leave dope-vector loads redundant in the loop;
+	// they must be classified as Encapsulated.
+	rep := runOptimized(t, `
+MODULE M;
+TYPE A = ARRAY OF INTEGER;
+VAR a: A; i, x: INTEGER;
+BEGIN
+  a := NEW(A, 64);
+  FOR i := 0 TO 63 DO a[i] := i; END;
+  x := 0;
+  FOR i := 0 TO 63 DO x := x + a[i]; END;
+  PutInt(x);
+END M.
+`)
+	if rep.ByCategory[limit.CatEncapsulated] == 0 {
+		t.Errorf("expected Encapsulated redundancy, got %+v", rep.ByCategory)
+	}
+	if rep.ByCategory[limit.CatAliasFailure] != 0 {
+		t.Errorf("no alias failures expected, got %d", rep.ByCategory[limit.CatAliasFailure])
+	}
+}
+
+func TestConditionalCategory(t *testing.T) {
+	// t.f is loaded on one side of a branch inside a loop and then
+	// unconditionally: partially redundant, RLE (no PRE) keeps it.
+	rep := runOptimized(t, `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T; i, x: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 2;
+  x := 0;
+  FOR i := 1 TO 50 DO
+    IF i MOD 2 = 0 THEN
+      x := x + t.f;
+    END;
+    x := x + t.f;
+    t := t; (* kill nothing *)
+  END;
+  PutInt(x);
+END M.
+`)
+	if rep.ByCategory[limit.CatConditional] == 0 {
+		t.Errorf("expected Conditional redundancy, got %+v", rep.ByCategory)
+	}
+}
+
+func TestAliasFailureCategory(t *testing.T) {
+	// Two objects of the same type: stores through one kill loads of the
+	// other under TBAA (same type and field), though they never alias
+	// dynamically. TypeDecl-level imprecision shows as AliasFailure.
+	src := `
+MODULE M;
+TYPE T = OBJECT f, g: INTEGER; END;
+VAR t, s: T; i, x: INTEGER;
+BEGIN
+  t := NEW(T);
+  s := NEW(T);
+  t.f := 1;
+  x := 0;
+  FOR i := 1 TO 50 DO
+    s.f := i;      (* may-aliases t.f statically, never dynamically *)
+    x := x + t.f;  (* reloaded every iteration *)
+  END;
+  PutInt(x);
+END M.
+`
+	prog := compile(t, src)
+	o := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	mr := modref.Compute(prog)
+	opt.RLE(prog, o, mr)
+	rep, _, err := limit.Measure(prog, o, mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByCategory[limit.CatAliasFailure] == 0 {
+		t.Errorf("expected AliasFailure redundancy, got %+v", rep.ByCategory)
+	}
+}
+
+func TestBreakupCategory(t *testing.T) {
+	// The same heap location read through two different access paths
+	// (t.f and u.f after u := t): value flows but RLE sees distinct
+	// expressions — Breakup (copy propagation would connect them).
+	rep := runOptimized(t, `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t, u: T; a, b: INTEGER;
+PROCEDURE Init() =
+BEGIN
+  t := NEW(T);
+  t.f := 9;
+END Init;
+BEGIN
+  Init();
+  a := t.f;
+  u := t;
+  b := u.f;
+  PutInt(a + b);
+END M.
+`)
+	if rep.ByCategory[limit.CatBreakup] == 0 {
+		t.Errorf("expected Breakup redundancy, got %+v", rep.ByCategory)
+	}
+}
+
+func TestPerfectOracleLeavesOnlyNonAliasCategories(t *testing.T) {
+	// Under the AssumeNone upper bound, no load survives because of
+	// alias imprecision, mirroring the paper's "perfect alias analysis"
+	// comparison.
+	src := `
+MODULE M;
+TYPE T = OBJECT f, g: INTEGER; END;
+VAR t, s: T; i, x: INTEGER;
+BEGIN
+  t := NEW(T);
+  s := NEW(T);
+  t.f := 1;
+  x := 0;
+  FOR i := 1 TO 50 DO
+    s.f := i;
+    x := x + t.f;
+  END;
+  PutInt(x);
+END M.
+`
+	prog := compile(t, src)
+	o := alias.AssumeNone{}
+	mr := modref.Compute(prog)
+	opt.RLE(prog, o, mr)
+	rep, _, err := limit.Measure(prog, o, mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByCategory[limit.CatAliasFailure] != 0 {
+		t.Errorf("perfect oracle cannot have alias failures: %+v", rep.ByCategory)
+	}
+}

@@ -1,0 +1,288 @@
+// Package modref computes interprocedural mod-ref summaries: for every
+// procedure, the set of access paths it (transitively) may modify and
+// reference, plus the global variables it may reassign. The paper's RLE
+// "is preceded by a mod-ref analysis which summarizes the access paths
+// that are referenced and modified by each call" (Section 3.4.1); this is
+// that analysis.
+package modref
+
+import (
+	"tbaa/internal/alias"
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
+
+// Effects summarizes what a procedure may do to memory, transitively
+// through calls.
+type Effects struct {
+	// Mods are representative access paths of stores the procedure may
+	// perform (deduplicated by shape). Their roots are callee-local, but
+	// may-alias queries against them only consult types and selectors.
+	Mods []*ir.AP
+	// Refs are representative access paths of loads.
+	Refs []*ir.AP
+	// ModGlobals are global variables the procedure may reassign.
+	ModGlobals map[*ir.Var]bool
+	// WritesThroughLocs reports whether the procedure may store through a
+	// location value (a by-ref formal or WITH alias); such stores can hit
+	// caller variables whose address was taken.
+	WritesThroughLocs bool
+}
+
+// ModRef holds summaries for a whole program.
+type ModRef struct {
+	prog    *ir.Program
+	byProc  map[*ir.Proc]*Effects
+	callees map[*ir.Proc][]*ir.Proc
+}
+
+// Compute builds transitive mod-ref summaries.
+func Compute(prog *ir.Program) *ModRef {
+	mr := &ModRef{
+		prog:    prog,
+		byProc:  make(map[*ir.Proc]*Effects, len(prog.Procs)),
+		callees: make(map[*ir.Proc][]*ir.Proc, len(prog.Procs)),
+	}
+	// Direct effects and call edges.
+	for _, p := range prog.Procs {
+		eff := &Effects{ModGlobals: make(map[*ir.Var]bool)}
+		mr.byProc[p] = eff
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpStore:
+					if in.AP != nil {
+						eff.Mods = addAP(eff.Mods, in.AP)
+						if in.Sel.Kind == ir.SelDeref {
+							eff.WritesThroughLocs = true
+						}
+					}
+				case ir.OpLoad:
+					if in.AP != nil && !in.AP.IsDope() {
+						eff.Refs = addAP(eff.Refs, in.AP)
+					}
+				case ir.OpSetVar:
+					if in.Var.Kind == ir.GlobalVar {
+						eff.ModGlobals[in.Var] = true
+					}
+				case ir.OpStoreVarField:
+					if in.Var.Kind == ir.GlobalVar {
+						eff.ModGlobals[in.Var] = true
+					}
+					if in.AP != nil {
+						eff.Mods = addAP(eff.Mods, in.AP)
+					}
+				case ir.OpCall:
+					if callee := prog.ProcByName[in.Callee]; callee != nil {
+						mr.callees[p] = append(mr.callees[p], callee)
+					}
+				case ir.OpMethodCall:
+					for _, callee := range mr.Dispatch(in) {
+						mr.callees[p] = append(mr.callees[p], callee)
+					}
+				}
+			}
+		}
+	}
+	// Transitive closure (iterate to fixpoint; the lattice is finite
+	// because representative APs are deduplicated by shape).
+	changed := true
+	for changed {
+		changed = false
+		for _, p := range prog.Procs {
+			eff := mr.byProc[p]
+			for _, c := range mr.callees[p] {
+				ce := mr.byProc[c]
+				if ce == nil {
+					continue
+				}
+				for _, ap := range ce.Mods {
+					n := len(eff.Mods)
+					eff.Mods = addAP(eff.Mods, ap)
+					if len(eff.Mods) != n {
+						changed = true
+					}
+				}
+				for _, ap := range ce.Refs {
+					n := len(eff.Refs)
+					eff.Refs = addAP(eff.Refs, ap)
+					if len(eff.Refs) != n {
+						changed = true
+					}
+				}
+				for g := range ce.ModGlobals {
+					if !eff.ModGlobals[g] {
+						eff.ModGlobals[g] = true
+						changed = true
+					}
+				}
+				if ce.WritesThroughLocs && !eff.WritesThroughLocs {
+					eff.WritesThroughLocs = true
+					changed = true
+				}
+			}
+		}
+	}
+	return mr
+}
+
+// addAP appends ap if no existing representative has the same shape
+// (selector kinds, fields, and types along the path).
+func addAP(list []*ir.AP, ap *ir.AP) []*ir.AP {
+	for _, e := range list {
+		if sameShape(e, ap) {
+			return list
+		}
+	}
+	return append(list, ap)
+}
+
+func sameShape(a, b *ir.AP) bool {
+	if len(a.Sels) != len(b.Sels) {
+		return false
+	}
+	if a.Root.Type.ID() != b.Root.Type.ID() {
+		return false
+	}
+	for i := range a.Sels {
+		x, y := &a.Sels[i], &b.Sels[i]
+		if x.Kind != y.Kind || x.Field != y.Field {
+			return false
+		}
+		if x.Type != nil && y.Type != nil && x.Type.ID() != y.Type.ID() {
+			return false
+		}
+	}
+	return true
+}
+
+// Effects returns the summary for a procedure.
+func (mr *ModRef) Effects(p *ir.Proc) *Effects { return mr.byProc[p] }
+
+// Dispatch returns the procedures a method call may invoke, bounded by
+// the static receiver type's subtype cone.
+func (mr *ModRef) Dispatch(in *ir.Instr) []*ir.Proc {
+	var out []*ir.Proc
+	if in.RecvType == nil {
+		// Unknown receiver: any implementation of the method name.
+		seen := map[string]bool{}
+		for _, o := range mr.prog.Universe.ObjectTypes() {
+			if impl := o.Implementation(in.Method); impl != "" && !seen[impl] {
+				seen[impl] = true
+				if p := mr.prog.ProcByName[impl]; p != nil {
+					out = append(out, p)
+				}
+			}
+		}
+		return out
+	}
+	seen := map[string]bool{}
+	for _, id := range mr.prog.Universe.Subtypes(in.RecvType) {
+		o, ok := mr.prog.Universe.ByID(id).(*types.Object)
+		if !ok {
+			continue
+		}
+		impl := o.Implementation(in.Method)
+		if impl == "" || seen[impl] {
+			continue
+		}
+		seen[impl] = true
+		if p := mr.prog.ProcByName[impl]; p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CallEffects returns the combined effects of a call instruction
+// (OpCall or OpMethodCall).
+func (mr *ModRef) CallEffects(in *ir.Instr) *Effects {
+	switch in.Op {
+	case ir.OpCall:
+		if callee := mr.prog.ProcByName[in.Callee]; callee != nil {
+			return mr.byProc[callee]
+		}
+	case ir.OpMethodCall:
+		combined := &Effects{ModGlobals: make(map[*ir.Var]bool)}
+		for _, callee := range mr.Dispatch(in) {
+			ce := mr.byProc[callee]
+			if ce == nil {
+				continue
+			}
+			for _, ap := range ce.Mods {
+				combined.Mods = addAP(combined.Mods, ap)
+			}
+			for _, ap := range ce.Refs {
+				combined.Refs = addAP(combined.Refs, ap)
+			}
+			for g := range ce.ModGlobals {
+				combined.ModGlobals[g] = true
+			}
+			combined.WritesThroughLocs = combined.WritesThroughLocs || ce.WritesThroughLocs
+		}
+		return combined
+	}
+	return &Effects{ModGlobals: map[*ir.Var]bool{}}
+}
+
+// VarWriteKills reports whether writing variable v may change the value
+// or meaning of path ap: either ap mentions v (root or subscript), or ap
+// dereferences a location (its root is a by-ref formal or WITH alias)
+// that may point at v because v's address was taken. Location targets
+// have exactly their declared type in Modula-3 (VAR actuals must match
+// formals exactly), so type-ID equality is sound here.
+func VarWriteKills(ap *ir.AP, v *ir.Var, addrTakenVars map[*ir.Var]bool) bool {
+	if ap.UsesVar(v) {
+		return true
+	}
+	if addrTakenVars[v] && ap.Root.ByRef && v.Type.ID() == ap.Root.Type.ID() {
+		return true
+	}
+	return false
+}
+
+// LocStoreKills reports whether a store through a location with the given
+// target type may write a variable that ap depends on: the root (if its
+// address was taken, the store can redirect what ap's prefix denotes) or
+// a subscript variable (changing which element ap names).
+func LocStoreKills(ap *ir.AP, targetTypeID int, addrTakenVars map[*ir.Var]bool) bool {
+	if addrTakenVars[ap.Root] && ap.Root.Type.ID() == targetTypeID {
+		return true
+	}
+	for i := range ap.Sels {
+		s := &ap.Sels[i]
+		if s.Kind == ir.SelIndex && s.Index.Kind == ir.VarOp {
+			v := s.Index.Var
+			if addrTakenVars[v] && v.Type.ID() == targetTypeID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MayModify reports whether a call with the given effects may overwrite
+// the location denoted by ap — or a variable ap depends on — under the
+// given alias oracle.
+func MayModify(eff *Effects, ap *ir.AP, o alias.Oracle, addrTakenVars map[*ir.Var]bool) bool {
+	if eff == nil {
+		return true
+	}
+	for g := range eff.ModGlobals {
+		if VarWriteKills(ap, g, addrTakenVars) {
+			return true
+		}
+	}
+	for _, m := range eff.Mods {
+		if o.MayAlias(ap, m) {
+			return true
+		}
+		if last := m.Last(); last != nil && last.Kind == ir.SelDeref {
+			if LocStoreKills(ap, m.Type().ID(), addrTakenVars) {
+				return true
+			}
+		}
+	}
+	return false
+}

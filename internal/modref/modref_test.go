@@ -1,0 +1,237 @@
+package modref_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, _, err := driver.Compile("t.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+const effectsSrc = `
+MODULE M;
+TYPE
+  T = OBJECT f, g: INTEGER; END;
+  A = ARRAY OF INTEGER;
+VAR
+  t: T;
+  arr: A;
+  gcount: INTEGER;
+
+PROCEDURE Leaf() =
+BEGIN
+  t.f := 1;
+END Leaf;
+
+PROCEDURE Mid() =
+BEGIN
+  Leaf();
+  arr[0] := 2;
+END Mid;
+
+PROCEDURE Top() =
+BEGIN
+  Mid();
+  gcount := gcount + 1;
+END Top;
+
+PROCEDURE Pure(x: INTEGER): INTEGER =
+BEGIN
+  RETURN x * 2;
+END Pure;
+
+PROCEDURE Reader(): INTEGER =
+BEGIN
+  RETURN t.g;
+END Reader;
+
+BEGIN
+  Top();
+  gcount := Pure(Reader());
+END M.
+`
+
+func TestTransitiveMods(t *testing.T) {
+	prog := compile(t, effectsSrc)
+	mr := modref.Compute(prog)
+	top := mr.Effects(prog.ProcByName["Top"])
+	// Top transitively modifies t.f (via Leaf), arr elements (via Mid),
+	// and gcount directly.
+	if len(top.Mods) < 2 {
+		t.Errorf("Top should accumulate transitive mod APs, got %d", len(top.Mods))
+	}
+	var hasGlobal bool
+	for g := range top.ModGlobals {
+		if g.Name == "gcount" {
+			hasGlobal = true
+		}
+	}
+	if !hasGlobal {
+		t.Error("Top modifies global gcount")
+	}
+	pure := mr.Effects(prog.ProcByName["Pure"])
+	if len(pure.Mods) != 0 || len(pure.ModGlobals) != 0 {
+		t.Errorf("Pure must have no mods: %+v", pure)
+	}
+	reader := mr.Effects(prog.ProcByName["Reader"])
+	if len(reader.Refs) == 0 {
+		t.Error("Reader must record a ref")
+	}
+	if len(reader.Mods) != 0 {
+		t.Error("Reader must not record mods")
+	}
+}
+
+func TestMayModify(t *testing.T) {
+	prog := compile(t, effectsSrc)
+	mr := modref.Compute(prog)
+	o := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	// Find the t.g load in Reader and the t.f store AP.
+	var tg *ir.AP
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.AP != nil && in.AP.String() == "t.g" {
+					tg = in.AP
+				}
+			}
+		}
+	}
+	if tg == nil {
+		t.Fatal("t.g not found")
+	}
+	leaf := mr.Effects(prog.ProcByName["Leaf"])
+	// Leaf writes t.f only: it cannot modify t.g under a field-sensitive
+	// oracle.
+	if modref.MayModify(leaf, tg, o, prog.AddressTakenVars) {
+		t.Error("Leaf (writes t.f) must not modify t.g under SMFieldTypeRefs")
+	}
+	// Under TypeDecl the fields are indistinguishable.
+	td := alias.New(prog, alias.Options{Level: alias.LevelTypeDecl})
+	if !modref.MayModify(leaf, tg, td, prog.AddressTakenVars) {
+		t.Error("Leaf must modify t.g under TypeDecl (no field sensitivity)")
+	}
+}
+
+func TestVarWriteKills(t *testing.T) {
+	intT := compile(t, "MODULE X; BEGIN END X.").Universe.IntT
+	v := &ir.Var{Name: "v", Type: intT}
+	w := &ir.Var{Name: "w", Type: intT}
+	byref := &ir.Var{Name: "p", Type: intT, ByRef: true}
+	at := map[*ir.Var]bool{}
+
+	apV := &ir.AP{Root: v, Sels: []ir.APSel{{Kind: ir.SelField, Field: "f", Type: intT}}}
+	if !modref.VarWriteKills(apV, v, at) {
+		t.Error("writing the root var kills the path")
+	}
+	if modref.VarWriteKills(apV, w, at) {
+		t.Error("writing an unrelated var must not kill")
+	}
+	// Deref path through a by-ref formal: killed only when the written
+	// var's address was taken and types match.
+	apDeref := &ir.AP{Root: byref, Sels: []ir.APSel{{Kind: ir.SelDeref, Type: intT}}}
+	if modref.VarWriteKills(apDeref, w, at) {
+		t.Error("address not taken: deref cannot point at w")
+	}
+	at[w] = true
+	if !modref.VarWriteKills(apDeref, w, at) {
+		t.Error("address-taken same-type var must kill deref paths")
+	}
+}
+
+func TestLocStoreKills(t *testing.T) {
+	u := compile(t, "MODULE X; BEGIN END X.").Universe
+	intT := u.IntT
+	arrV := &ir.Var{Name: "a", Type: u.NewArray("", intT)}
+	idxV := &ir.Var{Name: "i", Type: intT}
+	at := map[*ir.Var]bool{idxV: true}
+	ap := &ir.AP{Root: arrV, Sels: []ir.APSel{
+		{Kind: ir.SelIndex, Index: ir.V(idxV), Type: intT},
+	}}
+	// A store through an INTEGER location may write the subscript var i.
+	if !modref.LocStoreKills(ap, intT.ID(), at) {
+		t.Error("loc store to INTEGER must kill paths subscripted by address-taken i")
+	}
+	// A store through a CHAR location cannot.
+	if modref.LocStoreKills(ap, u.CharT.ID(), at) {
+		t.Error("loc store to CHAR cannot write i")
+	}
+}
+
+func TestDispatchViaRegistry(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE
+  B = OBJECT METHODS m() := BM; END;
+  C = B OBJECT OVERRIDES m := CM; END;
+  D = C OBJECT END; (* inherits CM *)
+PROCEDURE BM(self: B) = BEGIN END BM;
+PROCEDURE CM(self: C) = BEGIN END CM;
+VAR c: C;
+BEGIN
+  c := NEW(D);
+  c.m();
+END M.
+`)
+	mr := modref.Compute(prog)
+	var call *ir.Instr
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpMethodCall {
+					call = &b.Instrs[i]
+				}
+			}
+		}
+	}
+	if call == nil {
+		t.Fatal("no method call")
+	}
+	targets := mr.Dispatch(call)
+	// Static type C: subtypes {C, D} both implemented by CM.
+	if len(targets) != 1 || targets[0].Name != "CM" {
+		var names []string
+		for _, p := range targets {
+			names = append(names, p.Name)
+		}
+		t.Errorf("dispatch set = %v, want [CM]", names)
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	prog := compile(t, `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T;
+PROCEDURE Odd(n: INTEGER) =
+BEGIN
+  t.f := n;
+  IF n > 0 THEN Even(n - 1); END;
+END Odd;
+PROCEDURE Even(n: INTEGER) =
+BEGIN
+  IF n > 0 THEN Odd(n - 1); END;
+END Even;
+BEGIN
+  t := NEW(T);
+  Odd(9);
+END M.
+`)
+	mr := modref.Compute(prog)
+	even := mr.Effects(prog.ProcByName["Even"])
+	// Even transitively modifies t.f through the mutual recursion.
+	if len(even.Mods) == 0 {
+		t.Error("mutual recursion: Even must inherit Odd's mods")
+	}
+}

@@ -1,0 +1,211 @@
+package opt
+
+import (
+	"fmt"
+
+	"tbaa/internal/ir"
+)
+
+// InlineBudget is the maximum number of instructions a callee may have to
+// be inlined.
+const InlineBudget = 24
+
+// Inline expands small direct calls in place (one pass over every
+// procedure). Method calls are not inlined — run Devirtualize first.
+// It returns the number of call sites expanded.
+func Inline(prog *ir.Program) int {
+	count := 0
+	for _, p := range prog.Procs {
+		count += inlineProc(prog, p)
+	}
+	return count
+}
+
+func procSize(p *ir.Proc) int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// callsSelf reports whether p contains a direct call to itself.
+func callsSelf(p *ir.Proc) bool {
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpCall && b.Instrs[i].Callee == p.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func inlineProc(prog *ir.Program, caller *ir.Proc) int {
+	count := 0
+	// Iterate over a snapshot of blocks: inlining appends new ones.
+	for bi := 0; bi < len(caller.Blocks); bi++ {
+		b := caller.Blocks[bi]
+		for ii := 0; ii < len(b.Instrs); ii++ {
+			in := &b.Instrs[ii]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			callee := prog.ProcByName[in.Callee]
+			if callee == nil || callee == caller || callee == prog.Main {
+				continue
+			}
+			if procSize(callee) > InlineBudget || callsSelf(callee) {
+				continue
+			}
+			expandCall(prog, caller, b, ii, callee)
+			count++
+			// The call instruction was replaced by a jump terminating
+			// this block; continue with the next block.
+			break
+		}
+	}
+	caller.ComputeCFGEdges()
+	return count
+}
+
+// expandCall splices a clone of callee into caller at block b, index ii.
+func expandCall(prog *ir.Program, caller *ir.Proc, b *ir.Block, ii int, callee *ir.Proc) {
+	call := b.Instrs[ii]
+	// Continuation block receives the instructions after the call.
+	cont := &ir.Block{ID: len(caller.Blocks), Name: "inl.cont"}
+	caller.Blocks = append(caller.Blocks, cont)
+	cont.Instrs = append(cont.Instrs, b.Instrs[ii+1:]...)
+
+	// Clone callee variables into the caller frame.
+	varMap := make(map[*ir.Var]*ir.Var)
+	cloneVar := func(v *ir.Var) *ir.Var {
+		nv := &ir.Var{
+			Name: fmt.Sprintf("%s$%s", callee.Name, v.Name),
+			Type: v.Type, Kind: ir.LocalVar, ByRef: v.ByRef,
+			Slot: len(caller.Params) + len(caller.Locals),
+		}
+		caller.Locals = append(caller.Locals, nv)
+		varMap[v] = nv
+		if prog.AddressTakenVars[v] {
+			prog.AddressTakenVars[nv] = true
+		}
+		return nv
+	}
+	for _, v := range callee.Params {
+		cloneVar(v)
+	}
+	for _, v := range callee.Locals {
+		cloneVar(v)
+	}
+	// Result variable for RETURN values.
+	var resVar *ir.Var
+	if call.Dst != ir.NoReg {
+		resVar = &ir.Var{
+			Name: fmt.Sprintf("%s$ret", callee.Name),
+			Type: callee.Result, Kind: ir.LocalVar,
+			Slot: len(caller.Params) + len(caller.Locals),
+		}
+		caller.Locals = append(caller.Locals, resVar)
+	}
+
+	regOffset := caller.NumRegs
+	caller.NumRegs += callee.NumRegs
+
+	remapOperand := func(o ir.Operand) ir.Operand {
+		switch o.Kind {
+		case ir.RegOp:
+			o.Reg += ir.Reg(regOffset)
+		case ir.VarOp:
+			if nv, ok := varMap[o.Var]; ok {
+				o.Var = nv
+			}
+		}
+		return o
+	}
+	remapAP := func(ap *ir.AP) *ir.AP {
+		if ap == nil {
+			return nil
+		}
+		root := ap.Root
+		if nv, ok := varMap[root]; ok {
+			root = nv
+		}
+		sels := make([]ir.APSel, len(ap.Sels))
+		copy(sels, ap.Sels)
+		for i := range sels {
+			if sels[i].Kind == ir.SelIndex {
+				sels[i].Index = remapOperand(sels[i].Index)
+			}
+		}
+		return &ir.AP{Root: root, Sels: sels}
+	}
+
+	// Clone blocks.
+	blockMap := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		nb := &ir.Block{ID: len(caller.Blocks), Name: "inl." + callee.Name}
+		caller.Blocks = append(caller.Blocks, nb)
+		blockMap[cb] = nb
+	}
+	for _, cb := range callee.Blocks {
+		nb := blockMap[cb]
+		for i := range cb.Instrs {
+			ci := cb.Instrs[i]
+			ni := ci
+			if ni.DefinedReg() != ir.NoReg {
+				ni.Dst += ir.Reg(regOffset)
+			}
+			if len(ci.Args) > 0 {
+				ni.Args = make([]ir.Operand, len(ci.Args))
+				for k, a := range ci.Args {
+					ni.Args[k] = remapOperand(a)
+				}
+			}
+			ni.Base = remapOperand(ci.Base)
+			if ci.Sel.Kind == ir.SelIndex {
+				ni.Sel.Index = remapOperand(ci.Sel.Index)
+			}
+			ni.AP = remapAP(ci.AP)
+			if nv, ok := varMap[ci.Var]; ok {
+				ni.Var = nv
+			}
+			switch ci.Op {
+			case ir.OpJump:
+				ni.Target = blockMap[ci.Target]
+			case ir.OpBranch:
+				ni.Then = blockMap[ci.Then]
+				ni.Else = blockMap[ci.Else]
+			case ir.OpReturn:
+				// RETURN becomes: result := value; jump cont.
+				if resVar != nil && len(ni.Args) > 0 {
+					nb.Instrs = append(nb.Instrs, ir.Instr{
+						Op: ir.OpSetVar, Var: resVar, Args: ni.Args, Pos: ni.Pos,
+					})
+				}
+				ni = ir.Instr{Op: ir.OpJump, Target: cont}
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+	}
+
+	// Rewrite the call site: bind arguments, then jump to the entry clone.
+	pre := b.Instrs[:ii:ii]
+	for k, v := range callee.Params {
+		if k >= len(call.Args) {
+			break
+		}
+		pre = append(pre, ir.Instr{
+			Op: ir.OpSetVar, Var: varMap[v], Args: []ir.Operand{call.Args[k]}, Pos: call.Pos,
+		})
+	}
+	pre = append(pre, ir.Instr{Op: ir.OpJump, Target: blockMap[callee.Entry]})
+	b.Instrs = pre
+
+	// The continuation starts by materializing the return value.
+	if resVar != nil {
+		cont.Instrs = append([]ir.Instr{{
+			Op: ir.OpCopy, Dst: call.Dst, Args: []ir.Operand{ir.V(resVar)}, Type: call.Type, Pos: call.Pos,
+		}}, cont.Instrs...)
+	}
+}

@@ -1,0 +1,245 @@
+package opt_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+	"tbaa/internal/types"
+)
+
+const dispatchProg = `
+MODULE M;
+TYPE
+  Shape = OBJECT s: INTEGER; METHODS area(): INTEGER := BaseArea; END;
+  Square = Shape OBJECT OVERRIDES area := SquareArea; END;
+PROCEDURE BaseArea(self: Shape): INTEGER = BEGIN RETURN 0; END BaseArea;
+PROCEDURE SquareArea(self: Square): INTEGER = BEGIN RETURN self.s * self.s; END SquareArea;
+VAR q: Square; total, i: INTEGER;
+BEGIN
+  q := NEW(Square);
+  q.s := 3;
+  total := 0;
+  FOR i := 1 TO 4 DO
+    total := total + q.area();
+  END;
+  PutInt(total); PutLn();
+END M.
+`
+
+func countOps(prog *ir.Program, op ir.Op) int {
+	n := 0
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestDevirtualizeResolvesMonomorphic(t *testing.T) {
+	prog, _, err := driver.Compile("d.m3", dispatchProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countOps(prog, ir.OpMethodCall)
+	if before == 0 {
+		t.Fatal("expected a method call")
+	}
+	resolved := opt.Devirtualize(prog, nil)
+	// q has static type Square which has no subtypes: unique target.
+	if resolved != before {
+		t.Errorf("resolved %d of %d method calls", resolved, before)
+	}
+	if countOps(prog, ir.OpMethodCall) != 0 {
+		t.Error("method calls remain after devirtualization")
+	}
+	in := interp.New(prog)
+	out, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "36\n" {
+		t.Errorf("output after devirt: %q", out)
+	}
+}
+
+func TestDevirtualizeKeepsPolymorphic(t *testing.T) {
+	prog, _, err := driver.Compile("p.m3", `
+MODULE M;
+TYPE
+  Shape = OBJECT METHODS area(): INTEGER := BaseArea; END;
+  Square = Shape OBJECT OVERRIDES area := SquareArea; END;
+PROCEDURE BaseArea(self: Shape): INTEGER = BEGIN RETURN 1; END BaseArea;
+PROCEDURE SquareArea(self: Square): INTEGER = BEGIN RETURN 2; END SquareArea;
+VAR s: Shape; x: INTEGER;
+BEGIN
+  s := NEW(Square);
+  x := s.area();
+  PutInt(x); PutLn();
+END M.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := opt.Devirtualize(prog, nil)
+	if resolved != 0 {
+		t.Errorf("polymorphic call resolved without refinement: %d", resolved)
+	}
+	// With SMTypeRefs refinement the receiver can still be Square or
+	// Shape (the declared-type cone includes both impls), so it stays.
+	a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	refine := func(o *types.Object) []int {
+		refs := a.TypeRefs(o)
+		if refs == nil {
+			return nil
+		}
+		var ids []int
+		for id := range refs {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	resolved = opt.Devirtualize(prog, refine)
+	// s := NEW(Square) merges Shape with Square, so both types remain
+	// possible and both impls are candidates; still unresolved.
+	if countOps(prog, ir.OpMethodCall) == 0 && resolved == 0 {
+		t.Error("inconsistent devirtualization state")
+	}
+	in := interp.New(prog)
+	out, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "2\n" {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestInlineSmallCalls(t *testing.T) {
+	src := `
+MODULE M;
+PROCEDURE Add(a, b: INTEGER): INTEGER = BEGIN RETURN a + b; END Add;
+PROCEDURE Twice(x: INTEGER): INTEGER = BEGIN RETURN Add(x, x); END Twice;
+VAR r, i: INTEGER;
+BEGIN
+  r := 0;
+  FOR i := 1 TO 5 DO
+    r := Add(r, Twice(i));
+  END;
+  PutInt(r); PutLn();
+END M.
+`
+	prog, _, err := driver.Compile("i.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, _, err := driver.Run("i.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := opt.Inline(prog)
+	if n == 0 {
+		t.Fatal("nothing inlined")
+	}
+	in := interp.New(prog)
+	out2, err := in.Run()
+	if err != nil {
+		t.Fatalf("run after inline: %v", err)
+	}
+	if out1 != out2 {
+		t.Fatalf("inline changed output: %q vs %q", out1, out2)
+	}
+	if in.Stats().Calls >= 11 {
+		t.Errorf("calls not reduced: %d", in.Stats().Calls)
+	}
+}
+
+func TestInlineByRefAndHeap(t *testing.T) {
+	src := `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+PROCEDURE Bump(VAR x: INTEGER) = BEGIN x := x + 1; END Bump;
+PROCEDURE GetF(t: T): INTEGER = BEGIN RETURN t.f; END GetF;
+VAR t: T; v: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 10;
+  Bump(t.f);
+  v := GetF(t);
+  PutInt(v); PutLn();
+END M.
+`
+	prog, _, err := driver.Compile("b.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := opt.Inline(prog)
+	if n < 2 {
+		t.Fatalf("expected 2 inlines, got %d", n)
+	}
+	in := interp.New(prog)
+	out, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "11\n" {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestDevirtInlineThenRLE(t *testing.T) {
+	// The full Figure 11 pipeline: Minv + inlining then RLE.
+	prog, _, err := driver.Compile("f11.m3", dispatchProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Devirtualize(prog, nil)
+	opt.Inline(prog)
+	o := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	mr := modref.Compute(prog)
+	opt.RLE(prog, o, mr)
+	in := interp.New(prog)
+	out, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "36\n" {
+		t.Errorf("output after full pipeline: %q", out)
+	}
+}
+
+func TestInlineRecursionGuard(t *testing.T) {
+	src := `
+MODULE M;
+PROCEDURE Fact(n: INTEGER): INTEGER =
+BEGIN
+  IF n <= 1 THEN RETURN 1; END;
+  RETURN n * Fact(n - 1);
+END Fact;
+BEGIN
+  PutInt(Fact(6)); PutLn();
+END M.
+`
+	prog, _, err := driver.Compile("r.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Inline(prog) // must terminate and stay correct
+	in := interp.New(prog)
+	out, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "720\n" {
+		t.Errorf("output: %q", out)
+	}
+}

@@ -1,0 +1,592 @@
+// Package opt implements the optimizations the paper evaluates TBAA with:
+// redundant load elimination (RLE — loop-invariant load motion plus
+// common-subexpression elimination of memory references, Section 3.4.1),
+// and method invocation resolution with inlining (Section 3.7).
+package opt
+
+import (
+	"fmt"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/cfg"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+)
+
+// RLEResult reports what RLE removed.
+type RLEResult struct {
+	// Hoisted counts loop-invariant source-level loads moved to preheaders.
+	Hoisted int
+	// Eliminated counts loads replaced by register references (CSE).
+	Eliminated int
+	// PerProc breaks the total down by procedure name.
+	PerProc map[string]int
+}
+
+// Removed returns the total number of statically removed loads
+// (the paper's Table 6 metric).
+func (r RLEResult) Removed() int { return r.Hoisted + r.Eliminated }
+
+// RLE runs redundant load elimination over every procedure, using the
+// given alias oracle and mod-ref summaries to decide what stores and
+// calls kill. It mutates the program.
+func RLE(prog *ir.Program, o alias.Oracle, mr *modref.ModRef) RLEResult {
+	res := RLEResult{PerProc: make(map[string]int)}
+	for _, p := range prog.Procs {
+		r := rleProc(prog, p, o, mr)
+		res.Hoisted += r.Hoisted
+		res.Eliminated += r.Eliminated
+		if n := r.Hoisted + r.Eliminated; n > 0 {
+			res.PerProc[p.Name] = n
+		}
+	}
+	return res
+}
+
+func rleProc(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) RLEResult {
+	var res RLEResult
+	res.Hoisted = hoistLoads(prog, p, o, mr)
+	res.Eliminated = cseLoads(prog, p, o, mr)
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Loop-invariant load motion
+
+func hoistLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) int {
+	p.ComputeCFGEdges()
+	dom := cfg.ComputeDominators(p)
+	loops := cfg.FindLoops(p, dom)
+	if len(loops) == 0 {
+		return 0
+	}
+	for _, l := range loops {
+		cfg.EnsurePreheader(p, l)
+	}
+	// Preheader insertion changed the CFG; recompute.
+	dom = cfg.ComputeDominators(p)
+	loops = cfg.FindLoops(p, dom)
+	// Innermost first so hoisted loads can cascade outward.
+	ordered := make([]*cfg.Loop, len(loops))
+	copy(ordered, loops)
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			if ordered[j].Depth > ordered[i].Depth {
+				ordered[i], ordered[j] = ordered[j], ordered[i]
+			}
+		}
+	}
+	total := 0
+	for _, l := range ordered {
+		cfg.EnsurePreheader(p, l)
+		total += hoistFromLoop(prog, p, l, dom, o, mr)
+		// Moving instructions does not change block structure, but new
+		// preheaders might have; recompute dominators defensively.
+		dom = cfg.ComputeDominators(p)
+	}
+	return total
+}
+
+type loopEnv struct {
+	prog *ir.Program
+	l    *cfg.Loop
+	dom  *cfg.Dominators
+	o    alias.Oracle
+	mr   *modref.ModRef
+	// defs maps registers to their defining instruction inside the loop.
+	defs map[ir.Reg]*ir.Instr
+	// defBlock maps in-loop defining instructions to their blocks.
+	defBlock map[*ir.Instr]*ir.Block
+	// varsWritten are variables assigned inside the loop.
+	varsWritten map[*ir.Var]bool
+	// locsWritten reports a store through a location or a call that may
+	// write through locations inside the loop.
+	locsWritten bool
+	// stores are the access paths of stores inside the loop.
+	stores []*ir.AP
+	// calls are the call instructions inside the loop.
+	calls []*ir.Instr
+	// hoistMemo caches hoistability per instruction.
+	hoistMemo map[*ir.Instr]bool
+}
+
+func hoistFromLoop(prog *ir.Program, p *ir.Proc, l *cfg.Loop, dom *cfg.Dominators, o alias.Oracle, mr *modref.ModRef) int {
+	env := &loopEnv{
+		prog: prog, l: l, dom: dom, o: o, mr: mr,
+		defs:        make(map[ir.Reg]*ir.Instr),
+		defBlock:    make(map[*ir.Instr]*ir.Block),
+		varsWritten: make(map[*ir.Var]bool),
+		hoistMemo:   make(map[*ir.Instr]bool),
+	}
+	for b := range l.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if r := in.DefinedReg(); r != ir.NoReg {
+				env.defs[r] = in
+				env.defBlock[in] = b
+			}
+			switch in.Op {
+			case ir.OpSetVar, ir.OpStoreVarField:
+				env.varsWritten[in.Var] = true
+				if in.Op == ir.OpStoreVarField && in.AP != nil {
+					env.stores = append(env.stores, in.AP)
+				}
+			case ir.OpStore:
+				if in.AP != nil {
+					env.stores = append(env.stores, in.AP)
+				}
+				if in.Sel.Kind == ir.SelDeref {
+					env.locsWritten = true
+				}
+			case ir.OpCall, ir.OpMethodCall:
+				env.calls = append(env.calls, in)
+				eff := mr.CallEffects(in)
+				for g := range eff.ModGlobals {
+					env.varsWritten[g] = true
+				}
+				if eff.WritesThroughLocs {
+					env.locsWritten = true
+				}
+			}
+		}
+	}
+	// Decide hoistability starting from source-level loads only; dope
+	// loads ride along as dependencies (matching the paper's AST-level
+	// expression granularity).
+	var toMove []*ir.Instr
+	moved := make(map[*ir.Instr]bool)
+	sourceHoisted := 0
+	for _, b := range orderedLoopBlocks(p, l) {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpLoad || in.AP == nil || in.AP.IsDope() {
+				continue
+			}
+			if env.hoistable(in) {
+				chain := env.collectChain(in, moved)
+				toMove = append(toMove, chain...)
+				sourceHoisted++
+			}
+		}
+	}
+	if len(toMove) == 0 {
+		return 0
+	}
+	// Remove the moved instructions from their blocks.
+	moveSet := make(map[*ir.Instr]bool, len(toMove))
+	for _, in := range toMove {
+		moveSet[in] = true
+	}
+	movedCopies := make(map[*ir.Instr]ir.Instr, len(toMove))
+	for b := range l.Blocks {
+		kept := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if moveSet[in] {
+				cp := *in
+				cp.Speculative = true
+				movedCopies[in] = cp
+				continue
+			}
+			kept = append(kept, *in)
+		}
+		// Rebuilding the slice invalidates interior pointers for this
+		// block; that is fine because moveSet membership was by pointer
+		// captured before the rebuild.
+		b.Instrs = append([]ir.Instr{}, kept...)
+	}
+	// Insert at the end of the preheader, before its terminator, in
+	// dependency order.
+	ph := l.Preheader
+	term := ph.Instrs[len(ph.Instrs)-1]
+	body := ph.Instrs[:len(ph.Instrs)-1]
+	for _, in := range toMove {
+		body = append(body, movedCopies[in])
+	}
+	ph.Instrs = append(body, term)
+	return sourceHoisted
+}
+
+// orderedLoopBlocks returns the loop's blocks in procedure order for
+// deterministic hoisting.
+func orderedLoopBlocks(p *ir.Proc, l *cfg.Loop) []*ir.Block {
+	var bs []*ir.Block
+	for _, b := range p.Blocks {
+		if l.Blocks[b] {
+			bs = append(bs, b)
+		}
+	}
+	return bs
+}
+
+// collectChain returns in (and its not-yet-collected load dependencies)
+// in dependency-first order.
+func (env *loopEnv) collectChain(in *ir.Instr, moved map[*ir.Instr]bool) []*ir.Instr {
+	var chain []*ir.Instr
+	var walk func(i *ir.Instr)
+	walk = func(i *ir.Instr) {
+		if moved[i] {
+			return
+		}
+		moved[i] = true
+		if i.Base.Kind == ir.RegOp {
+			if def := env.defs[i.Base.Reg]; def != nil {
+				walk(def)
+			}
+		}
+		chain = append(chain, i)
+	}
+	walk(in)
+	return chain
+}
+
+// hoistable decides whether a load can move to the preheader.
+func (env *loopEnv) hoistable(in *ir.Instr) bool {
+	if v, ok := env.hoistMemo[in]; ok {
+		return v
+	}
+	env.hoistMemo[in] = false // cycle guard
+	ok := env.hoistableUncached(in)
+	env.hoistMemo[in] = ok
+	return ok
+}
+
+func (env *loopEnv) hoistableUncached(in *ir.Instr) bool {
+	if in.Op != ir.OpLoad || in.AP == nil {
+		return false
+	}
+	// Must execute on every iteration (paper Section 3.4.1): its block
+	// dominates every latch.
+	b := env.defBlock[in]
+	if b == nil {
+		// Loads without destinations do not exist; defBlock covers all.
+		return false
+	}
+	for _, latch := range env.l.Latches {
+		if !env.dom.Dominates(b, latch) {
+			return false
+		}
+	}
+	// Nothing in the loop may overwrite the loaded location. Dope-vector
+	// fields are immutable after allocation, so only source-level paths
+	// need the store/call check.
+	if !in.AP.IsDope() {
+		if env.killedInLoop(in.AP) {
+			return false
+		}
+	}
+	// The base must be invariant: a constant, an unmodified variable, or
+	// a register defined outside the loop or by a hoistable load.
+	if !env.invariantOperand(in.Base, true) {
+		return false
+	}
+	if in.Sel.Kind == ir.SelIndex && !env.invariantOperand(in.Sel.Index, false) {
+		return false
+	}
+	return true
+}
+
+func (env *loopEnv) invariantOperand(o ir.Operand, allowLoadChain bool) bool {
+	switch o.Kind {
+	case ir.ConstOp, ir.NoOperand:
+		return true
+	case ir.VarOp:
+		v := o.Var
+		if env.varsWritten[v] {
+			return false
+		}
+		if env.locsWritten && env.prog.AddressTakenVars[v] {
+			return false
+		}
+		return true
+	case ir.RegOp:
+		def := env.defs[o.Reg]
+		if def == nil {
+			return true // defined outside the loop
+		}
+		if allowLoadChain && def.Op == ir.OpLoad {
+			return env.hoistable(def)
+		}
+		return false
+	}
+	return false
+}
+
+// killedInLoop reports whether any store, variable write, or call in the
+// loop may overwrite ap or a variable it depends on.
+func (env *loopEnv) killedInLoop(ap *ir.AP) bool {
+	at := env.prog.AddressTakenVars
+	for v := range env.varsWritten {
+		if modref.VarWriteKills(ap, v, at) {
+			return true
+		}
+	}
+	for _, st := range env.stores {
+		if env.o.MayAlias(ap, st) {
+			return true
+		}
+		if last := st.Last(); last != nil && last.Kind == ir.SelDeref {
+			if modref.LocStoreKills(ap, st.Type().ID(), at) {
+				return true
+			}
+		}
+	}
+	for _, call := range env.calls {
+		if modref.MayModify(env.mr.CallEffects(call), ap, env.o, at) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Available-load CSE
+
+// apClass is one syntactic access-path equivalence class.
+type apClass struct {
+	ap     *ir.AP
+	shadow *ir.Var // lazily allocated
+}
+
+func cseLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) int {
+	p.ComputeCFGEdges()
+	// 1. Collect classes.
+	var classes []*apClass
+	classOf := func(ap *ir.AP) int {
+		for i, c := range classes {
+			if c.ap.Equal(ap) {
+				return i
+			}
+		}
+		classes = append(classes, &apClass{ap: ap})
+		return len(classes) - 1
+	}
+	type siteKey struct {
+		b   *ir.Block
+		idx int
+	}
+	genClass := make(map[siteKey]int)
+	isCandidate := func(in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpLoad:
+			return in.AP != nil && !in.AP.IsDope()
+		case ir.OpLoadVarField, ir.OpStore, ir.OpStoreVarField:
+			return in.AP != nil
+		}
+		return false
+	}
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if isCandidate(in) {
+				genClass[siteKey{b, i}] = classOf(in.AP)
+			}
+		}
+	}
+	if len(classes) == 0 {
+		return 0
+	}
+	n := len(classes)
+	at := prog.AddressTakenVars
+	kills := func(avail []bool, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpSetVar:
+			for i, c := range classes {
+				if avail[i] && modref.VarWriteKills(c.ap, in.Var, at) {
+					avail[i] = false
+				}
+			}
+		case ir.OpStore, ir.OpStoreVarField:
+			st := in.AP
+			if st == nil {
+				for i := range avail {
+					avail[i] = false
+				}
+				return
+			}
+			isDerefStore := in.Op == ir.OpStore && in.Sel.Kind == ir.SelDeref
+			for i, c := range classes {
+				if !avail[i] {
+					continue
+				}
+				if o.MayAlias(c.ap, st) {
+					avail[i] = false
+					continue
+				}
+				// A store through a location may write an address-taken
+				// variable the path depends on (its root or a subscript).
+				if isDerefStore && modref.LocStoreKills(c.ap, st.Type().ID(), at) {
+					avail[i] = false
+				}
+			}
+		case ir.OpCall, ir.OpMethodCall:
+			eff := mr.CallEffects(in)
+			for i, c := range classes {
+				if avail[i] && modref.MayModify(eff, c.ap, o, at) {
+					avail[i] = false
+				}
+			}
+		}
+	}
+	// 2. Per-block gen/out sets via abstract execution.
+	transfer := func(b *ir.Block, avail []bool, onRedundant func(idx int, cls int)) {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			cls, isGen := genClass[siteKey{b, i}]
+			if (in.Op == ir.OpLoad || in.Op == ir.OpLoadVarField) && isGen {
+				if avail[cls] && onRedundant != nil {
+					onRedundant(i, cls)
+				}
+				avail[cls] = true
+				continue
+			}
+			kills(avail, in)
+			if isGen {
+				// Stores make their own path available (store-to-load
+				// forwarding).
+				avail[cls] = true
+			}
+		}
+	}
+	rpo := cfg.ReversePostorder(p)
+	availIn := make(map[*ir.Block][]bool, len(rpo))
+	availOut := make(map[*ir.Block][]bool, len(rpo))
+	for _, b := range rpo {
+		availIn[b] = make([]bool, n)
+		availOut[b] = make([]bool, n)
+		top := b != p.Entry
+		for i := 0; i < n; i++ {
+			availOut[b][i] = top
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			in := availIn[b]
+			if b == p.Entry {
+				for i := range in {
+					in[i] = false
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					in[i] = true
+				}
+				for _, pred := range b.Preds {
+					po := availOut[pred]
+					if po == nil {
+						continue
+					}
+					for i := 0; i < n; i++ {
+						if !po[i] {
+							in[i] = false
+						}
+					}
+				}
+			}
+			out := make([]bool, n)
+			copy(out, in)
+			transfer(b, out, nil)
+			if !boolsEqual(out, availOut[b]) {
+				availOut[b] = out
+				changed = true
+			}
+		}
+	}
+	// 3. Find redundant loads and the classes that need shadow variables.
+	type redKey struct {
+		b   *ir.Block
+		idx int
+	}
+	redundant := make(map[redKey]int)
+	needShadow := make(map[int]bool)
+	for _, b := range rpo {
+		avail := make([]bool, n)
+		copy(avail, availIn[b])
+		transfer(b, avail, func(idx, cls int) {
+			redundant[redKey{b, idx}] = cls
+			needShadow[cls] = true
+		})
+	}
+	if len(redundant) == 0 {
+		return 0
+	}
+	for cls := range needShadow {
+		c := classes[cls]
+		c.shadow = &ir.Var{
+			Name: fmt.Sprintf("$rle%d", cls),
+			Type: c.ap.Type(),
+			Kind: ir.LocalVar,
+			Slot: len(p.Params) + len(p.Locals),
+		}
+		p.Locals = append(p.Locals, c.shadow)
+	}
+	// 4. Rewrite.
+	for _, b := range rpo {
+		var out []ir.Instr
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			key := siteKey{b, i}
+			cls, isGen := genClass[key]
+			if rcls, isRed := redundant[redKey{b, i}]; isRed {
+				// Replace the load with a copy from the shadow variable.
+				out = append(out, ir.Instr{
+					Op: ir.OpCopy, Dst: in.Dst,
+					Args: []ir.Operand{ir.V(classes[rcls].shadow)},
+					Type: in.Type, Pos: in.Pos,
+				})
+				continue
+			}
+			out = append(out, in)
+			if isGen && needShadow[cls] {
+				sh := classes[cls].shadow
+				switch in.Op {
+				case ir.OpLoad, ir.OpLoadVarField:
+					out = append(out, ir.Instr{Op: ir.OpSetVar, Var: sh,
+						Args: []ir.Operand{ir.R(in.Dst)}, Pos: in.Pos})
+				case ir.OpStore, ir.OpStoreVarField:
+					out = append(out, ir.Instr{Op: ir.OpSetVar, Var: sh,
+						Args: []ir.Operand{in.Args[0]}, Pos: in.Pos})
+				}
+			}
+		}
+		b.Instrs = out
+	}
+	return len(redundant)
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HoistOnly runs just the loop-invariant motion phase (for debugging and
+// ablation benches).
+func HoistOnly(prog *ir.Program, o alias.Oracle, mr *modref.ModRef) int {
+	n := 0
+	for _, p := range prog.Procs {
+		n += hoistLoads(prog, p, o, mr)
+	}
+	return n
+}
+
+// CSEOnly runs just the available-load elimination phase.
+func CSEOnly(prog *ir.Program, o alias.Oracle, mr *modref.ModRef) int {
+	n := 0
+	for _, p := range prog.Procs {
+		n += cseLoads(prog, p, o, mr)
+	}
+	return n
+}
+
+// HoistOnlyProc hoists within a single procedure (debugging helper).
+func HoistOnlyProc(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) int {
+	return hoistLoads(prog, p, o, mr)
+}

@@ -1,0 +1,423 @@
+package opt_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+)
+
+// runPlain executes a program without optimization.
+func runPlain(t *testing.T, src string) (string, interp.Stats) {
+	t.Helper()
+	out, stats, err := driver.Run("test.m3", src)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out, stats
+}
+
+// runRLE compiles, applies RLE under the given level, executes, and
+// returns output, stats, and the static removal counts.
+func runRLE(t *testing.T, src string, level alias.Level) (string, interp.Stats, opt.RLEResult) {
+	t.Helper()
+	prog, _, err := driver.Compile("test.m3", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	o := alias.New(prog, alias.Options{Level: level})
+	mr := modref.Compute(prog)
+	res := opt.RLE(prog, o, mr)
+	in := interp.New(prog)
+	out, err := in.Run()
+	if err != nil {
+		t.Fatalf("run after RLE: %v", err)
+	}
+	return out, in.Stats(), res
+}
+
+// checkSame verifies RLE preserves output and reduces heap loads.
+func checkSame(t *testing.T, src string, level alias.Level, wantFewerLoads bool) opt.RLEResult {
+	t.Helper()
+	out1, stats1 := runPlain(t, src)
+	out2, stats2, res := runRLE(t, src, level)
+	if out1 != out2 {
+		t.Fatalf("RLE changed output:\n--- before\n%s\n--- after\n%s", out1, out2)
+	}
+	if wantFewerLoads && stats2.HeapLoads >= stats1.HeapLoads {
+		t.Errorf("RLE did not reduce heap loads: before=%d after=%d (removed %d static)",
+			stats1.HeapLoads, stats2.HeapLoads, res.Removed())
+	}
+	return res
+}
+
+// Figure 6 of the paper: loop-invariant load a.b^ hoisted out of a loop.
+const fig6 = `
+MODULE Fig6;
+TYPE
+  Inner = REF INTEGER;
+  Outer = OBJECT b: Inner; END;
+  A = ARRAY OF INTEGER;
+VAR a: Outer; arr: A; i, x: INTEGER;
+BEGIN
+  a := NEW(Outer);
+  a.b := NEW(Inner);
+  a.b^ := 7;
+  arr := NEW(A, 100);
+  FOR i := 0 TO 99 DO
+    arr[i] := a.b^;
+  END;
+  x := 0;
+  FOR i := 0 TO 99 DO
+    x := x + arr[i];
+  END;
+  PutInt(x); PutLn();
+END Fig6.
+`
+
+func TestLoopInvariantHoisting(t *testing.T) {
+	res := checkSame(t, fig6, alias.LevelSMFieldTypeRefs, true)
+	if res.Hoisted < 2 {
+		t.Errorf("expected at least 2 hoisted loads (a.b and a.b^), got %d", res.Hoisted)
+	}
+}
+
+// Figure 7 of the paper: fully redundant load eliminated by CSE.
+const fig7 = `
+MODULE Fig7;
+TYPE
+  Inner = REF INTEGER;
+  Outer = OBJECT b: Inner; END;
+VAR a: Outer; x, y: INTEGER; cond: BOOLEAN;
+BEGIN
+  a := NEW(Outer);
+  a.b := NEW(Inner);
+  a.b^ := 3;
+  cond := TRUE;
+  IF cond THEN
+    x := a.b^;
+  ELSE
+    x := a.b^ + 1;
+  END;
+  y := a.b^; (* redundant: available on both paths *)
+  PutInt(x + y); PutLn();
+END Fig7.
+`
+
+func TestRedundantLoadCSE(t *testing.T) {
+	res := checkSame(t, fig7, alias.LevelSMFieldTypeRefs, true)
+	if res.Eliminated < 1 {
+		t.Errorf("expected CSE to eliminate the post-IF load, got %d", res.Eliminated)
+	}
+}
+
+func TestStoreKillsAliasedLoad(t *testing.T) {
+	// A store to t.f must kill availability of s.f when t and s may
+	// alias, but not under an analysis that proves independence.
+	src := `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t, s: T; x, y: INTEGER;
+BEGIN
+  t := NEW(T);
+  s := t; (* t and s DO alias *)
+  t.f := 1;
+  x := s.f;
+  t.f := 99;
+  y := s.f;
+  PutInt(x + y); PutLn();
+END M.
+`
+	out1, _ := runPlain(t, src)
+	out2, _, _ := runRLE(t, src, alias.LevelSMFieldTypeRefs)
+	if out1 != out2 || out1 != "100\n" {
+		t.Fatalf("aliased store handling broken: before=%q after=%q", out1, out2)
+	}
+}
+
+func TestIndependentStoreDoesNotKill(t *testing.T) {
+	// Stores to an unrelated type must not kill availability under
+	// FieldTypeDecl (different fields).
+	src := `
+MODULE M;
+TYPE T = OBJECT f, g: INTEGER; END;
+VAR t: T; x, y, i: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 5;
+  x := 0;
+  FOR i := 1 TO 10 DO
+    t.g := i;      (* different field: must not kill t.f *)
+    x := x + t.f;
+  END;
+  PutInt(x); PutLn();
+END M.
+`
+	_, stats1 := runPlain(t, src)
+	_, stats2, res := runRLE(t, src, alias.LevelFieldTypeDecl)
+	if res.Removed() == 0 {
+		t.Error("FieldTypeDecl should enable removing the t.f loop load")
+	}
+	if stats2.HeapLoads >= stats1.HeapLoads {
+		t.Errorf("loads not reduced: %d -> %d", stats1.HeapLoads, stats2.HeapLoads)
+	}
+	// Under TypeDecl the store t.g := i kills t.f (same declared types,
+	// fields invisible), so the in-loop load survives.
+	_, _, resTD := runRLE(t, src, alias.LevelTypeDecl)
+	if resTD.Removed() > res.Removed() {
+		t.Errorf("TypeDecl removed more loads (%d) than FieldTypeDecl (%d)",
+			resTD.Removed(), res.Removed())
+	}
+}
+
+func TestCallKillsThroughModRef(t *testing.T) {
+	src := `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T;
+PROCEDURE Clobber() =
+BEGIN
+  t.f := t.f + 1;
+END Clobber;
+PROCEDURE Pure(x: INTEGER): INTEGER =
+BEGIN
+  RETURN x * 2;
+END Pure;
+VAR a, b, c: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 10;
+  a := t.f;
+  Clobber();        (* must kill t.f *)
+  b := t.f;
+  c := Pure(b);     (* must NOT kill t.f *)
+  c := c + t.f;
+  PutInt(a); PutInt(b); PutInt(c); PutLn();
+END M.
+`
+	out1, _ := runPlain(t, src)
+	out2, _, _ := runRLE(t, src, alias.LevelSMFieldTypeRefs)
+	if out1 != out2 {
+		t.Fatalf("mod-ref kill broken: before=%q after=%q", out1, out2)
+	}
+	if out1 != "101133\n" {
+		t.Fatalf("unexpected program output %q", out1)
+	}
+}
+
+func TestByRefWriteKills(t *testing.T) {
+	src := `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+PROCEDURE Set(VAR x: INTEGER; v: INTEGER) =
+BEGIN
+  x := v;
+END Set;
+VAR t: T; a, b: INTEGER;
+BEGIN
+  t := NEW(T);
+  t.f := 1;
+  a := t.f;
+  Set(t.f, 42);  (* writes through the taken address *)
+  b := t.f;
+  PutInt(a); PutInt(b); PutLn();
+END M.
+`
+	out1, _ := runPlain(t, src)
+	out2, _, _ := runRLE(t, src, alias.LevelSMFieldTypeRefs)
+	if out1 != out2 || out1 != "142\n" {
+		t.Fatalf("by-ref kill broken: before=%q after=%q", out1, out2)
+	}
+}
+
+func TestZeroTripLoopSafe(t *testing.T) {
+	// Hoisted loads are speculative: a NIL pointer in a loop that never
+	// runs must not trap.
+	src := `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+VAR t: T; i, x: INTEGER; n: INTEGER;
+BEGIN
+  t := NIL;
+  n := 0;
+  x := 0;
+  FOR i := 1 TO n DO
+    x := x + t.f;
+  END;
+  PutInt(x); PutLn();
+END M.
+`
+	out1, _ := runPlain(t, src)
+	out2, _, _ := runRLE(t, src, alias.LevelSMFieldTypeRefs)
+	if out1 != out2 {
+		t.Fatalf("zero-trip loop broken: before=%q after=%q", out1, out2)
+	}
+}
+
+func TestDopeLoadsRemainInVaryingSubscriptLoops(t *testing.T) {
+	// The paper's "Encapsulation" category: with a varying subscript the
+	// element load is genuinely needed, and the implicit dope-vector
+	// loads stay in the loop (RLE operates on source-level expressions).
+	src := `
+MODULE M;
+TYPE A = ARRAY OF INTEGER;
+VAR a: A; i, x: INTEGER;
+BEGIN
+  a := NEW(A, 50);
+  FOR i := 0 TO 49 DO a[i] := i; END;
+  x := 0;
+  FOR i := 0 TO 49 DO x := x + a[i]; END;
+  PutInt(x); PutLn();
+END M.
+`
+	_, stats2, _ := runRLE(t, src, alias.LevelSMFieldTypeRefs)
+	if stats2.DopeLoads < 100 {
+		t.Errorf("dope loads should remain in varying-subscript loops, got %d", stats2.DopeLoads)
+	}
+}
+
+func TestAllLevelsPreserveSemantics(t *testing.T) {
+	srcs := []string{fig6, fig7}
+	for _, src := range srcs {
+		for _, lvl := range []alias.Level{alias.LevelTypeDecl, alias.LevelFieldTypeDecl, alias.LevelSMFieldTypeRefs} {
+			out1, _ := runPlain(t, src)
+			out2, _, _ := runRLE(t, src, lvl)
+			if out1 != out2 {
+				t.Errorf("level %v changed output", lvl)
+			}
+		}
+	}
+}
+
+func TestMethodCallKills(t *testing.T) {
+	src := `
+MODULE M;
+TYPE
+  Box = OBJECT v: INTEGER; METHODS poke() := Poke; nop() := Nop; END;
+PROCEDURE Poke(self: Box) = BEGIN self.v := self.v + 1; END Poke;
+PROCEDURE Nop(self: Box) = BEGIN END Nop;
+VAR b: Box; x, y, z: INTEGER;
+BEGIN
+  b := NEW(Box);
+  b.v := 5;
+  x := b.v;
+  b.poke();    (* kills b.v *)
+  y := b.v;
+  b.nop();     (* no effect; load may be reused *)
+  z := b.v;
+  PutInt(x); PutInt(y); PutInt(z); PutLn();
+END M.
+`
+	out1, _ := runPlain(t, src)
+	out2, _, res := runRLE(t, src, alias.LevelSMFieldTypeRefs)
+	if out1 != out2 || out1 != "566\n" {
+		t.Fatalf("method kill broken: before=%q after=%q", out1, out2)
+	}
+	if res.Eliminated < 1 {
+		t.Errorf("load after nop() should be eliminated, removed=%d", res.Eliminated)
+	}
+}
+
+func TestUpperBoundOracleRemovesMore(t *testing.T) {
+	// AssumeNone (perfect-analysis stand-in) must remove at least as many
+	// loads as any real analysis.
+	src := fig7
+	prog1, _, err := driver.Compile("a.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr1 := modref.Compute(prog1)
+	resSM := opt.RLE(prog1, alias.New(prog1, alias.Options{Level: alias.LevelSMFieldTypeRefs}), mr1)
+	prog2, _, err := driver.Compile("b.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr2 := modref.Compute(prog2)
+	resNone := opt.RLE(prog2, alias.AssumeNone{}, mr2)
+	if resNone.Removed() < resSM.Removed() {
+		t.Errorf("upper bound removed %d < TBAA removed %d", resNone.Removed(), resSM.Removed())
+	}
+}
+
+func TestRLEIdempotent(t *testing.T) {
+	prog, _, err := driver.Compile("x.m3", fig6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	mr := modref.Compute(prog)
+	opt.RLE(prog, o, mr)
+	res2 := opt.RLE(prog, o, mr)
+	if res2.Eliminated > 0 {
+		t.Errorf("second RLE pass still eliminated %d loads", res2.Eliminated)
+	}
+	in := interp.New(prog)
+	out, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "700\n" {
+		t.Errorf("output after double RLE: %q", out)
+	}
+}
+
+func TestModRefDispatchBounded(t *testing.T) {
+	prog, _, err := driver.Compile("d.m3", `
+MODULE M;
+TYPE
+  Base = OBJECT METHODS m() := BaseM; END;
+  Kid = Base OBJECT OVERRIDES m := KidM; END;
+  Other = OBJECT METHODS m() := OtherM; END;
+PROCEDURE BaseM(self: Base) = BEGIN END BaseM;
+PROCEDURE KidM(self: Kid) = BEGIN END KidM;
+PROCEDURE OtherM(self: Other) = BEGIN END OtherM;
+VAR b: Base; o: Other;
+BEGIN
+  b := NEW(Kid);
+  b.m();
+  o := NEW(Other);
+  o.m();
+END M.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := modref.Compute(prog)
+	var dispatches [][]*ir.Proc
+	for _, p := range prog.Procs {
+		for _, blk := range p.Blocks {
+			for i := range blk.Instrs {
+				if blk.Instrs[i].Op == ir.OpMethodCall {
+					dispatches = append(dispatches, mr.Dispatch(&blk.Instrs[i]))
+				}
+			}
+		}
+	}
+	if len(dispatches) != 2 {
+		t.Fatalf("expected 2 method calls, got %d", len(dispatches))
+	}
+	// b.m() may hit BaseM or KidM but never OtherM.
+	if len(dispatches[0]) != 2 {
+		t.Errorf("b.m() dispatch set: %v", names(dispatches[0]))
+	}
+	for _, p := range dispatches[0] {
+		if p.Name == "OtherM" {
+			t.Error("b.m() must not dispatch to OtherM")
+		}
+	}
+	if len(dispatches[1]) != 1 || dispatches[1][0].Name != "OtherM" {
+		t.Errorf("o.m() dispatch set: %v", names(dispatches[1]))
+	}
+}
+
+func names(ps []*ir.Proc) []string {
+	var out []string
+	for _, p := range ps {
+		out = append(out, p.Name)
+	}
+	return out
+}

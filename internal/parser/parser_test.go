@@ -1,0 +1,257 @@
+package parser
+
+import (
+	"reflect"
+	"testing"
+
+	"tbaa/internal/ast"
+)
+
+const tinyModule = `
+MODULE Tiny;
+
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT x: INTEGER; END;
+  IntArray = ARRAY OF INTEGER;
+  R = RECORD a, b: INTEGER; END;
+  PR = REF R;
+
+VAR
+  t: T;
+  s: S1;
+
+PROCEDURE Sum(a: IntArray; VAR out: INTEGER): INTEGER =
+VAR i, acc: INTEGER;
+BEGIN
+  acc := 0;
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    acc := acc + a[i];
+  END;
+  out := acc;
+  RETURN acc;
+END Sum;
+
+BEGIN
+  t := NEW(T);
+  s := NEW(S1);
+  t.f := s;
+END Tiny.
+`
+
+func TestParseTiny(t *testing.T) {
+	m, err := Parse("tiny.m3", tinyModule)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if m.Name != "Tiny" {
+		t.Errorf("module name %q", m.Name)
+	}
+	var typeCount, varCount, procCount int
+	for _, d := range m.Decls {
+		switch d.(type) {
+		case *ast.TypeDecl:
+			typeCount++
+		case *ast.VarDecl:
+			varCount++
+		case *ast.ProcDecl:
+			procCount++
+		}
+	}
+	if typeCount != 5 || varCount != 2 || procCount != 1 {
+		t.Errorf("decl counts: types=%d vars=%d procs=%d", typeCount, varCount, procCount)
+	}
+	if len(m.Body) != 3 {
+		t.Errorf("body statements: %d", len(m.Body))
+	}
+}
+
+func TestParseObjectWithMethods(t *testing.T) {
+	src := `
+MODULE M;
+TYPE
+  Shape = OBJECT
+    id: INTEGER;
+  METHODS
+    area(): INTEGER := ShapeArea;
+    move(dx: INTEGER) := ShapeMove;
+  END;
+  Circle = Shape OBJECT
+    r: INTEGER;
+  OVERRIDES
+    area := CircleArea;
+  END;
+PROCEDURE ShapeArea(self: Shape): INTEGER = BEGIN RETURN 0; END ShapeArea;
+PROCEDURE ShapeMove(self: Shape; dx: INTEGER) = BEGIN self.id := dx; END ShapeMove;
+PROCEDURE CircleArea(self: Circle): INTEGER = BEGIN RETURN 3 * self.r * self.r; END CircleArea;
+END M.
+`
+	m, err := Parse("m.m3", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	td := m.Decls[0].(*ast.TypeDecl)
+	ot := td.Type.(*ast.ObjectType)
+	if len(ot.Methods) != 2 {
+		t.Fatalf("methods: %d", len(ot.Methods))
+	}
+	if ot.Methods[0].Name != "area" || ot.Methods[0].Default != "ShapeArea" {
+		t.Errorf("method 0: %+v", ot.Methods[0])
+	}
+	td2 := m.Decls[1].(*ast.TypeDecl)
+	ot2 := td2.Type.(*ast.ObjectType)
+	if ot2.Super != "Shape" {
+		t.Errorf("super: %q", ot2.Super)
+	}
+	if len(ot2.Overrides) != 1 || ot2.Overrides[0].Proc != "CircleArea" {
+		t.Errorf("overrides: %+v", ot2.Overrides)
+	}
+}
+
+func TestParseBranded(t *testing.T) {
+	src := `
+MODULE M;
+TYPE B = BRANDED "MyBrand" OBJECT v: INTEGER; END;
+END M.
+`
+	m, err := Parse("m.m3", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ot := m.Decls[0].(*ast.TypeDecl).Type.(*ast.ObjectType)
+	if !ot.Branded || ot.Brand != "MyBrand" {
+		t.Errorf("branded: %+v", ot)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+MODULE M;
+PROCEDURE P(n: INTEGER): INTEGER =
+VAR x: INTEGER;
+BEGIN
+  x := 0;
+  IF n > 10 THEN x := 1; ELSIF n > 5 THEN x := 2; ELSE x := 3; END;
+  WHILE x < n DO INC(x); END;
+  REPEAT DEC(x); UNTIL x <= 0;
+  LOOP
+    INC(x);
+    IF x > 3 THEN EXIT; END;
+  END;
+  WITH y = x DO x := y + 1; END;
+  RETURN x;
+END P;
+END M.
+`
+	m, err := Parse("m.m3", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pd := m.Decls[0].(*ast.ProcDecl)
+	wantKinds := []string{"*ast.AssignStmt", "*ast.IfStmt", "*ast.WhileStmt",
+		"*ast.RepeatStmt", "*ast.LoopStmt", "*ast.WithStmt", "*ast.ReturnStmt"}
+	if len(pd.Body) != len(wantKinds) {
+		t.Fatalf("body has %d statements", len(pd.Body))
+	}
+	for i, s := range pd.Body {
+		if got := reflect.TypeOf(s).String(); got != wantKinds[i] {
+			t.Errorf("stmt %d: got %s want %s", i, got, wantKinds[i])
+		}
+	}
+	ifs := pd.Body[1].(*ast.IfStmt)
+	if len(ifs.Else) != 1 {
+		t.Fatalf("elsif chain not nested")
+	}
+	if _, ok := ifs.Else[0].(*ast.IfStmt); !ok {
+		t.Fatalf("elsif not an IfStmt")
+	}
+}
+
+func TestParseDesignators(t *testing.T) {
+	src := `
+MODULE M;
+PROCEDURE P() =
+BEGIN
+  a.b^[i].c := p^.q[j + 1];
+END P;
+END M.
+`
+	m, err := Parse("m.m3", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	asg := m.Decls[0].(*ast.ProcDecl).Body[0].(*ast.AssignStmt)
+	if got := ast.PathString(asg.LHS); got != "a.b^[i].c" {
+		t.Errorf("LHS path: %q", got)
+	}
+	if got := ast.PathString(asg.RHS); got != "p^.q[?]" {
+		t.Errorf("RHS path: %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"MODULE ; END X.",
+		"MODULE M; TYPE T = ; END M.",
+		"MODULE M; BEGIN x := END M.",
+		"MODULE M; PROCEDURE P() = BEGIN END Q; END M.",
+		"MODULE M; BEGIN END Wrong.",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad.m3", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{tinyModule}
+	for _, src := range srcs {
+		m1, err := Parse("a.m3", src)
+		if err != nil {
+			t.Fatalf("parse 1: %v", err)
+		}
+		printed := ast.Print(m1)
+		m2, err := Parse("b.m3", printed)
+		if err != nil {
+			t.Fatalf("parse 2 (of printed source): %v\n%s", err, printed)
+		}
+		p2 := ast.Print(m2)
+		if printed != p2 {
+			t.Errorf("print not a fixed point:\n--- first\n%s\n--- second\n%s", printed, p2)
+		}
+	}
+}
+
+func TestParseCallStatementAndExpr(t *testing.T) {
+	src := `
+MODULE M;
+PROCEDURE F(x: INTEGER): INTEGER = BEGIN RETURN x; END F;
+PROCEDURE P() =
+VAR v: INTEGER;
+BEGIN
+  P();
+  v := F(F(1) + 2);
+  obj.method(3, v);
+END P;
+END M.
+`
+	m, err := Parse("m.m3", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := m.Decls[1].(*ast.ProcDecl).Body
+	if _, ok := body[0].(*ast.CallStmt); !ok {
+		t.Errorf("stmt 0 not a call")
+	}
+	asg := body[1].(*ast.AssignStmt)
+	call := asg.RHS.(*ast.CallExpr)
+	if len(call.Args) != 1 {
+		t.Errorf("outer call args: %d", len(call.Args))
+	}
+	mc := body[2].(*ast.CallStmt).Call
+	q, ok := mc.Fun.(*ast.QualifyExpr)
+	if !ok || q.Field != "method" {
+		t.Errorf("method call fun: %#v", mc.Fun)
+	}
+}

@@ -1,0 +1,52 @@
+package parser_test
+
+import (
+	"testing"
+
+	"tbaa/internal/ast"
+	"tbaa/internal/bench"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/parser"
+)
+
+// TestBenchmarkRoundTrip pretty-prints every benchmark program, reparses
+// the output, and checks the reparsed program runs to identical output —
+// the strongest printer/parser consistency check we have.
+func TestBenchmarkRoundTrip(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m1, err := parser.Parse(b.Name+".m3", b.Source)
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			printed := ast.Print(m1)
+			m2, err := parser.Parse(b.Name+"-printed.m3", printed)
+			if err != nil {
+				t.Fatalf("reparse printed source: %v", err)
+			}
+			// Printing must be a fixed point.
+			if again := ast.Print(m2); again != printed {
+				t.Fatal("printer is not a fixed point")
+			}
+			// The printed program must behave identically.
+			run := func(src string) string {
+				prog, _, err := driver.Compile(b.Name, src)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				in := interp.New(prog)
+				in.MaxSteps = 80_000_000
+				out, err := in.Run()
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return out
+			}
+			if run(b.Source) != run(printed) {
+				t.Fatal("printed program behaves differently")
+			}
+		})
+	}
+}

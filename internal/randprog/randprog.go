@@ -1,0 +1,361 @@
+// Package randprog generates random, well-typed, terminating MiniM3
+// programs for differential testing: an optimized program must produce
+// byte-identical output to the unoptimized one.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	Types    int // number of object types (≥2)
+	Globals  int // number of global variables
+	Procs    int // number of procedures
+	StmtsPer int // statements per body
+	MaxDepth int // statement nesting depth
+}
+
+// DefaultConfig returns a moderate program shape.
+func DefaultConfig() Config {
+	return Config{Types: 4, Globals: 6, Procs: 3, StmtsPer: 8, MaxDepth: 2}
+}
+
+// Generate produces a random program from a seed.
+func Generate(seed int64, cfg Config) string {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg, readOnly: map[string]bool{}}
+	return g.program()
+}
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	b   strings.Builder
+	// intVars / objVars[t] name globals and in-scope locals by type.
+	intVars []string
+	objVars map[int][]string // type index -> var names
+	arrVars []string
+	// readOnly marks names that cannot be assigned (FOR indices).
+	readOnly map[string]bool
+	nTypes   int
+	procs    []procSig
+	// callable bounds which procedures may be called from the current
+	// body (only earlier ones, keeping the call graph acyclic).
+	callable int
+	depth    int
+}
+
+// mutableInt picks an assignable integer variable.
+func (g *gen) mutableInt() string {
+	for tries := 0; tries < 20; tries++ {
+		v := g.intVars[g.pick(len(g.intVars))]
+		if !g.readOnly[v] {
+			return v
+		}
+	}
+	for _, v := range g.intVars {
+		if !g.readOnly[v] {
+			return v
+		}
+	}
+	return g.intVars[0]
+}
+
+type procSig struct {
+	name    string
+	nInt    int
+	hasVar  bool
+	returns bool
+}
+
+func (g *gen) pick(n int) int { return g.rng.Intn(n) }
+
+func (g *gen) printf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *gen) program() string {
+	g.nTypes = g.cfg.Types
+	g.objVars = make(map[int][]string)
+	g.printf("MODULE Rand;\n\nTYPE\n")
+	// T0 is the root; others subtype a random earlier type.
+	g.printf("  T0 = OBJECT i0: INTEGER; r0: T0; END;\n")
+	for t := 1; t < g.nTypes; t++ {
+		super := g.pick(t)
+		g.printf("  T%d = T%d OBJECT i%d: INTEGER; r%d: T%d; END;\n",
+			t, super, t, t, g.pick(t+1))
+	}
+	g.printf("  Arr = ARRAY OF INTEGER;\n")
+	g.printf("\nVAR\n")
+	for v := 0; v < g.cfg.Globals; v++ {
+		switch g.pick(3) {
+		case 0:
+			name := fmt.Sprintf("gi%d", v)
+			g.printf("  %s: INTEGER;\n", name)
+			g.intVars = append(g.intVars, name)
+		case 1:
+			t := g.pick(g.nTypes)
+			name := fmt.Sprintf("go%d", v)
+			g.printf("  %s: T%d;\n", name, t)
+			g.objVars[t] = append(g.objVars[t], name)
+		case 2:
+			name := fmt.Sprintf("ga%d", v)
+			g.printf("  %s: Arr;\n", name)
+			g.arrVars = append(g.arrVars, name)
+		}
+	}
+	if len(g.intVars) == 0 {
+		g.printf("  gi: INTEGER;\n")
+		g.intVars = append(g.intVars, "gi")
+	}
+	if len(g.objVars[0]) == 0 {
+		g.printf("  gr: T0;\n")
+		g.objVars[0] = append(g.objVars[0], "gr")
+	}
+	if len(g.arrVars) == 0 {
+		g.printf("  gar: Arr;\n")
+		g.arrVars = append(g.arrVars, "gar")
+	}
+	// Procedures.
+	for p := 0; p < g.cfg.Procs; p++ {
+		g.proc(p)
+	}
+	g.callable = len(g.procs)
+	// Main body: initialize everything, run statements, dump state.
+	g.printf("\nBEGIN\n")
+	g.initAll()
+	g.depth = 0
+	for s := 0; s < g.cfg.StmtsPer; s++ {
+		g.stmt(1)
+	}
+	// Dump observable state so optimizations that corrupt anything show.
+	for _, v := range g.intVars {
+		g.printf("  PutInt(%s); PutChar(' ');\n", v)
+	}
+	for t := 0; t < g.nTypes; t++ {
+		for _, v := range g.objVars[t] {
+			g.printf("  IF %s # NIL THEN PutInt(%s.i0); PutChar(' '); END;\n", v, v)
+		}
+	}
+	for _, v := range g.arrVars {
+		g.printf("  PutInt(%s[0] + %s[NUMBER(%s) - 1]); PutChar(' ');\n", v, v, v)
+	}
+	g.printf("  PutLn();\nEND Rand.\n")
+	return g.b.String()
+}
+
+// initAll allocates every reference global and seeds integers, so most
+// random programs run without NIL traps.
+func (g *gen) initAll() {
+	for i, v := range g.intVars {
+		g.printf("  %s := %d;\n", v, i*3+1)
+	}
+	for t := 0; t < g.nTypes; t++ {
+		for _, v := range g.objVars[t] {
+			g.printf("  %s := NEW(T%d);\n", v, t)
+			g.printf("  %s.r0 := NEW(T0);\n", v)
+			g.printf("  %s.i0 := %d;\n", v, g.pick(100))
+		}
+	}
+	for i, v := range g.arrVars {
+		g.printf("  %s := NEW(Arr, %d);\n", v, 4+i)
+	}
+}
+
+func (g *gen) proc(idx int) {
+	sig := procSig{
+		name:    fmt.Sprintf("P%d", idx),
+		nInt:    1 + g.pick(2),
+		hasVar:  g.pick(2) == 0,
+		returns: g.pick(2) == 0,
+	}
+	g.procs = append(g.procs, sig)
+	g.callable = idx // procedures may only call earlier ones
+	g.printf("\nPROCEDURE %s(", sig.name)
+	for i := 0; i < sig.nInt; i++ {
+		if i > 0 {
+			g.printf("; ")
+		}
+		g.printf("a%d: INTEGER", i)
+	}
+	if sig.hasVar {
+		g.printf("; VAR out: INTEGER")
+	}
+	g.printf(")")
+	if sig.returns {
+		g.printf(": INTEGER")
+	}
+	g.printf(" =\nVAR li: INTEGER;\nBEGIN\n")
+	// Save outer scope; params become in-scope ints.
+	savedInts := g.intVars
+	g.intVars = append([]string{"li"}, g.intVars...)
+	for i := 0; i < sig.nInt; i++ {
+		g.intVars = append(g.intVars, fmt.Sprintf("a%d", i))
+	}
+	if sig.hasVar {
+		g.intVars = append(g.intVars, "out")
+	}
+	g.printf("  li := a0;\n")
+	nStmts := 2 + g.pick(g.cfg.StmtsPer/2+1)
+	for s := 0; s < nStmts; s++ {
+		g.stmt(1)
+	}
+	if sig.hasVar {
+		g.printf("  out := li;\n")
+	}
+	if sig.returns {
+		g.printf("  RETURN li;\n")
+	}
+	g.printf("END %s;\n", sig.name)
+	g.intVars = savedInts
+}
+
+// intExpr produces a random INTEGER expression.
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 || g.pick(3) == 0 {
+		switch g.pick(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.pick(50))
+		case 1:
+			return g.intVars[g.pick(len(g.intVars))]
+		case 2:
+			// Heap read: object field.
+			t, v := g.someObj()
+			return fmt.Sprintf("%s.i%d", v, g.fieldFor(t))
+		default:
+			v := g.arrVars[g.pick(len(g.arrVars))]
+			return fmt.Sprintf("%s[%s MOD NUMBER(%s)]", v, g.smallIndex(), v)
+		}
+	}
+	op := []string{"+", "-", "*"}[g.pick(3)]
+	return fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1), op, g.intExpr(depth-1))
+}
+
+// smallIndex yields a non-negative index expression.
+func (g *gen) smallIndex() string {
+	switch g.pick(3) {
+	case 0:
+		return fmt.Sprintf("%d", g.pick(4))
+	case 1:
+		return fmt.Sprintf("ABS(%s)", g.intVars[g.pick(len(g.intVars))])
+	default:
+		return fmt.Sprintf("ABS(%s)", g.intExpr(1))
+	}
+}
+
+// someObj picks an object-typed variable; returns (type index, name).
+func (g *gen) someObj() (int, string) {
+	for tries := 0; tries < 10; tries++ {
+		t := g.pick(g.nTypes)
+		if vs := g.objVars[t]; len(vs) > 0 {
+			return t, vs[g.pick(len(vs))]
+		}
+	}
+	return 0, g.objVars[0][0]
+}
+
+// fieldFor picks an integer field visible on type t (own or inherited
+// from T0, which always has i0).
+func (g *gen) fieldFor(t int) int {
+	if g.pick(2) == 0 {
+		return 0
+	}
+	return 0 // i0 is always safe; own fields need supertype knowledge
+}
+
+func (g *gen) boolExpr() string {
+	op := []string{"<", ">", "<=", ">=", "=", "#"}[g.pick(6)]
+	return fmt.Sprintf("%s %s %s", g.intExpr(1), op, g.intExpr(1))
+}
+
+func (g *gen) indent() string { return strings.Repeat("  ", g.depth+1) }
+
+func (g *gen) stmt(depth int) {
+	if depth > g.cfg.MaxDepth {
+		g.simpleStmt()
+		return
+	}
+	switch g.pick(8) {
+	case 0:
+		g.printf("%sIF %s THEN\n", g.indent(), g.boolExpr())
+		g.depth++
+		g.stmt(depth + 1)
+		g.depth--
+		if g.pick(2) == 0 {
+			g.printf("%sELSE\n", g.indent())
+			g.depth++
+			g.stmt(depth + 1)
+			g.depth--
+		}
+		g.printf("%sEND;\n", g.indent())
+	case 1:
+		iv := fmt.Sprintf("fi%d%d", depth, g.pick(100))
+		g.printf("%sFOR %s := 0 TO %d DO\n", g.indent(), iv, 1+g.pick(6))
+		g.depth++
+		g.intVars = append(g.intVars, iv)
+		g.readOnly[iv] = true
+		g.stmt(depth + 1)
+		g.simpleStmt()
+		g.intVars = g.intVars[:len(g.intVars)-1]
+		delete(g.readOnly, iv)
+		g.depth--
+		g.printf("%sEND;\n", g.indent())
+	default:
+		g.simpleStmt()
+	}
+}
+
+func (g *gen) simpleStmt() {
+	ind := g.indent()
+	switch g.pick(8) {
+	case 0: // integer variable assignment
+		g.printf("%s%s := %s;\n", ind, g.mutableInt(), g.intExpr(2))
+	case 1: // heap field store
+		t, v := g.someObj()
+		g.printf("%s%s.i%d := %s;\n", ind, v, g.fieldFor(t), g.intExpr(2))
+	case 2: // array store
+		v := g.arrVars[g.pick(len(g.arrVars))]
+		g.printf("%s%s[%s MOD NUMBER(%s)] := %s;\n", ind, v, g.smallIndex(), v, g.intExpr(2))
+	case 3: // pointer shuffle: assign object var from compatible var or NEW
+		t, v := g.someObj()
+		if g.pick(2) == 0 {
+			g.printf("%s%s := NEW(T%d);\n", ind, v, t)
+			g.printf("%s%s.r0 := NEW(T0);\n", ind, v)
+		} else {
+			// Assign from a variable of the same type (always safe).
+			vs := g.objVars[t]
+			g.printf("%s%s := %s;\n", ind, v, vs[g.pick(len(vs))])
+		}
+	case 4: // link objects through r0
+		_, v1 := g.someObj()
+		_, v2 := g.someObj()
+		g.printf("%s%s.r0 := %s.r0;\n", ind, v1, v2)
+	case 5: // call a procedure if any are callable
+		if g.callable == 0 {
+			g.printf("%sINC(%s);\n", ind, g.mutableInt())
+			return
+		}
+		sig := g.procs[g.pick(g.callable)]
+		var args []string
+		for i := 0; i < sig.nInt; i++ {
+			args = append(args, g.intExpr(1))
+		}
+		if sig.hasVar {
+			args = append(args, g.mutableInt())
+		}
+		call := fmt.Sprintf("%s(%s)", sig.name, strings.Join(args, ", "))
+		if sig.returns && g.pick(2) == 0 {
+			g.printf("%s%s := %s;\n", ind, g.mutableInt(), call)
+		} else {
+			g.printf("%s%s;\n", ind, call)
+		}
+	case 6: // read through a field chain (may be NIL at depth 2: guard)
+		_, v := g.someObj()
+		tgt := g.mutableInt()
+		g.printf("%sIF %s.r0 # NIL THEN %s := %s.r0.i0; END;\n", ind, v, tgt, v)
+	default:
+		g.printf("%sINC(%s, %s);\n", ind, g.mutableInt(), g.intExpr(1))
+	}
+}

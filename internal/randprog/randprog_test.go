@@ -1,0 +1,153 @@
+package randprog_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+	"tbaa/internal/randprog"
+	"tbaa/internal/types"
+)
+
+// TestGeneratedProgramsCompile checks the generator emits valid MiniM3.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		if _, _, err := driver.Compile("rand.m3", src); err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestRLEPreservesSemantics is the core differential test: for many random
+// programs, RLE under every analysis level must preserve output exactly.
+func TestRLEPreservesSemantics(t *testing.T) {
+	levels := []alias.Level{alias.LevelTypeDecl, alias.LevelFieldTypeDecl, alias.LevelSMFieldTypeRefs}
+	seeds := 120
+	if testing.Short() {
+		seeds = 25
+	}
+	ran := 0
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		plainProg, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := interp.New(plainProg)
+		in.MaxSteps = 2_000_000
+		want, err := in.Run()
+		if err != nil {
+			continue // trapping program: optimization contracts don't apply
+		}
+		ran++
+		for _, lvl := range levels {
+			prog, _, err := driver.Compile("rand.m3", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := alias.New(prog, alias.Options{Level: lvl})
+			mr := modref.Compute(prog)
+			res := opt.RLE(prog, o, mr)
+			in2 := interp.New(prog)
+			in2.MaxSteps = 4_000_000
+			got, err := in2.Run()
+			if err != nil {
+				t.Fatalf("seed %d level %v: optimized program trapped: %v\n%s", seed, lvl, err, src)
+			}
+			if got != want {
+				t.Fatalf("seed %d level %v (removed %d): output diverged\nwant %q\ngot  %q\n%s",
+					seed, lvl, res.Removed(), want, got, src)
+			}
+		}
+	}
+	if ran < seeds/2 {
+		t.Errorf("too many trapping seeds: only %d of %d ran", ran, seeds)
+	}
+}
+
+// TestFullPipelinePreservesSemantics adds devirt + inline + open-world RLE.
+func TestFullPipelinePreservesSemantics(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := int64(1000); seed < int64(1000+seeds); seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		plainProg, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := interp.New(plainProg)
+		in.MaxSteps = 2_000_000
+		want, err := in.Run()
+		if err != nil {
+			continue
+		}
+		prog, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs, OpenWorld: true})
+		refine := func(o *types.Object) []int {
+			refs := a.TypeRefs(o)
+			if refs == nil {
+				return nil
+			}
+			ids := make([]int, 0, len(refs))
+			for id := range refs {
+				ids = append(ids, id)
+			}
+			return ids
+		}
+		opt.Devirtualize(prog, refine)
+		opt.Inline(prog)
+		mr := modref.Compute(prog)
+		opt.RLE(prog, a, mr)
+		in2 := interp.New(prog)
+		in2.MaxSteps = 4_000_000
+		got, err := in2.Run()
+		if err != nil {
+			t.Fatalf("seed %d: pipeline trapped: %v\n%s", seed, err, src)
+		}
+		if got != want {
+			t.Fatalf("seed %d: pipeline diverged\nwant %q\ngot  %q\n%s", seed, want, got, src)
+		}
+	}
+}
+
+// TestPerTypeGroupsSemantics exercises the SMTypeRefs ablation variant.
+func TestPerTypeGroupsSemantics(t *testing.T) {
+	for seed := int64(2000); seed < 2030; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		plainProg, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := interp.New(plainProg)
+		in.MaxSteps = 2_000_000
+		want, err := in.Run()
+		if err != nil {
+			continue
+		}
+		prog, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs, PerTypeGroups: true})
+		mr := modref.Compute(prog)
+		opt.RLE(prog, o, mr)
+		in2 := interp.New(prog)
+		in2.MaxSteps = 4_000_000
+		got, err := in2.Run()
+		if err != nil {
+			t.Fatalf("seed %d: trapped: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: diverged\nwant %q\ngot %q\n%s", seed, want, got, src)
+		}
+	}
+}

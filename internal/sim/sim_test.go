@@ -1,0 +1,141 @@
+package sim_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+	"tbaa/internal/sim"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := sim.NewCache(1024, 32)
+	if c.Access(0) {
+		t.Error("cold miss expected")
+	}
+	if !c.Access(0) || !c.Access(31) {
+		t.Error("same line should hit")
+	}
+	if c.Access(32) {
+		t.Error("next line cold miss expected")
+	}
+	// Direct-mapped conflict: 0 and 1024 share a set in a 1 KB cache.
+	c.Access(0)
+	if c.Access(1024) {
+		t.Error("conflicting line should miss")
+	}
+	if c.Access(0) {
+		t.Error("evicted line should miss")
+	}
+}
+
+const loopProg = `
+MODULE M;
+TYPE
+  Inner = REF INTEGER;
+  Outer = OBJECT b: Inner; END;
+VAR a: Outer; i, x: INTEGER;
+BEGIN
+  a := NEW(Outer);
+  a.b := NEW(Inner);
+  a.b^ := 2;
+  x := 0;
+  FOR i := 1 TO 2000 DO
+    x := x + a.b^;
+  END;
+  PutInt(x); PutLn();
+END M.
+`
+
+func TestSimulatedSpeedupFromRLE(t *testing.T) {
+	base, _, err := driver.Compile("b.m3", loopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, out1, err := sim.Run(base, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optProg, _, err := driver.Compile("o.m3", loopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := alias.New(optProg, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	mr := modref.Compute(optProg)
+	opt.RLE(optProg, o, mr)
+	rOpt, out2, err := sim.Run(optProg, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatalf("outputs differ: %q vs %q", out1, out2)
+	}
+	if rOpt.Cycles >= rBase.Cycles {
+		t.Errorf("RLE should reduce cycles: base=%d opt=%d", rBase.Cycles, rOpt.Cycles)
+	}
+	if rOpt.Loads >= rBase.Loads {
+		t.Errorf("RLE should reduce simulated loads: base=%d opt=%d", rBase.Loads, rOpt.Loads)
+	}
+	ratio := float64(rOpt.Cycles) / float64(rBase.Cycles)
+	if ratio < 0.2 || ratio > 1.0 {
+		t.Errorf("implausible cycle ratio %.3f", ratio)
+	}
+}
+
+func TestHotLoopHitsInCache(t *testing.T) {
+	prog, _, err := driver.Compile("h.m3", loopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := sim.Run(prog, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MissRate() > 0.05 {
+		t.Errorf("hot loop should mostly hit: miss rate %.3f", r.MissRate())
+	}
+	if r.Instructions == 0 || r.Cycles <= r.Instructions {
+		t.Errorf("cycles (%d) must exceed instructions (%d)", r.Cycles, r.Instructions)
+	}
+}
+
+func TestCacheCapacityMatters(t *testing.T) {
+	// Streaming over a large array misses much more in a tiny cache.
+	src := `
+MODULE M;
+TYPE A = ARRAY OF INTEGER;
+VAR a: A; i, x: INTEGER;
+BEGIN
+  a := NEW(A, 20000);
+  FOR i := 0 TO 19999 DO a[i] := i; END;
+  x := 0;
+  FOR i := 0 TO 19999 DO x := x + a[i]; END;
+  PutInt(x); PutLn();
+END M.
+`
+	prog1, _, err := driver.Compile("c1.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := sim.DefaultConfig()
+	rBig, _, err := sim.Run(prog1, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, _, err := driver.Compile("c2.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := big
+	small.CacheBytes = 1024
+	rSmall, _, err := sim.Run(prog2, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall.LoadMisses <= rBig.LoadMisses {
+		t.Errorf("smaller cache should miss more: small=%d big=%d",
+			rSmall.LoadMisses, rBig.LoadMisses)
+	}
+}

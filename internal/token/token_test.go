@@ -1,0 +1,71 @@
+package token_test
+
+import (
+	"testing"
+
+	"tbaa/internal/token"
+)
+
+func TestLookupKeywords(t *testing.T) {
+	for _, kw := range []string{"MODULE", "BEGIN", "END", "OBJECT", "METHODS",
+		"OVERRIDES", "BRANDED", "VAR", "PROCEDURE", "WHILE", "REPEAT", "UNTIL",
+		"LOOP", "EXIT", "WITH", "DIV", "MOD", "AND", "OR", "NOT", "NIL",
+		"TRUE", "FALSE", "NEW", "ARRAY", "OF", "REF", "RECORD", "READONLY"} {
+		k := token.Lookup(kw)
+		if k == token.IDENT {
+			t.Errorf("%s should be a keyword", kw)
+		}
+		if !k.IsKeyword() {
+			t.Errorf("%s kind should report IsKeyword", kw)
+		}
+		if k.String() != kw {
+			t.Errorf("keyword %s renders as %s", kw, k)
+		}
+	}
+}
+
+func TestLookupIdentifiers(t *testing.T) {
+	for _, id := range []string{"module", "Begin", "x", "T0", "putInt", "_tmp"} {
+		if token.Lookup(id) != token.IDENT {
+			t.Errorf("%s should be an identifier", id)
+		}
+	}
+}
+
+func TestNonKeywordKinds(t *testing.T) {
+	for _, k := range []token.Kind{token.IDENT, token.INT, token.PLUS,
+		token.ASSIGN, token.EOF, token.ILLEGAL} {
+		if k.IsKeyword() {
+			t.Errorf("%s should not be a keyword", k)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := token.Pos{File: "a.m3", Line: 3, Col: 7}
+	if p.String() != "a.m3:3:7" {
+		t.Errorf("pos rendering: %s", p)
+	}
+	if !p.IsValid() {
+		t.Error("positive line is valid")
+	}
+	anon := token.Pos{Line: 1, Col: 1}
+	if anon.String() != "1:1" {
+		t.Errorf("anonymous pos: %s", anon)
+	}
+	var zero token.Pos
+	if zero.IsValid() {
+		t.Error("zero pos is invalid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := token.Token{Kind: token.IDENT, Lit: "foo"}
+	if tok.String() != "IDENT(foo)" {
+		t.Errorf("token rendering: %s", tok)
+	}
+	kw := token.Token{Kind: token.MODULE}
+	if kw.String() != "MODULE" {
+		t.Errorf("keyword token rendering: %s", kw)
+	}
+}

@@ -1,0 +1,516 @@
+// Package types implements the MiniM3 type system: the builtin scalars,
+// single-inheritance object types, traced references, open arrays with
+// dope vectors, and records.
+//
+// The alias analyses in package alias consume exactly two things from
+// here: the subtype relation over declared types (Subtypes) and
+// assignability (AssignableTo), which determines where SMTypeRefs merges.
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a MiniM3 type.
+type Type interface {
+	// ID is the dense universe-assigned identifier, unique per canonical type.
+	ID() int
+	// String renders the type for diagnostics.
+	String() string
+	// IsReference reports whether values of the type are traced references
+	// (objects, REF T, open arrays, NULL). Only reference-typed access
+	// paths participate in alias analysis.
+	IsReference() bool
+	setID(int)
+}
+
+type typ struct{ id int }
+
+func (t *typ) ID() int     { return t.id }
+func (t *typ) setID(i int) { t.id = i }
+
+// BasicKind enumerates the builtin scalar types.
+type BasicKind int
+
+// The builtin scalar kinds. Null is the type of NIL, a subtype of every
+// reference type.
+const (
+	Integer BasicKind = iota
+	Boolean
+	Char
+	Text
+	Null
+	Void // result "type" of proper procedures
+)
+
+// Basic is a builtin scalar type.
+type Basic struct {
+	typ
+	Kind BasicKind
+}
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case Integer:
+		return "INTEGER"
+	case Boolean:
+		return "BOOLEAN"
+	case Char:
+		return "CHAR"
+	case Text:
+		return "TEXT"
+	case Null:
+		return "NULL"
+	case Void:
+		return "VOID"
+	}
+	return fmt.Sprintf("BASIC(%d)", int(b.Kind))
+}
+
+// IsReference is true only for Null among the basics: MiniM3 TEXT is an
+// immutable scalar (unlike Modula-3), so no stores flow through it and it
+// stays out of the alias domain.
+func (b *Basic) IsReference() bool { return b.Kind == Null }
+
+// Field is a named field of an object or record.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Method is a method slot of an object type. Default is the name of the
+// procedure implementing it at this level ("" if abstract here).
+type Method struct {
+	Name    string
+	Params  []Type
+	Modes   []ParamMode
+	Result  Type
+	Default string
+}
+
+// ParamMode mirrors ast.ParamMode without importing it.
+type ParamMode int
+
+// Parameter passing modes.
+const (
+	ValueMode ParamMode = iota
+	VarMode
+	ReadonlyMode
+)
+
+// Object is a declared object type. Object values are implicit references.
+type Object struct {
+	typ
+	Name      string
+	Super     *Object // nil for root types
+	Branded   bool
+	Brand     string
+	Fields    []*Field  // fields declared at this level
+	Methods   []*Method // methods declared at this level
+	Overrides map[string]string
+}
+
+func (o *Object) String() string    { return o.Name }
+func (o *Object) IsReference() bool { return true }
+
+// AllFields returns the fields of o including inherited ones, supertype
+// fields first.
+func (o *Object) AllFields() []*Field {
+	var fs []*Field
+	if o.Super != nil {
+		fs = o.Super.AllFields()
+	}
+	return append(fs, o.Fields...)
+}
+
+// FieldNamed returns the field with the given name, searching supertypes,
+// or nil.
+func (o *Object) FieldNamed(name string) *Field {
+	for t := o; t != nil; t = t.Super {
+		for _, f := range t.Fields {
+			if f.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// MethodNamed returns the method slot with the given name, searching
+// supertypes, or nil.
+func (o *Object) MethodNamed(name string) *Method {
+	for t := o; t != nil; t = t.Super {
+		for _, m := range t.Methods {
+			if m.Name == name {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// Implementation returns the name of the procedure implementing method m
+// when the dynamic type is exactly o, following overrides up the chain.
+// It returns "" if the method is abstract at o.
+func (o *Object) Implementation(method string) string {
+	for t := o; t != nil; t = t.Super {
+		if t.Overrides != nil {
+			if proc, ok := t.Overrides[method]; ok {
+				return proc
+			}
+		}
+		for _, m := range t.Methods {
+			if m.Name == method && m.Default != "" {
+				return m.Default
+			}
+		}
+	}
+	return ""
+}
+
+// IsSubtypeOf reports whether o <: p in the object hierarchy.
+func (o *Object) IsSubtypeOf(p *Object) bool {
+	for t := o; t != nil; t = t.Super {
+		if t == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Record is a record (value) type.
+type Record struct {
+	typ
+	Name   string
+	Fields []*Field
+}
+
+func (r *Record) String() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	var b strings.Builder
+	b.WriteString("RECORD ")
+	for i, f := range r.Fields {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %s", f.Name, f.Type)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func (r *Record) IsReference() bool { return false }
+
+// FieldNamed returns the record field with the given name, or nil.
+func (r *Record) FieldNamed(name string) *Field {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Array is an open array type (ARRAY OF Elem). Values are references to a
+// heap dope vector {length, elements}.
+type Array struct {
+	typ
+	Name string
+	Elem Type
+}
+
+func (a *Array) String() string {
+	if a.Name != "" {
+		return a.Name
+	}
+	return "ARRAY OF " + a.Elem.String()
+}
+
+func (a *Array) IsReference() bool { return true }
+
+// Ref is REF Elem.
+type Ref struct {
+	typ
+	Name string
+	Elem Type
+}
+
+func (r *Ref) String() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "REF " + r.Elem.String()
+}
+
+func (r *Ref) IsReference() bool { return true }
+
+// Proc is a procedure type (used for signatures; not first-class in MiniM3).
+type Proc struct {
+	typ
+	Params []Type
+	Modes  []ParamMode
+	Result Type // Void for proper procedures
+}
+
+func (p *Proc) String() string {
+	var b strings.Builder
+	b.WriteString("PROCEDURE(")
+	for i, t := range p.Params {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString(")")
+	if p.Result != nil {
+		if bk, ok := p.Result.(*Basic); !ok || bk.Kind != Void {
+			b.WriteString(": " + p.Result.String())
+		}
+	}
+	return b.String()
+}
+
+func (p *Proc) IsReference() bool { return false }
+
+// ---------------------------------------------------------------------------
+// Universe
+
+// Universe owns every canonical type in a program. It assigns dense IDs,
+// canonicalizes structurally equivalent REF/ARRAY types, and answers
+// subtype queries.
+type Universe struct {
+	all      []Type
+	IntT     *Basic
+	BoolT    *Basic
+	CharT    *Basic
+	TextT    *Basic
+	NullT    *Basic
+	VoidT    *Basic
+	refCanon map[string]Type // structural key -> canonical REF/ARRAY
+	children map[*Object][]*Object
+	subtypes map[int][]int // type ID -> sorted IDs of subtypes incl. self
+}
+
+// NewUniverse returns a universe populated with the builtin types.
+func NewUniverse() *Universe {
+	u := &Universe{
+		refCanon: make(map[string]Type),
+		children: make(map[*Object][]*Object),
+		subtypes: make(map[int][]int),
+	}
+	u.IntT = &Basic{Kind: Integer}
+	u.BoolT = &Basic{Kind: Boolean}
+	u.CharT = &Basic{Kind: Char}
+	u.TextT = &Basic{Kind: Text}
+	u.NullT = &Basic{Kind: Null}
+	u.VoidT = &Basic{Kind: Void}
+	for _, t := range []Type{u.IntT, u.BoolT, u.CharT, u.TextT, u.NullT, u.VoidT} {
+		u.register(t)
+	}
+	return u
+}
+
+func (u *Universe) register(t Type) Type {
+	t.setID(len(u.all))
+	u.all = append(u.all, t)
+	return t
+}
+
+// NumTypes returns the number of canonical types registered.
+func (u *Universe) NumTypes() int { return len(u.all) }
+
+// ByID returns the type with the given dense ID.
+func (u *Universe) ByID(id int) Type { return u.all[id] }
+
+// All returns all canonical types in registration order. The slice is
+// shared; callers must not modify it.
+func (u *Universe) All() []Type { return u.all }
+
+// NewObject registers a new object type with the given supertype (nil for
+// a root object type).
+func (u *Universe) NewObject(name string, super *Object, branded bool, brand string) *Object {
+	o := &Object{Name: name, Super: super, Branded: branded, Brand: brand,
+		Overrides: make(map[string]string)}
+	u.register(o)
+	if super != nil {
+		u.children[super] = append(u.children[super], o)
+	}
+	u.subtypes = make(map[int][]int) // invalidate cache
+	return o
+}
+
+// AddChild records that child's supertype is parent. Used when the parent
+// was unknown at NewObject time (forward references during checking).
+func (u *Universe) AddChild(parent, child *Object) {
+	for _, c := range u.children[parent] {
+		if c == child {
+			return
+		}
+	}
+	u.children[parent] = append(u.children[parent], child)
+	u.subtypes = make(map[int][]int)
+}
+
+// NewRecord registers a record type.
+func (u *Universe) NewRecord(name string, fields []*Field) *Record {
+	r := &Record{Name: name, Fields: fields}
+	u.register(r)
+	return r
+}
+
+// structuralKey builds a canonicalization key for REF/ARRAY types. Two
+// REF T (or ARRAY OF T) type expressions denote the same type when their
+// element types are the same canonical type — Modula-3 structural
+// equivalence restricted to the type constructors MiniM3 has.
+func structuralKey(kind string, elem Type) string {
+	return fmt.Sprintf("%s|%d", kind, elem.ID())
+}
+
+// NewArray returns the canonical open array type over elem.
+func (u *Universe) NewArray(name string, elem Type) *Array {
+	key := structuralKey("array", elem)
+	if t, ok := u.refCanon[key]; ok {
+		a := t.(*Array)
+		if a.Name == "" {
+			a.Name = name
+		}
+		return a
+	}
+	a := &Array{Name: name, Elem: elem}
+	u.register(a)
+	u.refCanon[key] = a
+	return a
+}
+
+// NewRef returns the canonical REF type over elem.
+func (u *Universe) NewRef(name string, elem Type) *Ref {
+	key := structuralKey("ref", elem)
+	if t, ok := u.refCanon[key]; ok {
+		r := t.(*Ref)
+		if r.Name == "" {
+			r.Name = name
+		}
+		return r
+	}
+	r := &Ref{Name: name, Elem: elem}
+	u.register(r)
+	u.refCanon[key] = r
+	return r
+}
+
+// NewProc registers a procedure signature type.
+func (u *Universe) NewProc(params []Type, modes []ParamMode, result Type) *Proc {
+	p := &Proc{Params: params, Modes: modes, Result: result}
+	u.register(p)
+	return p
+}
+
+// Subtypes returns the IDs of all subtypes of t, including t itself,
+// sorted ascending. For non-object types the set is {t}. For reference
+// types it also includes Null (NIL inhabits every reference type).
+func (u *Universe) Subtypes(t Type) []int {
+	if s, ok := u.subtypes[t.ID()]; ok {
+		return s
+	}
+	var ids []int
+	switch t := t.(type) {
+	case *Object:
+		var walk func(o *Object)
+		walk = func(o *Object) {
+			ids = append(ids, o.ID())
+			for _, c := range u.children[o] {
+				walk(c)
+			}
+		}
+		walk(t)
+	default:
+		ids = []int{t.ID()}
+	}
+	sort.Ints(ids)
+	u.subtypes[t.ID()] = ids
+	return ids
+}
+
+// SubtypesIntersect reports whether Subtypes(a) ∩ Subtypes(b) ≠ ∅ —
+// the TypeDecl may-alias test of the paper. NIL compatibility is handled
+// separately by callers because an AP never has static type NULL alone.
+func (u *Universe) SubtypesIntersect(a, b Type) bool {
+	if a.ID() == b.ID() {
+		return true
+	}
+	sa, sb := u.Subtypes(a), u.Subtypes(b)
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
+			return true
+		case sa[i] < sb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// AssignableTo reports whether a value of type src may be assigned to a
+// location of type dst. This drives both the type checker and the
+// "implicit and explicit pointer assignments" SMTypeRefs merges over.
+func (u *Universe) AssignableTo(src, dst Type) bool {
+	if src.ID() == dst.ID() {
+		return true
+	}
+	if sb, ok := src.(*Basic); ok && sb.Kind == Null {
+		return dst.IsReference()
+	}
+	so, sok := src.(*Object)
+	do, dok := dst.(*Object)
+	if sok && dok {
+		// Object assignment is legal both down (subtype to supertype,
+		// always safe) and — in full Modula-3 with NARROW — up.
+		// MiniM3 permits only widening assignment (src <: dst).
+		return so.IsSubtypeOf(do)
+	}
+	return false
+}
+
+// Comparable reports whether = / # is defined between the two types.
+func (u *Universe) Comparable(a, b Type) bool {
+	if a.ID() == b.ID() {
+		return true
+	}
+	if a.IsReference() && b.IsReference() {
+		return u.AssignableTo(a, b) || u.AssignableTo(b, a)
+	}
+	return false
+}
+
+// ObjectTypes returns all object types in registration order.
+func (u *Universe) ObjectTypes() []*Object {
+	var os []*Object
+	for _, t := range u.all {
+		if o, ok := t.(*Object); ok {
+			os = append(os, o)
+		}
+	}
+	return os
+}
+
+// ReferenceTypes returns all reference types (objects, refs, arrays) in
+// registration order; these are the types SMTypeRefs partitions.
+func (u *Universe) ReferenceTypes() []Type {
+	var ts []Type
+	for _, t := range u.all {
+		if t.IsReference() {
+			if b, ok := t.(*Basic); ok && b.Kind == Null {
+				continue
+			}
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}

@@ -1,0 +1,233 @@
+package types_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tbaa/internal/types"
+)
+
+// buildHierarchy makes a random single-inheritance forest of n objects.
+func buildHierarchy(r *rand.Rand, u *types.Universe, n int) []*types.Object {
+	objs := make([]*types.Object, 0, n)
+	for i := 0; i < n; i++ {
+		var super *types.Object
+		if i > 0 && r.Intn(4) != 0 {
+			super = objs[r.Intn(len(objs))]
+		}
+		o := u.NewObject("", super, r.Intn(5) == 0, "")
+		objs = append(objs, o)
+	}
+	return objs
+}
+
+// TestSubtypesConsistentWithIsSubtypeOf: the set-based and chain-based
+// subtype queries must agree on random hierarchies.
+func TestSubtypesConsistentWithIsSubtypeOf(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		u := types.NewUniverse()
+		objs := buildHierarchy(r, u, 12)
+		for _, a := range objs {
+			subs := map[int]bool{}
+			for _, id := range u.Subtypes(a) {
+				subs[id] = true
+			}
+			for _, b := range objs {
+				if b.IsSubtypeOf(a) != subs[b.ID()] {
+					t.Fatalf("Subtypes and IsSubtypeOf disagree: %d <= %d", b.ID(), a.ID())
+				}
+			}
+		}
+	}
+}
+
+// TestSubtypesIntersectSymmetric over random hierarchies.
+func TestSubtypesIntersectSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		u := types.NewUniverse()
+		objs := buildHierarchy(r, u, 10)
+		for _, a := range objs {
+			for _, b := range objs {
+				if u.SubtypesIntersect(a, b) != u.SubtypesIntersect(b, a) {
+					t.Fatalf("SubtypesIntersect not symmetric")
+				}
+			}
+		}
+	}
+}
+
+// TestSubtypesIntersectMeaning: intersection holds iff one is an
+// ancestor of the other or they share a descendant — in a
+// single-inheritance hierarchy, iff comparable by IsSubtypeOf.
+func TestSubtypesIntersectMeaning(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		u := types.NewUniverse()
+		objs := buildHierarchy(r, u, 10)
+		for _, a := range objs {
+			for _, b := range objs {
+				want := a.IsSubtypeOf(b) || b.IsSubtypeOf(a)
+				if got := u.SubtypesIntersect(a, b); got != want {
+					t.Fatalf("SubtypesIntersect(%d,%d)=%v want %v", a.ID(), b.ID(), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAssignableTo(t *testing.T) {
+	u := types.NewUniverse()
+	parent := u.NewObject("P", nil, false, "")
+	child := u.NewObject("C", parent, false, "")
+	other := u.NewObject("O", nil, false, "")
+	if !u.AssignableTo(child, parent) {
+		t.Error("child assignable to parent")
+	}
+	if u.AssignableTo(parent, child) {
+		t.Error("parent not assignable to child (no NARROW)")
+	}
+	if u.AssignableTo(other, parent) {
+		t.Error("unrelated objects not assignable")
+	}
+	if !u.AssignableTo(u.NullT, parent) || !u.AssignableTo(u.NullT, u.NewRef("", u.IntT)) {
+		t.Error("NIL assignable to reference types")
+	}
+	if u.AssignableTo(u.NullT, u.IntT) {
+		t.Error("NIL not assignable to INTEGER")
+	}
+	if !u.AssignableTo(u.IntT, u.IntT) {
+		t.Error("identity assignability")
+	}
+}
+
+func TestStructuralCanonicalization(t *testing.T) {
+	u := types.NewUniverse()
+	a1 := u.NewArray("A1", u.IntT)
+	a2 := u.NewArray("A2", u.IntT)
+	if a1 != a2 {
+		t.Error("ARRAY OF INTEGER must canonicalize to one type")
+	}
+	r1 := u.NewRef("", u.IntT)
+	r2 := u.NewRef("", u.IntT)
+	if r1 != r2 {
+		t.Error("REF INTEGER must canonicalize")
+	}
+	rc := u.NewRef("", u.CharT)
+	if r1 == rc {
+		t.Error("REF INTEGER and REF CHAR must differ")
+	}
+	// Nested: REF ARRAY OF INTEGER canonicalizes through the chain.
+	ra1 := u.NewRef("", u.NewArray("", u.IntT))
+	ra2 := u.NewRef("", u.NewArray("", u.IntT))
+	if ra1 != ra2 {
+		t.Error("nested structural types must canonicalize")
+	}
+}
+
+func TestFieldAndMethodLookup(t *testing.T) {
+	u := types.NewUniverse()
+	base := u.NewObject("B", nil, false, "")
+	base.Fields = append(base.Fields, &types.Field{Name: "x", Type: u.IntT})
+	base.Methods = append(base.Methods, &types.Method{Name: "m", Default: "BM", Result: u.VoidT})
+	kid := u.NewObject("K", base, false, "")
+	kid.Fields = append(kid.Fields, &types.Field{Name: "y", Type: u.IntT})
+	kid.Overrides["m"] = "KM"
+	grand := u.NewObject("G", kid, false, "")
+
+	if base.FieldNamed("x") == nil || kid.FieldNamed("x") == nil || grand.FieldNamed("y") == nil {
+		t.Error("field lookup through the chain failed")
+	}
+	if base.FieldNamed("y") != nil {
+		t.Error("supertype must not see subtype fields")
+	}
+	if got := len(grand.AllFields()); got != 2 {
+		t.Errorf("AllFields(G) = %d, want 2", got)
+	}
+	if base.Implementation("m") != "BM" {
+		t.Error("base impl")
+	}
+	if kid.Implementation("m") != "KM" || grand.Implementation("m") != "KM" {
+		t.Error("override not inherited")
+	}
+	if grand.MethodNamed("m") == nil {
+		t.Error("method slot lookup through chain")
+	}
+	if base.Implementation("nope") != "" {
+		t.Error("unknown method has no impl")
+	}
+}
+
+func TestIDsDense(t *testing.T) {
+	u := types.NewUniverse()
+	n0 := u.NumTypes()
+	o := u.NewObject("X", nil, false, "")
+	if o.ID() != n0 {
+		t.Errorf("IDs must be dense: got %d want %d", o.ID(), n0)
+	}
+	if u.ByID(o.ID()) != o {
+		t.Error("ByID roundtrip")
+	}
+	for i, typ := range u.All() {
+		if typ.ID() != i {
+			t.Errorf("All()[%d].ID() = %d", i, typ.ID())
+		}
+	}
+}
+
+func TestReferenceTypes(t *testing.T) {
+	u := types.NewUniverse()
+	u.NewObject("O", nil, false, "")
+	u.NewArray("", u.IntT)
+	u.NewRef("", u.IntT)
+	u.NewRecord("R", nil)
+	refs := u.ReferenceTypes()
+	for _, r := range refs {
+		if !r.IsReference() {
+			t.Errorf("%s is not a reference", r)
+		}
+		if b, ok := r.(*types.Basic); ok && b.Kind == types.Null {
+			t.Error("ReferenceTypes must exclude NULL")
+		}
+	}
+	if len(refs) != 3 {
+		t.Errorf("expected 3 reference types, got %d", len(refs))
+	}
+}
+
+func TestComparable(t *testing.T) {
+	u := types.NewUniverse()
+	p := u.NewObject("P", nil, false, "")
+	c := u.NewObject("C", p, false, "")
+	o := u.NewObject("O", nil, false, "")
+	if !u.Comparable(p, c) {
+		t.Error("related objects comparable")
+	}
+	if u.Comparable(c, o) {
+		t.Error("unrelated objects not comparable")
+	}
+	if !u.Comparable(u.IntT, u.IntT) {
+		t.Error("scalars comparable with themselves")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	u := types.NewUniverse()
+	if u.IntT.String() != "INTEGER" || u.BoolT.String() != "BOOLEAN" ||
+		u.CharT.String() != "CHAR" || u.NullT.String() != "NULL" {
+		t.Error("basic type names")
+	}
+	a := u.NewArray("", u.IntT)
+	if a.String() != "ARRAY OF INTEGER" {
+		t.Errorf("array rendering: %q", a)
+	}
+	r := u.NewRef("", a)
+	if r.String() != "REF ARRAY OF INTEGER" {
+		t.Errorf("ref rendering: %q", r)
+	}
+	rec := u.NewRecord("", []*types.Field{{Name: "a", Type: u.IntT}})
+	if rec.String() == "" {
+		t.Error("record rendering")
+	}
+}
