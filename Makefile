@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (one iteration each; see bench_test.go for the
+# per-table/figure benchmarks and internal/alias for the oracle ones).
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The CI smoke: oracle microbenchmarks must at least run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkMayAlias -benchtime=1x ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Regenerating Table 4 must reproduce the checked-in golden byte for byte.
+golden: build
+	$(GO) run ./cmd/tbaabench -table 4 | diff -u internal/bench/testdata/table4.golden -
+
+ci: build vet fmt-check test-race bench-smoke golden

@@ -110,11 +110,7 @@ func main() {
 			if refs == nil {
 				return nil
 			}
-			ids := make([]int, 0, len(refs))
-			for id := range refs {
-				ids = append(ids, id)
-			}
-			return ids
+			return refs.IDs()
 		}
 		nd := opt.Devirtualize(prog, refine)
 		ni := opt.Inline(prog)
@@ -200,7 +196,7 @@ func printTypeRefs(prog *ir.Program, a *alias.Analysis) {
 			continue
 		}
 		var names []string
-		for id := range refs {
+		for _, id := range refs.IDs() {
 			names = append(names, prog.Universe.ByID(id).String())
 		}
 		sort.Strings(names)

@@ -3,15 +3,20 @@
 //
 // Usage:
 //
-//	tbaabench              # everything
+//	tbaabench              # everything, GOMAXPROCS workers
 //	tbaabench -table 5     # one table
 //	tbaabench -figure 10   # one figure
+//	tbaabench -parallel 1  # force the sequential path
+//
+// Output is byte-identical for every worker count: configurations are
+// fanned out as independent cells and reassembled in paper order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 
 	"tbaa/internal/bench"
 )
@@ -19,7 +24,17 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (4, 5, or 6)")
 	figure := flag.Int("figure", 0, "regenerate one figure (8..12)")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+
+	// Batch tool: the compile cache keeps every benchmark's checked
+	// module live while the simulators churn allocations, so trade heap
+	// headroom for fewer collections (GOGC still overrides).
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(300)
+	}
+
+	r := bench.NewRunner(*parallel)
 
 	all := *table == 0 && *figure == 0
 	fail := func(err error) {
@@ -29,7 +44,7 @@ func main() {
 	out := os.Stdout
 
 	if all || *table == 4 {
-		rows, err := bench.Table4()
+		rows, err := r.Table4()
 		if err != nil {
 			fail(err)
 		}
@@ -37,7 +52,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *table == 5 {
-		rows, err := bench.Table5()
+		rows, err := r.Table5()
 		if err != nil {
 			fail(err)
 		}
@@ -45,7 +60,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *table == 6 {
-		rows, err := bench.Table6()
+		rows, err := r.Table6()
 		if err != nil {
 			fail(err)
 		}
@@ -53,7 +68,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *figure == 8 {
-		rows, err := bench.Figure8()
+		rows, err := r.Figure8()
 		if err != nil {
 			fail(err)
 		}
@@ -61,7 +76,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *figure == 9 {
-		rows, err := bench.Figure9()
+		rows, err := r.Figure9()
 		if err != nil {
 			fail(err)
 		}
@@ -69,7 +84,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *figure == 10 {
-		rows, err := bench.Figure10()
+		rows, err := r.Figure10()
 		if err != nil {
 			fail(err)
 		}
@@ -77,7 +92,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *figure == 11 {
-		rows, err := bench.Figure11()
+		rows, err := r.Figure11()
 		if err != nil {
 			fail(err)
 		}
@@ -85,7 +100,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if all || *figure == 12 {
-		rows, err := bench.Figure12()
+		rows, err := r.Figure12()
 		if err != nil {
 			fail(err)
 		}

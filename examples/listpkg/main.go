@@ -13,6 +13,7 @@ import (
 
 	"tbaa/internal/alias"
 	"tbaa/internal/driver"
+	"tbaa/internal/types"
 )
 
 const src = `
@@ -73,7 +74,7 @@ func main() {
 			continue
 		}
 		var names []string
-		for id := range refs {
+		for _, id := range refs.IDs() {
 			names = append(names, prog.Universe.ByID(id).String())
 		}
 		sort.Strings(names)
@@ -83,7 +84,7 @@ func main() {
 	// The headline fact: a Fruit reference (the list's element slot) may
 	// point at Apples but never at Oranges, because no assignment ever
 	// merged Orange into Fruit.
-	var fruitRow map[int]bool
+	var fruitRow types.Bitset
 	var orangeID, appleID int
 	for _, o := range prog.Universe.ObjectTypes() {
 		switch o.Name {
@@ -95,6 +96,6 @@ func main() {
 			appleID = o.ID()
 		}
 	}
-	fmt.Printf("\nFruit may reference Apple:  %v\n", fruitRow[appleID])
-	fmt.Printf("Fruit may reference Orange: %v  (TypeDecl would say true)\n", fruitRow[orangeID])
+	fmt.Printf("\nFruit may reference Apple:  %v\n", fruitRow.Has(appleID))
+	fmt.Printf("Fruit may reference Orange: %v  (TypeDecl would say true)\n", fruitRow.Has(orangeID))
 }

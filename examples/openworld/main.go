@@ -79,14 +79,14 @@ func main() {
 	}
 
 	fmt.Println("May a Node reference a Wide (the program never assigns one)?")
-	fmt.Printf("  closed world: %v\n", closed.TypeRefs(u.ByID(nodeT))[wideT])
+	fmt.Printf("  closed world: %v\n", closed.TypeRefs(u.ByID(nodeT)).Has(wideT))
 	fmt.Printf("  open world:   %v  (clients may construct and assign Wide)\n",
-		open.TypeRefs(u.ByID(nodeT))[wideT])
+		open.TypeRefs(u.ByID(nodeT)).Has(wideT))
 
 	fmt.Println("May a Secret reference a SecretSub?")
-	fmt.Printf("  closed world: %v\n", closed.TypeRefs(u.ByID(secretT))[secretSubT])
+	fmt.Printf("  closed world: %v\n", closed.TypeRefs(u.ByID(secretT)).Has(secretSubT))
 	fmt.Printf("  open world:   %v  (branded: clients cannot forge it)\n",
-		open.TypeRefs(u.ByID(secretT))[secretSubT])
+		open.TypeRefs(u.ByID(secretT)).Has(secretSubT))
 
 	nval := find("n.val")
 	fmt.Println("AddressTaken(n.val) — n is a value parameter a client could alias:")

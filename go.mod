@@ -1,0 +1,3 @@
+module tbaa
+
+go 1.24

@@ -66,19 +66,35 @@ type Oracle interface {
 	Name() string
 }
 
-// Analysis is a built TBAA instance for one program.
+// Analysis is a built TBAA instance for one program. It memoizes
+// MayAlias per access-path pair, so a single Analysis must not be
+// queried from multiple goroutines; build one per worker instead.
 type Analysis struct {
 	prog *ir.Program
 	u    *types.Universe
 	opts Options
-	// typeRefs maps type ID -> set of type IDs an AP of that declared
-	// type may reference (the TypeRefsTable). Nil for LevelTypeDecl and
-	// LevelFieldTypeDecl, which use raw subtype sets.
-	typeRefs map[int]map[int]bool
+	// typeRefs is indexed by type ID and holds the set of type IDs an AP
+	// of that declared type may reference (the TypeRefsTable). Nil rows
+	// mark non-reference types; the whole slice is nil for LevelTypeDecl
+	// and LevelFieldTypeDecl, which use raw subtype sets.
+	typeRefs []types.Bitset
 	// addrFields / addrElems are the AddressTaken facts.
 	addrFields map[ir.FieldKey]bool
 	addrElems  map[int]bool
+	// addrOwners indexes addrFields by field name: the owner types whose
+	// field of that name has its address taken. AddressTaken consults it
+	// instead of scanning every recorded fact per query.
+	addrOwners map[string][]types.Type
+	// memo caches answers for the expensive MayAlias cases (the ones
+	// that run AddressTaken), keyed by the AP pointer pair in the
+	// orientation produced by fieldTypeDecl's rank normalization —
+	// identical for both query orders, so one entry is order-insensitive.
+	memo map[[2]*ir.AP]bool
 }
+
+// memoLimit bounds the MayAlias cache; when it fills, the cache is
+// dropped and rebuilt.
+const memoLimit = 1 << 18
 
 // New builds a TBAA analysis over a lowered program.
 func New(prog *ir.Program, opts Options) *Analysis {
@@ -88,6 +104,11 @@ func New(prog *ir.Program, opts Options) *Analysis {
 		opts:       opts,
 		addrFields: prog.AddressTakenFields,
 		addrElems:  prog.AddressTakenElems,
+		addrOwners: make(map[string][]types.Type, len(prog.AddressTakenFields)),
+		memo:       make(map[[2]*ir.AP]bool),
+	}
+	for key := range prog.AddressTakenFields {
+		a.addrOwners[key.Field] = append(a.addrOwners[key.Field], prog.Universe.ByID(key.TypeID))
 	}
 	if opts.Level == LevelSMFieldTypeRefs {
 		if opts.PerTypeGroups {
@@ -108,12 +129,28 @@ func (a *Analysis) Name() string {
 	return n
 }
 
-// MayAlias implements Oracle.
+// MayAlias implements Oracle. Cheap cases (a type-set intersection or
+// two) are recomputed every time; the Table 2 cases that run
+// AddressTaken are memoized inside fieldTypeDecl, because they walk
+// owner-type lists and RLE re-asks them for the same AP pairs
+// throughout its dataflow iteration.
 func (a *Analysis) MayAlias(p, q *ir.AP) bool {
 	if a.opts.Level == LevelTypeDecl {
 		return a.typeCompat(p.Type(), q.Type())
 	}
 	return a.fieldTypeDecl(p, q)
+}
+
+// memoStore records a costly answer. Callers pass the pair in the
+// orientation produced by fieldTypeDecl's rank normalization, which is
+// identical for both query orders — the canonical key — so a single
+// entry serves MayAlias(p, q) and MayAlias(q, p) alike.
+func (a *Analysis) memoStore(p, q *ir.AP, v bool) bool {
+	if len(a.memo) >= memoLimit {
+		clear(a.memo)
+	}
+	a.memo[[2]*ir.AP{p, q}] = v
+	return v
 }
 
 // typeCompat is the level-appropriate base relation: TypeDecl's subtype
@@ -123,19 +160,20 @@ func (a *Analysis) typeCompat(t1, t2 types.Type) bool {
 		return true // unknown: be conservative
 	}
 	if a.typeRefs != nil {
-		s1, ok1 := a.typeRefs[t1.ID()]
-		s2, ok2 := a.typeRefs[t2.ID()]
-		if ok1 && ok2 {
-			// Intersect the smaller against the larger.
-			if len(s1) > len(s2) {
-				s1, s2 = s2, s1
+		var s1, s2 types.Bitset
+		if id := t1.ID(); id < len(a.typeRefs) {
+			s1 = a.typeRefs[id]
+		}
+		if id := t2.ID(); id < len(a.typeRefs) {
+			s2 = a.typeRefs[id]
+		}
+		if s1 != nil && s2 != nil {
+			// Word-0 fast path: most universes have < 64 types. Rows are
+			// built with NewBitset(NumTypes), so they are never 0 words.
+			if s1[0]&s2[0] != 0 {
+				return true
 			}
-			for id := range s1 {
-				if s2[id] {
-					return true
-				}
-			}
-			return false
+			return s1.Intersects(s2)
 		}
 		// Non-reference types fall through to subtype compatibility.
 	}
@@ -160,11 +198,8 @@ func (a *Analysis) AddressTaken(p *ir.AP) bool {
 		// The recorded key is the static type of the prefix (field owner).
 		// Any owner type compatible with this path's prefix matches.
 		pt := prefixOwnerType(p)
-		for key := range a.addrFields {
-			if key.Field != last.Field {
-				continue
-			}
-			if a.typeCompat(a.u.ByID(key.TypeID), pt) {
+		for _, owner := range a.addrOwners[last.Field] {
+			if a.typeCompat(owner, pt) {
 				return true
 			}
 		}
@@ -180,15 +215,36 @@ func (a *Analysis) AddressTaken(p *ir.AP) bool {
 	}
 }
 
+// prefixType returns the static type of p with its final selector
+// removed, without materializing the prefix path.
+func prefixType(p *ir.AP) types.Type {
+	if n := len(p.Sels); n >= 2 {
+		return p.Sels[n-2].Type
+	}
+	return p.Root.Type
+}
+
 // prefixOwnerType returns the object/record type owning the final field
 // selector of p.
 func prefixOwnerType(p *ir.AP) types.Type {
-	pre := p.Prefix()
-	t := pre.Type()
+	t := prefixType(p)
 	if rt, ok := t.(*types.Ref); ok {
 		return rt.Elem
 	}
 	return t
+}
+
+// subscriptPrefixType returns the static type of the paper's "p" in
+// p[i], stripping the trailing [i] and the implicit {elems} step.
+func subscriptPrefixType(p *ir.AP) types.Type {
+	n := len(p.Sels)
+	if n >= 2 && p.Sels[n-2].Kind == ir.SelDopeElems {
+		if n >= 3 {
+			return p.Sels[n-3].Type
+		}
+		return p.Root.Type
+	}
+	return prefixType(p)
 }
 
 // subscriptArrayType returns the array type subscripted by a path ending
@@ -197,15 +253,19 @@ func subscriptArrayType(p *ir.AP) *types.Array {
 	n := len(p.Sels)
 	// Dope-expanded paths carry an explicit {elems} step before [i].
 	if n >= 2 && p.Sels[n-2].Kind == ir.SelDopeElems {
-		pre := &ir.AP{Root: p.Root, Sels: p.Sels[:n-2]}
-		if at, ok := pre.Type().(*types.Array); ok {
+		var t types.Type
+		if n >= 3 {
+			t = p.Sels[n-3].Type
+		} else {
+			t = p.Root.Type
+		}
+		if at, ok := t.(*types.Array); ok {
 			return at
 		}
 	}
 	// Source-level paths subscript the array-typed prefix directly.
 	if n >= 1 {
-		pre := &ir.AP{Root: p.Root, Sels: p.Sels[:n-1]}
-		if at, ok := pre.Type().(*types.Array); ok {
+		if at, ok := prefixType(p).(*types.Array); ok {
 			return at
 		}
 	}
@@ -215,10 +275,11 @@ func subscriptArrayType(p *ir.AP) *types.Array {
 // fieldTypeDecl implements Table 2 of the paper. The base relation
 // (TypeDecl or SMTypeRefs) is a.typeCompat.
 func (a *Analysis) fieldTypeDecl(p, q *ir.AP) bool {
-	// Case 1: identical access paths always alias.
-	if p.Equal(q) {
-		return true
-	}
+	// Case 1 (identical access paths always alias) needs no explicit
+	// test: syntactically equal paths share selector kinds, so they land
+	// in a symmetric arm below, where the type test is reflexively true
+	// (every type range contains itself). The property suite checks
+	// reflexivity on every generated program.
 	lp, lq := p.Last(), q.Last()
 	// Case 7 for bare variables (paths with no selector): in the Table 2
 	// recursion a bare variable stands for "the objects this variable may
@@ -228,73 +289,69 @@ func (a *Analysis) fieldTypeDecl(p, q *ir.AP) bool {
 	if lp == nil || lq == nil {
 		return a.typeCompat(p.Type(), q.Type())
 	}
-	k1, k2 := lp.Kind, lq.Kind
+	r1, r2 := rank(lp.Kind), rank(lq.Kind)
 	// Normalize order so we only handle one triangle of the case matrix.
-	if rank(k1) > rank(k2) {
+	if r1 > r2 {
 		p, q = q, p
 		lp, lq = lq, lp
-		k1, k2 = k2, k1
+		r1, r2 = r2, r1
 	}
-	switch {
+	switch r1*3 + r2 {
 	// Case 2: p.f vs q.g — includes the implicit dope "fields", whose
 	// names ({len}, {elems}) never collide with source fields.
-	case isFieldLike(k1) && isFieldLike(k2):
+	//
+	// Table 2 of the paper recurses with FieldTypeDecl on the prefixes
+	// here, which answers whether they are the same *location*. What
+	// case 2 actually needs is whether their *values* can be the same
+	// pointer — two distinct fields can hold the same object, making
+	// x.f.i and y.g.i the same location even though x.f and y.g are
+	// not. Recursion on field names is therefore unsound for paths of
+	// depth ≥ 2 (our dynamic soundness property test found the
+	// counterexample); the sound test is type-range intersection on the
+	// prefix value types, which keeps all of the paper's one-level
+	// precision (sibling-subtype and selective-merge pruning).
+	case 0: // field-like vs field-like
 		if fieldName(lp) != fieldName(lq) {
 			return false
 		}
-		return a.prefixesMayCoincide(p.Prefix(), q.Prefix())
-	// Case 3: p.f vs q^.
-	case isFieldLike(k1) && k2 == ir.SelDeref:
-		return a.AddressTaken(p) && a.typeCompat(p.Type(), q.Type())
+		return a.typeCompat(prefixType(p), prefixType(q))
+	// Case 3: p.f vs q^ — memoized, AddressTaken is the expensive step.
+	case 1: // field-like vs deref
+		if v, hit := a.memo[[2]*ir.AP{p, q}]; hit {
+			return v
+		}
+		return a.memoStore(p, q, a.AddressTaken(p) && a.typeCompat(p.Type(), q.Type()))
 	// Case 5: p.f vs q[i] — never aliases in Modula-3.
-	case isFieldLike(k1) && k2 == ir.SelIndex:
+	case 2: // field-like vs index
 		return false
 	// Case 7 (two dereferences): TypeDecl on the paths.
-	case k1 == ir.SelDeref && k2 == ir.SelDeref:
+	case 4: // deref vs deref
 		return a.typeCompat(p.Type(), q.Type())
-	// Case 4: p^ vs q[i].
-	case k1 == ir.SelDeref && k2 == ir.SelIndex:
-		return a.AddressTaken(q) && a.typeCompat(p.Type(), q.Type())
+	// Case 4: p^ vs q[i] — memoized like case 3.
+	case 5: // deref vs index
+		if v, hit := a.memo[[2]*ir.AP{p, q}]; hit {
+			return v
+		}
+		return a.memoStore(p, q, a.AddressTaken(q) && a.typeCompat(p.Type(), q.Type()))
 	// Case 6: p[i] vs q[j] — ignore the subscripts, compare the arrays.
-	case k1 == ir.SelIndex && k2 == ir.SelIndex:
-		return a.prefixesMayCoincide(subscriptPrefix(p), subscriptPrefix(q))
+	case 8: // index vs index
+		return a.typeCompat(subscriptPrefixType(p), subscriptPrefixType(q))
 	}
 	// Case 7 fallback.
 	return a.typeCompat(p.Type(), q.Type())
 }
 
-// prefixesMayCoincide reports whether the values of two prefix paths may
-// refer to the same object.
-//
-// Table 2 of the paper recurses with FieldTypeDecl(p, q) here, which
-// answers whether p and q are the same *location*. What case 2 actually
-// needs is whether their *values* can be the same pointer — two distinct
-// fields can hold the same object, making x.f.i and y.g.i the same
-// location even though x.f and y.g are not. Recursion on field names is
-// therefore unsound for paths of depth ≥ 2 (our dynamic soundness
-// property test found the counterexample); the sound test is type-range
-// intersection on the prefix value types, which keeps all of the paper's
-// one-level precision (sibling-subtype and selective-merge pruning).
-func (a *Analysis) prefixesMayCoincide(p, q *ir.AP) bool {
-	return a.typeCompat(p.Type(), q.Type())
+// rankTab orders selector kinds for the case normalization above:
+// field-like < deref < index. Indexed by ir.SelKind.
+var rankTab = [...]int8{
+	ir.SelField:     0,
+	ir.SelDeref:     1,
+	ir.SelIndex:     2,
+	ir.SelDopeLen:   0,
+	ir.SelDopeElems: 0,
 }
 
-// rank orders selector kinds for the case normalization above:
-// field-like < deref < index.
-func rank(k ir.SelKind) int {
-	switch k {
-	case ir.SelField, ir.SelDopeLen, ir.SelDopeElems:
-		return 0
-	case ir.SelDeref:
-		return 1
-	default:
-		return 2
-	}
-}
-
-func isFieldLike(k ir.SelKind) bool {
-	return k == ir.SelField || k == ir.SelDopeLen || k == ir.SelDopeElems
-}
+func rank(k ir.SelKind) int8 { return rankTab[k] }
 
 func fieldName(s *ir.APSel) string {
 	switch s.Kind {
@@ -305,16 +362,6 @@ func fieldName(s *ir.APSel) string {
 	default:
 		return s.Field
 	}
-}
-
-// subscriptPrefix strips the trailing [i] and the implicit {elems} step,
-// yielding the paper's "p" in p[i].
-func subscriptPrefix(p *ir.AP) *ir.AP {
-	n := len(p.Sels)
-	if n >= 2 && p.Sels[n-2].Kind == ir.SelDopeElems {
-		return &ir.AP{Root: p.Root, Sels: p.Sels[:n-2]}
-	}
-	return p.Prefix()
 }
 
 // ---------------------------------------------------------------------------

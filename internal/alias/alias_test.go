@@ -174,16 +174,16 @@ func TestSMTypeRefsFig3(t *testing.T) {
 	tID, s1ID, s2ID, s3ID := find("T"), find("S1"), find("S2"), find("S3")
 	refsT := sm.TypeRefs(u.ByID(tID))
 	// Table 3 of the paper: TypeRefsTable(T) = {T, S1, S2}; S3 excluded.
-	if !refsT[tID] || !refsT[s1ID] || !refsT[s2ID] {
-		t.Errorf("TypeRefsTable(T) = %v, want to include T, S1, S2", refsT)
+	if !refsT.Has(tID) || !refsT.Has(s1ID) || !refsT.Has(s2ID) {
+		t.Errorf("TypeRefsTable(T) = %v, want to include T, S1, S2", refsT.IDs())
 	}
-	if refsT[s3ID] {
+	if refsT.Has(s3ID) {
 		t.Errorf("TypeRefsTable(T) includes S3; selective merging failed")
 	}
 	// Asymmetry (Step 3): S1 may only reference S1.
 	refsS1 := sm.TypeRefs(u.ByID(s1ID))
-	if len(refsS1) != 1 || !refsS1[s1ID] {
-		t.Errorf("TypeRefsTable(S1) = %v, want {S1}", refsS1)
+	if refsS1.Count() != 1 || !refsS1.Has(s1ID) {
+		t.Errorf("TypeRefsTable(S1) = %v, want {S1}", refsS1.IDs())
 	}
 	// Consequences for aliasing.
 	tf := apOf(t, prog, "t.f")
@@ -494,7 +494,7 @@ END M.
 		}
 	}
 	refs := open.TypeRefs(u.ByID(tID))
-	if refs[sID] {
+	if refs.Has(sID) {
 		t.Error("branded types must not merge under the open-world assumption")
 	}
 }

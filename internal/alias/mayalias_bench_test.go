@@ -1,0 +1,91 @@
+package alias_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/ir"
+	"tbaa/internal/randprog"
+)
+
+// benchProgram compiles a fixed randprog module large enough to exercise
+// the subtype/TypeRefs machinery — a universe in the size range of the
+// paper's larger benchmarks (m3cg, m2tom3) — and returns its heap
+// references.
+func benchProgram(b *testing.B) (*ir.Program, []alias.Ref) {
+	b.Helper()
+	cfg := randprog.Config{Types: 48, Globals: 16, Procs: 8, StmtsPer: 10, MaxDepth: 2}
+	src := randprog.Generate(77, cfg)
+	prog, _, err := driver.Compile("bench.m3", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs := alias.References(prog)
+	if len(refs) < 2 {
+		b.Fatal("benchmark program has too few heap references")
+	}
+	return prog, refs
+}
+
+// benchMayAlias sweeps MayAlias over a fixed cycle of reference pairs,
+// measuring the steady-state query cost — the regime RLE and the pair
+// counters operate in. The pair schedule is precomputed so the loop
+// measures only the oracle.
+func benchMayAlias(b *testing.B, opts alias.Options) {
+	prog, refs := benchProgram(b)
+	a := alias.New(prog, opts)
+	n := len(refs)
+	type pair struct{ p, q *ir.AP }
+	pairs := make([]pair, 0, 4096)
+	for i := 0; len(pairs) < cap(pairs); i++ {
+		pairs = append(pairs, pair{refs[i%n].AP, refs[(i*7+1)%n].AP})
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i += len(pairs) {
+		for _, pr := range pairs {
+			if a.MayAlias(pr.p, pr.q) {
+				hits++
+			}
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkMayAliasTypeDecl(b *testing.B) {
+	benchMayAlias(b, alias.Options{Level: alias.LevelTypeDecl})
+}
+
+func BenchmarkMayAliasFieldTypeDecl(b *testing.B) {
+	benchMayAlias(b, alias.Options{Level: alias.LevelFieldTypeDecl})
+}
+
+func BenchmarkMayAliasSMFieldTypeRefs(b *testing.B) {
+	benchMayAlias(b, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+}
+
+func BenchmarkMayAliasSMFieldTypeRefsOpen(b *testing.B) {
+	benchMayAlias(b, alias.Options{Level: alias.LevelSMFieldTypeRefs, OpenWorld: true})
+}
+
+// BenchmarkMayAliasCountPairs measures a full cold CountPairs sweep —
+// a fresh analysis each iteration, so builder cost and memo-cold
+// queries are both in the loop. This is the Table 5 inner loop.
+func BenchmarkMayAliasCountPairs(b *testing.B) {
+	prog, _ := benchProgram(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+		alias.CountPairs(prog, a)
+	}
+}
+
+// BenchmarkBuildSMTypeRefs measures TypeRefsTable construction alone.
+func BenchmarkBuildSMTypeRefs(b *testing.B) {
+	prog, _ := benchProgram(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	}
+}

@@ -15,9 +15,10 @@ import (
 // Open-world mode additionally merges every non-branded object type with
 // its non-branded supertype (Section 4: unavailable code can reconstruct
 // any structural type and assign through it; branded types are immune).
-func buildTypeRefsUnionFind(prog *ir.Program, openWorld bool) map[int]map[int]bool {
+func buildTypeRefsUnionFind(prog *ir.Program, openWorld bool) []types.Bitset {
 	u := prog.Universe
-	uf := newUnionFind(u.NumTypes())
+	n := u.NumTypes()
+	uf := newUnionFind(n)
 	for _, m := range prog.Merges {
 		uf.union(m.Dst.ID(), m.Src.ID())
 	}
@@ -29,28 +30,23 @@ func buildTypeRefsUnionFind(prog *ir.Program, openWorld bool) map[int]map[int]bo
 			uf.union(o.ID(), o.Super.ID())
 		}
 	}
-	// Collect groups.
-	groups := make(map[int][]int)
+	// Collect each equivalence class as a bitset.
+	groups := make(map[int]*types.Bitset)
 	for _, t := range u.ReferenceTypes() {
 		r := uf.find(t.ID())
-		groups[r] = append(groups[r], t.ID())
+		g := groups[r]
+		if g == nil {
+			b := types.NewBitset(n)
+			g = &b
+			groups[r] = g
+		}
+		g.Add(t.ID())
 	}
 	// Step 3: filter by the subtype relation.
-	table := make(map[int]map[int]bool)
+	table := make([]types.Bitset, n)
 	for _, t := range u.ReferenceTypes() {
-		g := groups[uf.find(t.ID())]
-		subs := u.Subtypes(t)
-		subSet := make(map[int]bool, len(subs))
-		for _, id := range subs {
-			subSet[id] = true
-		}
-		refs := make(map[int]bool)
-		for _, id := range g {
-			if subSet[id] {
-				refs[id] = true
-			}
-		}
-		refs[t.ID()] = true
+		refs := u.SubtypeBitset(t).Intersect(*groups[uf.find(t.ID())])
+		refs.Add(t.ID())
 		table[t.ID()] = refs
 	}
 	return table
@@ -60,11 +56,14 @@ func buildTypeRefsUnionFind(prog *ir.Program, openWorld bool) map[int]map[int]bo
 // group per type with directed propagation. An assignment a := b makes
 // everything b may reference also referenceable through a, but not vice
 // versa. Iterates to a fixpoint, then applies the Step 3 subtype filter.
-func buildTypeRefsPerType(prog *ir.Program, openWorld bool) map[int]map[int]bool {
+func buildTypeRefsPerType(prog *ir.Program, openWorld bool) []types.Bitset {
 	u := prog.Universe
-	group := make(map[int]map[int]bool)
+	n := u.NumTypes()
+	group := make([]types.Bitset, n)
 	for _, t := range u.ReferenceTypes() {
-		group[t.ID()] = map[int]bool{t.ID(): true}
+		b := types.NewBitset(n)
+		b.Add(t.ID())
+		group[t.ID()] = b
 	}
 	type edge struct{ dst, src int }
 	var edges []edge
@@ -92,37 +91,28 @@ func buildTypeRefsPerType(prog *ir.Program, openWorld bool) map[int]map[int]bool
 			if gd == nil || gs == nil {
 				continue
 			}
-			for id := range gs {
-				if !gd[id] {
-					gd[id] = true
-					changed = true
-				}
+			before := gd.Count()
+			gd.Union(gs)
+			if gd.Count() != before {
+				group[e.dst] = gd
+				changed = true
 			}
 		}
 	}
-	table := make(map[int]map[int]bool)
+	table := make([]types.Bitset, n)
 	for _, t := range u.ReferenceTypes() {
-		subs := u.Subtypes(t)
-		subSet := make(map[int]bool, len(subs))
-		for _, id := range subs {
-			subSet[id] = true
-		}
-		refs := make(map[int]bool)
-		for id := range group[t.ID()] {
-			if subSet[id] {
-				refs[id] = true
-			}
-		}
-		refs[t.ID()] = true
+		refs := u.SubtypeBitset(t).Intersect(group[t.ID()])
+		refs.Add(t.ID())
 		table[t.ID()] = refs
 	}
 	return table
 }
 
 // TypeRefs exposes the TypeRefsTable row for a type (nil if the analysis
-// level does not build one). Useful for reports and tests.
-func (a *Analysis) TypeRefs(t types.Type) map[int]bool {
-	if a.typeRefs == nil {
+// level does not build one, or the type is not a reference type).
+// Useful for reports, devirtualization refinement, and tests.
+func (a *Analysis) TypeRefs(t types.Type) types.Bitset {
+	if a.typeRefs == nil || t.ID() >= len(a.typeRefs) {
 		return nil
 	}
 	return a.typeRefs[t.ID()]

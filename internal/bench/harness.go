@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"tbaa/internal/alias"
-	"tbaa/internal/driver"
 	"tbaa/internal/interp"
 	"tbaa/internal/ir"
 	"tbaa/internal/limit"
@@ -22,15 +21,10 @@ var Levels = []alias.Level{
 	alias.LevelSMFieldTypeRefs,
 }
 
-// compileBench compiles a benchmark from scratch (each configuration
-// mutates the IR, so every measurement gets a fresh program).
-func compileBench(b Benchmark) (*ir.Program, error) {
-	prog, _, err := driver.Compile(b.Name+".m3", b.Source)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
-	}
-	return prog, nil
-}
+// sequential is the runner behind the package-level Table/Figure
+// functions. One worker reproduces the historical strictly-sequential
+// evaluation order; the frontend cache still persists across calls.
+var sequential = NewRunner(1)
 
 // optimize applies RLE under a level (optionally with devirt+inline
 // first, and optionally under the open-world assumption).
@@ -42,11 +36,7 @@ func optimize(prog *ir.Program, level alias.Level, openWorld, minvInline bool) (
 			if refs == nil {
 				return nil
 			}
-			ids := make([]int, 0, len(refs))
-			for id := range refs {
-				ids = append(ids, id)
-			}
-			return ids
+			return refs.IDs()
 		}
 		opt.Devirtualize(prog, refine)
 		opt.Inline(prog)
@@ -58,6 +48,21 @@ func optimize(prog *ir.Program, level alias.Level, openWorld, minvInline bool) (
 	mr := modref.Compute(prog)
 	res := opt.RLE(prog, a, mr)
 	return a, res
+}
+
+// devirtInline applies devirtualization (refined by closed-world
+// SMTypeRefs) and inlining without a following RLE pass — Figure 11's
+// "Minv+Inlining only" configuration.
+func devirtInline(prog *ir.Program) {
+	a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	opt.Devirtualize(prog, func(o *types.Object) []int {
+		refs := a.TypeRefs(o)
+		if refs == nil {
+			return nil
+		}
+		return refs.IDs()
+	})
+	opt.Inline(prog)
 }
 
 // ---------------------------------------------------------------------------
@@ -76,9 +81,15 @@ type Table4Row struct {
 
 // Table4 runs every benchmark unoptimized and reports its profile.
 // Interactive programs get only their static size, as in the paper.
-func Table4() ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, b := range All() {
+func Table4() ([]Table4Row, error) { return sequential.Table4() }
+
+// Table4 implements the package-level Table4 on this runner's pool:
+// one cell per benchmark.
+func (r *Runner) Table4() ([]Table4Row, error) {
+	bs := All()
+	rows := make([]Table4Row, len(bs))
+	err := r.run(len(bs), func(i int) error {
+		b := bs[i]
 		row := Table4Row{
 			Name:        b.Name,
 			Lines:       SourceLines(b.Source),
@@ -86,20 +97,24 @@ func Table4() ([]Table4Row, error) {
 			Interactive: b.Interactive,
 		}
 		if !b.Interactive {
-			prog, err := compileBench(b)
+			prog, err := r.Compile(b)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			in := interp.New(prog)
 			if _, err := in.Run(); err != nil {
-				return nil, fmt.Errorf("%s: %w", b.Name, err)
+				return fmt.Errorf("%s: %w", b.Name, err)
 			}
 			st := in.Stats()
 			row.Instructions = st.Instructions
 			row.HeapLoadPct = 100 * float64(st.HeapLoads) / float64(st.Instructions)
 			row.OtherLoadPct = 100 * float64(st.OtherLoads) / float64(st.Instructions)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -130,22 +145,35 @@ type Table5Row struct {
 }
 
 // Table5 counts may-alias pairs under the three analyses.
-func Table5() ([]Table5Row, error) {
-	var rows []Table5Row
-	for _, b := range All() {
-		prog, err := compileBench(b)
+func Table5() ([]Table5Row, error) { return sequential.Table5() }
+
+// Table5 fans out one cell per (benchmark × level).
+func (r *Runner) Table5() ([]Table5Row, error) {
+	bs := All()
+	counts := make([]alias.PairCounts, len(bs)*len(Levels))
+	err := r.run(len(counts), func(ci int) error {
+		b, lvl := bs[ci/len(Levels)], Levels[ci%len(Levels)]
+		prog, err := r.Compile(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		a := alias.New(prog, alias.Options{Level: lvl})
+		counts[ci] = alias.CountPairs(prog, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table5Row, len(bs))
+	for i, b := range bs {
 		row := Table5Row{Name: b.Name}
-		for i, lvl := range Levels {
-			a := alias.New(prog, alias.Options{Level: lvl})
-			pc := alias.CountPairs(prog, a)
+		for li := range Levels {
+			pc := counts[i*len(Levels)+li]
 			row.References = pc.References
-			row.Local[i] = pc.Local
-			row.Global[i] = pc.Global
+			row.Local[li] = pc.Local
+			row.Global[li] = pc.Global
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -174,19 +202,32 @@ type Table6Row struct {
 }
 
 // Table6 runs RLE per level and counts removed loads.
-func Table6() ([]Table6Row, error) {
-	var rows []Table6Row
-	for _, b := range Measured() {
-		row := Table6Row{Name: b.Name}
-		for i, lvl := range Levels {
-			prog, err := compileBench(b)
-			if err != nil {
-				return nil, err
-			}
-			_, res := optimize(prog, lvl, false, false)
-			row.Removed[i] = res.Removed()
+func Table6() ([]Table6Row, error) { return sequential.Table6() }
+
+// Table6 fans out one cell per (benchmark × level); every cell gets a
+// fresh program because RLE mutates the IR.
+func (r *Runner) Table6() ([]Table6Row, error) {
+	bs := Measured()
+	removed := make([]int, len(bs)*len(Levels))
+	err := r.run(len(removed), func(ci int) error {
+		b, lvl := bs[ci/len(Levels)], Levels[ci%len(Levels)]
+		prog, err := r.Compile(b)
+		if err != nil {
+			return err
 		}
-		rows = append(rows, row)
+		_, res := optimize(prog, lvl, false, false)
+		removed[ci] = res.Removed()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table6Row, len(bs))
+	for i, b := range bs {
+		rows[i].Name = b.Name
+		for li := range Levels {
+			rows[i].Removed[li] = removed[i*len(Levels)+li]
+		}
 	}
 	return rows, nil
 }
@@ -210,37 +251,58 @@ type Figure8Row struct {
 	Pct        [3]float64 // TypeDecl, FieldTypeDecl, SMFieldTypeRefs
 }
 
+// simCell is one simulated configuration: cycle count plus program
+// output, kept so optimized runs can be checked against the base.
+type simCell struct {
+	cycles uint64
+	out    string
+}
+
 // Figure8 simulates every benchmark unoptimized and under RLE at each
 // analysis level.
-func Figure8() ([]Figure8Row, error) {
-	var rows []Figure8Row
+func Figure8() ([]Figure8Row, error) { return sequential.Figure8() }
+
+// Figure8 fans out one cell per benchmark × {base, TypeDecl,
+// FieldTypeDecl, SMFieldTypeRefs}.
+func (r *Runner) Figure8() ([]Figure8Row, error) {
+	bs := Measured()
 	cfg := sim.DefaultConfig()
-	for _, b := range Measured() {
-		base, err := compileBench(b)
+	stride := 1 + len(Levels)
+	cells := make([]simCell, len(bs)*stride)
+	err := r.run(len(cells), func(ci int) error {
+		b, j := bs[ci/stride], ci%stride
+		prog, err := r.Compile(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rBase, outBase, err := sim.Run(base, cfg)
+		if j > 0 {
+			optimize(prog, Levels[j-1], false, false)
+		}
+		res, out, err := sim.Run(prog, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			if j == 0 {
+				return fmt.Errorf("%s: %w", b.Name, err)
+			}
+			return fmt.Errorf("%s (%v): %w", b.Name, Levels[j-1], err)
 		}
-		row := Figure8Row{Name: b.Name, BaseCycles: rBase.Cycles}
-		for i, lvl := range Levels {
-			prog, err := compileBench(b)
-			if err != nil {
-				return nil, err
-			}
-			optimize(prog, lvl, false, false)
-			r, out, err := sim.Run(prog, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s (%v): %w", b.Name, lvl, err)
-			}
-			if out != outBase {
+		cells[ci] = simCell{res.Cycles, out}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure8Row, len(bs))
+	for i, b := range bs {
+		base := cells[i*stride]
+		row := Figure8Row{Name: b.Name, BaseCycles: base.cycles}
+		for li, lvl := range Levels {
+			c := cells[i*stride+1+li]
+			if c.out != base.out {
 				return nil, fmt.Errorf("%s (%v): output changed by optimization", b.Name, lvl)
 			}
-			row.Pct[i] = 100 * float64(r.Cycles) / float64(rBase.Cycles)
+			row.Pct[li] = 100 * float64(c.cycles) / float64(base.cycles)
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -265,33 +327,54 @@ type Figure9Row struct {
 	Optimized float64 // fraction remaining after TBAA+RLE
 }
 
+// limitCells runs the limit study per benchmark on the unoptimized
+// program (cell 0) and on the TBAA+RLE-optimized program (cell 1) —
+// the shared fan-out behind Figures 9 and 10.
+func (r *Runner) limitCells(bs []Benchmark) ([]limit.Report, error) {
+	reps := make([]limit.Report, 2*len(bs))
+	err := r.run(len(reps), func(ci int) error {
+		b, optimized := bs[ci/2], ci%2 == 1
+		prog, err := r.Compile(b)
+		if err != nil {
+			return err
+		}
+		var a *alias.Analysis
+		var mr *modref.ModRef
+		if optimized {
+			a, _ = optimize(prog, alias.LevelSMFieldTypeRefs, false, false)
+			mr = modref.Compute(prog)
+		}
+		rep, _, err := limit.Measure(prog, a, mr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		reps[ci] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
 // Figure9 runs the limit study on original and optimized programs.
-func Figure9() ([]Figure9Row, error) {
-	var rows []Figure9Row
-	for _, b := range Measured() {
-		base, err := compileBench(b)
-		if err != nil {
-			return nil, err
-		}
-		repBase, _, err := limit.Measure(base, nil, nil)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		prog, err := compileBench(b)
-		if err != nil {
-			return nil, err
-		}
-		a, _ := optimize(prog, alias.LevelSMFieldTypeRefs, false, false)
-		mr := modref.Compute(prog)
-		repOpt, _, err := limit.Measure(prog, a, mr)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		rows = append(rows, Figure9Row{
+func Figure9() ([]Figure9Row, error) { return sequential.Figure9() }
+
+// Figure9 fans out one cell per benchmark × {original, optimized}.
+func (r *Runner) Figure9() ([]Figure9Row, error) {
+	bs := Measured()
+	reps, err := r.limitCells(bs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure9Row, len(bs))
+	for i, b := range bs {
+		repBase, repOpt := reps[2*i], reps[2*i+1]
+		rows[i] = Figure9Row{
 			Name:      b.Name,
 			Original:  repBase.Fraction(repBase.HeapLoads),
 			Optimized: repOpt.Fraction(repBase.HeapLoads),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -317,27 +400,18 @@ type Figure10Row struct {
 }
 
 // Figure10 classifies the redundant loads remaining after TBAA+RLE.
-func Figure10() ([]Figure10Row, error) {
-	var rows []Figure10Row
-	for _, b := range Measured() {
-		base, err := compileBench(b)
-		if err != nil {
-			return nil, err
-		}
-		repBase, _, err := limit.Measure(base, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := compileBench(b)
-		if err != nil {
-			return nil, err
-		}
-		a, _ := optimize(prog, alias.LevelSMFieldTypeRefs, false, false)
-		mr := modref.Compute(prog)
-		rep, _, err := limit.Measure(prog, a, mr)
-		if err != nil {
-			return nil, err
-		}
+func Figure10() ([]Figure10Row, error) { return sequential.Figure10() }
+
+// Figure10 fans out one cell per benchmark × {original, optimized}.
+func (r *Runner) Figure10() ([]Figure10Row, error) {
+	bs := Measured()
+	reps, err := r.limitCells(bs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure10Row, len(bs))
+	for i, b := range bs {
+		repBase, rep := reps[2*i], reps[2*i+1]
 		row := Figure10Row{Name: b.Name}
 		den := float64(repBase.HeapLoads)
 		if den > 0 {
@@ -345,7 +419,7 @@ func Figure10() ([]Figure10Row, error) {
 				row.Fractions[c] = float64(rep.ByCategory[c]) / den
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -374,64 +448,57 @@ type Figure11Row struct {
 }
 
 // Figure11 measures RLE, devirt+inline, and their combination.
-func Figure11() ([]Figure11Row, error) {
-	var rows []Figure11Row
+func Figure11() ([]Figure11Row, error) { return sequential.Figure11() }
+
+// Figure11 fans out one cell per benchmark × {base, RLE, Minv+Inline,
+// both}.
+func (r *Runner) Figure11() ([]Figure11Row, error) {
+	bs := Measured()
 	cfg := sim.DefaultConfig()
-	for _, b := range Measured() {
-		base, err := compileBench(b)
+	configs := []struct{ minv, rle bool }{
+		{false, false}, // base
+		{false, true},
+		{true, false},
+		{true, true},
+	}
+	stride := len(configs)
+	cells := make([]simCell, len(bs)*stride)
+	err := r.run(len(cells), func(ci int) error {
+		b, c := bs[ci/stride], configs[ci%stride]
+		prog, err := r.Compile(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rBase, outBase, err := sim.Run(base, cfg)
+		switch {
+		case c.minv && c.rle:
+			optimize(prog, alias.LevelSMFieldTypeRefs, false, true)
+		case c.minv:
+			devirtInline(prog)
+		case c.rle:
+			optimize(prog, alias.LevelSMFieldTypeRefs, false, false)
+		}
+		res, out, err := sim.Run(prog, cfg)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s: %w", b.Name, err)
 		}
-		measure := func(minv, rle bool) (float64, error) {
-			prog, err := compileBench(b)
-			if err != nil {
-				return 0, err
+		cells[ci] = simCell{res.Cycles, out}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure11Row, len(bs))
+	for i, b := range bs {
+		base := cells[i*stride]
+		for j := 1; j < stride; j++ {
+			if cells[i*stride+j].out != base.out {
+				return nil, fmt.Errorf("%s: output changed", b.Name)
 			}
-			if minv {
-				a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
-				refine := func(o *types.Object) []int {
-					refs := a.TypeRefs(o)
-					if refs == nil {
-						return nil
-					}
-					ids := make([]int, 0, len(refs))
-					for id := range refs {
-						ids = append(ids, id)
-					}
-					return ids
-				}
-				opt.Devirtualize(prog, refine)
-				opt.Inline(prog)
-			}
-			if rle {
-				a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
-				mr := modref.Compute(prog)
-				opt.RLE(prog, a, mr)
-			}
-			r, out, err := sim.Run(prog, cfg)
-			if err != nil {
-				return 0, err
-			}
-			if out != outBase {
-				return 0, fmt.Errorf("%s: output changed", b.Name)
-			}
-			return 100 * float64(r.Cycles) / float64(rBase.Cycles), nil
 		}
-		row := Figure11Row{Name: b.Name}
-		if row.RLE, err = measure(false, true); err != nil {
-			return nil, err
+		pct := func(j int) float64 {
+			return 100 * float64(cells[i*stride+j].cycles) / float64(base.cycles)
 		}
-		if row.MinvInline, err = measure(true, false); err != nil {
-			return nil, err
-		}
-		if row.Both, err = measure(true, true); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		rows[i] = Figure11Row{Name: b.Name, RLE: pct(1), MinvInline: pct(2), Both: pct(3)}
 	}
 	return rows, nil
 }
@@ -456,37 +523,46 @@ type Figure12Row struct {
 }
 
 // Figure12 compares RLE under the closed- and open-world assumptions.
-func Figure12() ([]Figure12Row, error) {
-	var rows []Figure12Row
+func Figure12() ([]Figure12Row, error) { return sequential.Figure12() }
+
+// Figure12 fans out one cell per benchmark × {base, closed, open}.
+func (r *Runner) Figure12() ([]Figure12Row, error) {
+	bs := Measured()
 	cfg := sim.DefaultConfig()
-	for _, b := range Measured() {
-		base, err := compileBench(b)
+	const stride = 3
+	cells := make([]simCell, len(bs)*stride)
+	err := r.run(len(cells), func(ci int) error {
+		b, j := bs[ci/stride], ci%stride
+		prog, err := r.Compile(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rBase, _, err := sim.Run(base, cfg)
+		if j > 0 {
+			optimize(prog, alias.LevelSMFieldTypeRefs, j == 2, false)
+		}
+		res, out, err := sim.Run(prog, cfg)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s: %w", b.Name, err)
 		}
-		row := Figure12Row{Name: b.Name}
-		for _, open := range []bool{false, true} {
-			prog, err := compileBench(b)
-			if err != nil {
-				return nil, err
-			}
-			optimize(prog, alias.LevelSMFieldTypeRefs, open, false)
-			r, _, err := sim.Run(prog, cfg)
-			if err != nil {
-				return nil, err
-			}
-			pct := 100 * float64(r.Cycles) / float64(rBase.Cycles)
-			if open {
-				row.Open = pct
-			} else {
-				row.Closed = pct
+		cells[ci] = simCell{res.Cycles, out}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure12Row, len(bs))
+	for i, b := range bs {
+		base := cells[i*stride]
+		for j := 1; j < stride; j++ {
+			if cells[i*stride+j].out != base.out {
+				return nil, fmt.Errorf("%s: output changed by optimization", b.Name)
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = Figure12Row{
+			Name:   b.Name,
+			Closed: 100 * float64(cells[i*stride+1].cycles) / float64(base.cycles),
+			Open:   100 * float64(cells[i*stride+2].cycles) / float64(base.cycles),
+		}
 	}
 	return rows, nil
 }

@@ -1,0 +1,97 @@
+package bench_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tbaa/internal/bench"
+)
+
+// render runs one table/figure generator and renders it to a string.
+func render[T any](t *testing.T, gen func() ([]T, error), fprint func(*strings.Builder, []T)) string {
+	t.Helper()
+	rows, err := gen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fprint(&sb, rows)
+	return sb.String()
+}
+
+// TestParallelMatchesSequential is the harness determinism contract:
+// a Runner with many workers must emit byte-identical artifacts to the
+// one-worker (historical sequential) path.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := bench.NewRunner(1)
+	par := bench.NewRunner(8)
+	check := func(name, a, b string) {
+		if a != b {
+			t.Errorf("%s: parallel output differs from sequential\n--- sequential ---\n%s--- parallel ---\n%s", name, a, b)
+		}
+	}
+	check("Table5",
+		render(t, seq.Table5, func(sb *strings.Builder, rows []bench.Table5Row) { bench.FprintTable5(sb, rows) }),
+		render(t, par.Table5, func(sb *strings.Builder, rows []bench.Table5Row) { bench.FprintTable5(sb, rows) }))
+	check("Table6",
+		render(t, seq.Table6, func(sb *strings.Builder, rows []bench.Table6Row) { bench.FprintTable6(sb, rows) }),
+		render(t, par.Table6, func(sb *strings.Builder, rows []bench.Table6Row) { bench.FprintTable6(sb, rows) }))
+	if testing.Short() {
+		return
+	}
+	check("Table4",
+		render(t, seq.Table4, func(sb *strings.Builder, rows []bench.Table4Row) { bench.FprintTable4(sb, rows) }),
+		render(t, par.Table4, func(sb *strings.Builder, rows []bench.Table4Row) { bench.FprintTable4(sb, rows) }))
+	check("Figure9",
+		render(t, seq.Figure9, func(sb *strings.Builder, rows []bench.Figure9Row) { bench.FprintFigure9(sb, rows) }),
+		render(t, par.Figure9, func(sb *strings.Builder, rows []bench.Figure9Row) { bench.FprintFigure9(sb, rows) }))
+	check("Figure12",
+		render(t, seq.Figure12, func(sb *strings.Builder, rows []bench.Figure12Row) { bench.FprintFigure12(sb, rows) }),
+		render(t, par.Figure12, func(sb *strings.Builder, rows []bench.Figure12Row) { bench.FprintFigure12(sb, rows) }))
+}
+
+// TestRunnerCompileFreshPrograms pins the compile-cache contract: two
+// programs lowered from one cached frontend are independent objects
+// with identical structure.
+func TestRunnerCompileFreshPrograms(t *testing.T) {
+	r := bench.NewRunner(1)
+	b, ok := bench.ByName("k-tree")
+	if !ok {
+		t.Fatal("k-tree benchmark missing")
+	}
+	p1, err := r.Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("Runner.Compile returned a shared program; cells would corrupt each other")
+	}
+	if p1.Universe != p2.Universe {
+		t.Error("programs from one frontend should share the precomputed Universe")
+	}
+	if p1.String() != p2.String() {
+		t.Error("re-lowered program differs from the first lowering")
+	}
+}
+
+// TestTable4Golden compares the rendered Table 4 against the checked-in
+// golden file used by the CI benchmark-smoke step.
+func TestTable4Golden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "table4.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The golden file holds exactly `tbaabench -table 4` output: the
+	// rendered table followed by one blank separator line.
+	got := render(t, bench.NewRunner(0).Table4,
+		func(sb *strings.Builder, rows []bench.Table4Row) { bench.FprintTable4(sb, rows) }) + "\n"
+	if got != string(want) {
+		t.Errorf("Table 4 drifted from testdata/table4.golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

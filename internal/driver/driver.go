@@ -10,17 +10,47 @@ import (
 	"tbaa/internal/sema"
 )
 
-// Compile parses, checks, and lowers a MiniM3 module.
-func Compile(file, src string) (*ir.Program, *sema.Program, error) {
+// Compiled is a parsed-and-checked module whose lowering can be replayed
+// cheaply. The evaluation harness caches one Compiled per benchmark and
+// lowers a fresh, independently-mutable ir.Program for every
+// (level, options) configuration.
+//
+// After Frontend returns, the module's Universe is fully precomputed and
+// no later phase registers types, so programs lowered from one Compiled
+// may be analyzed, optimized, and executed concurrently.
+type Compiled struct {
+	File string
+	Sema *sema.Program
+}
+
+// Frontend parses and checks a MiniM3 module and precomputes the
+// type-universe caches.
+func Frontend(file, src string) (*Compiled, error) {
 	m, err := parser.Parse(file, src)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	sp, err := sema.Check(m)
 	if err != nil {
+		return nil, err
+	}
+	sp.Universe.Precompute()
+	return &Compiled{File: file, Sema: sp}, nil
+}
+
+// Lower produces a fresh IR program. Each call returns an independent
+// program; lowering reads but never mutates the checked module.
+func (c *Compiled) Lower() *ir.Program {
+	return lower.Lower(c.Sema)
+}
+
+// Compile parses, checks, and lowers a MiniM3 module.
+func Compile(file, src string) (*ir.Program, *sema.Program, error) {
+	c, err := Frontend(file, src)
+	if err != nil {
 		return nil, nil, err
 	}
-	return lower.Lower(sp), sp, nil
+	return c.Lower(), c.Sema, nil
 }
 
 // Run compiles and executes a module, returning its output and stats.

@@ -52,6 +52,51 @@ END M.
 	}
 }
 
+func TestFrontendLowerReplayable(t *testing.T) {
+	c, err := driver.Frontend("p.m3", `
+MODULE M;
+TYPE T = OBJECT f: INTEGER; END;
+     S = T OBJECT g: T; END;
+     RI = REF INTEGER;
+VAR a, b: T; s: S; r: RI;
+BEGIN
+  a := NEW(S); b := a; s := NEW(S); s.g := b; r := NEW(RI);
+  r^ := s.g.f;
+  PutInt(r^); PutLn();
+END M.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := c.Lower(), c.Lower()
+	if p1 == p2 {
+		t.Fatal("Lower must return a fresh program per call")
+	}
+	if p1.Universe != p2.Universe {
+		t.Error("lowered programs must share the checked universe")
+	}
+	if n := p1.Universe.NumTypes(); n != p2.Universe.NumTypes() {
+		t.Errorf("lowering registered types: %d", n)
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("replayed lowering differs:\n%s\nvs\n%s", p1, p2)
+	}
+	// Mutating one program must not leak into the other.
+	p1.Procs[0].Blocks[0].Instrs = nil
+	if p1.String() == p2.String() {
+		t.Error("programs share instruction storage")
+	}
+}
+
+func TestFrontendReportsErrors(t *testing.T) {
+	if _, err := driver.Frontend("bad.m3", "MODULE M BEGIN END M."); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := driver.Frontend("bad.m3", "MODULE M; BEGIN x := 1; END M."); err == nil {
+		t.Error("expected check error")
+	}
+}
+
 func TestCompileProducesWholeProgram(t *testing.T) {
 	prog, sp, err := driver.Compile("p.m3", `
 MODULE M;

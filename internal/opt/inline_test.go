@@ -102,11 +102,7 @@ END M.
 		if refs == nil {
 			return nil
 		}
-		var ids []int
-		for id := range refs {
-			ids = append(ids, id)
-		}
-		return ids
+		return refs.IDs()
 	}
 	resolved = opt.Devirtualize(prog, refine)
 	// s := NEW(Square) merges Shape with Square, so both types remain

@@ -1,0 +1,95 @@
+package types
+
+import "math/bits"
+
+// Bitset is a dense set of type IDs, one bit per ID. The zero value is
+// the empty set. Sets over the same Universe may have different word
+// lengths (a set built early never mentions later-registered types);
+// every operation treats missing high words as zero.
+type Bitset []uint64
+
+// NewBitset returns an empty set with capacity for IDs in [0, n).
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Add inserts id, growing the set if needed.
+func (b *Bitset) Add(id int) {
+	w := id / 64
+	for w >= len(*b) {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(id) % 64)
+}
+
+// Has reports whether id is in the set.
+func (b Bitset) Has(id int) bool {
+	w := id / 64
+	return w < len(b) && b[w]&(1<<(uint(id)%64)) != 0
+}
+
+// Intersects reports whether b and c share an element — the hot
+// operation behind every SMTypeRefs may-alias query.
+func (b Bitset) Intersects(c Bitset) bool {
+	n := len(b)
+	if len(c) < n {
+		n = len(c)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Union adds every element of c to b, growing b if needed.
+func (b *Bitset) Union(c Bitset) {
+	for len(*b) < len(c) {
+		*b = append(*b, 0)
+	}
+	for i, w := range c {
+		(*b)[i] |= w
+	}
+}
+
+// Intersect returns a new set holding b ∩ c.
+func (b Bitset) Intersect(c Bitset) Bitset {
+	n := len(b)
+	if len(c) < n {
+		n = len(c)
+	}
+	out := make(Bitset, n)
+	for i := 0; i < n; i++ {
+		out[i] = b[i] & c[i]
+	}
+	return out
+}
+
+// Clone returns an independent copy of b.
+func (b Bitset) Clone() Bitset {
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// Count returns the number of elements.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IDs returns the elements in ascending order.
+func (b Bitset) IDs() []int {
+	ids := make([]int, 0, b.Count())
+	for i, w := range b {
+		for w != 0 {
+			ids = append(ids, i*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return ids
+}

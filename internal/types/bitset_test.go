@@ -1,0 +1,123 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	var b Bitset
+	if b.Has(0) || b.Count() != 0 || len(b.IDs()) != 0 {
+		t.Fatal("zero-value Bitset must be empty")
+	}
+	b.Add(3)
+	b.Add(64)
+	b.Add(200)
+	b.Add(3) // idempotent
+	if !b.Has(3) || !b.Has(64) || !b.Has(200) || b.Has(4) || b.Has(10_000) {
+		t.Errorf("membership wrong: %v", b.IDs())
+	}
+	if got := b.IDs(); !reflect.DeepEqual(got, []int{3, 64, 200}) {
+		t.Errorf("IDs() = %v", got)
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count() = %d", b.Count())
+	}
+}
+
+func TestBitsetUnionIntersect(t *testing.T) {
+	a := NewBitset(10)
+	a.Add(1)
+	a.Add(9)
+	var c Bitset // shorter than a
+	c.Add(1)
+	if !a.Intersects(c) || !c.Intersects(a) {
+		t.Error("Intersects must be symmetric across lengths")
+	}
+	d := NewBitset(300)
+	d.Add(299)
+	if a.Intersects(d) || d.Intersects(a) {
+		t.Error("disjoint sets intersect")
+	}
+	u := a.Clone()
+	u.Union(d)
+	if got := u.IDs(); !reflect.DeepEqual(got, []int{1, 9, 299}) {
+		t.Errorf("Union IDs = %v", got)
+	}
+	if got := a.IDs(); !reflect.DeepEqual(got, []int{1, 9}) {
+		t.Errorf("Clone did not isolate the receiver: %v", got)
+	}
+	if got := u.Intersect(a).IDs(); !reflect.DeepEqual(got, []int{1, 9}) {
+		t.Errorf("Intersect IDs = %v", got)
+	}
+	if got := a.Intersect(d).Count(); got != 0 {
+		t.Errorf("Intersect of disjoint sets has %d elements", got)
+	}
+}
+
+// TestBitsetAgainstMapModel cross-checks every operation against a
+// map[int]bool reference model under random operations.
+func TestBitsetAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var b Bitset
+		m := map[int]bool{}
+		for op := 0; op < 50; op++ {
+			id := rng.Intn(400)
+			b.Add(id)
+			m[id] = true
+		}
+		if b.Count() != len(m) {
+			t.Fatalf("Count %d != model %d", b.Count(), len(m))
+		}
+		for id := 0; id < 400; id++ {
+			if b.Has(id) != m[id] {
+				t.Fatalf("Has(%d) = %v, model %v", id, b.Has(id), m[id])
+			}
+		}
+		var c Bitset
+		mc := map[int]bool{}
+		for op := 0; op < 10; op++ {
+			id := rng.Intn(400)
+			c.Add(id)
+			mc[id] = true
+		}
+		wantInter := false
+		for id := range mc {
+			if m[id] {
+				wantInter = true
+			}
+		}
+		if b.Intersects(c) != wantInter {
+			t.Fatalf("Intersects = %v, model %v", b.Intersects(c), wantInter)
+		}
+	}
+}
+
+func TestSubtypeBitsetMatchesSubtypes(t *testing.T) {
+	u := NewUniverse()
+	root := u.NewObject("Root", nil, false, "")
+	mid := u.NewObject("Mid", root, false, "")
+	leaf := u.NewObject("Leaf", mid, false, "")
+	other := u.NewObject("Other", root, false, "")
+	u.NewRef("RP", root)
+	u.Precompute()
+	for _, tt := range u.All() {
+		bs := u.SubtypeBitset(tt)
+		if got, want := bs.IDs(), u.Subtypes(tt); !reflect.DeepEqual(got, want) {
+			t.Errorf("SubtypeBitset(%s) = %v, Subtypes = %v", tt, got, want)
+		}
+	}
+	if !u.SubtypesIntersect(root, leaf) || !u.SubtypesIntersect(leaf, root) {
+		t.Error("root and leaf cones must intersect")
+	}
+	if u.SubtypesIntersect(leaf, other) {
+		t.Error("sibling cones must not intersect")
+	}
+	// Registering a new subtype must invalidate the cached cones.
+	u.NewObject("Leaf2", other, false, "")
+	if len(u.SubtypeBitset(other).IDs()) != 2 {
+		t.Error("cone cache not invalidated by NewObject")
+	}
+}

@@ -292,7 +292,8 @@ type Universe struct {
 	VoidT    *Basic
 	refCanon map[string]Type // structural key -> canonical REF/ARRAY
 	children map[*Object][]*Object
-	subtypes map[int][]int // type ID -> sorted IDs of subtypes incl. self
+	subtypes map[int][]int  // type ID -> sorted IDs of subtypes incl. self
+	subtBits map[int]Bitset // type ID -> subtype IDs as a dense bitset
 }
 
 // NewUniverse returns a universe populated with the builtin types.
@@ -301,6 +302,7 @@ func NewUniverse() *Universe {
 		refCanon: make(map[string]Type),
 		children: make(map[*Object][]*Object),
 		subtypes: make(map[int][]int),
+		subtBits: make(map[int]Bitset),
 	}
 	u.IntT = &Basic{Kind: Integer}
 	u.BoolT = &Basic{Kind: Boolean}
@@ -339,8 +341,15 @@ func (u *Universe) NewObject(name string, super *Object, branded bool, brand str
 	if super != nil {
 		u.children[super] = append(u.children[super], o)
 	}
-	u.subtypes = make(map[int][]int) // invalidate cache
+	u.invalidateSubtypes()
 	return o
+}
+
+// invalidateSubtypes drops the cached subtype sets after a hierarchy
+// change.
+func (u *Universe) invalidateSubtypes() {
+	u.subtypes = make(map[int][]int)
+	u.subtBits = make(map[int]Bitset)
 }
 
 // AddChild records that child's supertype is parent. Used when the parent
@@ -352,7 +361,7 @@ func (u *Universe) AddChild(parent, child *Object) {
 		}
 	}
 	u.children[parent] = append(u.children[parent], child)
-	u.subtypes = make(map[int][]int)
+	u.invalidateSubtypes()
 }
 
 // NewRecord registers a record type.
@@ -435,6 +444,19 @@ func (u *Universe) Subtypes(t Type) []int {
 	return ids
 }
 
+// SubtypeBitset returns Subtypes(t) as a dense bitset, cached per type.
+func (u *Universe) SubtypeBitset(t Type) Bitset {
+	if b, ok := u.subtBits[t.ID()]; ok {
+		return b
+	}
+	b := NewBitset(len(u.all))
+	for _, id := range u.Subtypes(t) {
+		b.Add(id)
+	}
+	u.subtBits[t.ID()] = b
+	return b
+}
+
 // SubtypesIntersect reports whether Subtypes(a) ∩ Subtypes(b) ≠ ∅ —
 // the TypeDecl may-alias test of the paper. NIL compatibility is handled
 // separately by callers because an AP never has static type NULL alone.
@@ -442,19 +464,17 @@ func (u *Universe) SubtypesIntersect(a, b Type) bool {
 	if a.ID() == b.ID() {
 		return true
 	}
-	sa, sb := u.Subtypes(a), u.Subtypes(b)
-	i, j := 0, 0
-	for i < len(sa) && j < len(sb) {
-		switch {
-		case sa[i] == sb[j]:
-			return true
-		case sa[i] < sb[j]:
-			i++
-		default:
-			j++
-		}
+	return u.SubtypeBitset(a).Intersects(u.SubtypeBitset(b))
+}
+
+// Precompute fills the subtype caches for every registered type. Once it
+// has run — and as long as no further types are registered — every query
+// method on the Universe is a pure read, so a compile cache can share
+// one Universe across concurrently-analyzed programs.
+func (u *Universe) Precompute() {
+	for _, t := range u.all {
+		u.SubtypeBitset(t)
 	}
-	return false
 }
 
 // AssignableTo reports whether a value of type src may be assigned to a
