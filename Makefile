@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden ci
+.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden api api-check examples ci
 
 build:
 	$(GO) build ./...
@@ -34,4 +34,18 @@ fmt-check:
 golden: build
 	$(GO) run ./cmd/tbaabench -table 4 | diff -u internal/bench/testdata/table4.golden -
 
-ci: build vet fmt-check test-race bench-smoke golden
+# The public API surface, as seen by `go doc -all tbaa`. Drift fails CI
+# until the golden is regenerated (make api) and the diff reviewed.
+api:
+	$(GO) doc -all tbaa > testdata/api.golden
+
+api-check:
+	@$(GO) doc -all tbaa | diff -u testdata/api.golden - \
+		|| { echo "public API drifted from testdata/api.golden; run 'make api' and review the diff"; exit 1; }
+
+# Examples compile under go build ./...; vet them explicitly too.
+examples:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
+
+ci: build vet fmt-check test-race bench-smoke golden api-check examples

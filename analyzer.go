@@ -1,0 +1,430 @@
+package tbaa
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"maps"
+	"slices"
+	"sort"
+	"sync"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/ir"
+	"tbaa/internal/limit"
+	"tbaa/internal/modref"
+	"tbaa/internal/sim"
+)
+
+// Analyzer is a built TBAA instance over one lowering of a Module: the
+// configured passes have run, and the alias oracle answers may-alias
+// queries about the (possibly optimized) program. Access paths are
+// named by their source syntax ("t.f", "a.b^", "v[i]"); Paths lists
+// the names occurring in the program.
+//
+// An Analyzer is safe for concurrent use: queries serialize on an
+// internal lock, because the memoizing oracle underneath is
+// single-threaded. For CPU parallelism, build one Analyzer per worker
+// from a shared Module — that is exactly what the evaluation harness
+// (Runner) does.
+type Analyzer struct {
+	mod     *Module
+	results []PassResult
+	stats   *Stats
+
+	mu    sync.Mutex
+	prog  *ir.Program
+	env   *driver.PassEnv
+	paths map[string]*ir.AP // lazily built access-path index
+	names []string          // sorted keys of paths
+}
+
+// NewAnalyzer lowers a fresh program from the module, runs the
+// configured passes over it, and returns an Analyzer for the result.
+// Lowering never mutates the module, so concurrent calls are safe.
+func (m *Module) NewAnalyzer(options ...Option) (*Analyzer, error) {
+	cfg, err := newConfig(options)
+	if err != nil {
+		return nil, fmt.Errorf("tbaa: %w", err)
+	}
+	prog := m.c.Lower()
+	env, err := driver.NewPassEnv(prog, cfg.opts)
+	if err != nil {
+		return nil, fmt.Errorf("tbaa: %w", err)
+	}
+	var passes []driver.Pass
+	for _, p := range cfg.passes {
+		passes = append(passes, p.pass())
+	}
+	results, err := driver.RunPasses(env, passes...)
+	if err != nil {
+		return nil, fmt.Errorf("tbaa: %w", err)
+	}
+	a := &Analyzer{mod: m, stats: cfg.stats, prog: prog, env: env}
+	for _, r := range results {
+		a.results = append(a.results, fromDriverResult(r))
+	}
+	return a, nil
+}
+
+// Module returns the frontend artifact this Analyzer was built from.
+func (a *Analyzer) Module() *Module { return a.mod }
+
+// Level returns the configured analysis level.
+func (a *Analyzer) Level() Level { return Level(a.env.Opts.Level) }
+
+// Name identifies the analysis in reports, e.g. "SMFieldTypeRefs(open)".
+func (a *Analyzer) Name() string {
+	n := a.Level().String()
+	if a.env.Opts.OpenWorld {
+		n += "(open)"
+	}
+	return n
+}
+
+// PassResults returns what each configured pass did, in pipeline
+// order. The results are deep copies: callers may mutate them freely.
+func (a *Analyzer) PassResults() []PassResult {
+	out := slices.Clone(a.results)
+	for i := range out {
+		out[i].PerProc = maps.Clone(out[i].PerProc)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// May-alias queries
+
+// Pair names two access paths for a may-alias query.
+type Pair struct {
+	P, Q string
+}
+
+// Verdict is the answer to one may-alias query. Err is non-nil when the
+// query could not be answered: a *PathError for an unknown access path,
+// or the context error when a batch was canceled mid-flight.
+type Verdict struct {
+	Pair     Pair
+	MayAlias bool
+	Err      error
+}
+
+func (a *Analyzer) ensureIndexLocked() {
+	if a.paths != nil {
+		return
+	}
+	a.paths = make(map[string]*ir.AP)
+	for _, p := range a.prog.Procs {
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				ap := b.Instrs[i].AP
+				if ap == nil {
+					continue
+				}
+				s := ap.String()
+				if _, ok := a.paths[s]; !ok {
+					a.paths[s] = ap
+					a.names = append(a.names, s)
+				}
+			}
+		}
+	}
+	sort.Strings(a.names)
+}
+
+func (a *Analyzer) resolveLocked(name string) (*ir.AP, error) {
+	a.ensureIndexLocked()
+	if ap, ok := a.paths[name]; ok {
+		return ap, nil
+	}
+	return nil, &PathError{File: a.mod.File(), Path: name}
+}
+
+func (a *Analyzer) verdictLocked(p Pair) Verdict {
+	v := Verdict{Pair: p}
+	ap, err := a.resolveLocked(p.P)
+	if err != nil {
+		v.Err = err
+		return v
+	}
+	aq, err := a.resolveLocked(p.Q)
+	if err != nil {
+		v.Err = err
+		return v
+	}
+	v.MayAlias = a.env.Oracle().MayAlias(ap, aq)
+	if a.stats != nil {
+		a.stats.queries.Add(1)
+		if v.MayAlias {
+			a.stats.aliased.Add(1)
+		}
+	}
+	return v
+}
+
+// Paths returns the sorted names of every access path occurring in the
+// program — the vocabulary MayAlias queries draw from.
+func (a *Analyzer) Paths() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ensureIndexLocked()
+	return slices.Clone(a.names)
+}
+
+// MayAlias reports whether the two named access paths may denote the
+// same memory location.
+func (a *Analyzer) MayAlias(p, q string) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := a.verdictLocked(Pair{P: p, Q: q})
+	return v.MayAlias, v.Err
+}
+
+// MayAliasBatch answers every pair, amortizing the lock and memo
+// lookups over the batch, and returns one Verdict per input pair in
+// order. Cancellation is honored between pairs: once ctx is done, the
+// remaining verdicts carry ctx's error.
+func (a *Analyzer) MayAliasBatch(ctx context.Context, pairs []Pair) []Verdict {
+	out := make([]Verdict, len(pairs))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stats != nil {
+		a.stats.batches.Add(1)
+	}
+	for i := range pairs {
+		if err := ctx.Err(); err != nil {
+			for j := i; j < len(pairs); j++ {
+				out[j] = Verdict{Pair: pairs[j], Err: err}
+			}
+			return out
+		}
+		out[i] = a.verdictLocked(pairs[i])
+	}
+	return out
+}
+
+// Queries returns an iterator over the pairs' verdicts, answering each
+// query lazily as it is pulled. Unlike MayAliasBatch it takes the lock
+// per element, so a long iteration interleaves with other callers. When
+// ctx is canceled the iterator yields one verdict carrying ctx's error
+// and stops.
+func (a *Analyzer) Queries(ctx context.Context, pairs []Pair) iter.Seq[Verdict] {
+	return func(yield func(Verdict) bool) {
+		for _, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				yield(Verdict{Pair: p, Err: err})
+				return
+			}
+			a.mu.Lock()
+			v := a.verdictLocked(p)
+			a.mu.Unlock()
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// AddressTaken reports whether the program may take the address of the
+// location the named path denotes (Table 2's AddressTaken predicate,
+// widened under the open-world assumption).
+func (a *Analyzer) AddressTaken(path string) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ap, err := a.resolveLocked(path)
+	if err != nil {
+		return false, err
+	}
+	return a.env.Oracle().AddressTaken(ap), nil
+}
+
+// ---------------------------------------------------------------------------
+// Analysis artifacts
+
+// PairCounts are the paper's Table 5 static metrics.
+type PairCounts struct {
+	// References counts the program's static heap memory references.
+	References int
+	// Local counts intraprocedural may-alias pairs.
+	Local int
+	// Global counts may-alias pairs over all references in the program.
+	Global int
+}
+
+// CountPairs computes the static alias-pair metrics under this
+// analyzer's oracle.
+func (a *Analyzer) CountPairs() PairCounts {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pc := alias.CountPairs(a.prog, a.env.Oracle())
+	return PairCounts{References: pc.References, Local: pc.Local, Global: pc.Global}
+}
+
+// ReferenceTypes returns the names of the module's reference types in
+// universe order.
+func (a *Analyzer) ReferenceTypes() []string {
+	var out []string
+	for _, t := range a.prog.Universe.ReferenceTypes() {
+		out = append(out, t.String())
+	}
+	return out
+}
+
+// TypeRefs returns the analysis' TypeRefsTable by name: for each
+// reference type with a table row, the sorted names of the types a
+// reference of that type may point at. Levels below SMFieldTypeRefs
+// maintain no table (raw subtype sets are used) and return an empty
+// map.
+func (a *Analyzer) TypeRefs() map[string][]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	o := a.env.Oracle()
+	out := make(map[string][]string)
+	for _, t := range a.prog.Universe.ReferenceTypes() {
+		refs := o.TypeRefs(t)
+		if refs == nil {
+			continue
+		}
+		var names []string
+		for _, id := range refs.IDs() {
+			names = append(names, a.prog.Universe.ByID(id).String())
+		}
+		sort.Strings(names)
+		out[t.String()] = names
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Execution, simulation, and the limit study
+
+// RunStats profiles one execution.
+type RunStats struct {
+	Instructions uint64
+	HeapLoads    uint64 // loads through pointers (incl. dope-vector loads)
+	DopeLoads    uint64 // subset of HeapLoads: implicit dope accesses
+	OtherLoads   uint64 // stack and global-area loads
+	HeapStores   uint64
+	OtherStores  uint64
+	Calls        uint64
+	Allocs       uint64
+}
+
+// Run executes the analyzer's (optimized) program and returns its
+// output and execution profile.
+func (a *Analyzer) Run() (string, RunStats, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	in := interp.New(a.prog)
+	out, err := in.Run()
+	st := in.Stats()
+	return out, RunStats{
+		Instructions: st.Instructions,
+		HeapLoads:    st.HeapLoads,
+		DopeLoads:    st.DopeLoads,
+		OtherLoads:   st.OtherLoads,
+		HeapStores:   st.HeapStores,
+		OtherStores:  st.OtherStores,
+		Calls:        st.Calls,
+		Allocs:       st.Allocs,
+	}, err
+}
+
+// SimResult reports a simulated execution under the cache timing model.
+type SimResult struct {
+	Cycles       uint64
+	Instructions uint64
+	Loads        uint64
+	LoadMisses   uint64
+	Stores       uint64
+	StoreMisses  uint64
+}
+
+// MissRate returns the load miss ratio.
+func (r SimResult) MissRate() float64 {
+	if r.Loads == 0 {
+		return 0
+	}
+	return float64(r.LoadMisses) / float64(r.Loads)
+}
+
+// Simulate executes the program under the paper's cache timing model
+// and returns the simulation result and program output.
+func (a *Analyzer) Simulate() (SimResult, string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	res, out, err := sim.Run(a.prog, sim.DefaultConfig())
+	return SimResult{
+		Cycles:       res.Cycles,
+		Instructions: res.Instructions,
+		Loads:        res.Loads,
+		LoadMisses:   res.LoadMisses,
+		Stores:       res.Stores,
+		StoreMisses:  res.StoreMisses,
+	}, out, err
+}
+
+// CategoryCount is one slice of a LimitReport: how many dynamically
+// redundant loads fall in the named Section 3.5 category.
+type CategoryCount struct {
+	Name  string
+	Loads uint64
+}
+
+// LimitReport summarizes the dynamic redundant-load limit study.
+type LimitReport struct {
+	// HeapLoads is the number of dynamic heap loads.
+	HeapLoads uint64
+	// Redundant is the number of dynamically redundant heap loads.
+	Redundant uint64
+	// Categories splits Redundant by cause, in the paper's order
+	// (Encapsulated, Conditional, Breakup, AliasFailure, Rest).
+	Categories []CategoryCount
+}
+
+// LimitStudy executes the program while tracking the dynamic
+// upper-bound of redundant loads (Section 3.5), classified by why each
+// survived the optimizer. It returns the report and program output.
+func (a *Analyzer) LimitStudy() (LimitReport, string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep, out, err := a.limitReportLocked()
+	lr := LimitReport{HeapLoads: rep.HeapLoads, Redundant: rep.Redundant}
+	for c := limit.CatEncapsulated; c <= limit.CatRest; c++ {
+		lr.Categories = append(lr.Categories, CategoryCount{Name: c.String(), Loads: rep.ByCategory[c]})
+	}
+	return lr, out, err
+}
+
+// limitReportLocked is the raw-report form the harness consumes.
+func (a *Analyzer) limitReportLocked() (limit.Report, string, error) {
+	return limit.Measure(a.prog, a.env.Oracle(), modref.Compute(a.prog))
+}
+
+// limitReport locks and runs the raw limit study (harness cells own
+// their Analyzer exclusively, but locking keeps the invariant simple).
+func (a *Analyzer) limitReport() (limit.Report, string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limitReportLocked()
+}
+
+// ---------------------------------------------------------------------------
+// IR inspection
+
+// IR renders the whole lowered (and optimized) program.
+func (a *Analyzer) IR() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.prog.String()
+}
+
+// MainIR renders only the module body's procedure — the usual place to
+// look when demonstrating what a pass did to a hot loop.
+func (a *Analyzer) MainIR() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.prog.Main.String()
+}

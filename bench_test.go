@@ -7,8 +7,8 @@ package tbaa_test
 import (
 	"testing"
 
+	"tbaa"
 	"tbaa/internal/alias"
-	"tbaa/internal/bench"
 	"tbaa/internal/driver"
 	"tbaa/internal/ir"
 	"tbaa/internal/modref"
@@ -19,7 +19,7 @@ import (
 // instruction counts, load mix).
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Table4()
+		rows, err := tbaa.Table4()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -34,7 +34,7 @@ func BenchmarkTable4(b *testing.B) {
 // BenchmarkTable5 regenerates the static alias-pair counts.
 func BenchmarkTable5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Table5()
+		rows, err := tbaa.Table5()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +51,7 @@ func BenchmarkTable5(b *testing.B) {
 // BenchmarkTable6 regenerates the static RLE removal counts.
 func BenchmarkTable6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Table6()
+		rows, err := tbaa.Table6()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +68,7 @@ func BenchmarkTable6(b *testing.B) {
 // BenchmarkFigure8 regenerates the simulated run-time impact of RLE.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Figure8()
+		rows, err := tbaa.Figure8()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkFigure9 regenerates the dynamic redundancy limit study.
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Figure9()
+		rows, err := tbaa.Figure9()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func BenchmarkFigure9(b *testing.B) {
 // BenchmarkFigure10 regenerates the redundancy classification.
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Figure10()
+		rows, err := tbaa.Figure10()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func BenchmarkFigure10(b *testing.B) {
 // BenchmarkFigure11 regenerates the cumulative optimization impact.
 func BenchmarkFigure11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Figure11()
+		rows, err := tbaa.Figure11()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,7 +132,7 @@ func BenchmarkFigure11(b *testing.B) {
 // BenchmarkFigure12 regenerates the open/closed world comparison.
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Figure12()
+		rows, err := tbaa.Figure12()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func BenchmarkFigure12(b *testing.B) {
 // cache is warm after the first pass — the same footing as the shared
 // sequential runner behind BenchmarkTable6/BenchmarkFigure8, keeping
 // the sequential-vs-parallel comparison fair.
-var parallelRunner = bench.NewRunner(0)
+var parallelRunner = tbaa.NewRunner(0)
 
 // BenchmarkTable6Parallel regenerates Table 6 on a GOMAXPROCS worker
 // pool with the shared compile cache — compare against BenchmarkTable6
@@ -228,7 +228,7 @@ func BenchmarkAblationKillPrecision(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				total := 0
-				for _, bm := range bench.All() {
+				for _, bm := range tbaa.Benchmarks() {
 					prog, _, err := driver.Compile(bm.Name, bm.Source)
 					if err != nil {
 						b.Fatal(err)
@@ -256,7 +256,7 @@ func BenchmarkAblationKillPrecision(b *testing.B) {
 func compileSuite(b *testing.B) []*ir.Program {
 	b.Helper()
 	var out []*ir.Program
-	for _, bm := range bench.All() {
+	for _, bm := range tbaa.Benchmarks() {
 		prog, _, err := driver.Compile(bm.Name, bm.Source)
 		if err != nil {
 			b.Fatal(err)
@@ -273,7 +273,7 @@ func BenchmarkAblationPRE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		extra := 0
 		inserted := 0
-		for _, bm := range bench.Measured() {
+		for _, bm := range tbaa.MeasuredBenchmarks() {
 			prog, _, err := driver.Compile(bm.Name, bm.Source)
 			if err != nil {
 				b.Fatal(err)

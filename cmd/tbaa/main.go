@@ -1,5 +1,5 @@
 // Command tbaa compiles a MiniM3 module and exposes the analyses and
-// optimizations of the library.
+// optimizations of the library through the public tbaa package.
 //
 // Usage:
 //
@@ -11,6 +11,11 @@
 //	-open            use the open-world (incomplete program) assumption
 //	-pairs           print static alias-pair counts (Table 5 metrics)
 //	-typerefs        print the SMTypeRefs TypeRefsTable
+//
+// Reports (-pairs, -typerefs, -dump-ir) describe the program the
+// analyzer holds, i.e. after any passes requested with -rle/-pre/-minv
+// have run.
+//
 //	-rle             run redundant load elimination
 //	-pre             run partial redundancy elimination after RLE
 //	-minv            devirtualize + inline before RLE
@@ -26,24 +31,14 @@ import (
 	"sort"
 	"strings"
 
-	"tbaa/internal/alias"
-	"tbaa/internal/ast"
-	"tbaa/internal/bench"
-	"tbaa/internal/driver"
-	"tbaa/internal/interp"
-	"tbaa/internal/ir"
-	"tbaa/internal/limit"
-	"tbaa/internal/modref"
-	"tbaa/internal/opt"
-	"tbaa/internal/parser"
-	"tbaa/internal/sim"
-	"tbaa/internal/types"
+	"tbaa"
 )
 
 func main() {
 	dumpAST := flag.Bool("dump-ast", false, "print the parsed module")
 	dumpIR := flag.Bool("dump-ir", false, "print the lowered IR")
-	aliasLevel := flag.String("alias", "smfieldtyperefs", "alias analysis level")
+	level := tbaa.SMFieldTypeRefs
+	flag.Var(&level, "alias", "alias analysis `level`: typedecl, fieldtypedecl, or smfieldtyperefs")
 	open := flag.Bool("open", false, "open-world assumption")
 	pairs := flag.Bool("pairs", false, "print alias-pair counts")
 	typeRefs := flag.Bool("typerefs", false, "print the TypeRefsTable")
@@ -59,7 +54,7 @@ func main() {
 	var file, src string
 	switch {
 	case *benchName != "":
-		b, ok := bench.ByName(*benchName)
+		b, ok := tbaa.BenchmarkByName(*benchName)
 		if !ok {
 			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
 		}
@@ -78,80 +73,85 @@ func main() {
 	}
 
 	if *dumpAST {
-		m, err := parser.Parse(file, src)
+		// Parse-only, so the AST prints even for modules that would
+		// fail type-checking.
+		out, err := tbaa.ParseAST(file, src)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(ast.Print(m))
+		fmt.Print(out)
 		if !*dumpIR && !*run && !*pairs {
 			return
 		}
 	}
 
-	prog, _, err := driver.Compile(file, src)
+	mod, err := tbaa.Compile(file, src)
 	if err != nil {
 		fatal(err)
 	}
 
-	level := parseLevel(*aliasLevel)
-	a := alias.New(prog, alias.Options{Level: level, OpenWorld: *open})
+	var passes []tbaa.Pass
+	if *minv {
+		passes = append(passes, tbaa.MinvInline())
+	}
+	if *rle || *pre {
+		passes = append(passes, tbaa.RLE())
+	}
+	if *pre {
+		passes = append(passes, tbaa.PRE())
+	}
+
+	a, err := mod.NewAnalyzer(
+		tbaa.WithLevel(level),
+		tbaa.WithOpenWorld(*open),
+		tbaa.WithPasses(passes...),
+	)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *typeRefs {
-		printTypeRefs(prog, a)
+		printTypeRefs(a)
 	}
 	if *pairs {
-		pc := alias.CountPairs(prog, a)
+		pc := a.CountPairs()
 		fmt.Printf("%s: references=%d local-pairs=%d global-pairs=%d\n",
 			a.Name(), pc.References, pc.Local, pc.Global)
 	}
-	if *minv {
-		refine := func(o *types.Object) []int {
-			refs := a.TypeRefs(o)
-			if refs == nil {
-				return nil
+	for _, res := range a.PassResults() {
+		switch res.Pass {
+		case "minv+inline":
+			fmt.Printf("devirtualized %d calls, inlined %d sites\n", res.Devirtualized, res.Inlined)
+		case "rle":
+			fmt.Printf("RLE (%s): hoisted=%d eliminated=%d\n", a.Name(), res.Hoisted, res.Eliminated)
+			if len(res.PerProc) > 0 {
+				var names []string
+				for n := range res.PerProc {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				for _, n := range names {
+					fmt.Printf("  %-20s %d\n", n, res.PerProc[n])
+				}
 			}
-			return refs.IDs()
-		}
-		nd := opt.Devirtualize(prog, refine)
-		ni := opt.Inline(prog)
-		fmt.Printf("devirtualized %d calls, inlined %d sites\n", nd, ni)
-		a = alias.New(prog, alias.Options{Level: level, OpenWorld: *open})
-	}
-	if *rle || *pre {
-		mr := modref.Compute(prog)
-		res := opt.RLE(prog, a, mr)
-		fmt.Printf("RLE (%s): hoisted=%d eliminated=%d\n", a.Name(), res.Hoisted, res.Eliminated)
-		if *pre {
-			pr := opt.PRE(prog, a, mr)
-			fmt.Printf("PRE: inserted=%d eliminated=%d\n", pr.Inserted, pr.Eliminated)
-		}
-		if len(res.PerProc) > 0 {
-			var names []string
-			for n := range res.PerProc {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			for _, n := range names {
-				fmt.Printf("  %-20s %d\n", n, res.PerProc[n])
-			}
+		case "pre":
+			fmt.Printf("PRE: inserted=%d eliminated=%d\n", res.Inserted, res.Eliminated)
 		}
 	}
 	if *dumpIR {
-		fmt.Print(prog.String())
+		fmt.Print(a.IR())
 	}
 	if *run {
-		in := interp.New(prog)
-		out, err := in.Run()
+		out, st, err := a.Run()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(out)
-		st := in.Stats()
 		fmt.Printf("[%d instructions, %d heap loads (%d dope), %d other loads, %d allocs]\n",
 			st.Instructions, st.HeapLoads, st.DopeLoads, st.OtherLoads, st.Allocs)
 	}
 	if *simulate {
-		r, out, err := sim.Run(prog, sim.DefaultConfig())
+		r, out, err := a.Simulate()
 		if err != nil {
 			fatal(err)
 		}
@@ -160,47 +160,28 @@ func main() {
 			r.Cycles, r.Instructions, r.Loads, 100*r.MissRate())
 	}
 	if *limitStudy {
-		mr := modref.Compute(prog)
-		rep, out, err := limit.Measure(prog, a, mr)
+		rep, out, err := a.LimitStudy()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(out)
 		fmt.Printf("[%d heap loads, %d redundant]\n", rep.HeapLoads, rep.Redundant)
-		for c := limit.CatEncapsulated; c <= limit.CatRest; c++ {
-			fmt.Printf("  %-14s %d\n", c, rep.ByCategory[c])
+		for _, c := range rep.Categories {
+			fmt.Printf("  %-14s %d\n", c.Name, c.Loads)
 		}
 	}
 }
 
-func parseLevel(s string) alias.Level {
-	switch strings.ToLower(s) {
-	case "typedecl":
-		return alias.LevelTypeDecl
-	case "fieldtypedecl":
-		return alias.LevelFieldTypeDecl
-	case "smfieldtyperefs", "tbaa":
-		return alias.LevelSMFieldTypeRefs
-	default:
-		fatal(fmt.Errorf("unknown alias level %q", s))
-		return 0
-	}
-}
-
-func printTypeRefs(prog *ir.Program, a *alias.Analysis) {
+func printTypeRefs(a *tbaa.Analyzer) {
+	refs := a.TypeRefs()
 	fmt.Println("TypeRefsTable:")
-	for _, t := range prog.Universe.ReferenceTypes() {
-		refs := a.TypeRefs(t)
-		if refs == nil {
-			fmt.Printf("  %-20s (level has no table; Subtypes used)\n", t)
+	for _, name := range a.ReferenceTypes() {
+		names, ok := refs[name]
+		if !ok {
+			fmt.Printf("  %-20s (level has no table; Subtypes used)\n", name)
 			continue
 		}
-		var names []string
-		for _, id := range refs.IDs() {
-			names = append(names, prog.Universe.ByID(id).String())
-		}
-		sort.Strings(names)
-		fmt.Printf("  %-20s {%s}\n", t, strings.Join(names, ", "))
+		fmt.Printf("  %-20s {%s}\n", name, strings.Join(names, ", "))
 	}
 }
 

@@ -1,5 +1,6 @@
 // Command tbaabench regenerates every table and figure from the paper's
-// evaluation section (Tables 4-6, Figures 8-12).
+// evaluation section (Tables 4-6, Figures 8-12) through the public tbaa
+// package's Runner.
 //
 // Usage:
 //
@@ -18,7 +19,7 @@ import (
 	"os"
 	"runtime/debug"
 
-	"tbaa/internal/bench"
+	"tbaa"
 )
 
 func main() {
@@ -34,77 +35,9 @@ func main() {
 		debug.SetGCPercent(300)
 	}
 
-	r := bench.NewRunner(*parallel)
-
-	all := *table == 0 && *figure == 0
-	fail := func(err error) {
+	r := tbaa.NewRunner(*parallel)
+	if err := r.WriteArtifacts(os.Stdout, *table, *figure); err != nil {
 		fmt.Fprintln(os.Stderr, "tbaabench:", err)
 		os.Exit(1)
-	}
-	out := os.Stdout
-
-	if all || *table == 4 {
-		rows, err := r.Table4()
-		if err != nil {
-			fail(err)
-		}
-		bench.FprintTable4(out, rows)
-		fmt.Fprintln(out)
-	}
-	if all || *table == 5 {
-		rows, err := r.Table5()
-		if err != nil {
-			fail(err)
-		}
-		bench.FprintTable5(out, rows)
-		fmt.Fprintln(out)
-	}
-	if all || *table == 6 {
-		rows, err := r.Table6()
-		if err != nil {
-			fail(err)
-		}
-		bench.FprintTable6(out, rows)
-		fmt.Fprintln(out)
-	}
-	if all || *figure == 8 {
-		rows, err := r.Figure8()
-		if err != nil {
-			fail(err)
-		}
-		bench.FprintFigure8(out, rows)
-		fmt.Fprintln(out)
-	}
-	if all || *figure == 9 {
-		rows, err := r.Figure9()
-		if err != nil {
-			fail(err)
-		}
-		bench.FprintFigure9(out, rows)
-		fmt.Fprintln(out)
-	}
-	if all || *figure == 10 {
-		rows, err := r.Figure10()
-		if err != nil {
-			fail(err)
-		}
-		bench.FprintFigure10(out, rows)
-		fmt.Fprintln(out)
-	}
-	if all || *figure == 11 {
-		rows, err := r.Figure11()
-		if err != nil {
-			fail(err)
-		}
-		bench.FprintFigure11(out, rows)
-		fmt.Fprintln(out)
-	}
-	if all || *figure == 12 {
-		rows, err := r.Figure12()
-		if err != nil {
-			fail(err)
-		}
-		bench.FprintFigure12(out, rows)
-		fmt.Fprintln(out)
 	}
 }

@@ -1,9 +1,80 @@
 // Package tbaa reproduces "Type-Based Alias Analysis" (Diwan, McKinley,
-// Moss; PLDI 1998): the three type-based alias analyses (TypeDecl,
-// FieldTypeDecl, SMFieldTypeRefs), redundant load elimination, and the
-// paper's full evaluation methodology (static alias pairs, simulated
-// run time, and a dynamic upper-bound limit study) over a Modula-3
-// subset compiled and executed by this module.
+// Moss; PLDI 1998) as an embeddable analysis library over a Modula-3
+// subset (MiniM3) compiled and executed by this module. The package is
+// the module's public face: the CLIs (cmd/tbaa, cmd/tbaabench), the
+// examples, and the evaluation harness are all built on the API defined
+// here, and nothing outside this module needs the internal packages.
+//
+// # Compiling and analyzing
+//
+// Compile parses and type-checks a module once, producing a reusable
+// Module — one frontend, many lowered programs:
+//
+//	mod, err := tbaa.Compile("lib.m3", src)
+//	a, err := mod.NewAnalyzer(tbaa.WithLevel(tbaa.SMFieldTypeRefs))
+//
+// Each NewAnalyzer call lowers a private IR program, runs the
+// configured optimization passes over it, and builds the alias oracle;
+// Modules are immutable, so any number of Analyzers can be constructed
+// concurrently (the evaluation harness builds one per worker). New is
+// the one-call form for single-use analysis. Frontend failures are
+// typed: *ParseError for syntax errors and *CheckError for semantic
+// errors, both carrying file/line Diagnostics.
+//
+// # Analysis levels
+//
+// The three levels reproduce the paper's analyses in increasing
+// precision, selected with WithLevel:
+//
+//   - TypeDecl (Section 2.2): two access paths may alias iff the
+//     subtype sets of their declared types intersect.
+//   - FieldTypeDecl (Section 2.3): the seven-case refinement of Table 2
+//     using field names and the AddressTaken predicate.
+//   - SMFieldTypeRefs (Section 2.4, the default): FieldTypeDecl with
+//     TypeDecl replaced by selective type merging over the program's
+//     pointer assignments (Figure 2) — the paper's headline analysis.
+//
+// # The open-world switch
+//
+// WithOpenWorld(true) applies Section 4's conservative extensions for
+// incomplete programs: AddressTaken additionally holds for any path
+// whose type matches a pass-by-reference formal, and subtype-related
+// non-branded object types are merged (branded types observe name
+// equivalence, so unavailable code cannot forge them and they stay
+// precise).
+//
+// # Batch queries
+//
+// Access paths are named by their source syntax ("t.f", "a.b^",
+// "v[i]"; Analyzer.Paths lists the vocabulary). MayAlias answers one
+// query; MayAliasBatch answers a slice of Pairs under a single lock
+// acquisition, amortizing memo traffic, honoring context cancellation
+// between pairs, and returning one Verdict per Pair; Queries is the
+// lazy iterator form. Analyzers are safe for concurrent callers —
+// queries serialize on an internal lock because the memoizing oracle
+// is single-threaded — so share one Analyzer for convenience, or build
+// one per goroutine from a shared Module for parallel speedup.
+// WithStats attaches an atomic query-counter that may be shared across
+// a fleet of Analyzers.
+//
+// # Optimization passes
+//
+// WithPasses(RLE(), PRE(), MinvInline()...) schedules the paper's
+// optimizations over the freshly lowered program: redundant load
+// elimination (Section 3.4.1), partial redundancy elimination (the
+// paper's future work), and method invocation resolution + inlining
+// (Section 3.7). The pass manager rebuilds alias and mod-ref facts
+// when a structural pass invalidates them; PassResults reports what
+// each pass did. Run, Simulate, and LimitStudy then execute the
+// optimized program under the interpreter, the cache timing model, and
+// the dynamic redundant-load limit study respectively.
+//
+// # The evaluation harness
+//
+// Runner regenerates the paper's Tables 4-6 and Figures 8-12 over a
+// worker pool, fanning out (benchmark × level × options) cells that
+// share one Module per benchmark; output is byte-identical for every
+// worker count. Benchmarks returns the built-in ten-program suite.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.

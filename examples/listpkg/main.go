@@ -8,12 +8,10 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 	"strings"
 
-	"tbaa/internal/alias"
-	"tbaa/internal/driver"
-	"tbaa/internal/types"
+	"tbaa"
 )
 
 const src = `
@@ -61,41 +59,26 @@ END ListPkg.
 `
 
 func main() {
-	prog, _, err := driver.Compile("listpkg.m3", src)
+	sm, err := tbaa.New("listpkg.m3", src, tbaa.WithLevel(tbaa.SMFieldTypeRefs))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sm := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	refs := sm.TypeRefs()
 
 	fmt.Println("TypeRefsTable (what can a reference of each type point at?):")
-	for _, t := range prog.Universe.ReferenceTypes() {
-		refs := sm.TypeRefs(t)
-		if refs == nil {
+	for _, name := range sm.ReferenceTypes() {
+		names, ok := refs[name]
+		if !ok {
 			continue
 		}
-		var names []string
-		for _, id := range refs.IDs() {
-			names = append(names, prog.Universe.ByID(id).String())
-		}
-		sort.Strings(names)
-		fmt.Printf("  %-8s -> {%s}\n", t, strings.Join(names, ", "))
+		fmt.Printf("  %-8s -> {%s}\n", name, strings.Join(names, ", "))
 	}
 
 	// The headline fact: a Fruit reference (the list's element slot) may
 	// point at Apples but never at Oranges, because no assignment ever
 	// merged Orange into Fruit.
-	var fruitRow types.Bitset
-	var orangeID, appleID int
-	for _, o := range prog.Universe.ObjectTypes() {
-		switch o.Name {
-		case "Fruit":
-			fruitRow = sm.TypeRefs(o)
-		case "Orange":
-			orangeID = o.ID()
-		case "Apple":
-			appleID = o.ID()
-		}
-	}
-	fmt.Printf("\nFruit may reference Apple:  %v\n", fruitRow.Has(appleID))
-	fmt.Printf("Fruit may reference Orange: %v  (TypeDecl would say true)\n", fruitRow.Has(orangeID))
+	fruit := refs["Fruit"]
+	fmt.Printf("\nFruit may reference Apple:  %v\n", slices.Contains(fruit, "Apple"))
+	fmt.Printf("Fruit may reference Orange: %v  (TypeDecl would say true)\n",
+		slices.Contains(fruit, "Orange"))
 }

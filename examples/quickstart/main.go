@@ -1,14 +1,14 @@
-// Quickstart: compile a MiniM3 module, build the three TBAA analyses,
-// and ask may-alias questions about its access paths.
+// Quickstart: compile a MiniM3 module once, build the three TBAA
+// analyses from the shared Module, and batch-query may-alias facts
+// about its access paths — all through the public tbaa package.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"tbaa/internal/alias"
-	"tbaa/internal/driver"
-	"tbaa/internal/ir"
+	"tbaa"
 )
 
 const src = `
@@ -35,41 +35,31 @@ END Quick.
 `
 
 func main() {
-	prog, _, err := driver.Compile("quick.m3", src)
+	// One frontend, many analyzers: the Module is compiled once and each
+	// level gets its own cheap lowering.
+	mod, err := tbaa.Compile("quick.m3", src)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Collect the access paths of the module body's loads.
-	paths := map[string]*ir.AP{}
-	for _, p := range prog.Procs {
-		for _, b := range p.Blocks {
-			for i := range b.Instrs {
-				if in := &b.Instrs[i]; in.Op == ir.OpLoad && in.AP != nil {
-					paths[in.AP.String()] = in.AP
-				}
-			}
+	queries := []tbaa.Pair{
+		{P: "t.f", Q: "s.f"}, // compatible via subtyping and actually merged
+		{P: "t.f", Q: "u.f"}, // compatible via subtyping, never merged
+		{P: "t.f", Q: "t.g"}, // distinct fields
+		{P: "s.f", Q: "u.f"}, // sibling subtypes
+	}
+
+	for _, lvl := range tbaa.Levels() {
+		a, err := mod.NewAnalyzer(tbaa.WithLevel(lvl))
+		if err != nil {
+			log.Fatal(err)
 		}
-	}
-
-	queries := [][2]string{
-		{"t.f", "s.f"}, // compatible via subtyping and actually merged
-		{"t.f", "u.f"}, // compatible via subtyping, never merged
-		{"t.f", "t.g"}, // distinct fields
-		{"s.f", "u.f"}, // sibling subtypes
-	}
-
-	for _, lvl := range []alias.Level{
-		alias.LevelTypeDecl, alias.LevelFieldTypeDecl, alias.LevelSMFieldTypeRefs,
-	} {
-		a := alias.New(prog, alias.Options{Level: lvl})
 		fmt.Printf("%s:\n", a.Name())
-		for _, q := range queries {
-			p1, p2 := paths[q[0]], paths[q[1]]
-			if p1 == nil || p2 == nil {
-				continue
+		for _, v := range a.MayAliasBatch(context.Background(), queries) {
+			if v.Err != nil {
+				log.Fatal(v.Err)
 			}
-			fmt.Printf("  MayAlias(%-4s, %-4s) = %v\n", q[0], q[1], a.MayAlias(p1, p2))
+			fmt.Printf("  MayAlias(%-4s, %-4s) = %v\n", v.Pair.P, v.Pair.Q, v.MayAlias)
 		}
 	}
 }

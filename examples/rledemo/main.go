@@ -7,11 +7,7 @@ import (
 	"fmt"
 	"log"
 
-	"tbaa/internal/alias"
-	"tbaa/internal/driver"
-	"tbaa/internal/interp"
-	"tbaa/internal/modref"
-	"tbaa/internal/opt"
+	"tbaa"
 )
 
 // The loop loads a.b^ every iteration (the paper's Figure 6) and also
@@ -48,10 +44,7 @@ func main() {
 	baseline := measure(nil)
 	fmt.Printf("heap loads: %d\n\n", baseline)
 
-	for _, lvl := range []alias.Level{
-		alias.LevelTypeDecl, alias.LevelFieldTypeDecl, alias.LevelSMFieldTypeRefs,
-	} {
-		lvl := lvl
+	for _, lvl := range tbaa.Levels() {
 		fmt.Printf("=== RLE with %v ===\n", lvl)
 		loads := measure(&lvl)
 		fmt.Printf("heap loads: %d (%.0f%% of baseline)\n\n",
@@ -59,33 +52,27 @@ func main() {
 	}
 }
 
-func measure(lvl *alias.Level) uint64 {
-	prog, _, err := driver.Compile("demo.m3", src)
+func measure(lvl *tbaa.Level) uint64 {
+	options := []tbaa.Option{}
+	if lvl != nil {
+		options = append(options, tbaa.WithLevel(*lvl), tbaa.WithPasses(tbaa.RLE()))
+	}
+	a, err := tbaa.New("demo.m3", src, options...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if lvl != nil {
-		o := alias.New(prog, alias.Options{Level: *lvl})
-		mr := modref.Compute(prog)
-		res := opt.RLE(prog, o, mr)
+		res := a.PassResults()[0]
 		fmt.Printf("hoisted %d loads, eliminated %d\n", res.Hoisted, res.Eliminated)
-		if *lvl == alias.LevelSMFieldTypeRefs {
-			fmt.Println("-- main loop IR after RLE --")
-			for _, b := range prog.Main.Blocks {
-				if b.Name == "for.body" || b.Name == "preheader" {
-					fmt.Printf("b%d (%s):\n", b.ID, b.Name)
-					for i := range b.Instrs {
-						fmt.Printf("  %s\n", b.Instrs[i].String())
-					}
-				}
-			}
+		if *lvl == tbaa.SMFieldTypeRefs {
+			fmt.Println("-- main procedure IR after RLE --")
+			fmt.Print(a.MainIR())
 		}
 	}
-	in := interp.New(prog)
-	out, err := in.Run()
+	out, st, err := a.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("output: %s", out)
-	return in.Stats().HeapLoads
+	return st.HeapLoads
 }

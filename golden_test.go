@@ -1,10 +1,10 @@
-package bench_test
+package tbaa_test
 
 import (
 	"strings"
 	"testing"
 
-	"tbaa/internal/bench"
+	"tbaa"
 )
 
 // goldenOutputs pins the first output line of every benchmark. A change
@@ -25,7 +25,7 @@ var goldenOutputs = map[string]string{
 }
 
 func TestGoldenOutputs(t *testing.T) {
-	for _, b := range bench.All() {
+	for _, b := range tbaa.Benchmarks() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			want, ok := goldenOutputs[b.Name]

@@ -1,69 +1,20 @@
-package bench
+package tbaa
 
 import (
 	"fmt"
 	"io"
 
-	"tbaa/internal/alias"
-	"tbaa/internal/interp"
-	"tbaa/internal/ir"
+	"tbaa/internal/bench"
 	"tbaa/internal/limit"
-	"tbaa/internal/modref"
-	"tbaa/internal/opt"
-	"tbaa/internal/sim"
-	"tbaa/internal/types"
 )
 
-// Levels in paper order.
-var Levels = []alias.Level{
-	alias.LevelTypeDecl,
-	alias.LevelFieldTypeDecl,
-	alias.LevelSMFieldTypeRefs,
-}
+// paperLevels is the level sweep used by the harness fan-outs.
+var paperLevels = Levels()
 
 // sequential is the runner behind the package-level Table/Figure
 // functions. One worker reproduces the historical strictly-sequential
 // evaluation order; the frontend cache still persists across calls.
 var sequential = NewRunner(1)
-
-// optimize applies RLE under a level (optionally with devirt+inline
-// first, and optionally under the open-world assumption).
-func optimize(prog *ir.Program, level alias.Level, openWorld, minvInline bool) (*alias.Analysis, opt.RLEResult) {
-	a := alias.New(prog, alias.Options{Level: level, OpenWorld: openWorld})
-	if minvInline {
-		refine := func(o *types.Object) []int {
-			refs := a.TypeRefs(o)
-			if refs == nil {
-				return nil
-			}
-			return refs.IDs()
-		}
-		opt.Devirtualize(prog, refine)
-		opt.Inline(prog)
-		// Inlining created new code; rebuild the analysis facts that
-		// depend on program structure (merges are unchanged; address
-		// taken sets were updated in place).
-		a = alias.New(prog, alias.Options{Level: level, OpenWorld: openWorld})
-	}
-	mr := modref.Compute(prog)
-	res := opt.RLE(prog, a, mr)
-	return a, res
-}
-
-// devirtInline applies devirtualization (refined by closed-world
-// SMTypeRefs) and inlining without a following RLE pass — Figure 11's
-// "Minv+Inlining only" configuration.
-func devirtInline(prog *ir.Program) {
-	a := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
-	opt.Devirtualize(prog, func(o *types.Object) []int {
-		refs := a.TypeRefs(o)
-		if refs == nil {
-			return nil
-		}
-		return refs.IDs()
-	})
-	opt.Inline(prog)
-}
 
 // ---------------------------------------------------------------------------
 // Table 4 — benchmark descriptions
@@ -86,26 +37,25 @@ func Table4() ([]Table4Row, error) { return sequential.Table4() }
 // Table4 implements the package-level Table4 on this runner's pool:
 // one cell per benchmark.
 func (r *Runner) Table4() ([]Table4Row, error) {
-	bs := All()
+	bs := Benchmarks()
 	rows := make([]Table4Row, len(bs))
 	err := r.run(len(bs), func(i int) error {
 		b := bs[i]
 		row := Table4Row{
 			Name:        b.Name,
-			Lines:       SourceLines(b.Source),
+			Lines:       bench.SourceLines(b.Source),
 			Description: b.Description,
 			Interactive: b.Interactive,
 		}
 		if !b.Interactive {
-			prog, err := r.Compile(b)
+			a, err := r.analyzer(b)
 			if err != nil {
 				return err
 			}
-			in := interp.New(prog)
-			if _, err := in.Run(); err != nil {
+			_, st, err := a.Run()
+			if err != nil {
 				return fmt.Errorf("%s: %w", b.Name, err)
 			}
-			st := in.Stats()
 			row.Instructions = st.Instructions
 			row.HeapLoadPct = 100 * float64(st.HeapLoads) / float64(st.Instructions)
 			row.OtherLoadPct = 100 * float64(st.OtherLoads) / float64(st.Instructions)
@@ -149,16 +99,15 @@ func Table5() ([]Table5Row, error) { return sequential.Table5() }
 
 // Table5 fans out one cell per (benchmark × level).
 func (r *Runner) Table5() ([]Table5Row, error) {
-	bs := All()
-	counts := make([]alias.PairCounts, len(bs)*len(Levels))
+	bs := Benchmarks()
+	counts := make([]PairCounts, len(bs)*len(paperLevels))
 	err := r.run(len(counts), func(ci int) error {
-		b, lvl := bs[ci/len(Levels)], Levels[ci%len(Levels)]
-		prog, err := r.Compile(b)
+		b, lvl := bs[ci/len(paperLevels)], paperLevels[ci%len(paperLevels)]
+		a, err := r.analyzer(b, WithLevel(lvl))
 		if err != nil {
 			return err
 		}
-		a := alias.New(prog, alias.Options{Level: lvl})
-		counts[ci] = alias.CountPairs(prog, a)
+		counts[ci] = a.CountPairs()
 		return nil
 	})
 	if err != nil {
@@ -167,8 +116,8 @@ func (r *Runner) Table5() ([]Table5Row, error) {
 	rows := make([]Table5Row, len(bs))
 	for i, b := range bs {
 		row := Table5Row{Name: b.Name}
-		for li := range Levels {
-			pc := counts[i*len(Levels)+li]
+		for li := range paperLevels {
+			pc := counts[i*len(paperLevels)+li]
 			row.References = pc.References
 			row.Local[li] = pc.Local
 			row.Global[li] = pc.Global
@@ -205,18 +154,17 @@ type Table6Row struct {
 func Table6() ([]Table6Row, error) { return sequential.Table6() }
 
 // Table6 fans out one cell per (benchmark × level); every cell gets a
-// fresh program because RLE mutates the IR.
+// fresh Analyzer because RLE mutates the lowered program.
 func (r *Runner) Table6() ([]Table6Row, error) {
-	bs := Measured()
-	removed := make([]int, len(bs)*len(Levels))
+	bs := MeasuredBenchmarks()
+	removed := make([]int, len(bs)*len(paperLevels))
 	err := r.run(len(removed), func(ci int) error {
-		b, lvl := bs[ci/len(Levels)], Levels[ci%len(Levels)]
-		prog, err := r.Compile(b)
+		b, lvl := bs[ci/len(paperLevels)], paperLevels[ci%len(paperLevels)]
+		a, err := r.analyzer(b, WithLevel(lvl), WithPasses(RLE()))
 		if err != nil {
 			return err
 		}
-		_, res := optimize(prog, lvl, false, false)
-		removed[ci] = res.Removed()
+		removed[ci] = a.PassResults()[0].Removed()
 		return nil
 	})
 	if err != nil {
@@ -225,8 +173,8 @@ func (r *Runner) Table6() ([]Table6Row, error) {
 	rows := make([]Table6Row, len(bs))
 	for i, b := range bs {
 		rows[i].Name = b.Name
-		for li := range Levels {
-			rows[i].Removed[li] = removed[i*len(Levels)+li]
+		for li := range paperLevels {
+			rows[i].Removed[li] = removed[i*len(paperLevels)+li]
 		}
 	}
 	return rows, nil
@@ -265,25 +213,25 @@ func Figure8() ([]Figure8Row, error) { return sequential.Figure8() }
 // Figure8 fans out one cell per benchmark × {base, TypeDecl,
 // FieldTypeDecl, SMFieldTypeRefs}.
 func (r *Runner) Figure8() ([]Figure8Row, error) {
-	bs := Measured()
-	cfg := sim.DefaultConfig()
-	stride := 1 + len(Levels)
+	bs := MeasuredBenchmarks()
+	stride := 1 + len(paperLevels)
 	cells := make([]simCell, len(bs)*stride)
 	err := r.run(len(cells), func(ci int) error {
 		b, j := bs[ci/stride], ci%stride
-		prog, err := r.Compile(b)
+		var options []Option
+		if j > 0 {
+			options = []Option{WithLevel(paperLevels[j-1]), WithPasses(RLE())}
+		}
+		a, err := r.analyzer(b, options...)
 		if err != nil {
 			return err
 		}
-		if j > 0 {
-			optimize(prog, Levels[j-1], false, false)
-		}
-		res, out, err := sim.Run(prog, cfg)
+		res, out, err := a.Simulate()
 		if err != nil {
 			if j == 0 {
 				return fmt.Errorf("%s: %w", b.Name, err)
 			}
-			return fmt.Errorf("%s (%v): %w", b.Name, Levels[j-1], err)
+			return fmt.Errorf("%s (%v): %w", b.Name, paperLevels[j-1], err)
 		}
 		cells[ci] = simCell{res.Cycles, out}
 		return nil
@@ -295,7 +243,7 @@ func (r *Runner) Figure8() ([]Figure8Row, error) {
 	for i, b := range bs {
 		base := cells[i*stride]
 		row := Figure8Row{Name: b.Name, BaseCycles: base.cycles}
-		for li, lvl := range Levels {
+		for li, lvl := range paperLevels {
 			c := cells[i*stride+1+li]
 			if c.out != base.out {
 				return nil, fmt.Errorf("%s (%v): output changed by optimization", b.Name, lvl)
@@ -334,17 +282,22 @@ func (r *Runner) limitCells(bs []Benchmark) ([]limit.Report, error) {
 	reps := make([]limit.Report, 2*len(bs))
 	err := r.run(len(reps), func(ci int) error {
 		b, optimized := bs[ci/2], ci%2 == 1
-		prog, err := r.Compile(b)
-		if err != nil {
-			return err
-		}
-		var a *alias.Analysis
-		var mr *modref.ModRef
+		var rep limit.Report
+		var err error
 		if optimized {
-			a, _ = optimize(prog, alias.LevelSMFieldTypeRefs, false, false)
-			mr = modref.Compute(prog)
+			var a *Analyzer
+			a, err = r.analyzer(b, WithPasses(RLE()))
+			if err != nil {
+				return err
+			}
+			rep, _, err = a.limitReport()
+		} else {
+			var prog, perr = r.compile(b)
+			if perr != nil {
+				return perr
+			}
+			rep, _, err = limit.Measure(prog, nil, nil)
 		}
-		rep, _, err := limit.Measure(prog, a, mr)
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -362,7 +315,7 @@ func Figure9() ([]Figure9Row, error) { return sequential.Figure9() }
 
 // Figure9 fans out one cell per benchmark × {original, optimized}.
 func (r *Runner) Figure9() ([]Figure9Row, error) {
-	bs := Measured()
+	bs := MeasuredBenchmarks()
 	reps, err := r.limitCells(bs)
 	if err != nil {
 		return nil, err
@@ -404,7 +357,7 @@ func Figure10() ([]Figure10Row, error) { return sequential.Figure10() }
 
 // Figure10 fans out one cell per benchmark × {original, optimized}.
 func (r *Runner) Figure10() ([]Figure10Row, error) {
-	bs := Measured()
+	bs := MeasuredBenchmarks()
 	reps, err := r.limitCells(bs)
 	if err != nil {
 		return nil, err
@@ -453,31 +406,22 @@ func Figure11() ([]Figure11Row, error) { return sequential.Figure11() }
 // Figure11 fans out one cell per benchmark × {base, RLE, Minv+Inline,
 // both}.
 func (r *Runner) Figure11() ([]Figure11Row, error) {
-	bs := Measured()
-	cfg := sim.DefaultConfig()
-	configs := []struct{ minv, rle bool }{
-		{false, false}, // base
-		{false, true},
-		{true, false},
-		{true, true},
+	bs := MeasuredBenchmarks()
+	configs := [][]Option{
+		nil, // base
+		{WithPasses(RLE())},
+		{WithPasses(MinvInline())},
+		{WithPasses(MinvInline(), RLE())},
 	}
 	stride := len(configs)
 	cells := make([]simCell, len(bs)*stride)
 	err := r.run(len(cells), func(ci int) error {
-		b, c := bs[ci/stride], configs[ci%stride]
-		prog, err := r.Compile(b)
+		b, options := bs[ci/stride], configs[ci%stride]
+		a, err := r.analyzer(b, options...)
 		if err != nil {
 			return err
 		}
-		switch {
-		case c.minv && c.rle:
-			optimize(prog, alias.LevelSMFieldTypeRefs, false, true)
-		case c.minv:
-			devirtInline(prog)
-		case c.rle:
-			optimize(prog, alias.LevelSMFieldTypeRefs, false, false)
-		}
-		res, out, err := sim.Run(prog, cfg)
+		res, out, err := a.Simulate()
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -527,20 +471,20 @@ func Figure12() ([]Figure12Row, error) { return sequential.Figure12() }
 
 // Figure12 fans out one cell per benchmark × {base, closed, open}.
 func (r *Runner) Figure12() ([]Figure12Row, error) {
-	bs := Measured()
-	cfg := sim.DefaultConfig()
+	bs := MeasuredBenchmarks()
 	const stride = 3
 	cells := make([]simCell, len(bs)*stride)
 	err := r.run(len(cells), func(ci int) error {
 		b, j := bs[ci/stride], ci%stride
-		prog, err := r.Compile(b)
+		var options []Option
+		if j > 0 {
+			options = []Option{WithOpenWorld(j == 2), WithPasses(RLE())}
+		}
+		a, err := r.analyzer(b, options...)
 		if err != nil {
 			return err
 		}
-		if j > 0 {
-			optimize(prog, alias.LevelSMFieldTypeRefs, j == 2, false)
-		}
-		res, out, err := sim.Run(prog, cfg)
+		res, out, err := a.Simulate()
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -574,4 +518,81 @@ func FprintFigure12(w io.Writer, rows []Figure12Row) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-14s %12.0f %12.0f\n", r.Name, r.Closed, r.Open)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Artifact dispatch
+
+// WriteArtifacts regenerates the selected artifacts and renders them to
+// w in paper order, each followed by a blank separator line. table
+// selects one table (4-6) and figure one figure (8-12); when both are
+// zero, every artifact is produced. This is the engine behind
+// cmd/tbaabench.
+func (r *Runner) WriteArtifacts(w io.Writer, table, figure int) error {
+	all := table == 0 && figure == 0
+	if all || table == 4 {
+		rows, err := r.Table4()
+		if err != nil {
+			return err
+		}
+		FprintTable4(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || table == 5 {
+		rows, err := r.Table5()
+		if err != nil {
+			return err
+		}
+		FprintTable5(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || table == 6 {
+		rows, err := r.Table6()
+		if err != nil {
+			return err
+		}
+		FprintTable6(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || figure == 8 {
+		rows, err := r.Figure8()
+		if err != nil {
+			return err
+		}
+		FprintFigure8(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || figure == 9 {
+		rows, err := r.Figure9()
+		if err != nil {
+			return err
+		}
+		FprintFigure9(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || figure == 10 {
+		rows, err := r.Figure10()
+		if err != nil {
+			return err
+		}
+		FprintFigure10(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || figure == 11 {
+		rows, err := r.Figure11()
+		if err != nil {
+			return err
+		}
+		FprintFigure11(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || figure == 12 {
+		rows, err := r.Figure12()
+		if err != nil {
+			return err
+		}
+		FprintFigure12(w, rows)
+		fmt.Fprintln(w)
+	}
+	return nil
 }

@@ -1,9 +1,10 @@
-package bench_test
+package tbaa_test
 
 import (
 	"strings"
 	"testing"
 
+	"tbaa"
 	"tbaa/internal/bench"
 	"tbaa/internal/driver"
 	"tbaa/internal/interp"
@@ -13,7 +14,7 @@ import (
 // tables and figures) as assertions over the regenerated artifacts.
 
 func TestTable4Shape(t *testing.T) {
-	rows, err := bench.Table4()
+	rows, err := tbaa.Table4()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,14 +39,14 @@ func TestTable4Shape(t *testing.T) {
 		t.Errorf("expected 2 interactive programs, got %d", interactive)
 	}
 	var sb strings.Builder
-	bench.FprintTable4(&sb, rows)
+	tbaa.FprintTable4(&sb, rows)
 	if !strings.Contains(sb.String(), "dom") || !strings.Contains(sb.String(), "-") {
 		t.Error("rendered table must include interactive rows with dashes")
 	}
 }
 
 func TestTable5Shape(t *testing.T) {
-	rows, err := bench.Table5()
+	rows, err := tbaa.Table5()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestTable5Shape(t *testing.T) {
 }
 
 func TestTable6Shape(t *testing.T) {
-	rows, err := bench.Table6()
+	rows, err := tbaa.Table6()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFigure8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	rows, err := bench.Figure8()
+	rows, err := tbaa.Figure8()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFigure9And10Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	rows9, err := bench.Figure9()
+	rows9, err := tbaa.Figure9()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestFigure9And10Shape(t *testing.T) {
 			t.Errorf("%s: fraction out of range: %f", r.Name, r.Original)
 		}
 	}
-	rows10, err := bench.Figure10()
+	rows10, err := tbaa.Figure10()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFigure12Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	rows, err := bench.Figure12()
+	rows, err := tbaa.Figure12()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestSourceLines(t *testing.T) {
 func TestBenchmarksDeterministic(t *testing.T) {
 	// Two fresh runs of a benchmark give identical output — required for
 	// all differential comparisons in the harness.
-	b, _ := bench.ByName("write-pickle")
+	b, _ := tbaa.BenchmarkByName("write-pickle")
 	out1 := runBench(t, b)
 	out2 := runBench(t, b)
 	if out1 != out2 {
@@ -229,7 +230,7 @@ func TestBenchmarksDeterministic(t *testing.T) {
 	}
 }
 
-func runBench(t *testing.T, b bench.Benchmark) string {
+func runBench(t *testing.T, b tbaa.Benchmark) string {
 	t.Helper()
 	out, _, err := driverRun(b)
 	if err != nil {
@@ -238,7 +239,7 @@ func runBench(t *testing.T, b bench.Benchmark) string {
 	return out
 }
 
-func driverRun(b bench.Benchmark) (string, int, error) {
+func driverRun(b tbaa.Benchmark) (string, int, error) {
 	prog, _, err := driver.Compile(b.Name+".m3", b.Source)
 	if err != nil {
 		return "", 0, err

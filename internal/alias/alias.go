@@ -13,6 +13,8 @@
 package alias
 
 import (
+	"fmt"
+
 	"tbaa/internal/ir"
 	"tbaa/internal/types"
 )
@@ -56,6 +58,17 @@ type Options struct {
 	PerTypeGroups bool
 }
 
+// Validate reports whether the options describe a buildable analysis.
+// The only invalid configuration is an out-of-range Level, which would
+// otherwise silently degrade to FieldTypeDecl behavior in MayAlias.
+func (o Options) Validate() error {
+	if o.Level < LevelTypeDecl || o.Level > LevelSMFieldTypeRefs {
+		return fmt.Errorf("alias: level %d out of range (valid: %d=TypeDecl, %d=FieldTypeDecl, %d=SMFieldTypeRefs)",
+			int(o.Level), int(LevelTypeDecl), int(LevelFieldTypeDecl), int(LevelSMFieldTypeRefs))
+	}
+	return nil
+}
+
 // Oracle answers may-alias queries over symbolic access paths. All the
 // clients (RLE, mod-ref) depend only on this interface.
 type Oracle interface {
@@ -96,8 +109,13 @@ type Analysis struct {
 // dropped and rebuilt.
 const memoLimit = 1 << 18
 
-// New builds a TBAA analysis over a lowered program.
+// New builds a TBAA analysis over a lowered program. It panics if opts
+// is invalid (see Options.Validate); callers constructing options from
+// untrusted input should call Validate first and surface the error.
 func New(prog *ir.Program, opts Options) *Analysis {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	a := &Analysis{
 		prog:       prog,
 		u:          prog.Universe,

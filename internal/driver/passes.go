@@ -1,0 +1,144 @@
+package driver
+
+import (
+	"fmt"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+	"tbaa/internal/opt"
+	"tbaa/internal/types"
+)
+
+// PassResult reports what one optimization pass did. Fields irrelevant
+// to a pass stay zero (e.g. RLE never devirtualizes).
+type PassResult struct {
+	// Pass is the name of the pass that produced this result.
+	Pass string
+	// Devirtualized and Inlined count method-invocation resolution work.
+	Devirtualized int
+	Inlined       int
+	// Hoisted and Eliminated count loads removed by RLE (and, for PRE,
+	// Eliminated counts the post-insertion CSE removals).
+	Hoisted    int
+	Eliminated int
+	// Inserted counts PRE compensation loads.
+	Inserted int
+	// PerProc breaks load removals down by procedure name.
+	PerProc map[string]int
+}
+
+// Removed returns the total statically removed loads (the Table 6 metric).
+func (r PassResult) Removed() int { return r.Hoisted + r.Eliminated }
+
+// Pass is one step of the optimization pipeline. Passes mutate the
+// program in the PassEnv; passes that change program structure must
+// call Invalidate so later passes see rebuilt analysis facts.
+type Pass interface {
+	Name() string
+	Run(env *PassEnv) (PassResult, error)
+}
+
+// PassEnv carries the program being optimized plus lazily built,
+// memoized analysis state shared by the passes: the alias oracle and
+// the mod-ref summaries. Building both lazily keeps configurations that
+// never query them (e.g. an unoptimized baseline) free of their cost.
+type PassEnv struct {
+	Prog   *ir.Program
+	Opts   alias.Options
+	oracle *alias.Analysis
+	mr     *modref.ModRef
+}
+
+// NewPassEnv validates opts and wraps prog for a pass pipeline.
+func NewPassEnv(prog *ir.Program, opts alias.Options) (*PassEnv, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &PassEnv{Prog: prog, Opts: opts}, nil
+}
+
+// Oracle returns the alias analysis for the current program state,
+// building it on first use.
+func (e *PassEnv) Oracle() *alias.Analysis {
+	if e.oracle == nil {
+		e.oracle = alias.New(e.Prog, e.Opts)
+	}
+	return e.oracle
+}
+
+// ModRef returns the mod-ref summaries, computing them on first use.
+func (e *PassEnv) ModRef() *modref.ModRef {
+	if e.mr == nil {
+		e.mr = modref.Compute(e.Prog)
+	}
+	return e.mr
+}
+
+// Invalidate drops the memoized analyses after a structural change
+// (inlining creates new code); the next Oracle/ModRef call rebuilds.
+func (e *PassEnv) Invalidate() { e.oracle, e.mr = nil, nil }
+
+// RunPasses runs the pipeline in order and collects per-pass results.
+// It stops at the first failing pass.
+func RunPasses(env *PassEnv, passes ...Pass) ([]PassResult, error) {
+	results := make([]PassResult, 0, len(passes))
+	for _, p := range passes {
+		r, err := p.Run(env)
+		if err != nil {
+			return results, fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+		r.Pass = p.Name()
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// RLEPass is redundant load elimination (Section 3.4.1): loop-invariant
+// load motion plus available-load CSE, killed by the alias oracle.
+type RLEPass struct{}
+
+// Name implements Pass.
+func (RLEPass) Name() string { return "rle" }
+
+// Run implements Pass.
+func (RLEPass) Run(e *PassEnv) (PassResult, error) {
+	res := opt.RLE(e.Prog, e.Oracle(), e.ModRef())
+	return PassResult{Hoisted: res.Hoisted, Eliminated: res.Eliminated, PerProc: res.PerProc}, nil
+}
+
+// PREPass is partial redundancy elimination of memory expressions (the
+// paper's future work); it normally runs after RLEPass.
+type PREPass struct{}
+
+// Name implements Pass.
+func (PREPass) Name() string { return "pre" }
+
+// Run implements Pass.
+func (PREPass) Run(e *PassEnv) (PassResult, error) {
+	res := opt.PRE(e.Prog, e.Oracle(), e.ModRef())
+	return PassResult{Inserted: res.Inserted, Eliminated: res.Eliminated}, nil
+}
+
+// MinvInlinePass resolves method invocations (devirtualization refined
+// by the oracle's TypeRefsTable) and inlines small procedures (Section
+// 3.7). It invalidates the analysis state: inlining creates new code.
+type MinvInlinePass struct{}
+
+// Name implements Pass.
+func (MinvInlinePass) Name() string { return "minv+inline" }
+
+// Run implements Pass.
+func (MinvInlinePass) Run(e *PassEnv) (PassResult, error) {
+	a := e.Oracle()
+	nd := opt.Devirtualize(e.Prog, func(o *types.Object) []int {
+		refs := a.TypeRefs(o)
+		if refs == nil {
+			return nil
+		}
+		return refs.IDs()
+	})
+	ni := opt.Inline(e.Prog)
+	e.Invalidate()
+	return PassResult{Devirtualized: nd, Inlined: ni}, nil
+}

@@ -1,0 +1,68 @@
+package tbaa
+
+import (
+	"fmt"
+	"strings"
+
+	"tbaa/internal/alias"
+)
+
+// Level selects one of the paper's three alias analyses, in increasing
+// precision. The zero value is TypeDecl; Analyzers default to
+// SMFieldTypeRefs unless WithLevel says otherwise.
+type Level int
+
+// The analysis levels (Sections 2.2-2.4 of the paper).
+const (
+	// TypeDecl: two access paths may alias iff the subtype sets of their
+	// declared types intersect.
+	TypeDecl = Level(alias.LevelTypeDecl)
+	// FieldTypeDecl: the seven-case refinement using field names and the
+	// AddressTaken predicate (Table 2).
+	FieldTypeDecl = Level(alias.LevelFieldTypeDecl)
+	// SMFieldTypeRefs: FieldTypeDecl with selective type merging over
+	// the program's pointer assignments (Figure 2).
+	SMFieldTypeRefs = Level(alias.LevelSMFieldTypeRefs)
+)
+
+// Levels returns the three analysis levels in ascending precision —
+// the paper's column order in Tables 5 and 6.
+func Levels() []Level { return []Level{TypeDecl, FieldTypeDecl, SMFieldTypeRefs} }
+
+func (l Level) String() string {
+	if l.validate() != nil {
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+	return alias.Level(l).String()
+}
+
+func (l Level) validate() error {
+	return alias.Options{Level: alias.Level(l)}.Validate()
+}
+
+// ParseLevel maps a level name to a Level: "typedecl", "fieldtypedecl",
+// "smfieldtyperefs", or the shorthand "tbaa" for the most precise
+// level. Matching is case-insensitive. This is the one level-selection
+// helper shared by cmd/tbaa and cmd/tbaabench.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "typedecl":
+		return TypeDecl, nil
+	case "fieldtypedecl":
+		return FieldTypeDecl, nil
+	case "smfieldtyperefs", "tbaa":
+		return SMFieldTypeRefs, nil
+	}
+	return 0, fmt.Errorf("tbaa: unknown alias level %q (want typedecl, fieldtypedecl, or smfieldtyperefs)", s)
+}
+
+// Set implements flag.Value via ParseLevel, so a *Level registers
+// directly with flag.Var as a command-line level selector.
+func (l *Level) Set(s string) error {
+	v, err := ParseLevel(s)
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}

@@ -1,0 +1,61 @@
+package tbaa
+
+import (
+	"tbaa/internal/ast"
+	"tbaa/internal/driver"
+	"tbaa/internal/parser"
+	"tbaa/internal/sema"
+)
+
+// ParseAST parses a module without type-checking it and renders the
+// AST as source-shaped text — the parse-only view behind cmd/tbaa's
+// -dump-ast, usable even when the module would fail checking. Syntax
+// errors are reported as *ParseError.
+func ParseAST(file, src string) (string, error) {
+	m, err := parser.Parse(file, src)
+	if err != nil {
+		return "", newParseError(file, err)
+	}
+	return ast.Print(m), nil
+}
+
+// Module is a parsed, type-checked MiniM3 module whose lowering can be
+// replayed cheaply: one frontend, many lowered programs. A Module is
+// immutable after Compile — its type universe is fully precomputed —
+// so any number of Analyzers may be built from it concurrently, each
+// over its own private lowering.
+type Module struct {
+	c *driver.Compiled
+}
+
+// Compile parses and type-checks a MiniM3 module and precomputes the
+// type-universe caches. Failures are reported as *ParseError or
+// *CheckError carrying file/line diagnostics.
+func Compile(file, src string) (*Module, error) {
+	c, err := driver.Frontend(file, src)
+	if err != nil {
+		switch err := err.(type) {
+		case parser.ErrorList:
+			return nil, newParseError(file, err)
+		case sema.ErrorList:
+			return nil, newCheckError(file, err)
+		}
+		return nil, err
+	}
+	return &Module{c: c}, nil
+}
+
+// New is the one-call form of Compile followed by Module.NewAnalyzer.
+func New(file, src string, options ...Option) (*Analyzer, error) {
+	mod, err := Compile(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return mod.NewAnalyzer(options...)
+}
+
+// File returns the name the module was compiled under.
+func (m *Module) File() string { return m.c.File }
+
+// AST renders the parsed module as source-shaped text.
+func (m *Module) AST() string { return ast.Print(m.c.Sema.Module) }

@@ -1,0 +1,105 @@
+package tbaa_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tbaa"
+)
+
+// render runs one table/figure generator and renders it to a string.
+func render[T any](t *testing.T, gen func() ([]T, error), fprint func(*strings.Builder, []T)) string {
+	t.Helper()
+	rows, err := gen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fprint(&sb, rows)
+	return sb.String()
+}
+
+// TestParallelMatchesSequential is the harness determinism contract:
+// a Runner with many workers must emit byte-identical artifacts to the
+// one-worker (historical sequential) path.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := tbaa.NewRunner(1)
+	par := tbaa.NewRunner(8)
+	check := func(name, a, b string) {
+		if a != b {
+			t.Errorf("%s: parallel output differs from sequential\n--- sequential ---\n%s--- parallel ---\n%s", name, a, b)
+		}
+	}
+	check("Table5",
+		render(t, seq.Table5, func(sb *strings.Builder, rows []tbaa.Table5Row) { tbaa.FprintTable5(sb, rows) }),
+		render(t, par.Table5, func(sb *strings.Builder, rows []tbaa.Table5Row) { tbaa.FprintTable5(sb, rows) }))
+	check("Table6",
+		render(t, seq.Table6, func(sb *strings.Builder, rows []tbaa.Table6Row) { tbaa.FprintTable6(sb, rows) }),
+		render(t, par.Table6, func(sb *strings.Builder, rows []tbaa.Table6Row) { tbaa.FprintTable6(sb, rows) }))
+	if testing.Short() {
+		return
+	}
+	check("Table4",
+		render(t, seq.Table4, func(sb *strings.Builder, rows []tbaa.Table4Row) { tbaa.FprintTable4(sb, rows) }),
+		render(t, par.Table4, func(sb *strings.Builder, rows []tbaa.Table4Row) { tbaa.FprintTable4(sb, rows) }))
+	check("Figure9",
+		render(t, seq.Figure9, func(sb *strings.Builder, rows []tbaa.Figure9Row) { tbaa.FprintFigure9(sb, rows) }),
+		render(t, par.Figure9, func(sb *strings.Builder, rows []tbaa.Figure9Row) { tbaa.FprintFigure9(sb, rows) }))
+	check("Figure12",
+		render(t, seq.Figure12, func(sb *strings.Builder, rows []tbaa.Figure12Row) { tbaa.FprintFigure12(sb, rows) }),
+		render(t, par.Figure12, func(sb *strings.Builder, rows []tbaa.Figure12Row) { tbaa.FprintFigure12(sb, rows) }))
+}
+
+// TestRunnerModuleCache pins the frontend-cache contract: the Runner
+// hands every cell the same Module, and independent Analyzers built
+// from it see identical program structure.
+func TestRunnerModuleCache(t *testing.T) {
+	r := tbaa.NewRunner(1)
+	b, ok := tbaa.BenchmarkByName("k-tree")
+	if !ok {
+		t.Fatal("k-tree benchmark missing")
+	}
+	m1, err := r.Module(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Module(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("Runner.Module recompiled a cached benchmark")
+	}
+	a1, err := m1.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m1.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatal("Module.NewAnalyzer returned a shared Analyzer")
+	}
+	if a1.IR() != a2.IR() {
+		t.Error("re-lowered program differs from the first lowering")
+	}
+}
+
+// TestTable4Golden compares the rendered Table 4 against the checked-in
+// golden file used by the CI benchmark-smoke step.
+func TestTable4Golden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("internal", "bench", "testdata", "table4.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The golden file holds exactly `tbaabench -table 4` output: the
+	// rendered table followed by one blank separator line.
+	got := render(t, tbaa.NewRunner(0).Table4,
+		func(sb *strings.Builder, rows []tbaa.Table4Row) { tbaa.FprintTable4(sb, rows) }) + "\n"
+	if got != string(want) {
+		t.Errorf("Table 4 drifted from testdata/table4.golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,68 @@
+package tbaa
+
+import "tbaa/internal/driver"
+
+// Pass is one step of the optimization pipeline an Analyzer runs over
+// its lowered program at construction (see WithPasses). The interface
+// is sealed: RLE, PRE, and MinvInline construct the only
+// implementations, and the pass manager handles rebuilding analysis
+// facts when a structural pass (inlining) invalidates them.
+type Pass interface {
+	// Name identifies the pass in PassResults.
+	Name() string
+	pass() driver.Pass
+}
+
+type builtinPass struct{ p driver.Pass }
+
+func (b builtinPass) Name() string      { return b.p.Name() }
+func (b builtinPass) pass() driver.Pass { return b.p }
+
+// RLE returns the redundant load elimination pass (Section 3.4.1):
+// loop-invariant load motion plus available-load CSE, with kills
+// decided by the analyzer's alias oracle and mod-ref summaries.
+func RLE() Pass { return builtinPass{driver.RLEPass{}} }
+
+// PRE returns the partial redundancy elimination pass (the paper's
+// future work): compensation loads make partially redundant loads fully
+// redundant, then CSE removes them. Normally scheduled after RLE.
+func PRE() Pass { return builtinPass{driver.PREPass{}} }
+
+// MinvInline returns the method invocation resolution pass (Section
+// 3.7): devirtualization refined by the TypeRefsTable, followed by
+// inlining of small procedures.
+func MinvInline() Pass { return builtinPass{driver.MinvInlinePass{}} }
+
+// PassResult reports what one pass did; fields irrelevant to a pass
+// stay zero.
+type PassResult struct {
+	// Pass is the Name() of the pass that produced this result.
+	Pass string
+	// Devirtualized and Inlined count MinvInline's work.
+	Devirtualized int
+	Inlined       int
+	// Hoisted counts loop-invariant loads moved to preheaders;
+	// Eliminated counts loads replaced by register references.
+	Hoisted    int
+	Eliminated int
+	// Inserted counts PRE compensation loads.
+	Inserted int
+	// PerProc breaks load removals down by procedure name.
+	PerProc map[string]int
+}
+
+// Removed returns the total number of statically removed loads (the
+// paper's Table 6 metric).
+func (r PassResult) Removed() int { return r.Hoisted + r.Eliminated }
+
+func fromDriverResult(r driver.PassResult) PassResult {
+	return PassResult{
+		Pass:          r.Pass,
+		Devirtualized: r.Devirtualized,
+		Inlined:       r.Inlined,
+		Hoisted:       r.Hoisted,
+		Eliminated:    r.Eliminated,
+		Inserted:      r.Inserted,
+		PerProc:       r.PerProc,
+	}
+}

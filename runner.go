@@ -1,4 +1,4 @@
-package bench
+package tbaa
 
 import (
 	"fmt"
@@ -6,26 +6,25 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"tbaa/internal/driver"
 	"tbaa/internal/ir"
 )
 
 // Runner regenerates the paper's tables and figures over a pool of
 // workers. Every (benchmark × level × options) configuration is an
-// independent cell; cells share one parse+check per benchmark (lowering
-// a fresh, privately-mutable IR program per cell) and results are
+// independent cell; cells share one Module per benchmark (building a
+// fresh, privately-mutable Analyzer per cell) and results are
 // assembled in a fixed order, so the rendered artifacts are
 // byte-identical whatever the worker count.
 type Runner struct {
 	workers int
 
 	mu    sync.Mutex
-	cache map[string]*frontendEntry
+	cache map[string]*moduleEntry
 }
 
-type frontendEntry struct {
+type moduleEntry struct {
 	once sync.Once
-	c    *driver.Compiled
+	m    *Module
 	err  error
 }
 
@@ -35,29 +34,53 @@ func NewRunner(workers int) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers, cache: make(map[string]*frontendEntry)}
+	return &Runner{workers: workers, cache: make(map[string]*moduleEntry)}
 }
 
 // Workers returns the configured worker count.
 func (r *Runner) Workers() int { return r.workers }
 
-// Compile returns a fresh lowered program for b. The parse+check half of
-// the pipeline runs once per benchmark and is shared by every later call.
-func (r *Runner) Compile(b Benchmark) (*ir.Program, error) {
+// Module returns the parsed-and-checked module for b. The frontend half
+// of the pipeline runs once per benchmark and is shared by every later
+// call; concurrent callers for the same benchmark block on one compile.
+func (r *Runner) Module(b Benchmark) (*Module, error) {
 	r.mu.Lock()
 	e := r.cache[b.Name]
 	if e == nil {
-		e = &frontendEntry{}
+		e = &moduleEntry{}
 		r.cache[b.Name] = e
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		e.c, e.err = driver.Frontend(b.Name+".m3", b.Source)
+		e.m, e.err = Compile(b.Name+".m3", b.Source)
 	})
 	if e.err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, e.err)
 	}
-	return e.c.Lower(), nil
+	return e.m, nil
+}
+
+// analyzer builds an Analyzer over a fresh lowering of b.
+func (r *Runner) analyzer(b Benchmark, options ...Option) (*Analyzer, error) {
+	m, err := r.Module(b)
+	if err != nil {
+		return nil, err
+	}
+	a, err := m.NewAnalyzer(options...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return a, nil
+}
+
+// compile returns a fresh lowered program for cells that bypass the
+// Analyzer facade (the unoptimized limit-study baseline).
+func (r *Runner) compile(b Benchmark) (*ir.Program, error) {
+	m, err := r.Module(b)
+	if err != nil {
+		return nil, err
+	}
+	return m.c.Lower(), nil
 }
 
 // run evaluates n independent cells on the worker pool. With one worker

@@ -1,0 +1,21 @@
+package tbaa
+
+import "sync/atomic"
+
+// Stats counts may-alias queries across the Analyzers it is attached to
+// with WithStats. All methods are safe for concurrent use; one Stats
+// may be shared by many Analyzers to aggregate fleet-wide counters.
+type Stats struct {
+	queries atomic.Uint64
+	aliased atomic.Uint64
+	batches atomic.Uint64
+}
+
+// Queries returns the number of may-alias verdicts produced.
+func (s *Stats) Queries() uint64 { return s.queries.Load() }
+
+// Aliased returns how many verdicts answered "may alias".
+func (s *Stats) Aliased() uint64 { return s.aliased.Load() }
+
+// Batches returns the number of MayAliasBatch calls.
+func (s *Stats) Batches() uint64 { return s.batches.Load() }
