@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden api api-check examples ci
+.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs api api-check examples ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ fmt-check:
 golden: build
 	$(GO) run ./cmd/tbaabench -table 4 | diff -u internal/bench/testdata/table4.golden -
 
+# Table FS (the flow-sensitive refinement vs SMFieldTypeRefs) has its
+# own golden; byte-stable for any -parallel value.
+golden-fs: build
+	$(GO) run ./cmd/tbaabench -table fs | diff -u testdata/tablefs.golden -
+
+# The per-PR precision-trajectory artifact CI uploads.
+bench-fs: build
+	$(GO) run ./cmd/tbaabench -fsjson BENCH_fs.json
+
 # The public API surface, as seen by `go doc -all tbaa`. Drift fails CI
 # until the golden is regenerated (make api) and the diff reviewed.
 api:
@@ -48,4 +57,4 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test-race bench-smoke golden api-check examples
+ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs api-check examples

@@ -154,14 +154,21 @@ func (a *Analyzer) verdictLocked(p Pair) Verdict {
 		v.Err = err
 		return v
 	}
-	v.MayAlias = a.env.Oracle().MayAlias(ap, aq)
+	v.MayAlias = a.queryLocked(ap, aq)
+	return v
+}
+
+// queryLocked asks the oracle about two resolved paths and maintains
+// the shared stats counters; a.mu must be held.
+func (a *Analyzer) queryLocked(ap, aq *ir.AP) bool {
+	mayAlias := a.env.Oracle().MayAlias(ap, aq)
 	if a.stats != nil {
 		a.stats.queries.Add(1)
-		if v.MayAlias {
+		if mayAlias {
 			a.stats.aliased.Add(1)
 		}
 	}
-	return v
+	return mayAlias
 }
 
 // Paths returns the sorted names of every access path occurring in the
@@ -210,16 +217,39 @@ func (a *Analyzer) MayAliasBatch(ctx context.Context, pairs []Pair) []Verdict {
 // per element, so a long iteration interleaves with other callers. When
 // ctx is canceled the iterator yields one verdict carrying ctx's error
 // and stops.
+//
+// Path names are resolved into a snapshot up front, and a.mu is never
+// held while a verdict is yielded, so the consumer may call MayAlias,
+// AddressTaken, or a nested Queries from inside the loop without
+// self-deadlock (see TestQueriesReentrant).
 func (a *Analyzer) Queries(ctx context.Context, pairs []Pair) iter.Seq[Verdict] {
+	type resolved struct {
+		p, q *ir.AP
+		err  error
+	}
+	rs := make([]resolved, len(pairs))
+	a.mu.Lock()
+	for i, pr := range pairs {
+		var r resolved
+		r.p, r.err = a.resolveLocked(pr.P)
+		if r.err == nil {
+			r.q, r.err = a.resolveLocked(pr.Q)
+		}
+		rs[i] = r
+	}
+	a.mu.Unlock()
 	return func(yield func(Verdict) bool) {
-		for _, p := range pairs {
+		for i, pr := range pairs {
 			if err := ctx.Err(); err != nil {
-				yield(Verdict{Pair: p, Err: err})
+				yield(Verdict{Pair: pr, Err: err})
 				return
 			}
-			a.mu.Lock()
-			v := a.verdictLocked(p)
-			a.mu.Unlock()
+			v := Verdict{Pair: pr, Err: rs[i].err}
+			if v.Err == nil {
+				a.mu.Lock()
+				v.MayAlias = a.queryLocked(rs[i].p, rs[i].q)
+				a.mu.Unlock()
+			}
 			if !yield(v) {
 				return
 			}

@@ -1,13 +1,15 @@
 // Command tbaabench regenerates every table and figure from the paper's
-// evaluation section (Tables 4-6, Figures 8-12) through the public tbaa
-// package's Runner.
+// evaluation section (Tables 4-6, Figures 8-12) plus the flow-sensitive
+// extension table (Table FS) through the public tbaa package's Runner.
 //
 // Usage:
 //
-//	tbaabench              # everything, GOMAXPROCS workers
-//	tbaabench -table 5     # one table
-//	tbaabench -figure 10   # one figure
-//	tbaabench -parallel 1  # force the sequential path
+//	tbaabench                    # everything, GOMAXPROCS workers
+//	tbaabench -table 5           # one table
+//	tbaabench -table fs          # the flow-sensitive extension table
+//	tbaabench -figure 10         # one figure
+//	tbaabench -parallel 1        # force the sequential path
+//	tbaabench -fsjson BENCH_fs.json  # write the Table FS JSON artifact
 //
 // Output is byte-identical for every worker count: configurations are
 // fanned out as independent cells and reassembled in paper order.
@@ -18,14 +20,17 @@ import (
 	"fmt"
 	"os"
 	"runtime/debug"
+	"strconv"
+	"strings"
 
 	"tbaa"
 )
 
 func main() {
-	table := flag.Int("table", 0, "regenerate one table (4, 5, or 6)")
+	table := flag.String("table", "", "regenerate one table (4, 5, 6, or fs)")
 	figure := flag.Int("figure", 0, "regenerate one figure (8..12)")
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
+	fsJSON := flag.String("fsjson", "", "write the Table FS metrics as JSON to `file` (- for stdout)")
 	flag.Parse()
 
 	// Batch tool: the compile cache keeps every benchmark's checked
@@ -36,8 +41,63 @@ func main() {
 	}
 
 	r := tbaa.NewRunner(*parallel)
-	if err := r.WriteArtifacts(os.Stdout, *table, *figure); err != nil {
-		fmt.Fprintln(os.Stderr, "tbaabench:", err)
-		os.Exit(1)
+
+	tableIdx := 0
+	switch strings.ToLower(*table) {
+	case "", "0":
+	case "fs":
+		tableIdx = tbaa.TableFSIndex
+	default:
+		n, err := strconv.Atoi(*table)
+		if err != nil || n < 4 || n > 6 {
+			fatal(fmt.Errorf("invalid -table %q (want 4, 5, 6, or fs)", *table))
+		}
+		tableIdx = n
 	}
+
+	if *fsJSON != "" {
+		rows, err := r.TableFS()
+		if err != nil {
+			fatal(err)
+		}
+		if *fsJSON == "-" {
+			if err := tbaa.WriteFSJSON(os.Stdout, rows); err != nil {
+				fatal(err)
+			}
+		} else {
+			f, err := os.Create(*fsJSON)
+			if err != nil {
+				fatal(err)
+			}
+			err = tbaa.WriteFSJSON(f, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr // a failed final flush must not ship a truncated artifact
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+		// Table FS was just computed; render it from the same rows
+		// instead of re-deriving every cell.
+		if tableIdx == tbaa.TableFSIndex {
+			tbaa.FprintTableFS(os.Stdout, rows)
+			fmt.Println()
+			tableIdx = 0
+			if *figure == 0 {
+				return
+			}
+		}
+		if tableIdx == 0 && *figure == 0 {
+			return
+		}
+	}
+
+	if err := r.WriteArtifacts(os.Stdout, tableIdx, *figure); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tbaabench:", err)
+	os.Exit(1)
 }

@@ -23,8 +23,9 @@
 //
 // # Analysis levels
 //
-// The three levels reproduce the paper's analyses in increasing
-// precision, selected with WithLevel:
+// The first three levels reproduce the paper's analyses in increasing
+// precision, selected with WithLevel; the fourth is this module's
+// flow-sensitive extension:
 //
 //   - TypeDecl (Section 2.2): two access paths may alias iff the
 //     subtype sets of their declared types intersect.
@@ -33,6 +34,32 @@
 //   - SMFieldTypeRefs (Section 2.4, the default): FieldTypeDecl with
 //     TypeDecl replaced by selective type merging over the program's
 //     pointer assignments (Figure 2) — the paper's headline analysis.
+//   - FSTypeRefs (extension; also WithFlowSensitive): SMFieldTypeRefs
+//     refined by an intraprocedural reaching-stores dataflow that
+//     narrows, per statement, the set of allocated types each pointer
+//     variable may reference.
+//
+// FSTypeRefs narrows where the allocation context is visible. In
+//
+//	VAR x, y: T;            (* S1, S2 subtype T *)
+//	BEGIN
+//	  x := NEW(S1);
+//	  y := NEW(S2);
+//	  FOR k := 1 TO 10 DO
+//	    y.i := k;           (* cannot kill x.i: {S1} ∩ {S2} = ∅ *)
+//	    sum := sum + x.i;   (* hoisted by FS-driven RLE *)
+//	  END;
+//
+// SMFieldTypeRefs merges S1 and S2 into T's row (both flow into
+// T-typed variables), so x.i and y.i may alias and the loop load of
+// x.i is pinned; FSTypeRefs proves the two roots reference disjoint
+// allocations at those statements, CountPairs drops the pair, and RLE
+// hoists the load. NEW generates exact allocated types, assignments
+// propagate them, loads re-narrow through per-path store facts, and
+// calls or stores through locations conservatively kill. Context-free
+// MayAlias answers are identical to SMFieldTypeRefs — the refinement
+// applies to statement-anchored facts (CountPairs, RLE/PRE kill
+// decisions), which is where flow-sensitivity is meaningful.
 //
 // # The open-world switch
 //
@@ -59,22 +86,24 @@
 //
 // # Optimization passes
 //
-// WithPasses(RLE(), PRE(), MinvInline()...) schedules the paper's
-// optimizations over the freshly lowered program: redundant load
-// elimination (Section 3.4.1), partial redundancy elimination (the
-// paper's future work), and method invocation resolution + inlining
-// (Section 3.7). The pass manager rebuilds alias and mod-ref facts
-// when a structural pass invalidates them; PassResults reports what
-// each pass did. Run, Simulate, and LimitStudy then execute the
+// WithPasses(RLE(), PRE(), Devirt(), MinvInline()...) schedules the
+// paper's optimizations over the freshly lowered program: redundant
+// load elimination (Section 3.4.1), partial redundancy elimination
+// (the paper's future work), standalone method invocation resolution,
+// and the fused resolution + inlining pipeline (Section 3.7). The pass
+// manager rebuilds alias and mod-ref facts when a structural pass
+// invalidates them; PassResults reports what each pass did. Run, Simulate, and LimitStudy then execute the
 // optimized program under the interpreter, the cache timing model, and
 // the dynamic redundant-load limit study respectively.
 //
 // # The evaluation harness
 //
-// Runner regenerates the paper's Tables 4-6 and Figures 8-12 over a
-// worker pool, fanning out (benchmark × level × options) cells that
-// share one Module per benchmark; output is byte-identical for every
-// worker count. Benchmarks returns the built-in ten-program suite.
+// Runner regenerates the paper's Tables 4-6 and Figures 8-12 — plus
+// Table FS, which scores the flow-sensitive refinement against
+// SMFieldTypeRefs (pairs disambiguated, loads removed) — over a worker
+// pool, fanning out (benchmark × level × options) cells that share one
+// Module per benchmark; output is byte-identical for every worker
+// count. Benchmarks returns the built-in ten-program suite.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.

@@ -1,6 +1,7 @@
 package tbaa
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -187,6 +188,128 @@ func FprintTable6(w io.Writer, rows []Table6Row) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-14s %9d %14d %16d\n", r.Name, r.Removed[0], r.Removed[1], r.Removed[2])
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Table FS — the flow-sensitive refinement vs SMFieldTypeRefs
+// (an extension table; not in the paper)
+
+// TableFSRow compares SMFieldTypeRefs with its flow-sensitive
+// refinement FSTypeRefs on one benchmark: the Table 5 pair metrics
+// under both analyses, the pairs the refinement disambiguates, and the
+// loads RLE removes statically under each.
+type TableFSRow struct {
+	Name       string
+	References int
+	// GlobalSM/GlobalFS and LocalSM/LocalFS are may-alias pair counts
+	// under the two analyses (site-anchored for FSTypeRefs).
+	GlobalSM, GlobalFS int
+	LocalSM, LocalFS   int
+	// Disambiguated is GlobalSM - GlobalFS: pairs the refinement proves
+	// non-aliased.
+	Disambiguated int
+	// RemovedSM/RemovedFS count loads removed statically by RLE.
+	// RemovedFS >= RemovedSM always: the refinement only removes kills.
+	RemovedSM, RemovedFS int
+}
+
+// TableFS evaluates the flow-sensitive refinement on every benchmark.
+func TableFS() ([]TableFSRow, error) { return sequential.TableFS() }
+
+// TableFS fans out one cell per benchmark × {pairs@SM, pairs@FS,
+// RLE@SM, RLE@FS}; the pair metrics and RLE counts are static, so the
+// interactive programs are measured too.
+func (r *Runner) TableFS() ([]TableFSRow, error) {
+	bs := Benchmarks()
+	const stride = 4
+	pairCells := make([]PairCounts, len(bs)*2)
+	removedCells := make([]int, len(bs)*2)
+	err := r.run(len(bs)*stride, func(ci int) error {
+		b, j := bs[ci/stride], ci%stride
+		lvl := SMFieldTypeRefs
+		if j%2 == 1 {
+			lvl = FSTypeRefs
+		}
+		if j < 2 {
+			a, err := r.analyzer(b, WithLevel(lvl))
+			if err != nil {
+				return err
+			}
+			pairCells[(ci/stride)*2+j] = a.CountPairs()
+			return nil
+		}
+		a, err := r.analyzer(b, WithLevel(lvl), WithPasses(RLE()))
+		if err != nil {
+			return err
+		}
+		removedCells[(ci/stride)*2+j-2] = a.PassResults()[0].Removed()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableFSRow, len(bs))
+	for i, b := range bs {
+		sm, fs := pairCells[2*i], pairCells[2*i+1]
+		rows[i] = TableFSRow{
+			Name:          b.Name,
+			References:    sm.References,
+			GlobalSM:      sm.Global,
+			GlobalFS:      fs.Global,
+			LocalSM:       sm.Local,
+			LocalFS:       fs.Local,
+			Disambiguated: sm.Global - fs.Global,
+			RemovedSM:     removedCells[2*i],
+			RemovedFS:     removedCells[2*i+1],
+		}
+	}
+	return rows, nil
+}
+
+// FprintTableFS renders Table FS.
+func FprintTableFS(w io.Writer, rows []TableFSRow) {
+	fmt.Fprintf(w, "Table FS: Flow-Sensitive Refinement (FSTypeRefs vs SMFieldTypeRefs)\n")
+	fmt.Fprintf(w, "%-14s %5s | %7s %7s | %7s %7s | %8s | %6s %6s\n",
+		"Program", "Refs", "G SM", "G FS", "L SM", "L FS", "Disambig", "RLE SM", "RLE FS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %5d | %7d %7d | %7d %7d | %8d | %6d %6d\n",
+			r.Name, r.References, r.GlobalSM, r.GlobalFS, r.LocalSM, r.LocalFS,
+			r.Disambiguated, r.RemovedSM, r.RemovedFS)
+	}
+}
+
+// WriteFSJSON writes Table FS as a JSON array — one object per
+// benchmark with the pairs-disambiguated and loads-removed metrics —
+// the per-PR precision-trajectory artifact CI stores as BENCH_fs.json.
+func WriteFSJSON(w io.Writer, rows []TableFSRow) error {
+	type obj struct {
+		Benchmark     string `json:"benchmark"`
+		References    int    `json:"references"`
+		GlobalSM      int    `json:"global_pairs_smfieldtyperefs"`
+		GlobalFS      int    `json:"global_pairs_fstyperefs"`
+		LocalSM       int    `json:"local_pairs_smfieldtyperefs"`
+		LocalFS       int    `json:"local_pairs_fstyperefs"`
+		Disambiguated int    `json:"pairs_disambiguated"`
+		RemovedSM     int    `json:"loads_removed_smfieldtyperefs"`
+		RemovedFS     int    `json:"loads_removed_fstyperefs"`
+	}
+	out := make([]obj, len(rows))
+	for i, r := range rows {
+		out[i] = obj{
+			Benchmark:     r.Name,
+			References:    r.References,
+			GlobalSM:      r.GlobalSM,
+			GlobalFS:      r.GlobalFS,
+			LocalSM:       r.LocalSM,
+			LocalFS:       r.LocalFS,
+			Disambiguated: r.Disambiguated,
+			RemovedSM:     r.RemovedSM,
+			RemovedFS:     r.RemovedFS,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -523,11 +646,17 @@ func FprintFigure12(w io.Writer, rows []Figure12Row) {
 // ---------------------------------------------------------------------------
 // Artifact dispatch
 
+// TableFSIndex selects Table FS (the flow-sensitive extension table)
+// in WriteArtifacts' table parameter; the paper's own tables keep their
+// numbers 4-6.
+const TableFSIndex = 7
+
 // WriteArtifacts regenerates the selected artifacts and renders them to
 // w in paper order, each followed by a blank separator line. table
-// selects one table (4-6) and figure one figure (8-12); when both are
-// zero, every artifact is produced. This is the engine behind
-// cmd/tbaabench.
+// selects one table (4-6, or TableFSIndex for the flow-sensitive
+// extension table) and figure one figure (8-12); when both are zero,
+// every artifact is produced, with Table FS after Table 6. This is the
+// engine behind cmd/tbaabench.
 func (r *Runner) WriteArtifacts(w io.Writer, table, figure int) error {
 	all := table == 0 && figure == 0
 	if all || table == 4 {
@@ -552,6 +681,14 @@ func (r *Runner) WriteArtifacts(w io.Writer, table, figure int) error {
 			return err
 		}
 		FprintTable6(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || table == TableFSIndex {
+		rows, err := r.TableFS()
+		if err != nil {
+			return err
+		}
+		FprintTableFS(w, rows)
 		fmt.Fprintln(w)
 	}
 	if all || figure == 8 {

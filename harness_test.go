@@ -110,6 +110,34 @@ func TestTable6Shape(t *testing.T) {
 	}
 }
 
+func TestTableFSShape(t *testing.T) {
+	rows, err := tbaa.TableFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(tbaa.Benchmarks()) {
+		t.Fatalf("TableFS rows = %d, want one per benchmark", len(rows))
+	}
+	totalDisambiguated := 0
+	for _, r := range rows {
+		// The refinement only removes pairs and only removes kills.
+		if r.GlobalFS > r.GlobalSM || r.LocalFS > r.LocalSM {
+			t.Errorf("%s: FSTypeRefs counted more pairs than SMFieldTypeRefs: %+v", r.Name, r)
+		}
+		if r.Disambiguated != r.GlobalSM-r.GlobalFS {
+			t.Errorf("%s: Disambiguated = %d, want GlobalSM-GlobalFS = %d",
+				r.Name, r.Disambiguated, r.GlobalSM-r.GlobalFS)
+		}
+		if r.RemovedFS < r.RemovedSM {
+			t.Errorf("%s: FS-driven RLE removed %d < SM's %d", r.Name, r.RemovedFS, r.RemovedSM)
+		}
+		totalDisambiguated += r.Disambiguated
+	}
+	if totalDisambiguated == 0 {
+		t.Error("the refinement should disambiguate pairs somewhere in the suite")
+	}
+}
+
 func TestFigure8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")

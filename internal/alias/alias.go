@@ -30,6 +30,13 @@ const (
 	LevelFieldTypeDecl
 	// LevelSMFieldTypeRefs adds flow-insensitive selective type merging.
 	LevelSMFieldTypeRefs
+	// LevelFSTypeRefs refines SMFieldTypeRefs with an intraprocedural
+	// flow-sensitive reaching-facts analysis: per-statement kill/gen of
+	// access-path facts narrows what each pointer variable may reference
+	// at that statement, so site-aware queries (MayAliasAt) can prove
+	// no-alias where the flow-insensitive verdict is may-alias. The
+	// context-free MayAlias is identical to SMFieldTypeRefs.
+	LevelFSTypeRefs
 )
 
 func (l Level) String() string {
@@ -40,6 +47,8 @@ func (l Level) String() string {
 		return "FieldTypeDecl"
 	case LevelSMFieldTypeRefs:
 		return "SMFieldTypeRefs"
+	case LevelFSTypeRefs:
+		return "FSTypeRefs"
 	}
 	return "?"
 }
@@ -56,17 +65,39 @@ type Options struct {
 	// that maintains a separate group per type (directed propagation)
 	// instead of union-find equivalence classes. More precise, slower.
 	PerTypeGroups bool
+	// FlowSensitive layers the intraprocedural flow-sensitive refinement
+	// on top of SMFieldTypeRefs; setting it is equivalent to selecting
+	// LevelFSTypeRefs. It requires Level >= LevelSMFieldTypeRefs (the
+	// refinement narrows TypeRefsTable rows, which lower levels lack).
+	FlowSensitive bool
 }
 
-// Validate reports whether the options describe a buildable analysis.
-// The only invalid configuration is an out-of-range Level, which would
-// otherwise silently degrade to FieldTypeDecl behavior in MayAlias.
+// Validate reports whether the options describe a buildable analysis:
+// the level must be in range (an out-of-range Level would otherwise
+// silently degrade to FieldTypeDecl behavior in MayAlias), and the
+// flow-sensitive refinement needs a TypeRefsTable to narrow.
 func (o Options) Validate() error {
-	if o.Level < LevelTypeDecl || o.Level > LevelSMFieldTypeRefs {
-		return fmt.Errorf("alias: level %d out of range (valid: %d=TypeDecl, %d=FieldTypeDecl, %d=SMFieldTypeRefs)",
-			int(o.Level), int(LevelTypeDecl), int(LevelFieldTypeDecl), int(LevelSMFieldTypeRefs))
+	if o.Level < LevelTypeDecl || o.Level > LevelFSTypeRefs {
+		return fmt.Errorf("alias: level %d out of range (valid: %d=TypeDecl, %d=FieldTypeDecl, %d=SMFieldTypeRefs, %d=FSTypeRefs)",
+			int(o.Level), int(LevelTypeDecl), int(LevelFieldTypeDecl), int(LevelSMFieldTypeRefs), int(LevelFSTypeRefs))
+	}
+	if o.FlowSensitive && o.Level < LevelSMFieldTypeRefs {
+		return fmt.Errorf("alias: flow-sensitive refinement requires level %v or above, have %v",
+			LevelSMFieldTypeRefs, o.Level)
 	}
 	return nil
+}
+
+// Normalize returns o with the two spellings of the flow-sensitive
+// configuration folded together: LevelFSTypeRefs implies FlowSensitive,
+// and FlowSensitive on LevelSMFieldTypeRefs selects LevelFSTypeRefs.
+func (o Options) Normalize() Options {
+	if o.Level == LevelFSTypeRefs {
+		o.FlowSensitive = true
+	} else if o.FlowSensitive && o.Level == LevelSMFieldTypeRefs {
+		o.Level = LevelFSTypeRefs
+	}
+	return o
 }
 
 // Oracle answers may-alias queries over symbolic access paths. All the
@@ -103,6 +134,14 @@ type Analysis struct {
 	// orientation produced by fieldTypeDecl's rank normalization —
 	// identical for both query orders, so one entry is order-insensitive.
 	memo map[[2]*ir.AP]bool
+	// flow is the per-procedure flow-sensitive refinement layer, present
+	// only at LevelFSTypeRefs. Procedure facts are built lazily on the
+	// first site-aware query and dropped by InvalidateFlow.
+	flow *flow
+	// prefixCache memoizes StoreKills' proper-prefix APs per path, so
+	// repeated kill queries reuse pointer-stable APs and stay effective
+	// against the pointer-keyed MayAlias memo.
+	prefixCache map[*ir.AP][]*ir.AP
 }
 
 // memoLimit bounds the MayAlias cache; when it fills, the cache is
@@ -116,6 +155,7 @@ func New(prog *ir.Program, opts Options) *Analysis {
 	if err := opts.Validate(); err != nil {
 		panic(err)
 	}
+	opts = opts.Normalize()
 	a := &Analysis{
 		prog:       prog,
 		u:          prog.Universe,
@@ -128,12 +168,15 @@ func New(prog *ir.Program, opts Options) *Analysis {
 	for key := range prog.AddressTakenFields {
 		a.addrOwners[key.Field] = append(a.addrOwners[key.Field], prog.Universe.ByID(key.TypeID))
 	}
-	if opts.Level == LevelSMFieldTypeRefs {
+	if opts.Level >= LevelSMFieldTypeRefs {
 		if opts.PerTypeGroups {
 			a.typeRefs = buildTypeRefsPerType(prog, opts.OpenWorld)
 		} else {
 			a.typeRefs = buildTypeRefsUnionFind(prog, opts.OpenWorld)
 		}
+	}
+	if opts.Level == LevelFSTypeRefs {
+		a.flow = newFlow(a)
 	}
 	return a
 }

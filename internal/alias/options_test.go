@@ -9,12 +9,12 @@ import (
 // out-of-range levels: every valid level passes, everything else is
 // refused with a message that names the valid range.
 func TestOptionsValidate(t *testing.T) {
-	for _, lvl := range []Level{LevelTypeDecl, LevelFieldTypeDecl, LevelSMFieldTypeRefs} {
+	for _, lvl := range []Level{LevelTypeDecl, LevelFieldTypeDecl, LevelSMFieldTypeRefs, LevelFSTypeRefs} {
 		if err := (Options{Level: lvl}).Validate(); err != nil {
 			t.Errorf("Options{Level: %v}.Validate() = %v, want nil", lvl, err)
 		}
 	}
-	for _, lvl := range []Level{-1, 3, 42} {
+	for _, lvl := range []Level{-1, 4, 42} {
 		err := (Options{Level: lvl}).Validate()
 		if err == nil {
 			t.Errorf("Options{Level: %d}.Validate() = nil, want error", int(lvl))
@@ -25,6 +25,34 @@ func TestOptionsValidate(t *testing.T) {
 				t.Errorf("Validate error %q does not mention %q", err, want)
 			}
 		}
+	}
+	// The flow-sensitive refinement needs a TypeRefsTable to narrow.
+	for _, lvl := range []Level{LevelTypeDecl, LevelFieldTypeDecl} {
+		if err := (Options{Level: lvl, FlowSensitive: true}).Validate(); err == nil {
+			t.Errorf("Options{Level: %v, FlowSensitive: true}.Validate() = nil, want error", lvl)
+		}
+	}
+	for _, lvl := range []Level{LevelSMFieldTypeRefs, LevelFSTypeRefs} {
+		if err := (Options{Level: lvl, FlowSensitive: true}).Validate(); err != nil {
+			t.Errorf("Options{Level: %v, FlowSensitive: true}.Validate() = %v, want nil", lvl, err)
+		}
+	}
+}
+
+// TestOptionsNormalize pins the two spellings of the flow-sensitive
+// configuration onto one canonical form.
+func TestOptionsNormalize(t *testing.T) {
+	n := (Options{Level: LevelFSTypeRefs}).Normalize()
+	if !n.FlowSensitive || n.Level != LevelFSTypeRefs {
+		t.Errorf("Normalize(LevelFSTypeRefs) = %+v, want FlowSensitive at LevelFSTypeRefs", n)
+	}
+	n = (Options{Level: LevelSMFieldTypeRefs, FlowSensitive: true}).Normalize()
+	if n.Level != LevelFSTypeRefs {
+		t.Errorf("Normalize(SM + FlowSensitive) level = %v, want FSTypeRefs", n.Level)
+	}
+	n = (Options{Level: LevelSMFieldTypeRefs}).Normalize()
+	if n.Level != LevelSMFieldTypeRefs || n.FlowSensitive {
+		t.Errorf("Normalize(SM) = %+v, want unchanged", n)
 	}
 }
 

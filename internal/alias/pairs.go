@@ -46,12 +46,15 @@ type PairCounts struct {
 
 // CountPairs computes the paper's static alias-pair metrics for an oracle.
 // Each reference trivially aliases itself; self-pairs are excluded.
+// Site-aware oracles (FSTypeRefs) are queried with each reference's own
+// statement, so flow-sensitive narrowing shrinks the counts.
 func CountPairs(prog *ir.Program, o Oracle) PairCounts {
 	refs := References(prog)
 	pc := PairCounts{References: len(refs)}
 	for i := 0; i < len(refs); i++ {
 		for j := i + 1; j < len(refs); j++ {
-			if !o.MayAlias(refs[i].AP, refs[j].AP) {
+			if !MayAliasAt(o, refs[i].AP, Site{Proc: refs[i].Proc, Instr: refs[i].Instr},
+				refs[j].AP, Site{Proc: refs[j].Proc, Instr: refs[j].Instr}) {
 				continue
 			}
 			pc.Global++

@@ -50,12 +50,14 @@ type PassEnv struct {
 	mr     *modref.ModRef
 }
 
-// NewPassEnv validates opts and wraps prog for a pass pipeline.
+// NewPassEnv validates opts and wraps prog for a pass pipeline. Options
+// are normalized, so Opts reflects the effective level (FlowSensitive
+// on SMFieldTypeRefs reads back as LevelFSTypeRefs).
 func NewPassEnv(prog *ir.Program, opts alias.Options) (*PassEnv, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &PassEnv{Prog: prog, Opts: opts}, nil
+	return &PassEnv{Prog: prog, Opts: opts.Normalize()}, nil
 }
 
 // Oracle returns the alias analysis for the current program state,
@@ -120,9 +122,46 @@ func (PREPass) Run(e *PassEnv) (PassResult, error) {
 	return PassResult{Inserted: res.Inserted, Eliminated: res.Eliminated}, nil
 }
 
+// DevirtPass resolves method invocations alone: devirtualization
+// refined by the oracle's TypeRefsTable (Section 3.7), without the
+// inlining half of MinvInlinePass. It reports its work in Devirtualized
+// and invalidates the analysis state — rewritten receivers change the
+// dispatch sets mod-ref summaries are built from.
+type DevirtPass struct{}
+
+// Name implements Pass.
+func (DevirtPass) Name() string { return "devirt" }
+
+// Run implements Pass.
+func (DevirtPass) Run(e *PassEnv) (PassResult, error) {
+	nd := opt.Devirtualize(e.Prog, refineFromOracle(e.Oracle()))
+	if nd > 0 {
+		e.Invalidate() // zero resolutions leave the program untouched
+	}
+	return PassResult{Devirtualized: nd}, nil
+}
+
+// refineFromOracle adapts the oracle's TypeRefsTable to Devirtualize's
+// receiver-narrowing callback.
+func refineFromOracle(a *alias.Analysis) func(o *types.Object) []int {
+	return func(o *types.Object) []int {
+		refs := a.TypeRefs(o)
+		if refs == nil {
+			return nil
+		}
+		return refs.IDs()
+	}
+}
+
 // MinvInlinePass resolves method invocations (devirtualization refined
 // by the oracle's TypeRefsTable) and inlines small procedures (Section
-// 3.7). It invalidates the analysis state: inlining creates new code.
+// 3.7) as one fused pipeline step. It invalidates the analysis state:
+// inlining creates new code (including freshly address-taken cloned
+// locals), so the next Oracle() call rebuilds the whole Analysis — the
+// MayAlias memo, the field-indexed AddressTaken owner tables, and the
+// TypeRefsTable — and the next ModRef() recomputes summaries. Dropping
+// just the handles is enough because both are built from Prog on first
+// use and hold no state that survives Invalidate.
 type MinvInlinePass struct{}
 
 // Name implements Pass.
@@ -130,15 +169,10 @@ func (MinvInlinePass) Name() string { return "minv+inline" }
 
 // Run implements Pass.
 func (MinvInlinePass) Run(e *PassEnv) (PassResult, error) {
-	a := e.Oracle()
-	nd := opt.Devirtualize(e.Prog, func(o *types.Object) []int {
-		refs := a.TypeRefs(o)
-		if refs == nil {
-			return nil
-		}
-		return refs.IDs()
-	})
+	nd := opt.Devirtualize(e.Prog, refineFromOracle(e.Oracle()))
 	ni := opt.Inline(e.Prog)
-	e.Invalidate()
+	if nd > 0 || ni > 0 {
+		e.Invalidate() // zero resolutions and expansions leave the program untouched
+	}
 	return PassResult{Devirtualized: nd, Inlined: ni}, nil
 }

@@ -1,0 +1,181 @@
+package driver_test
+
+import (
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/ir"
+)
+
+// passSrc has a monomorphic method call (devirtualizable), an inlinable
+// callee that takes a field's address (WITH), and a loop with heap
+// loads RLE cares about — enough structure for every pass to do work
+// and for stale analysis state to be observable.
+const passSrc = `
+MODULE Passes;
+TYPE
+  T = OBJECT f, g: INTEGER; METHODS id(): INTEGER := TId; END;
+VAR
+  t: T;
+  sum: INTEGER;
+
+PROCEDURE TId(self: T): INTEGER =
+BEGIN
+  RETURN self.f;
+END TId;
+
+PROCEDURE Bump(o: T) =
+BEGIN
+  WITH w = o.f DO
+    w := w + 1;
+  END;
+END Bump;
+
+BEGIN
+  t := NEW(T);
+  t.f := 3;
+  t.g := 0;
+  Bump(t);
+  FOR i := 1 TO 5 DO
+    sum := sum + t.f + t.id();
+  END;
+  PutInt(sum); PutLn();
+END Passes.
+`
+
+func lowerPasses(t *testing.T) *ir.Program {
+	t.Helper()
+	prog, _, err := driver.Compile("passes.m3", passSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func mustEnv(t *testing.T, prog *ir.Program) *driver.PassEnv {
+	t.Helper()
+	env, err := driver.NewPassEnv(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestDevirtPassStandalone: Devirt is its own sealed pass now — it
+// reports resolution work in its own result, without inlining.
+func TestDevirtPassStandalone(t *testing.T) {
+	env := mustEnv(t, lowerPasses(t))
+	results, err := driver.RunPasses(env, driver.DevirtPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Pass != "devirt" {
+		t.Fatalf("results = %+v, want one devirt result", results)
+	}
+	if results[0].Devirtualized == 0 {
+		t.Error("the monomorphic t.id() call should devirtualize")
+	}
+	if results[0].Inlined != 0 {
+		t.Errorf("standalone devirt must not inline, reported %d", results[0].Inlined)
+	}
+	// The fused pipeline still reports both counters in one result.
+	env2 := mustEnv(t, lowerPasses(t))
+	fused, err := driver.RunPasses(env2, driver.MinvInlinePass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused[0].Devirtualized != results[0].Devirtualized {
+		t.Errorf("fused Devirtualized = %d, standalone = %d", fused[0].Devirtualized, results[0].Devirtualized)
+	}
+	if fused[0].Inlined == 0 {
+		t.Error("the fused pipeline should inline the small callees")
+	}
+}
+
+// TestInvalidateRebuildsAnalyses pins the audit result: Invalidate must
+// drop both memoized analyses so the next accessors rebuild from the
+// (possibly rewritten) program — the alias memo and the field-indexed
+// AddressTaken tables live inside the Analysis, so a fresh instance is
+// the rebuild.
+func TestInvalidateRebuildsAnalyses(t *testing.T) {
+	env := mustEnv(t, lowerPasses(t))
+	o1, mr1 := env.Oracle(), env.ModRef()
+	if env.Oracle() != o1 || env.ModRef() != mr1 {
+		t.Fatal("accessors must memoize between invalidations")
+	}
+	env.Invalidate()
+	if env.Oracle() == o1 {
+		t.Error("Invalidate left the stale alias analysis (memo + AddressTaken index) in place")
+	}
+	if env.ModRef() == mr1 {
+		t.Error("Invalidate left the stale mod-ref summaries in place")
+	}
+}
+
+// TestStaleMemoRegression is the satellite's regression scenario: warm
+// the oracle's MayAlias memo and AddressTaken owner index, run the
+// structural MinvInline pass, then RLE. If the pass manager handed RLE
+// the pre-inline oracle (stale memo keyed by dead access paths, stale
+// owner tables missing the cloned WITH-alias locals), its decisions
+// could differ from a cold pipeline's. The two pipelines must agree on
+// what RLE removed and on the program's behavior.
+func TestStaleMemoRegression(t *testing.T) {
+	runPipeline := func(warm bool) (driver.PassResult, string) {
+		prog := lowerPasses(t)
+		env := mustEnv(t, prog)
+		if warm {
+			// Populate the memo with every reference pair and exercise
+			// the AddressTaken index before any pass runs.
+			o := env.Oracle()
+			refs := alias.References(prog)
+			for i := range refs {
+				for j := range refs {
+					o.MayAlias(refs[i].AP, refs[j].AP)
+				}
+				o.AddressTaken(refs[i].AP)
+			}
+		}
+		results, err := driver.RunPasses(env, driver.MinvInlinePass{}, driver.RLEPass{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := interp.New(prog)
+		in.MaxSteps = 1_000_000
+		out, err := in.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[1], out
+	}
+	coldRLE, coldOut := runPipeline(false)
+	warmRLE, warmOut := runPipeline(true)
+	if warmRLE.Removed() != coldRLE.Removed() {
+		t.Errorf("stale analysis state changed an RLE decision: warm removed %d, cold removed %d",
+			warmRLE.Removed(), coldRLE.Removed())
+	}
+	if warmOut != coldOut {
+		t.Errorf("pipeline output diverged: warm %q, cold %q", warmOut, coldOut)
+	}
+	if coldRLE.Removed() == 0 {
+		t.Error("the loop's t.f load should be removable (test program too weak)")
+	}
+}
+
+// TestFlowSensitiveEnvNormalized: the pass env reports the effective
+// level for the FlowSensitive spelling.
+func TestFlowSensitiveEnvNormalized(t *testing.T) {
+	env, err := driver.NewPassEnv(lowerPasses(t), alias.Options{
+		Level: alias.LevelSMFieldTypeRefs, FlowSensitive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Opts.Level != alias.LevelFSTypeRefs {
+		t.Errorf("env level = %v, want FSTypeRefs", env.Opts.Level)
+	}
+	if got := env.Oracle().Name(); got != "FSTypeRefs" {
+		t.Errorf("oracle name = %q, want FSTypeRefs", got)
+	}
+}

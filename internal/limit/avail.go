@@ -99,7 +99,7 @@ func runAvail(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef, m
 				if !avail[i] {
 					continue
 				}
-				if o.MayAlias(c, st) {
+				if modref.StoreKills(o, c, alias.Site{}, st, alias.Site{}) {
 					avail[i] = false
 				} else if isDeref && modref.LocStoreKills(c, st.Type().ID(), at) {
 					avail[i] = false
@@ -111,7 +111,9 @@ func runAvail(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef, m
 			}
 			eff := mr.CallEffects(in)
 			for i, c := range classes {
-				if avail[i] && modref.MayModify(eff, c, o, at) {
+				// The limit study stays flow-insensitive (a zero Site):
+				// it measures the dynamic upper bound, not the refinement.
+				if avail[i] && modref.MayModify(eff, c, alias.Site{}, o, at) {
 					avail[i] = false
 				}
 			}

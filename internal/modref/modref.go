@@ -226,6 +226,33 @@ func (mr *ModRef) CallEffects(in *ir.Instr) *Effects {
 	return &Effects{ModGlobals: map[*ir.Var]bool{}}
 }
 
+// StoreKills reports whether a store to dst invalidates the value of
+// access path ap: the store may overwrite the location ap denotes (a
+// content change), or the location of one of ap's proper prefixes —
+// rewriting which object the deeper path selects through, so ap no
+// longer names the location the cached value came from (a denotation
+// change; VarWriteKills handles the root variable). Prefix-blind
+// matching miscompiled `x.q := t` between a store and a load of x.q.p:
+// the final fields differ, so MayAlias(x.q.p, x.q) is false, yet the
+// reload must see t's object. Analysis implements the rule itself
+// (alias.StoreKiller, with prefix caching); the fallback serves the
+// trivial oracles.
+func StoreKills(o alias.Oracle, ap *ir.AP, apSite alias.Site, dst *ir.AP, dstSite alias.Site) bool {
+	if sk, ok := o.(alias.StoreKiller); ok {
+		return sk.StoreKills(ap, apSite, dst, dstSite)
+	}
+	if alias.MayAliasAt(o, ap, apSite, dst, dstSite) {
+		return true
+	}
+	for k := 1; k < len(ap.Sels); k++ {
+		prefix := &ir.AP{Root: ap.Root, Sels: ap.Sels[:k]}
+		if alias.MayAliasAt(o, prefix, apSite, dst, dstSite) {
+			return true
+		}
+	}
+	return false
+}
+
 // VarWriteKills reports whether writing variable v may change the value
 // or meaning of path ap: either ap mentions v (root or subscript), or ap
 // dereferences a location (its root is a by-ref formal or WITH alias)
@@ -264,8 +291,11 @@ func LocStoreKills(ap *ir.AP, targetTypeID int, addrTakenVars map[*ir.Var]bool) 
 
 // MayModify reports whether a call with the given effects may overwrite
 // the location denoted by ap — or a variable ap depends on — under the
-// given alias oracle.
-func MayModify(eff *Effects, ap *ir.AP, o alias.Oracle, addrTakenVars map[*ir.Var]bool) bool {
+// given alias oracle. site is the statement ap is being evaluated at
+// (normally the call site); site-aware oracles use it to narrow ap's
+// root, while the callee's representative paths carry no statement
+// context (a zero Site) and are judged by their declared types.
+func MayModify(eff *Effects, ap *ir.AP, site alias.Site, o alias.Oracle, addrTakenVars map[*ir.Var]bool) bool {
 	if eff == nil {
 		return true
 	}
@@ -275,7 +305,7 @@ func MayModify(eff *Effects, ap *ir.AP, o alias.Oracle, addrTakenVars map[*ir.Va
 		}
 	}
 	for _, m := range eff.Mods {
-		if o.MayAlias(ap, m) {
+		if StoreKills(o, ap, site, m, alias.Site{}) {
 			return true
 		}
 		if last := m.Last(); last != nil && last.Kind == ir.SelDeref {

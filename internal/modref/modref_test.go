@@ -114,12 +114,12 @@ func TestMayModify(t *testing.T) {
 	leaf := mr.Effects(prog.ProcByName["Leaf"])
 	// Leaf writes t.f only: it cannot modify t.g under a field-sensitive
 	// oracle.
-	if modref.MayModify(leaf, tg, o, prog.AddressTakenVars) {
+	if modref.MayModify(leaf, tg, alias.Site{}, o, prog.AddressTakenVars) {
 		t.Error("Leaf (writes t.f) must not modify t.g under SMFieldTypeRefs")
 	}
 	// Under TypeDecl the fields are indistinguishable.
 	td := alias.New(prog, alias.Options{Level: alias.LevelTypeDecl})
-	if !modref.MayModify(leaf, tg, td, prog.AddressTakenVars) {
+	if !modref.MayModify(leaf, tg, alias.Site{}, td, prog.AddressTakenVars) {
 		t.Error("Leaf must modify t.g under TypeDecl (no field sensitivity)")
 	}
 }

@@ -85,6 +85,7 @@ func preProc(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) in
 	}
 	at := prog.AddressTakenVars
 	kills := func(avail []bool, in *ir.Instr) {
+		site := alias.Site{Proc: p, Instr: in}
 		switch in.Op {
 		case ir.OpSetVar:
 			for i, c := range classes {
@@ -105,7 +106,7 @@ func preProc(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) in
 				if !avail[i] {
 					continue
 				}
-				if o.MayAlias(c, st) {
+				if modref.StoreKills(o, c, site, st, site) {
 					avail[i] = false
 				} else if isDeref && modref.LocStoreKills(c, st.Type().ID(), at) {
 					avail[i] = false
@@ -114,7 +115,7 @@ func preProc(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) in
 		case ir.OpCall, ir.OpMethodCall:
 			eff := mr.CallEffects(in)
 			for i, c := range classes {
-				if avail[i] && modref.MayModify(eff, c, o, at) {
+				if avail[i] && modref.MayModify(eff, c, site, o, at) {
 					avail[i] = false
 				}
 			}
@@ -273,6 +274,9 @@ func preProc(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) in
 		}
 	}
 	p.ComputeCFGEdges()
+	if inserted > 0 {
+		alias.InvalidateFlow(o, p)
+	}
 	return inserted
 }
 

@@ -60,8 +60,12 @@ func hoistLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef)
 	if len(loops) == 0 {
 		return 0
 	}
+	nBlocks := len(p.Blocks)
 	for _, l := range loops {
 		cfg.EnsurePreheader(p, l)
+	}
+	if len(p.Blocks) != nBlocks {
+		alias.InvalidateFlow(o, p)
 	}
 	// Preheader insertion changed the CFG; recompute.
 	dom = cfg.ComputeDominators(p)
@@ -78,7 +82,11 @@ func hoistLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef)
 	}
 	total := 0
 	for _, l := range ordered {
+		nBlocks = len(p.Blocks)
 		cfg.EnsurePreheader(p, l)
+		if len(p.Blocks) != nBlocks {
+			alias.InvalidateFlow(o, p)
+		}
 		total += hoistFromLoop(prog, p, l, dom, o, mr)
 		// Moving instructions does not change block structure, but new
 		// preheaders might have; recompute dominators defensively.
@@ -89,6 +97,7 @@ func hoistLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef)
 
 type loopEnv struct {
 	prog *ir.Program
+	p    *ir.Proc
 	l    *cfg.Loop
 	dom  *cfg.Dominators
 	o    alias.Oracle
@@ -102,8 +111,10 @@ type loopEnv struct {
 	// locsWritten reports a store through a location or a call that may
 	// write through locations inside the loop.
 	locsWritten bool
-	// stores are the access paths of stores inside the loop.
-	stores []*ir.AP
+	// stores are the store instructions inside the loop (kept as
+	// instructions so kill queries carry their statement for
+	// flow-sensitive oracles).
+	stores []*ir.Instr
 	// calls are the call instructions inside the loop.
 	calls []*ir.Instr
 	// hoistMemo caches hoistability per instruction.
@@ -112,7 +123,7 @@ type loopEnv struct {
 
 func hoistFromLoop(prog *ir.Program, p *ir.Proc, l *cfg.Loop, dom *cfg.Dominators, o alias.Oracle, mr *modref.ModRef) int {
 	env := &loopEnv{
-		prog: prog, l: l, dom: dom, o: o, mr: mr,
+		prog: prog, p: p, l: l, dom: dom, o: o, mr: mr,
 		defs:        make(map[ir.Reg]*ir.Instr),
 		defBlock:    make(map[*ir.Instr]*ir.Block),
 		varsWritten: make(map[*ir.Var]bool),
@@ -129,11 +140,11 @@ func hoistFromLoop(prog *ir.Program, p *ir.Proc, l *cfg.Loop, dom *cfg.Dominator
 			case ir.OpSetVar, ir.OpStoreVarField:
 				env.varsWritten[in.Var] = true
 				if in.Op == ir.OpStoreVarField && in.AP != nil {
-					env.stores = append(env.stores, in.AP)
+					env.stores = append(env.stores, in)
 				}
 			case ir.OpStore:
 				if in.AP != nil {
-					env.stores = append(env.stores, in.AP)
+					env.stores = append(env.stores, in)
 				}
 				if in.Sel.Kind == ir.SelDeref {
 					env.locsWritten = true
@@ -204,6 +215,8 @@ func hoistFromLoop(prog *ir.Program, p *ir.Proc, l *cfg.Loop, dom *cfg.Dominator
 		body = append(body, movedCopies[in])
 	}
 	ph.Instrs = append(body, term)
+	// The rebuilt instruction slices orphan any per-statement flow facts.
+	alias.InvalidateFlow(env.o, p)
 	return sourceHoisted
 }
 
@@ -313,7 +326,9 @@ func (env *loopEnv) invariantOperand(o ir.Operand, allowLoadChain bool) bool {
 }
 
 // killedInLoop reports whether any store, variable write, or call in the
-// loop may overwrite ap or a variable it depends on.
+// loop may overwrite ap or a variable it depends on. ap's root is
+// loop-invariant (hoistableUncached rejects written bases first), so
+// evaluating it at each killing statement's site is exact.
 func (env *loopEnv) killedInLoop(ap *ir.AP) bool {
 	at := env.prog.AddressTakenVars
 	for v := range env.varsWritten {
@@ -322,17 +337,19 @@ func (env *loopEnv) killedInLoop(ap *ir.AP) bool {
 		}
 	}
 	for _, st := range env.stores {
-		if env.o.MayAlias(ap, st) {
+		site := alias.Site{Proc: env.p, Instr: st}
+		if modref.StoreKills(env.o, ap, site, st.AP, site) {
 			return true
 		}
-		if last := st.Last(); last != nil && last.Kind == ir.SelDeref {
-			if modref.LocStoreKills(ap, st.Type().ID(), at) {
+		if last := st.AP.Last(); last != nil && last.Kind == ir.SelDeref {
+			if modref.LocStoreKills(ap, st.AP.Type().ID(), at) {
 				return true
 			}
 		}
 	}
 	for _, call := range env.calls {
-		if modref.MayModify(env.mr.CallEffects(call), ap, env.o, at) {
+		site := alias.Site{Proc: env.p, Instr: call}
+		if modref.MayModify(env.mr.CallEffects(call), ap, site, env.o, at) {
 			return true
 		}
 	}
@@ -389,6 +406,7 @@ func cseLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) i
 	n := len(classes)
 	at := prog.AddressTakenVars
 	kills := func(avail []bool, in *ir.Instr) {
+		site := alias.Site{Proc: p, Instr: in}
 		switch in.Op {
 		case ir.OpSetVar:
 			for i, c := range classes {
@@ -409,7 +427,12 @@ func cseLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) i
 				if !avail[i] {
 					continue
 				}
-				if o.MayAlias(c.ap, st) {
+				// An available class's root is unchanged since its gen
+				// (any write to it kills the class below), so evaluating
+				// both paths at the killing statement is exact. StoreKills
+				// also catches stores to the class path's prefixes, which
+				// redirect what the path denotes.
+				if modref.StoreKills(o, c.ap, site, st, site) {
 					avail[i] = false
 					continue
 				}
@@ -422,7 +445,7 @@ func cseLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) i
 		case ir.OpCall, ir.OpMethodCall:
 			eff := mr.CallEffects(in)
 			for i, c := range classes {
-				if avail[i] && modref.MayModify(eff, c.ap, o, at) {
+				if avail[i] && modref.MayModify(eff, c.ap, site, o, at) {
 					avail[i] = false
 				}
 			}
@@ -552,6 +575,7 @@ func cseLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) i
 		}
 		b.Instrs = out
 	}
+	alias.InvalidateFlow(o, p)
 	return len(redundant)
 }
 

@@ -40,7 +40,9 @@ type gen struct {
 	// readOnly marks names that cannot be assigned (FOR indices).
 	readOnly map[string]bool
 	nTypes   int
-	procs    []procSig
+	// supers[t] is T<t>'s direct supertype index (-1 for the root T0).
+	supers []int
+	procs  []procSig
 	// callable bounds which procedures may be called from the current
 	// body (only earlier ones, keeping the call graph acyclic).
 	callable int
@@ -82,8 +84,10 @@ func (g *gen) program() string {
 	g.printf("MODULE Rand;\n\nTYPE\n")
 	// T0 is the root; others subtype a random earlier type.
 	g.printf("  T0 = OBJECT i0: INTEGER; r0: T0; END;\n")
+	g.supers = []int{-1}
 	for t := 1; t < g.nTypes; t++ {
 		super := g.pick(t)
+		g.supers = append(g.supers, super)
 		g.printf("  T%d = T%d OBJECT i%d: INTEGER; r%d: T%d; END;\n",
 			t, super, t, t, g.pick(t+1))
 	}
@@ -245,6 +249,21 @@ func (g *gen) smallIndex() string {
 	}
 }
 
+// subtypeOf picks a random type index whose supertype chain reaches t
+// (possibly t itself).
+func (g *gen) subtypeOf(t int) int {
+	var subs []int
+	for u := 0; u < g.nTypes; u++ {
+		for a := u; a != -1; a = g.supers[a] {
+			if a == t {
+				subs = append(subs, u)
+				break
+			}
+		}
+	}
+	return subs[g.pick(len(subs))]
+}
+
 // someObj picks an object-typed variable; returns (type index, name).
 func (g *gen) someObj() (int, string) {
 	for tries := 0; tries < 10; tries++ {
@@ -320,10 +339,18 @@ func (g *gen) simpleStmt() {
 		g.printf("%s%s[%s MOD NUMBER(%s)] := %s;\n", ind, v, g.smallIndex(), v, g.intExpr(2))
 	case 3: // pointer shuffle: assign object var from compatible var or NEW
 		t, v := g.someObj()
-		if g.pick(2) == 0 {
+		switch g.pick(3) {
+		case 0:
 			g.printf("%s%s := NEW(T%d);\n", ind, v, t)
 			g.printf("%s%s.r0 := NEW(T0);\n", ind, v)
-		} else {
+		case 1:
+			// Allocate a random subtype: the assignment widens the
+			// declared type's TypeRefsTable row (a merge) while the
+			// variable's value stays exactly the subtype — what the
+			// flow-sensitive refinement narrows on.
+			g.printf("%s%s := NEW(T%d);\n", ind, v, g.subtypeOf(t))
+			g.printf("%s%s.r0 := NEW(T0);\n", ind, v)
+		default:
 			// Assign from a variable of the same type (always safe).
 			vs := g.objVars[t]
 			g.printf("%s%s := %s;\n", ind, v, vs[g.pick(len(vs))])
@@ -331,7 +358,14 @@ func (g *gen) simpleStmt() {
 	case 4: // link objects through r0
 		_, v1 := g.someObj()
 		_, v2 := g.someObj()
-		g.printf("%s%s.r0 := %s.r0;\n", ind, v1, v2)
+		if g.pick(3) == 0 {
+			// Depth-2 pointer store: generates a reaching-store fact for
+			// v1.r0.r0 whose prefix (v1.r0) later stores must kill — the
+			// class of staleness the prefix-store miscompile hid in.
+			g.printf("%sIF %s.r0 # NIL THEN %s.r0.r0 := %s.r0; END;\n", ind, v1, v1, v2)
+		} else {
+			g.printf("%s%s.r0 := %s.r0;\n", ind, v1, v2)
+		}
 	case 5: // call a procedure if any are callable
 		if g.callable == 0 {
 			g.printf("%sINC(%s);\n", ind, g.mutableInt())

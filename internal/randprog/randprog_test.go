@@ -23,9 +23,10 @@ func TestGeneratedProgramsCompile(t *testing.T) {
 }
 
 // TestRLEPreservesSemantics is the core differential test: for many random
-// programs, RLE under every analysis level must preserve output exactly.
+// programs, RLE under every analysis level — including the flow-sensitive
+// refinement — must preserve output exactly.
 func TestRLEPreservesSemantics(t *testing.T) {
-	levels := []alias.Level{alias.LevelTypeDecl, alias.LevelFieldTypeDecl, alias.LevelSMFieldTypeRefs}
+	levels := []alias.Level{alias.LevelTypeDecl, alias.LevelFieldTypeDecl, alias.LevelSMFieldTypeRefs, alias.LevelFSTypeRefs}
 	seeds := 120
 	if testing.Short() {
 		seeds = 25
@@ -97,11 +98,7 @@ func TestFullPipelinePreservesSemantics(t *testing.T) {
 			if refs == nil {
 				return nil
 			}
-			ids := make([]int, 0, len(refs))
-			for id := range refs {
-				ids = append(ids, id)
-			}
-			return ids
+			return refs.IDs()
 		}
 		opt.Devirtualize(prog, refine)
 		opt.Inline(prog)
@@ -149,5 +146,95 @@ func TestPerTypeGroupsSemantics(t *testing.T) {
 		if got != want {
 			t.Fatalf("seed %d: diverged\nwant %q\ngot %q\n%s", seed, want, got, src)
 		}
+	}
+}
+
+// TestFSTypeRefsIsSoundRefinement pins the two refinement properties on
+// random programs: (1) FSTypeRefs' no-alias set is a superset of
+// SMFieldTypeRefs' — it never answers may-alias where the
+// flow-insensitive analysis answers no-alias, and its site-anchored
+// pair counts never exceed the flow-insensitive ones; (2) RLE driven by
+// the refinement removes at least as many loads at every procedure and
+// leaves interpreter output unchanged.
+func TestFSTypeRefsIsSoundRefinement(t *testing.T) {
+	seeds := 80
+	if testing.Short() {
+		seeds = 20
+	}
+	disambiguated, improvedRLE := 0, 0
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		plainProg, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := interp.New(plainProg)
+		in.MaxSteps = 2_000_000
+		want, err := in.Run()
+		if err != nil {
+			continue // trapping program: optimization contracts don't apply
+		}
+		// Property 1: refinement only removes pairs.
+		prog, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm := alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+		fs := alias.New(prog, alias.Options{Level: alias.LevelFSTypeRefs})
+		refs := alias.References(prog)
+		for i := 0; i < len(refs); i++ {
+			for j := i; j < len(refs); j++ {
+				si := alias.Site{Proc: refs[i].Proc, Instr: refs[i].Instr}
+				sj := alias.Site{Proc: refs[j].Proc, Instr: refs[j].Instr}
+				if fs.MayAliasAt(refs[i].AP, si, refs[j].AP, sj) && !sm.MayAlias(refs[i].AP, refs[j].AP) {
+					t.Fatalf("seed %d: FS may-alias where SM says no: %s vs %s\n%s",
+						seed, refs[i].AP, refs[j].AP, src)
+				}
+			}
+		}
+		smPC, fsPC := alias.CountPairs(prog, sm), alias.CountPairs(prog, fs)
+		if fsPC.Global > smPC.Global || fsPC.Local > smPC.Local {
+			t.Fatalf("seed %d: FS pair counts exceed SM: FS=%+v SM=%+v", seed, fsPC, smPC)
+		}
+		if fsPC.Global < smPC.Global {
+			disambiguated++
+		}
+		// Property 2: FS-driven RLE removes >= loads per procedure and
+		// preserves semantics.
+		smProg, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smRes := opt.RLE(smProg, alias.New(smProg, alias.Options{Level: alias.LevelSMFieldTypeRefs}), modref.Compute(smProg))
+		fsProg, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsRes := opt.RLE(fsProg, alias.New(fsProg, alias.Options{Level: alias.LevelFSTypeRefs}), modref.Compute(fsProg))
+		if fsRes.Removed() < smRes.Removed() {
+			t.Fatalf("seed %d: FS-driven RLE removed %d < SM's %d\n%s", seed, fsRes.Removed(), smRes.Removed(), src)
+		}
+		for proc, n := range smRes.PerProc {
+			if fsRes.PerProc[proc] < n {
+				t.Fatalf("seed %d: FS-driven RLE removed %d < SM's %d in %s\n%s",
+					seed, fsRes.PerProc[proc], n, proc, src)
+			}
+		}
+		if fsRes.Removed() > smRes.Removed() {
+			improvedRLE++
+		}
+		in2 := interp.New(fsProg)
+		in2.MaxSteps = 4_000_000
+		got, err := in2.Run()
+		if err != nil {
+			t.Fatalf("seed %d: FS-optimized program trapped: %v\n%s", seed, err, src)
+		}
+		if got != want {
+			t.Fatalf("seed %d: FS-driven RLE diverged\nwant %q\ngot  %q\n%s", seed, want, got, src)
+		}
+	}
+	t.Logf("refinement disambiguated pairs on %d seeds, improved RLE on %d", disambiguated, improvedRLE)
+	if disambiguated == 0 {
+		t.Error("the refinement never fired across all seeds — it is inert on allocation-heavy programs")
 	}
 }

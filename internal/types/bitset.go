@@ -73,6 +73,27 @@ func (b Bitset) Clone() Bitset {
 	return out
 }
 
+// Equal reports whether b and c hold the same elements. Missing high
+// words count as zero, so sets of different word lengths compare by
+// content.
+func (b Bitset) Equal(c Bitset) bool {
+	long, short := b, c
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Count returns the number of elements.
 func (b Bitset) Count() int {
 	n := 0

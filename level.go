@@ -7,12 +7,14 @@ import (
 	"tbaa/internal/alias"
 )
 
-// Level selects one of the paper's three alias analyses, in increasing
-// precision. The zero value is TypeDecl; Analyzers default to
-// SMFieldTypeRefs unless WithLevel says otherwise.
+// Level selects one of the paper's three alias analyses or the
+// flow-sensitive extension, in increasing precision. The zero value is
+// TypeDecl; Analyzers default to SMFieldTypeRefs unless WithLevel says
+// otherwise.
 type Level int
 
-// The analysis levels (Sections 2.2-2.4 of the paper).
+// The analysis levels (Sections 2.2-2.4 of the paper, plus the
+// flow-sensitive extension).
 const (
 	// TypeDecl: two access paths may alias iff the subtype sets of their
 	// declared types intersect.
@@ -23,10 +25,22 @@ const (
 	// SMFieldTypeRefs: FieldTypeDecl with selective type merging over
 	// the program's pointer assignments (Figure 2).
 	SMFieldTypeRefs = Level(alias.LevelSMFieldTypeRefs)
+	// FSTypeRefs: SMFieldTypeRefs refined by an intraprocedural
+	// flow-sensitive reaching-stores analysis. Per statement it narrows
+	// the set of allocated types each pointer variable may reference
+	// (NEW generates exact types; calls and stores through locations
+	// kill), so passes and pair counts prove no-alias where the
+	// flow-insensitive verdict is may-alias. Context-free MayAlias
+	// queries are identical to SMFieldTypeRefs; the refinement applies
+	// to statement-anchored facts (CountPairs, RLE and PRE kill
+	// decisions). Equivalent to WithFlowSensitive(true).
+	FSTypeRefs = Level(alias.LevelFSTypeRefs)
 )
 
-// Levels returns the three analysis levels in ascending precision —
-// the paper's column order in Tables 5 and 6.
+// Levels returns the paper's three analysis levels in ascending
+// precision — the column order in Tables 5 and 6. FSTypeRefs is not
+// included: the paper's artifacts stay three-column, and the
+// flow-sensitive extension is evaluated by Table FS instead.
 func Levels() []Level { return []Level{TypeDecl, FieldTypeDecl, SMFieldTypeRefs} }
 
 func (l Level) String() string {
@@ -41,9 +55,10 @@ func (l Level) validate() error {
 }
 
 // ParseLevel maps a level name to a Level: "typedecl", "fieldtypedecl",
-// "smfieldtyperefs", or the shorthand "tbaa" for the most precise
-// level. Matching is case-insensitive. This is the one level-selection
-// helper shared by cmd/tbaa and cmd/tbaabench.
+// "smfieldtyperefs", "fstyperefs" (or the shorthands "tbaa" for the
+// paper's most precise level and "fs" for the flow-sensitive
+// extension). Matching is case-insensitive. This is the one
+// level-selection helper shared by cmd/tbaa and cmd/tbaabench.
 func ParseLevel(s string) (Level, error) {
 	switch strings.ToLower(s) {
 	case "typedecl":
@@ -52,8 +67,10 @@ func ParseLevel(s string) (Level, error) {
 		return FieldTypeDecl, nil
 	case "smfieldtyperefs", "tbaa":
 		return SMFieldTypeRefs, nil
+	case "fstyperefs", "fs":
+		return FSTypeRefs, nil
 	}
-	return 0, fmt.Errorf("tbaa: unknown alias level %q (want typedecl, fieldtypedecl, or smfieldtyperefs)", s)
+	return 0, fmt.Errorf("tbaa: unknown alias level %q (want typedecl, fieldtypedecl, smfieldtyperefs, or fstyperefs)", s)
 }
 
 // Set implements flag.Value via ParseLevel, so a *Level registers

@@ -54,6 +54,19 @@ func WithOpenWorld(open bool) Option {
 	}
 }
 
+// WithFlowSensitive layers the intraprocedural flow-sensitive
+// reaching-stores refinement on top of the alias analysis; with the
+// default level it is equivalent to WithLevel(FSTypeRefs). It requires
+// SMFieldTypeRefs or above (the refinement narrows TypeRefsTable rows,
+// which lower levels do not build); NewAnalyzer rejects lower levels
+// with a descriptive error.
+func WithFlowSensitive(fs bool) Option {
+	return func(c *config) error {
+		c.opts.FlowSensitive = fs
+		return nil
+	}
+}
+
 // WithPerTypeGroups selects the paper's footnote-2 variant of
 // SMTypeRefs that maintains a separate group per type (directed
 // propagation) instead of union-find equivalence classes. More precise,

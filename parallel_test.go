@@ -38,6 +38,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	check("Table6",
 		render(t, seq.Table6, func(sb *strings.Builder, rows []tbaa.Table6Row) { tbaa.FprintTable6(sb, rows) }),
 		render(t, par.Table6, func(sb *strings.Builder, rows []tbaa.Table6Row) { tbaa.FprintTable6(sb, rows) }))
+	check("TableFS",
+		render(t, seq.TableFS, func(sb *strings.Builder, rows []tbaa.TableFSRow) { tbaa.FprintTableFS(sb, rows) }),
+		render(t, par.TableFS, func(sb *strings.Builder, rows []tbaa.TableFSRow) { tbaa.FprintTableFS(sb, rows) }))
 	if testing.Short() {
 		return
 	}
@@ -101,5 +104,21 @@ func TestTable4Golden(t *testing.T) {
 		func(sb *strings.Builder, rows []tbaa.Table4Row) { tbaa.FprintTable4(sb, rows) }) + "\n"
 	if got != string(want) {
 		t.Errorf("Table 4 drifted from testdata/table4.golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTableFSGolden compares the rendered Table FS against the
+// checked-in golden (exactly `tbaabench -table fs` output) with a full
+// worker pool, pinning both the refinement's per-benchmark numbers and
+// the byte-stability of the new table under parallel evaluation.
+func TestTableFSGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "tablefs.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := render(t, tbaa.NewRunner(0).TableFS,
+		func(sb *strings.Builder, rows []tbaa.TableFSRow) { tbaa.FprintTableFS(sb, rows) }) + "\n"
+	if got != string(want) {
+		t.Errorf("Table FS drifted from testdata/tablefs.golden:\n got:\n%s\nwant:\n%s", got, want)
 	}
 }

@@ -4,9 +4,10 @@ import "tbaa/internal/driver"
 
 // Pass is one step of the optimization pipeline an Analyzer runs over
 // its lowered program at construction (see WithPasses). The interface
-// is sealed: RLE, PRE, and MinvInline construct the only
+// is sealed: RLE, PRE, Devirt, and MinvInline construct the only
 // implementations, and the pass manager handles rebuilding analysis
-// facts when a structural pass (inlining) invalidates them.
+// facts when a structural pass (devirtualization, inlining)
+// invalidates them.
 type Pass interface {
 	// Name identifies the pass in PassResults.
 	Name() string
@@ -28,9 +29,15 @@ func RLE() Pass { return builtinPass{driver.RLEPass{}} }
 // redundant, then CSE removes them. Normally scheduled after RLE.
 func PRE() Pass { return builtinPass{driver.PREPass{}} }
 
-// MinvInline returns the method invocation resolution pass (Section
-// 3.7): devirtualization refined by the TypeRefsTable, followed by
-// inlining of small procedures.
+// Devirt returns the standalone method invocation resolution pass:
+// devirtualization refined by the TypeRefsTable (Section 3.7), without
+// inlining. Its work is reported separately in Devirtualized.
+func Devirt() Pass { return builtinPass{driver.DevirtPass{}} }
+
+// MinvInline returns the fused method invocation resolution pipeline
+// (Section 3.7): devirtualization refined by the TypeRefsTable,
+// followed by inlining of small procedures. Use Devirt to run (and
+// count) resolution alone.
 func MinvInline() Pass { return builtinPass{driver.MinvInlinePass{}} }
 
 // PassResult reports what one pass did; fields irrelevant to a pass
@@ -38,7 +45,9 @@ func MinvInline() Pass { return builtinPass{driver.MinvInlinePass{}} }
 type PassResult struct {
 	// Pass is the Name() of the pass that produced this result.
 	Pass string
-	// Devirtualized and Inlined count MinvInline's work.
+	// Devirtualized counts resolved method invocations (Devirt's work,
+	// and the resolution half of MinvInline's); Inlined counts expanded
+	// call sites (MinvInline only).
 	Devirtualized int
 	Inlined       int
 	// Hoisted counts loop-invariant loads moved to preheaders;
