@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs api api-check examples ci
+.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip cover api api-check examples ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,30 @@ golden-fs: build
 bench-fs: build
 	$(GO) run ./cmd/tbaabench -fsjson BENCH_fs.json
 
+# Table IP (the interprocedural layer vs FSTypeRefs vs SMFieldTypeRefs)
+# has its own golden; byte-stable for any -parallel value.
+golden-ip: build
+	$(GO) run ./cmd/tbaabench -table ip | diff -u testdata/tableip.golden -
+
+bench-ip: build
+	$(GO) run ./cmd/tbaabench -ipjson BENCH_ip.json
+
+# Coverage floors on the packages the interprocedural layer lives in;
+# raise the floor as tests accrue, never lower it to ship.
+COVER_FLOOR_MODREF ?= 75
+COVER_FLOOR_ALIAS  ?= 75
+cover:
+	@check() { \
+		out=$$($(GO) test -cover $$1) || { echo "$$out"; echo "$$1: tests failed"; exit 1; }; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$1: no coverage output"; exit 1; fi; \
+		echo "$$1 coverage: $$pct% (floor $$2%)"; \
+		awk -v p="$$pct" -v f="$$2" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' \
+			|| { echo "$$1 coverage fell below the $$2% floor"; exit 1; }; \
+	}; \
+	check ./internal/modref $(COVER_FLOOR_MODREF) && \
+	check ./internal/alias $(COVER_FLOOR_ALIAS)
+
 # The public API surface, as seen by `go doc -all tbaa`. Drift fails CI
 # until the golden is regenerated (make api) and the diff reviewed.
 api:
@@ -57,4 +81,4 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs api-check examples
+ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip cover api-check examples

@@ -14,7 +14,6 @@ import (
 	"tbaa/internal/interp"
 	"tbaa/internal/ir"
 	"tbaa/internal/limit"
-	"tbaa/internal/modref"
 	"tbaa/internal/sim"
 )
 
@@ -428,9 +427,13 @@ func (a *Analyzer) LimitStudy() (LimitReport, string, error) {
 	return lr, out, err
 }
 
-// limitReportLocked is the raw-report form the harness consumes.
+// limitReportLocked is the raw-report form the harness consumes. The
+// availability kills use the pass environment's summaries, so an
+// interprocedural Analyzer's limit study sees the narrowed call
+// effects (and plain configurations reuse the memoized CHA summaries
+// instead of recomputing them per study).
 func (a *Analyzer) limitReportLocked() (limit.Report, string, error) {
-	return limit.Measure(a.prog, a.env.Oracle(), modref.Compute(a.prog))
+	return limit.Measure(a.prog, a.env.Oracle(), a.env.ModRef())
 }
 
 // limitReport locks and runs the raw limit study (harness cells own

@@ -9,6 +9,7 @@
 //	-dump-ir         print the lowered IR (after optimization, if any)
 //	-alias LEVEL     typedecl | fieldtypedecl | smfieldtyperefs (default)
 //	                 | fstyperefs (flow-sensitive refinement)
+//	                 | iptyperefs (interprocedural mod-ref)
 //	-open            use the open-world (incomplete program) assumption
 //	-pairs           print static alias-pair counts (Table 5 metrics)
 //	-typerefs        print the SMTypeRefs TypeRefsTable
@@ -39,7 +40,7 @@ func main() {
 	dumpAST := flag.Bool("dump-ast", false, "print the parsed module")
 	dumpIR := flag.Bool("dump-ir", false, "print the lowered IR")
 	level := tbaa.SMFieldTypeRefs
-	flag.Var(&level, "alias", "alias analysis `level`: typedecl, fieldtypedecl, smfieldtyperefs, or fstyperefs")
+	flag.Var(&level, "alias", "alias analysis `level`: typedecl, fieldtypedecl, smfieldtyperefs, fstyperefs, or iptyperefs")
 	open := flag.Bool("open", false, "open-world assumption")
 	pairs := flag.Bool("pairs", false, "print alias-pair counts")
 	typeRefs := flag.Bool("typerefs", false, "print the TypeRefsTable")

@@ -1,15 +1,17 @@
 // Command tbaabench regenerates every table and figure from the paper's
-// evaluation section (Tables 4-6, Figures 8-12) plus the flow-sensitive
-// extension table (Table FS) through the public tbaa package's Runner.
+// evaluation section (Tables 4-6, Figures 8-12) plus the extension
+// tables (Table FS, Table IP) through the public tbaa package's Runner.
 //
 // Usage:
 //
 //	tbaabench                    # everything, GOMAXPROCS workers
 //	tbaabench -table 5           # one table
 //	tbaabench -table fs          # the flow-sensitive extension table
+//	tbaabench -table ip          # the interprocedural extension table
 //	tbaabench -figure 10         # one figure
 //	tbaabench -parallel 1        # force the sequential path
 //	tbaabench -fsjson BENCH_fs.json  # write the Table FS JSON artifact
+//	tbaabench -ipjson BENCH_ip.json  # write the Table IP JSON artifact
 //
 // Output is byte-identical for every worker count: configurations are
 // fanned out as independent cells and reassembled in paper order.
@@ -18,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/debug"
 	"strconv"
@@ -27,10 +30,11 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "regenerate one table (4, 5, 6, or fs)")
+	table := flag.String("table", "", "regenerate one table (4, 5, 6, fs, or ip)")
 	figure := flag.Int("figure", 0, "regenerate one figure (8..12)")
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
 	fsJSON := flag.String("fsjson", "", "write the Table FS metrics as JSON to `file` (- for stdout)")
+	ipJSON := flag.String("ipjson", "", "write the Table IP metrics as JSON to `file` (- for stdout)")
 	flag.Parse()
 
 	// Batch tool: the compile cache keeps every benchmark's checked
@@ -47,10 +51,12 @@ func main() {
 	case "", "0":
 	case "fs":
 		tableIdx = tbaa.TableFSIndex
+	case "ip":
+		tableIdx = tbaa.TableIPIndex
 	default:
 		n, err := strconv.Atoi(*table)
 		if err != nil || n < 4 || n > 6 {
-			fatal(fmt.Errorf("invalid -table %q (want 4, 5, 6, or fs)", *table))
+			fatal(fmt.Errorf("invalid -table %q (want 4, 5, 6, fs, or ip)", *table))
 		}
 		tableIdx = n
 	}
@@ -60,22 +66,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *fsJSON == "-" {
-			if err := tbaa.WriteFSJSON(os.Stdout, rows); err != nil {
-				fatal(err)
-			}
-		} else {
-			f, err := os.Create(*fsJSON)
-			if err != nil {
-				fatal(err)
-			}
-			err = tbaa.WriteFSJSON(f, rows)
-			if cerr := f.Close(); err == nil {
-				err = cerr // a failed final flush must not ship a truncated artifact
-			}
-			if err != nil {
-				fatal(err)
-			}
+		if err := writeJSONArtifact(*fsJSON, rows, tbaa.WriteFSJSON); err != nil {
+			fatal(err)
 		}
 		// Table FS was just computed; render it from the same rows
 		// instead of re-deriving every cell.
@@ -83,9 +75,26 @@ func main() {
 			tbaa.FprintTableFS(os.Stdout, rows)
 			fmt.Println()
 			tableIdx = 0
-			if *figure == 0 {
-				return
-			}
+		}
+		if tableIdx == 0 && *figure == 0 && *ipJSON == "" {
+			return
+		}
+	}
+
+	if *ipJSON != "" {
+		rows, err := r.TableIP()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSONArtifact(*ipJSON, rows, tbaa.WriteIPJSON); err != nil {
+			fatal(err)
+		}
+		// Table IP was just computed; render it from the same rows
+		// instead of re-deriving every cell.
+		if tableIdx == tbaa.TableIPIndex {
+			tbaa.FprintTableIP(os.Stdout, rows)
+			fmt.Println()
+			tableIdx = 0
 		}
 		if tableIdx == 0 && *figure == 0 {
 			return
@@ -95,6 +104,23 @@ func main() {
 	if err := r.WriteArtifacts(os.Stdout, tableIdx, *figure); err != nil {
 		fatal(err)
 	}
+}
+
+// writeJSONArtifact writes rows as JSON to path ("-" for stdout),
+// never shipping a truncated artifact on a failed final flush.
+func writeJSONArtifact[T any](path string, rows []T, write func(io.Writer, []T) error) error {
+	if path == "-" {
+		return write(os.Stdout, rows)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f, rows)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

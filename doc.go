@@ -24,8 +24,8 @@
 // # Analysis levels
 //
 // The first three levels reproduce the paper's analyses in increasing
-// precision, selected with WithLevel; the fourth is this module's
-// flow-sensitive extension:
+// precision, selected with WithLevel; the last two are this module's
+// flow-sensitive and interprocedural extensions:
 //
 //   - TypeDecl (Section 2.2): two access paths may alias iff the
 //     subtype sets of their declared types intersect.
@@ -38,6 +38,10 @@
 //     refined by an intraprocedural reaching-stores dataflow that
 //     narrows, per statement, the set of allocated types each pointer
 //     variable may reference.
+//   - IPTypeRefs (extension; also WithInterprocedural): FSTypeRefs
+//     extended with interprocedural mod-ref summaries over a Rapid
+//     Type Analysis call graph, so calls kill only what their possible
+//     callees may actually modify.
 //
 // FSTypeRefs narrows where the allocation context is visible. In
 //
@@ -60,6 +64,37 @@
 // MayAlias answers are identical to SMFieldTypeRefs — the refinement
 // applies to statement-anchored facts (CountPairs, RLE/PRE kill
 // decisions), which is where flow-sensitivity is meaningful.
+//
+// # Interprocedural analysis
+//
+// FSTypeRefs still treats every call as an opaque kill. IPTypeRefs
+// resolves calls against a Rapid Type Analysis call graph — method
+// invocations dispatch only to implementations an instantiated
+// receiver type can select, narrowed further by the TypeRefsTable —
+// and gives every procedure a transitive mod-ref summary, computed
+// bottom-up over call-graph SCCs (one shared summary per SCC is the
+// exact fixpoint for recursion; escapes that cannot be bounded, such
+// as an open world's unknown subtypes, widen soundly). Calls then
+// kill only the facts their possible callees may modify. In
+//
+//	x := NEW(S1);
+//	y := NEW(S2);
+//	sum := Pure(sum);       (* modifies no heap location *)
+//	FOR k := 1 TO 10 DO
+//	  y.i := k;
+//	  sum := sum + x.i;     (* hoisted by IP-driven RLE *)
+//	END;
+//
+// FSTypeRefs forgets x's and y's allocation facts at the Pure call
+// (any callee might rebind a global), so the loop load of x.i stays
+// pinned; IPTypeRefs consults Pure's empty summary, keeps both facts,
+// and RLE hoists the load. The summaries also understand invocation
+// freshness — a callee's stores into objects it (transitively)
+// allocates itself cannot touch anything the caller had cached — which
+// is what lets recursive constructor calls keep availability alive in
+// the paper-suite benchmarks (k-tree, pp). Table IP scores the layer
+// per benchmark; the pass manager rebuilds summaries whenever
+// devirtualization or inlining changes the call graph.
 //
 // # The open-world switch
 //
@@ -100,10 +135,11 @@
 //
 // Runner regenerates the paper's Tables 4-6 and Figures 8-12 — plus
 // Table FS, which scores the flow-sensitive refinement against
-// SMFieldTypeRefs (pairs disambiguated, loads removed) — over a worker
-// pool, fanning out (benchmark × level × options) cells that share one
-// Module per benchmark; output is byte-identical for every worker
-// count. Benchmarks returns the built-in ten-program suite.
+// SMFieldTypeRefs, and Table IP, which scores the interprocedural
+// layer against both (pairs disambiguated, loads removed) — over a
+// worker pool, fanning out (benchmark × level × options) cells that
+// share one Module per benchmark; output is byte-identical for every
+// worker count. Benchmarks returns the built-in ten-program suite.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.

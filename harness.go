@@ -313,6 +313,128 @@ func WriteFSJSON(w io.Writer, rows []TableFSRow) error {
 }
 
 // ---------------------------------------------------------------------------
+// Table IP — the interprocedural layer vs FSTypeRefs vs SMFieldTypeRefs
+// (an extension table; not in the paper)
+
+// TableIPRow compares SMFieldTypeRefs, FSTypeRefs, and IPTypeRefs on
+// one benchmark: global may-alias pairs under the three analyses
+// (site-anchored for FS and IP), the additional pairs the
+// interprocedural layer disambiguates beyond FS, and the loads RLE
+// removes statically under each.
+type TableIPRow struct {
+	Name       string
+	References int
+	// GlobalSM/GlobalFS/GlobalIP are global may-alias pair counts.
+	// GlobalIP <= GlobalFS <= GlobalSM always: each layer only removes
+	// pairs.
+	GlobalSM, GlobalFS, GlobalIP int
+	// Disambiguated is GlobalFS - GlobalIP: pairs only the
+	// interprocedural summaries prove non-aliased.
+	Disambiguated int
+	// RemovedSM/RemovedFS/RemovedIP count loads removed statically by
+	// RLE. RemovedIP >= RemovedFS >= RemovedSM always: the layers only
+	// remove kills.
+	RemovedSM, RemovedFS, RemovedIP int
+}
+
+// TableIP evaluates the interprocedural layer on every benchmark.
+func TableIP() ([]TableIPRow, error) { return sequential.TableIP() }
+
+// TableIP fans out one cell per benchmark × {pairs, RLE} × {SM, FS,
+// IP}; the metrics are static, so the interactive programs are
+// measured too.
+func (r *Runner) TableIP() ([]TableIPRow, error) {
+	bs := Benchmarks()
+	levels := []Level{SMFieldTypeRefs, FSTypeRefs, IPTypeRefs}
+	stride := 2 * len(levels)
+	pairCells := make([]PairCounts, len(bs)*len(levels))
+	removedCells := make([]int, len(bs)*len(levels))
+	err := r.run(len(bs)*stride, func(ci int) error {
+		b, j := bs[ci/stride], ci%stride
+		lvl := levels[j%len(levels)]
+		if j < len(levels) {
+			a, err := r.analyzer(b, WithLevel(lvl))
+			if err != nil {
+				return err
+			}
+			pairCells[(ci/stride)*len(levels)+j] = a.CountPairs()
+			return nil
+		}
+		a, err := r.analyzer(b, WithLevel(lvl), WithPasses(RLE()))
+		if err != nil {
+			return err
+		}
+		removedCells[(ci/stride)*len(levels)+j-len(levels)] = a.PassResults()[0].Removed()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableIPRow, len(bs))
+	for i, b := range bs {
+		sm, fs, ip := pairCells[3*i], pairCells[3*i+1], pairCells[3*i+2]
+		rows[i] = TableIPRow{
+			Name:          b.Name,
+			References:    sm.References,
+			GlobalSM:      sm.Global,
+			GlobalFS:      fs.Global,
+			GlobalIP:      ip.Global,
+			Disambiguated: fs.Global - ip.Global,
+			RemovedSM:     removedCells[3*i],
+			RemovedFS:     removedCells[3*i+1],
+			RemovedIP:     removedCells[3*i+2],
+		}
+	}
+	return rows, nil
+}
+
+// FprintTableIP renders Table IP.
+func FprintTableIP(w io.Writer, rows []TableIPRow) {
+	fmt.Fprintf(w, "Table IP: Interprocedural Mod-Ref (IPTypeRefs vs FSTypeRefs vs SMFieldTypeRefs)\n")
+	fmt.Fprintf(w, "%-14s %5s | %7s %7s %7s | %8s | %6s %6s %6s\n",
+		"Program", "Refs", "G SM", "G FS", "G IP", "Disambig", "RLE SM", "RLE FS", "RLE IP")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %5d | %7d %7d %7d | %8d | %6d %6d %6d\n",
+			r.Name, r.References, r.GlobalSM, r.GlobalFS, r.GlobalIP,
+			r.Disambiguated, r.RemovedSM, r.RemovedFS, r.RemovedIP)
+	}
+}
+
+// WriteIPJSON writes Table IP as a JSON array — one object per
+// benchmark with the pairs-disambiguated and loads-removed metrics —
+// the per-PR precision-trajectory artifact CI stores as BENCH_ip.json.
+func WriteIPJSON(w io.Writer, rows []TableIPRow) error {
+	type obj struct {
+		Benchmark     string `json:"benchmark"`
+		References    int    `json:"references"`
+		GlobalSM      int    `json:"global_pairs_smfieldtyperefs"`
+		GlobalFS      int    `json:"global_pairs_fstyperefs"`
+		GlobalIP      int    `json:"global_pairs_iptyperefs"`
+		Disambiguated int    `json:"pairs_disambiguated_vs_fs"`
+		RemovedSM     int    `json:"loads_removed_smfieldtyperefs"`
+		RemovedFS     int    `json:"loads_removed_fstyperefs"`
+		RemovedIP     int    `json:"loads_removed_iptyperefs"`
+	}
+	out := make([]obj, len(rows))
+	for i, r := range rows {
+		out[i] = obj{
+			Benchmark:     r.Name,
+			References:    r.References,
+			GlobalSM:      r.GlobalSM,
+			GlobalFS:      r.GlobalFS,
+			GlobalIP:      r.GlobalIP,
+			Disambiguated: r.Disambiguated,
+			RemovedSM:     r.RemovedSM,
+			RemovedFS:     r.RemovedFS,
+			RemovedIP:     r.RemovedIP,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ---------------------------------------------------------------------------
 // Figure 8 — simulated execution time of RLE per analysis
 
 // Figure8Row reports percent-of-base simulated time per level.
@@ -651,12 +773,17 @@ func FprintFigure12(w io.Writer, rows []Figure12Row) {
 // numbers 4-6.
 const TableFSIndex = 7
 
+// TableIPIndex selects Table IP (the interprocedural extension table)
+// in WriteArtifacts' table parameter.
+const TableIPIndex = 8
+
 // WriteArtifacts regenerates the selected artifacts and renders them to
 // w in paper order, each followed by a blank separator line. table
-// selects one table (4-6, or TableFSIndex for the flow-sensitive
-// extension table) and figure one figure (8-12); when both are zero,
-// every artifact is produced, with Table FS after Table 6. This is the
-// engine behind cmd/tbaabench.
+// selects one table (4-6, TableFSIndex for the flow-sensitive
+// extension table, or TableIPIndex for the interprocedural one) and
+// figure one figure (8-12); when both are zero, every artifact is
+// produced, with Tables FS and IP after Table 6. This is the engine
+// behind cmd/tbaabench.
 func (r *Runner) WriteArtifacts(w io.Writer, table, figure int) error {
 	all := table == 0 && figure == 0
 	if all || table == 4 {
@@ -689,6 +816,14 @@ func (r *Runner) WriteArtifacts(w io.Writer, table, figure int) error {
 			return err
 		}
 		FprintTableFS(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || table == TableIPIndex {
+		rows, err := r.TableIP()
+		if err != nil {
+			return err
+		}
+		FprintTableIP(w, rows)
 		fmt.Fprintln(w)
 	}
 	if all || figure == 8 {

@@ -138,6 +138,40 @@ func TestTableFSShape(t *testing.T) {
 	}
 }
 
+func TestTableIPShape(t *testing.T) {
+	rows, err := tbaa.TableIP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(tbaa.Benchmarks()) {
+		t.Fatalf("TableIP rows = %d, want one per benchmark", len(rows))
+	}
+	ipRLEWins := 0
+	for _, r := range rows {
+		// Each layer only removes pairs and only removes kills.
+		if r.GlobalFS > r.GlobalSM || r.GlobalIP > r.GlobalFS {
+			t.Errorf("%s: pair counts must be monotone SM >= FS >= IP: %+v", r.Name, r)
+		}
+		if r.Disambiguated != r.GlobalFS-r.GlobalIP {
+			t.Errorf("%s: Disambiguated = %d, want GlobalFS-GlobalIP = %d",
+				r.Name, r.Disambiguated, r.GlobalFS-r.GlobalIP)
+		}
+		if r.RemovedFS < r.RemovedSM || r.RemovedIP < r.RemovedFS {
+			t.Errorf("%s: RLE removals must be monotone SM <= FS <= IP: %+v", r.Name, r)
+		}
+		if r.RemovedIP > r.RemovedFS {
+			ipRLEWins++
+		}
+	}
+	// The acceptance bar for the interprocedural layer: at least one
+	// stock benchmark must see strictly more RLE removals than under
+	// FSTypeRefs (k-tree and pp do, via invocation-fresh summaries of
+	// their recursive constructors).
+	if ipRLEWins == 0 {
+		t.Error("the interprocedural layer should strictly improve RLE on some stock benchmark")
+	}
+}
+
 func TestFigure8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")

@@ -37,6 +37,13 @@ const (
 	// no-alias where the flow-insensitive verdict is may-alias. The
 	// context-free MayAlias is identical to SMFieldTypeRefs.
 	LevelFSTypeRefs
+	// LevelIPTypeRefs extends FSTypeRefs interprocedurally: the
+	// flow-sensitive call-kill rule consults per-procedure transitive
+	// mod-ref summaries over an RTA call graph (wired in through
+	// SetCallSummaries), so a call kills only the facts its possible
+	// callees may actually modify instead of all of them. Context-free
+	// MayAlias remains identical to SMFieldTypeRefs.
+	LevelIPTypeRefs
 )
 
 func (l Level) String() string {
@@ -49,6 +56,8 @@ func (l Level) String() string {
 		return "SMFieldTypeRefs"
 	case LevelFSTypeRefs:
 		return "FSTypeRefs"
+	case LevelIPTypeRefs:
+		return "IPTypeRefs"
 	}
 	return "?"
 }
@@ -70,6 +79,14 @@ type Options struct {
 	// LevelFSTypeRefs. It requires Level >= LevelSMFieldTypeRefs (the
 	// refinement narrows TypeRefsTable rows, which lower levels lack).
 	FlowSensitive bool
+	// Interprocedural layers RTA-call-graph mod-ref summaries on top of
+	// the flow-sensitive refinement; setting it is equivalent to
+	// selecting LevelIPTypeRefs (it implies FlowSensitive). Like
+	// FlowSensitive it requires Level >= LevelSMFieldTypeRefs. The
+	// summaries themselves are owned by the pass environment, which
+	// wires them in through SetCallSummaries; until then the call-kill
+	// rule stays the FSTypeRefs kill-everything rule.
+	Interprocedural bool
 }
 
 // Validate reports whether the options describe a buildable analysis:
@@ -77,23 +94,35 @@ type Options struct {
 // silently degrade to FieldTypeDecl behavior in MayAlias), and the
 // flow-sensitive refinement needs a TypeRefsTable to narrow.
 func (o Options) Validate() error {
-	if o.Level < LevelTypeDecl || o.Level > LevelFSTypeRefs {
-		return fmt.Errorf("alias: level %d out of range (valid: %d=TypeDecl, %d=FieldTypeDecl, %d=SMFieldTypeRefs, %d=FSTypeRefs)",
-			int(o.Level), int(LevelTypeDecl), int(LevelFieldTypeDecl), int(LevelSMFieldTypeRefs), int(LevelFSTypeRefs))
+	if o.Level < LevelTypeDecl || o.Level > LevelIPTypeRefs {
+		return fmt.Errorf("alias: level %d out of range (valid: %d=TypeDecl, %d=FieldTypeDecl, %d=SMFieldTypeRefs, %d=FSTypeRefs, %d=IPTypeRefs)",
+			int(o.Level), int(LevelTypeDecl), int(LevelFieldTypeDecl), int(LevelSMFieldTypeRefs), int(LevelFSTypeRefs), int(LevelIPTypeRefs))
 	}
 	if o.FlowSensitive && o.Level < LevelSMFieldTypeRefs {
 		return fmt.Errorf("alias: flow-sensitive refinement requires level %v or above, have %v",
 			LevelSMFieldTypeRefs, o.Level)
 	}
+	if o.Interprocedural && o.Level < LevelSMFieldTypeRefs {
+		return fmt.Errorf("alias: interprocedural mod-ref requires level %v or above, have %v",
+			LevelSMFieldTypeRefs, o.Level)
+	}
 	return nil
 }
 
-// Normalize returns o with the two spellings of the flow-sensitive
-// configuration folded together: LevelFSTypeRefs implies FlowSensitive,
-// and FlowSensitive on LevelSMFieldTypeRefs selects LevelFSTypeRefs.
+// Normalize returns o with the spellings of the flow-sensitive and
+// interprocedural configurations folded together: LevelFSTypeRefs
+// implies FlowSensitive, LevelIPTypeRefs implies FlowSensitive and
+// Interprocedural, and the flags on lower (but at least
+// SMFieldTypeRefs) levels select the corresponding level.
 func (o Options) Normalize() Options {
-	if o.Level == LevelFSTypeRefs {
+	switch o.Level {
+	case LevelIPTypeRefs:
+		o.FlowSensitive, o.Interprocedural = true, true
+	case LevelFSTypeRefs:
 		o.FlowSensitive = true
+	}
+	if o.Interprocedural && o.Level >= LevelSMFieldTypeRefs {
+		o.Level, o.FlowSensitive = LevelIPTypeRefs, true
 	} else if o.FlowSensitive && o.Level == LevelSMFieldTypeRefs {
 		o.Level = LevelFSTypeRefs
 	}
@@ -135,9 +164,13 @@ type Analysis struct {
 	// identical for both query orders, so one entry is order-insensitive.
 	memo map[[2]*ir.AP]bool
 	// flow is the per-procedure flow-sensitive refinement layer, present
-	// only at LevelFSTypeRefs. Procedure facts are built lazily on the
-	// first site-aware query and dropped by InvalidateFlow.
+	// at LevelFSTypeRefs and above. Procedure facts are built lazily on
+	// the first site-aware query and dropped by InvalidateFlow.
 	flow *flow
+	// summaries supplies interprocedural call effects to the flow
+	// layer's call-kill rule (LevelIPTypeRefs; see SetCallSummaries).
+	// While nil, calls kill every flow fact — the FSTypeRefs rule.
+	summaries CallSummaries
 	// prefixCache memoizes StoreKills' proper-prefix APs per path, so
 	// repeated kill queries reuse pointer-stable APs and stay effective
 	// against the pointer-keyed MayAlias memo.
@@ -175,7 +208,7 @@ func New(prog *ir.Program, opts Options) *Analysis {
 			a.typeRefs = buildTypeRefsUnionFind(prog, opts.OpenWorld)
 		}
 	}
-	if opts.Level == LevelFSTypeRefs {
+	if opts.Level >= LevelFSTypeRefs {
 		a.flow = newFlow(a)
 	}
 	return a

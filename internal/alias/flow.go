@@ -471,12 +471,19 @@ func (f *flow) transferInstr(in *ir.Instr, st flowState, regs map[ir.Reg]types.B
 			clear(st.paths)
 		}
 	case ir.OpCall, ir.OpMethodCall:
-		// The callee may reassign globals, write through locations
-		// reaching any address-taken variable, and store anywhere in the
-		// heap. Returned references are bounded by the result type's row
-		// (RETURN records a merge).
-		f.killCalls(st)
-		clear(st.paths)
+		// Without interprocedural summaries the callee may reassign
+		// globals, write through locations reaching any address-taken
+		// variable, and store anywhere in the heap — kill everything a
+		// callee could touch. With summaries (LevelIPTypeRefs), kill
+		// only the facts the call's possible callees may actually
+		// modify. Returned references are bounded by the result type's
+		// row either way (RETURN records a merge).
+		if cs := f.a.summaries; cs != nil {
+			f.killCallsSummarized(cs, in, st)
+		} else {
+			f.killCalls(st)
+			clear(st.paths)
+		}
 		if s := f.row(in.Type); s != nil {
 			regs[in.Dst] = s
 		}
@@ -559,6 +566,27 @@ func (f *flow) killCalls(st flowState) {
 	for v := range st.vars {
 		if v.Kind == ir.GlobalVar || at[v] {
 			delete(st.vars, v)
+		}
+	}
+}
+
+// killCallsSummarized is the interprocedural call-kill rule: variable
+// facts die only when the callees may rebind the variable (a global
+// they reassign, or an escaped local they can reach through a
+// location), and path facts only when the callees' summarized stores
+// may overwrite the path or something it depends on. Locals whose
+// address never escapes are beyond any callee's reach, exactly as in
+// killCalls.
+func (f *flow) killCallsSummarized(cs CallSummaries, in *ir.Instr, st flowState) {
+	at := f.a.prog.AddressTakenVars
+	for v := range st.vars {
+		if (v.Kind == ir.GlobalVar || at[v]) && cs.CallMayRebind(in, v) {
+			delete(st.vars, v)
+		}
+	}
+	for k, fct := range st.paths {
+		if cs.CallKillsPath(in, fct.ap) {
+			delete(st.paths, k)
 		}
 	}
 }

@@ -1,0 +1,36 @@
+package alias
+
+import "tbaa/internal/ir"
+
+// CallSummaries answers what a specific call instruction may do to the
+// caller's memory, backed by interprocedural mod-ref summaries (package
+// modref computes them over an RTA call graph; the pass environment
+// adapts them to this interface, which exists so this package need not
+// import its own client). Implementations must answer from
+// flow-insensitive facts only: the flow layer queries them while its
+// own dataflow is being solved, so a re-entrant site-aware query would
+// not terminate.
+type CallSummaries interface {
+	// CallKillsPath reports whether the call may overwrite the location
+	// denoted by ap, or rebind a variable ap depends on (its root or a
+	// subscript), judged context-free.
+	CallKillsPath(call *ir.Instr, ap *ir.AP) bool
+	// CallMayRebind reports whether the call may reassign variable v —
+	// v is a global some callee reassigns, or v's address escaped and
+	// some callee stores through a location of v's type.
+	CallMayRebind(call *ir.Instr, v *ir.Var) bool
+}
+
+// SetCallSummaries wires interprocedural call summaries into the
+// flow-sensitive layer: with them, a call kills only the facts its
+// possible callees may actually modify (the IPTypeRefs call-kill rule)
+// instead of every fact. Any flow facts already computed under the
+// kill-everything rule are dropped — they are sound but coarser, and
+// per-site answers must not depend on query order. Passing nil
+// restores the FSTypeRefs rule.
+func (a *Analysis) SetCallSummaries(cs CallSummaries) {
+	a.summaries = cs
+	if a.flow != nil {
+		clear(a.flow.procs)
+	}
+}

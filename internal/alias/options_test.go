@@ -9,12 +9,12 @@ import (
 // out-of-range levels: every valid level passes, everything else is
 // refused with a message that names the valid range.
 func TestOptionsValidate(t *testing.T) {
-	for _, lvl := range []Level{LevelTypeDecl, LevelFieldTypeDecl, LevelSMFieldTypeRefs, LevelFSTypeRefs} {
+	for _, lvl := range []Level{LevelTypeDecl, LevelFieldTypeDecl, LevelSMFieldTypeRefs, LevelFSTypeRefs, LevelIPTypeRefs} {
 		if err := (Options{Level: lvl}).Validate(); err != nil {
 			t.Errorf("Options{Level: %v}.Validate() = %v, want nil", lvl, err)
 		}
 	}
-	for _, lvl := range []Level{-1, 4, 42} {
+	for _, lvl := range []Level{-1, 5, 42} {
 		err := (Options{Level: lvl}).Validate()
 		if err == nil {
 			t.Errorf("Options{Level: %d}.Validate() = nil, want error", int(lvl))
@@ -32,9 +32,21 @@ func TestOptionsValidate(t *testing.T) {
 			t.Errorf("Options{Level: %v, FlowSensitive: true}.Validate() = nil, want error", lvl)
 		}
 	}
-	for _, lvl := range []Level{LevelSMFieldTypeRefs, LevelFSTypeRefs} {
+	for _, lvl := range []Level{LevelSMFieldTypeRefs, LevelFSTypeRefs, LevelIPTypeRefs} {
 		if err := (Options{Level: lvl, FlowSensitive: true}).Validate(); err != nil {
 			t.Errorf("Options{Level: %v, FlowSensitive: true}.Validate() = %v, want nil", lvl, err)
+		}
+	}
+	// The interprocedural layer rides on the flow-sensitive refinement
+	// and has the same level floor.
+	for _, lvl := range []Level{LevelTypeDecl, LevelFieldTypeDecl} {
+		if err := (Options{Level: lvl, Interprocedural: true}).Validate(); err == nil {
+			t.Errorf("Options{Level: %v, Interprocedural: true}.Validate() = nil, want error", lvl)
+		}
+	}
+	for _, lvl := range []Level{LevelSMFieldTypeRefs, LevelFSTypeRefs, LevelIPTypeRefs} {
+		if err := (Options{Level: lvl, Interprocedural: true}).Validate(); err != nil {
+			t.Errorf("Options{Level: %v, Interprocedural: true}.Validate() = %v, want nil", lvl, err)
 		}
 	}
 }
@@ -53,6 +65,18 @@ func TestOptionsNormalize(t *testing.T) {
 	n = (Options{Level: LevelSMFieldTypeRefs}).Normalize()
 	if n.Level != LevelSMFieldTypeRefs || n.FlowSensitive {
 		t.Errorf("Normalize(SM) = %+v, want unchanged", n)
+	}
+	// The interprocedural spellings fold the same way and imply the
+	// flow-sensitive refinement.
+	n = (Options{Level: LevelIPTypeRefs}).Normalize()
+	if !n.Interprocedural || !n.FlowSensitive || n.Level != LevelIPTypeRefs {
+		t.Errorf("Normalize(LevelIPTypeRefs) = %+v, want Interprocedural+FlowSensitive at LevelIPTypeRefs", n)
+	}
+	for _, lvl := range []Level{LevelSMFieldTypeRefs, LevelFSTypeRefs} {
+		n = (Options{Level: lvl, Interprocedural: true}).Normalize()
+		if n.Level != LevelIPTypeRefs || !n.FlowSensitive {
+			t.Errorf("Normalize(%v + Interprocedural) = %+v, want LevelIPTypeRefs", lvl, n)
+		}
 	}
 }
 

@@ -61,20 +61,66 @@ func NewPassEnv(prog *ir.Program, opts alias.Options) (*PassEnv, error) {
 }
 
 // Oracle returns the alias analysis for the current program state,
-// building it on first use.
+// building it on first use. Under WithInterprocedural configurations
+// the interprocedural mod-ref summaries are wired into the oracle's
+// flow-sensitive call-kill rule before the oracle is handed out, so
+// site-aware answers never depend on whether ModRef was forced first.
 func (e *PassEnv) Oracle() *alias.Analysis {
 	if e.oracle == nil {
 		e.oracle = alias.New(e.Prog, e.Opts)
+		if e.Opts.Interprocedural {
+			e.oracle.SetCallSummaries(ipSummaries{
+				mr: e.ModRef(),
+				o:  e.oracle,
+				at: e.Prog.AddressTakenVars,
+			})
+		}
 	}
 	return e.oracle
 }
 
-// ModRef returns the mod-ref summaries, computing them on first use.
+// ModRef returns the mod-ref summaries, computing them on first use:
+// CHA-cone summaries by default, RTA-call-graph SCC summaries (refined
+// by the oracle's TypeRefsTable) under WithInterprocedural.
 func (e *PassEnv) ModRef() *modref.ModRef {
-	if e.mr == nil {
+	if e.mr != nil {
+		return e.mr
+	}
+	if e.Opts.Interprocedural {
+		o := e.Oracle()
+		// Building the oracle wires the summaries in, constructing them
+		// as a side effect — don't compute a second, diverging instance.
+		if e.mr != nil {
+			return e.mr
+		}
+		e.mr = modref.ComputeWith(e.Prog, modref.Config{
+			RTA:       true,
+			OpenWorld: e.Opts.OpenWorld,
+			Refine:    refineFromOracle(o),
+		})
+	} else {
 		e.mr = modref.Compute(e.Prog)
 	}
 	return e.mr
+}
+
+// ipSummaries adapts the mod-ref summaries to the alias package's
+// CallSummaries interface (alias cannot import modref — modref is its
+// client). All queries are context-free (zero Sites): the flow layer
+// consults them mid-solve, where a site-aware query would re-enter the
+// solver.
+type ipSummaries struct {
+	mr *modref.ModRef
+	o  alias.Oracle
+	at map[*ir.Var]bool
+}
+
+func (s ipSummaries) CallKillsPath(call *ir.Instr, ap *ir.AP) bool {
+	return modref.MayModify(s.mr.CallEffects(call), ap, alias.Site{}, s.o, s.at)
+}
+
+func (s ipSummaries) CallMayRebind(call *ir.Instr, v *ir.Var) bool {
+	return s.mr.CallEffects(call).MayRebind(v, s.at)
 }
 
 // Invalidate drops the memoized analyses after a structural change

@@ -7,6 +7,7 @@ import (
 	"tbaa/internal/driver"
 	"tbaa/internal/interp"
 	"tbaa/internal/ir"
+	"tbaa/internal/modref"
 )
 
 // passSrc has a monomorphic method call (devirtualizable), an inlinable
@@ -161,6 +162,114 @@ func TestStaleMemoRegression(t *testing.T) {
 	if coldRLE.Removed() == 0 {
 		t.Error("the loop's t.f load should be removable (test program too weak)")
 	}
+}
+
+// devirtSrc has an abstract method with two overrides. Only S1 flows
+// into a T-typed variable, so devirtualization (refined by the
+// TypeRefsTable) resolves t.m() to S1M — shrinking the call graph the
+// interprocedural summaries were built over: before the rewrite the
+// call site is a method call whose CHA cone includes S2M, afterwards a
+// direct call to S1M alone.
+const devirtSrc = `
+MODULE DV;
+TYPE
+  T  = OBJECT v: INTEGER; METHODS m(); END;
+  S1 = T OBJECT OVERRIDES m := S1M; END;
+  S2 = T OBJECT OVERRIDES m := S2M; END;
+VAR
+  t: T;
+  s2: S2;
+  g1, g2: INTEGER;
+
+PROCEDURE S1M(self: T) =
+BEGIN
+  g1 := g1 + 1;
+END S1M;
+
+PROCEDURE S2M(self: T) =
+BEGIN
+  g2 := g2 + 1;
+END S2M;
+
+BEGIN
+  t := NEW(S1);
+  s2 := NEW(S2);
+  t.m();
+  PutInt(g1 + g2); PutLn();
+END DV.
+`
+
+// TestDevirtShrinksStaleSummaries is the stale-summary regression
+// test: when Devirt resolves method calls mid-pipeline, the pass
+// manager must drop the interprocedural mod-ref summaries (and the
+// oracle they are wired into), so the rebuilt summaries describe the
+// rewritten call graph — a direct call's effects, not the dispatch
+// cone's.
+func TestDevirtShrinksStaleSummaries(t *testing.T) {
+	prog := lowerSrc(t, devirtSrc)
+	var g1, g2 *ir.Var
+	for _, v := range prog.Globals {
+		switch v.Name {
+		case "g1":
+			g1 = v
+		case "g2":
+			g2 = v
+		}
+	}
+	var site *ir.Instr
+	for _, b := range prog.Main.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpMethodCall {
+				site = &b.Instrs[i]
+			}
+		}
+	}
+	if site == nil {
+		t.Fatal("no method call in the module body")
+	}
+	// Premise: the CHA cone at the call site includes S2M's effects.
+	if !modref.Compute(prog).CallEffects(site).ModGlobals[g2] {
+		t.Fatal("pre-devirt CHA effects should include the S2M override's g2 write")
+	}
+
+	env, err := driver.NewPassEnv(prog, alias.Options{Level: alias.LevelIPTypeRefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, mr1 := env.Oracle(), env.ModRef()
+	results, err := driver.RunPasses(env, driver.DevirtPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Devirtualized == 0 {
+		t.Fatal("t.m() should devirtualize to S1M (test premise)")
+	}
+	if env.Oracle() == o1 {
+		t.Error("DevirtPass left the stale oracle (and its wired summaries) in place")
+	}
+	mr2 := env.ModRef()
+	if mr2 == mr1 {
+		t.Error("DevirtPass left the stale mod-ref summaries in place")
+	}
+	// The rewritten site is now a direct call to S1M; the rebuilt
+	// summaries must describe S1M's effects alone.
+	if site.Op != ir.OpCall || site.Callee != "S1M" {
+		t.Fatalf("site after devirt = op %v callee %q, want a direct S1M call", site.Op, site.Callee)
+	}
+	eff := mr2.CallEffects(site)
+	if !eff.ModGlobals[g1] || eff.ModGlobals[g2] {
+		t.Errorf("rebuilt effects of the devirtualized call: g1=%v g2=%v, want g1 only",
+			eff.ModGlobals[g1], eff.ModGlobals[g2])
+	}
+}
+
+func lowerSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, _, err := driver.Compile("t.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
 }
 
 // TestFlowSensitiveEnvNormalized: the pass env reports the effective

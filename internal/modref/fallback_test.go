@@ -1,0 +1,40 @@
+package modref_test
+
+import (
+	"testing"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+)
+
+// A reachable call whose instantiated receiver set has no
+// implementation must fall back to the cone conservatively rather
+// than claim empty effects.
+func TestDispatchFallbackOnEmptyFilteredSet(t *testing.T) {
+	prog := compile(t, `
+MODULE FB;
+TYPE
+  B = OBJECT v: INTEGER; METHODS m(); END;
+  C = B OBJECT OVERRIDES m := CM; END;
+VAR b: B; g: INTEGER;
+PROCEDURE CM(self: B) = BEGIN g := 1; END CM;
+PROCEDURE Mk(): B = BEGIN RETURN NEW(B); END Mk;
+BEGIN
+  b := Mk();
+  b.m();  (* dynamic type B: abstract m — would trap; analysis must stay sound *)
+  PutInt(g); PutLn();
+END FB.
+`)
+	rta := modref.ComputeWith(prog, modref.Config{RTA: true})
+	call := findCall(t, prog, ir.OpMethodCall)
+	// Only B is instantiated and B has no implementation of m; the
+	// fallback returns the cone's CM so the summary stays conservative.
+	targets := rta.Dispatch(call)
+	if len(targets) != 1 || targets[0].Name != "CM" {
+		t.Fatalf("fallback dispatch = %v, want [CM]", targets)
+	}
+	g := findGlobal(t, prog, "g")
+	if !rta.CallEffects(call).ModGlobals[g] {
+		t.Error("fallback effects must include CM's global write")
+	}
+}

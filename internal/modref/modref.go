@@ -27,24 +27,114 @@ type Effects struct {
 	// location value (a by-ref formal or WITH alias); such stores can hit
 	// caller variables whose address was taken.
 	WritesThroughLocs bool
+	// Top marks a summary about which nothing is known — the sound
+	// lattice top the interprocedural builder uses for escapes it cannot
+	// bound (a call to a procedure the program does not define, or a
+	// store whose access path was not recorded). MayModify and MayRebind
+	// answer true for everything under a Top summary.
+	Top bool
+}
+
+// absorb unions src into eff and reports whether eff grew.
+func (eff *Effects) absorb(src *Effects) bool {
+	if src == nil {
+		return false
+	}
+	changed := false
+	for _, ap := range src.Mods {
+		n := len(eff.Mods)
+		eff.Mods = addAP(eff.Mods, ap)
+		if len(eff.Mods) != n {
+			changed = true
+		}
+	}
+	for _, ap := range src.Refs {
+		n := len(eff.Refs)
+		eff.Refs = addAP(eff.Refs, ap)
+		if len(eff.Refs) != n {
+			changed = true
+		}
+	}
+	for g := range src.ModGlobals {
+		if !eff.ModGlobals[g] {
+			eff.ModGlobals[g] = true
+			changed = true
+		}
+	}
+	if src.WritesThroughLocs && !eff.WritesThroughLocs {
+		eff.WritesThroughLocs = true
+		changed = true
+	}
+	if src.Top && !eff.Top {
+		eff.Top = true
+		changed = true
+	}
+	return changed
 }
 
 // ModRef holds summaries for a whole program.
 type ModRef struct {
 	prog    *ir.Program
+	cfg     Config
 	byProc  map[*ir.Proc]*Effects
 	callees map[*ir.Proc][]*ir.Proc
+	// inst is the RTA instantiated-type set; a nil bitset disables the
+	// dispatch filter (the CHA cone).
+	inst types.Bitset
+	// reachable marks procedures the RTA walk reached from the module
+	// body; nil when no RTA ran.
+	reachable map[*ir.Proc]bool
+	// effMemo caches CallEffects per call instruction (method calls
+	// combine their dispatch targets' summaries; RLE's dataflow re-asks
+	// per iteration).
+	effMemo map[*ir.Instr]*Effects
+	// freshStores marks store instructions whose target object is
+	// provably allocated during the enclosing procedure's own
+	// invocation (see freshness.go); they are invisible to callers.
+	// Nil outside RTA mode.
+	freshStores map[*ir.Instr]bool
+	// returnsFresh marks procedures whose every return value is an
+	// invocation-fresh object. Nil outside RTA mode.
+	returnsFresh map[*ir.Proc]bool
 }
 
-// Compute builds transitive mod-ref summaries.
+// Compute builds transitive mod-ref summaries over the CHA call graph —
+// every method call dispatches to each implementation in its static
+// receiver type's subtype cone.
 func Compute(prog *ir.Program) *ModRef {
-	mr := &ModRef{
-		prog:    prog,
-		byProc:  make(map[*ir.Proc]*Effects, len(prog.Procs)),
-		callees: make(map[*ir.Proc][]*ir.Proc, len(prog.Procs)),
+	return ComputeWith(prog, Config{})
+}
+
+// collectEdges records every procedure's call-graph successors
+// (method-call edges bounded by the current dispatch filter).
+func (mr *ModRef) collectEdges() {
+	for _, p := range mr.prog.Procs {
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpCall:
+					if callee := mr.prog.ProcByName[in.Callee]; callee != nil {
+						mr.callees[p] = append(mr.callees[p], callee)
+					}
+				case ir.OpMethodCall:
+					for _, callee := range mr.Dispatch(in) {
+						mr.callees[p] = append(mr.callees[p], callee)
+					}
+				}
+			}
+		}
 	}
-	// Direct effects and call edges.
-	for _, p := range prog.Procs {
+}
+
+// collectDirect scans every procedure for its direct effects. In RTA
+// mode, stores the freshness analysis proved local to one invocation
+// (mr.freshStores) are omitted — they cannot overwrite any location a
+// caller knew before the call — and escapes that cannot be bounded (a
+// store with no recorded path, a call to an undefined procedure)
+// poison the summary with the sound Top.
+func (mr *ModRef) collectDirect() {
+	for _, p := range mr.prog.Procs {
 		eff := &Effects{ModGlobals: make(map[*ir.Var]bool)}
 		mr.byProc[p] = eff
 		for _, b := range p.Blocks {
@@ -53,10 +143,15 @@ func Compute(prog *ir.Program) *ModRef {
 				switch in.Op {
 				case ir.OpStore:
 					if in.AP != nil {
-						eff.Mods = addAP(eff.Mods, in.AP)
+						if !mr.freshStores[in] {
+							eff.Mods = addAP(eff.Mods, in.AP)
+						}
 						if in.Sel.Kind == ir.SelDeref {
 							eff.WritesThroughLocs = true
 						}
+					} else if mr.cfg.RTA {
+						// A store with no recorded path could hit anything.
+						eff.Top = true
 					}
 				case ir.OpLoad:
 					if in.AP != nil && !in.AP.IsDope() {
@@ -74,57 +169,32 @@ func Compute(prog *ir.Program) *ModRef {
 						eff.Mods = addAP(eff.Mods, in.AP)
 					}
 				case ir.OpCall:
-					if callee := prog.ProcByName[in.Callee]; callee != nil {
-						mr.callees[p] = append(mr.callees[p], callee)
-					}
-				case ir.OpMethodCall:
-					for _, callee := range mr.Dispatch(in) {
-						mr.callees[p] = append(mr.callees[p], callee)
+					if mr.cfg.RTA && mr.prog.ProcByName[in.Callee] == nil {
+						// The callee is outside the program: sound top.
+						eff.Top = true
 					}
 				}
 			}
 		}
 	}
-	// Transitive closure (iterate to fixpoint; the lattice is finite
-	// because representative APs are deduplicated by shape).
+}
+
+// fixpoint is the CHA-mode transitive closure (iterate until stable;
+// the lattice is finite because representative APs are deduplicated by
+// shape).
+func (mr *ModRef) fixpoint() {
 	changed := true
 	for changed {
 		changed = false
-		for _, p := range prog.Procs {
+		for _, p := range mr.prog.Procs {
 			eff := mr.byProc[p]
 			for _, c := range mr.callees[p] {
-				ce := mr.byProc[c]
-				if ce == nil {
-					continue
-				}
-				for _, ap := range ce.Mods {
-					n := len(eff.Mods)
-					eff.Mods = addAP(eff.Mods, ap)
-					if len(eff.Mods) != n {
-						changed = true
-					}
-				}
-				for _, ap := range ce.Refs {
-					n := len(eff.Refs)
-					eff.Refs = addAP(eff.Refs, ap)
-					if len(eff.Refs) != n {
-						changed = true
-					}
-				}
-				for g := range ce.ModGlobals {
-					if !eff.ModGlobals[g] {
-						eff.ModGlobals[g] = true
-						changed = true
-					}
-				}
-				if ce.WritesThroughLocs && !eff.WritesThroughLocs {
-					eff.WritesThroughLocs = true
+				if eff.absorb(mr.byProc[c]) {
 					changed = true
 				}
 			}
 		}
 	}
-	return mr
 }
 
 // addAP appends ap if no existing representative has the same shape
@@ -160,66 +230,83 @@ func sameShape(a, b *ir.AP) bool {
 // Effects returns the summary for a procedure.
 func (mr *ModRef) Effects(p *ir.Proc) *Effects { return mr.byProc[p] }
 
-// Dispatch returns the procedures a method call may invoke, bounded by
-// the static receiver type's subtype cone.
+// Dispatch returns the procedures a method call may invoke: the
+// implementations in the static receiver type's subtype cone, narrowed
+// (when this ModRef was built interprocedurally) to RTA-instantiated
+// receiver types and the Refine callback's TypeRefsTable row. When the
+// filters leave nothing — the call is dead or can only trap — the full
+// cone is returned, mirroring devirtualization's conservative fallback.
 func (mr *ModRef) Dispatch(in *ir.Instr) []*ir.Proc {
-	var out []*ir.Proc
-	if in.RecvType == nil {
-		// Unknown receiver: any implementation of the method name.
-		seen := map[string]bool{}
-		for _, o := range mr.prog.Universe.ObjectTypes() {
-			if impl := o.Implementation(in.Method); impl != "" && !seen[impl] {
-				seen[impl] = true
-				if p := mr.prog.ProcByName[impl]; p != nil {
-					out = append(out, p)
-				}
-			}
-		}
-		return out
+	out := mr.dispatch(in, true)
+	if len(out) == 0 && (mr.inst != nil || mr.cfg.Refine != nil) {
+		out = mr.dispatch(in, false)
 	}
+	return out
+}
+
+func (mr *ModRef) dispatch(in *ir.Instr, filtered bool) []*ir.Proc {
 	seen := map[string]bool{}
-	for _, id := range mr.prog.Universe.Subtypes(in.RecvType) {
-		o, ok := mr.prog.Universe.ByID(id).(*types.Object)
-		if !ok {
-			continue
+	var out []*ir.Proc
+	add := func(o *types.Object) {
+		if filtered && mr.inst != nil && !mr.inst.Has(o.ID()) {
+			return // the dynamic receiver type must be instantiated
 		}
 		impl := o.Implementation(in.Method)
 		if impl == "" || seen[impl] {
-			continue
+			return
 		}
 		seen[impl] = true
 		if p := mr.prog.ProcByName[impl]; p != nil {
 			out = append(out, p)
 		}
 	}
+	if in.RecvType == nil {
+		// Unknown receiver: any implementation of the method name.
+		for _, o := range mr.prog.Universe.ObjectTypes() {
+			add(o)
+		}
+		return out
+	}
+	var ids []int
+	if filtered && mr.cfg.Refine != nil {
+		ids = mr.cfg.Refine(in.RecvType) // TypeRefsTable row ⊆ the cone
+	}
+	if ids == nil {
+		ids = mr.prog.Universe.Subtypes(in.RecvType)
+	}
+	for _, id := range ids {
+		if o, ok := mr.prog.Universe.ByID(id).(*types.Object); ok {
+			add(o)
+		}
+	}
 	return out
 }
 
 // CallEffects returns the combined effects of a call instruction
-// (OpCall or OpMethodCall).
+// (OpCall or OpMethodCall), memoized per instruction.
 func (mr *ModRef) CallEffects(in *ir.Instr) *Effects {
+	if eff, ok := mr.effMemo[in]; ok {
+		return eff
+	}
+	eff := mr.callEffects(in)
+	mr.effMemo[in] = eff
+	return eff
+}
+
+func (mr *ModRef) callEffects(in *ir.Instr) *Effects {
 	switch in.Op {
 	case ir.OpCall:
 		if callee := mr.prog.ProcByName[in.Callee]; callee != nil {
 			return mr.byProc[callee]
 		}
+		if mr.cfg.RTA {
+			// An undefined callee could do anything: sound top.
+			return &Effects{ModGlobals: map[*ir.Var]bool{}, Top: true}
+		}
 	case ir.OpMethodCall:
 		combined := &Effects{ModGlobals: make(map[*ir.Var]bool)}
 		for _, callee := range mr.Dispatch(in) {
-			ce := mr.byProc[callee]
-			if ce == nil {
-				continue
-			}
-			for _, ap := range ce.Mods {
-				combined.Mods = addAP(combined.Mods, ap)
-			}
-			for _, ap := range ce.Refs {
-				combined.Refs = addAP(combined.Refs, ap)
-			}
-			for g := range ce.ModGlobals {
-				combined.ModGlobals[g] = true
-			}
-			combined.WritesThroughLocs = combined.WritesThroughLocs || ce.WritesThroughLocs
+			combined.absorb(mr.byProc[callee])
 		}
 		return combined
 	}
@@ -296,7 +383,7 @@ func LocStoreKills(ap *ir.AP, targetTypeID int, addrTakenVars map[*ir.Var]bool) 
 // root, while the callee's representative paths carry no statement
 // context (a zero Site) and are judged by their declared types.
 func MayModify(eff *Effects, ap *ir.AP, site alias.Site, o alias.Oracle, addrTakenVars map[*ir.Var]bool) bool {
-	if eff == nil {
+	if eff == nil || eff.Top {
 		return true
 	}
 	for g := range eff.ModGlobals {
@@ -310,6 +397,30 @@ func MayModify(eff *Effects, ap *ir.AP, site alias.Site, o alias.Oracle, addrTak
 		}
 		if last := m.Last(); last != nil && last.Kind == ir.SelDeref {
 			if LocStoreKills(ap, m.Type().ID(), addrTakenVars) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MayRebind reports whether a call with these effects may reassign
+// variable v in the caller: the callee (transitively) reassigns the
+// global v, or v's address was taken and the callee stores through a
+// location whose target type is v's (location targets carry exactly
+// their declared type, as in VarWriteKills). This is the variable half
+// of MayModify, used by the flow-sensitive layer's call-kill rule on
+// its per-variable facts.
+func (eff *Effects) MayRebind(v *ir.Var, addrTakenVars map[*ir.Var]bool) bool {
+	if eff == nil || eff.Top {
+		return true
+	}
+	if eff.ModGlobals[v] {
+		return true
+	}
+	if eff.WritesThroughLocs && addrTakenVars[v] {
+		for _, m := range eff.Mods {
+			if last := m.Last(); last != nil && last.Kind == ir.SelDeref && m.Type().ID() == v.Type.ID() {
 				return true
 			}
 		}

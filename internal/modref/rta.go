@@ -1,0 +1,229 @@
+// Rapid Type Analysis call-graph construction and the interprocedural
+// summary builder layered on it.
+//
+// The paper resolves method invocations with the type hierarchy before
+// computing mod-ref (Sections 3.4.1 and 3.7); plain Compute reproduces
+// that with the CHA cone — every implementation in the static receiver
+// type's subtype cone is a possible callee. ComputeWith additionally
+// offers the RTA refinement: only types the program actually
+// instantiates can be dynamic receiver types, so dispatch sets (and
+// with them every transitive summary) shrink to the implementations of
+// instantiated subtypes, optionally narrowed further by the alias
+// analysis' TypeRefsTable through the Refine callback.
+//
+// Summaries are computed bottom-up over the strongly connected
+// components of the call graph: Tarjan emits callee SCCs before their
+// callers, and every member of an SCC transitively reaches the others,
+// so one merged summary per SCC — its members' direct effects plus the
+// final summaries of callees outside the SCC — is the exact fixpoint
+// for recursion. Escapes the analysis cannot bound stay sound via
+// Effects.Top: calls to procedures the program does not define and
+// stores with no recorded access path summarize as "may modify
+// anything", and an open world disables the instantiated-type filter
+// entirely (unavailable code may instantiate any type).
+package modref
+
+import (
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
+
+// Config selects how summaries are built.
+type Config struct {
+	// RTA builds the call graph by rapid type analysis: a worklist walk
+	// from the module body collects instantiated types and resolves
+	// method calls only to implementations those types can select, to a
+	// fixpoint. Summaries are then computed bottom-up over call-graph
+	// SCCs. False reproduces Compute's CHA behavior exactly.
+	RTA bool
+	// OpenWorld disables the instantiated-type dispatch filter:
+	// unavailable code may instantiate any subtype, so the CHA cone is
+	// the sound top for dispatch. Direct effects and SCC summaries are
+	// still computed (all callees are visible in the closed module).
+	OpenWorld bool
+	// Refine optionally narrows a method call's possible receiver types
+	// to the given type's TypeRefsTable row (the devirtualization
+	// refinement of Section 3.7); nil IDs mean "no information".
+	Refine func(recv *types.Object) []int
+}
+
+// ComputeWith builds mod-ref summaries under cfg. The zero Config is
+// Compute.
+func ComputeWith(prog *ir.Program, cfg Config) *ModRef {
+	mr := &ModRef{
+		prog:    prog,
+		cfg:     cfg,
+		byProc:  make(map[*ir.Proc]*Effects, len(prog.Procs)),
+		callees: make(map[*ir.Proc][]*ir.Proc, len(prog.Procs)),
+		effMemo: make(map[*ir.Instr]*Effects),
+	}
+	if cfg.RTA {
+		if !cfg.OpenWorld && prog.Main != nil {
+			mr.rta()
+		}
+		mr.collectEdges()
+		sccs := mr.tarjanSCCs()
+		mr.computeFreshness(sccs)
+		mr.collectDirect()
+		mr.summarizeSCCs(sccs)
+	} else {
+		mr.collectEdges()
+		mr.collectDirect()
+		mr.fixpoint()
+	}
+	return mr
+}
+
+// Interprocedural reports whether this ModRef was built with the RTA
+// interprocedural configuration.
+func (mr *ModRef) Interprocedural() bool { return mr.cfg.RTA }
+
+// Instantiated returns the sorted type IDs the RTA walk found
+// instantiated, or nil when no instantiated-type filter is active
+// (CHA mode, open world, or a program without a module body).
+func (mr *ModRef) Instantiated() []int {
+	if mr.inst == nil {
+		return nil
+	}
+	return mr.inst.IDs()
+}
+
+// Reachable reports whether the RTA walk reached p from the module
+// body. Without an RTA walk every procedure counts as reachable.
+func (mr *ModRef) Reachable(p *ir.Proc) bool {
+	if mr.reachable == nil {
+		return true
+	}
+	return mr.reachable[p]
+}
+
+// Callees returns p's call-graph successors (one entry per call edge,
+// in instruction order; method calls contribute their dispatch set).
+func (mr *ModRef) Callees(p *ir.Proc) []*ir.Proc { return mr.callees[p] }
+
+// rta runs the rapid type analysis fixpoint: starting from the module
+// body, scan reachable procedures for allocations and calls; method
+// calls dispatch only to implementations selectable by an instantiated
+// receiver type, so newly instantiated types can make more procedures
+// reachable, which can instantiate more types — iterate until stable.
+func (mr *ModRef) rta() {
+	mr.inst = types.NewBitset(mr.prog.Universe.NumTypes())
+	mr.reachable = make(map[*ir.Proc]bool)
+	var sites []*ir.Instr // method-call sites in reachable code
+	var queue []*ir.Proc
+	enqueue := func(p *ir.Proc) {
+		if p != nil && !mr.reachable[p] {
+			mr.reachable[p] = true
+			queue = append(queue, p)
+		}
+	}
+	enqueue(mr.prog.Main)
+	for {
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, b := range p.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					switch in.Op {
+					case ir.OpNew, ir.OpNewArray:
+						if in.Type != nil {
+							mr.inst.Add(in.Type.ID())
+						}
+					case ir.OpCall:
+						enqueue(mr.prog.ProcByName[in.Callee])
+					case ir.OpMethodCall:
+						sites = append(sites, in)
+					}
+				}
+			}
+		}
+		// Re-dispatch every reachable method site under the grown
+		// instantiated set. No fallback here: an empty dispatch set just
+		// means no possible receiver is instantiated yet (or ever).
+		for _, in := range sites {
+			for _, callee := range mr.dispatch(in, true) {
+				enqueue(callee)
+			}
+		}
+		if len(queue) == 0 {
+			return
+		}
+	}
+}
+
+// tarjanSCCs returns the call graph's strongly connected components in
+// Tarjan emission order: each SCC appears after every SCC it can
+// reach, so iterating the result is a bottom-up (callees-first) walk
+// of the condensation.
+func (mr *ModRef) tarjanSCCs() [][]*ir.Proc {
+	index := make(map[*ir.Proc]int, len(mr.prog.Procs))
+	low := make(map[*ir.Proc]int, len(mr.prog.Procs))
+	onStack := make(map[*ir.Proc]bool)
+	var stack []*ir.Proc
+	next := 0
+	var sccs [][]*ir.Proc
+	var strong func(p *ir.Proc)
+	strong = func(p *ir.Proc) {
+		index[p] = next
+		low[p] = next
+		next++
+		stack = append(stack, p)
+		onStack[p] = true
+		for _, c := range mr.callees[p] {
+			if _, seen := index[c]; !seen {
+				strong(c)
+				if low[c] < low[p] {
+					low[p] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[p] {
+				low[p] = index[c]
+			}
+		}
+		if low[p] == index[p] {
+			var scc []*ir.Proc
+			for {
+				q := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[q] = false
+				scc = append(scc, q)
+				if q == p {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, p := range mr.prog.Procs {
+		if _, seen := index[p]; !seen {
+			strong(p)
+		}
+	}
+	return sccs
+}
+
+// summarizeSCCs computes transitive summaries bottom-up over the
+// SCCs. A single pass in Tarjan emission order sees final callee
+// summaries; members of one SCC share one summary, which is exact
+// because strong connectivity makes their transitive effects coincide
+// — the sound fixpoint for recursion, without iteration.
+func (mr *ModRef) summarizeSCCs(sccs [][]*ir.Proc) {
+	for _, scc := range sccs {
+		member := make(map[*ir.Proc]bool, len(scc))
+		for _, p := range scc {
+			member[p] = true
+		}
+		sum := &Effects{ModGlobals: make(map[*ir.Var]bool)}
+		for _, p := range scc {
+			sum.absorb(mr.byProc[p])
+			for _, c := range mr.callees[p] {
+				if !member[c] {
+					sum.absorb(mr.byProc[c])
+				}
+			}
+		}
+		for _, p := range scc {
+			mr.byProc[p] = sum
+		}
+	}
+}

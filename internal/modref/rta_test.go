@@ -1,0 +1,315 @@
+package modref_test
+
+import (
+	"testing"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+)
+
+// rtaSrc has a two-implementation method where only one receiver type
+// is ever instantiated, an uncalled procedure allocating a third type,
+// and a mutually recursive pair — enough structure for the RTA walk,
+// the dispatch filter, and the SCC summarizer to be observable.
+const rtaSrc = `
+MODULE R;
+TYPE
+  B  = OBJECT v: INTEGER; METHODS m() := BM; END;
+  C1 = B OBJECT OVERRIDES m := C1M; END;
+  C2 = B OBJECT OVERRIDES m := C2M; END;
+  Dead = OBJECT z: INTEGER; END;
+VAR
+  b: B;
+  g1, g2: INTEGER;
+
+PROCEDURE BM(self: B) = BEGIN g1 := 1; END BM;
+PROCEDURE C1M(self: B) = BEGIN self.v := 1; END C1M;
+PROCEDURE C2M(self: B) = BEGIN g2 := 2; END C2M;
+
+PROCEDURE Unreached() =
+VAR d: Dead;
+BEGIN
+  d := NEW(Dead);
+  d.z := 1;
+END Unreached;
+
+PROCEDURE Odd(n: INTEGER) =
+BEGIN
+  IF n > 0 THEN Even(n - 1); END;
+END Odd;
+PROCEDURE Even(n: INTEGER) =
+BEGIN
+  g1 := n;
+  IF n > 0 THEN Odd(n - 1); END;
+END Even;
+
+BEGIN
+  b := NEW(C1);
+  b.m();
+  Odd(5);
+END R.
+`
+
+func findCall(t *testing.T, prog *ir.Program, op ir.Op) *ir.Instr {
+	t.Helper()
+	for _, p := range prog.Procs {
+		for _, blk := range p.Blocks {
+			for i := range blk.Instrs {
+				if blk.Instrs[i].Op == op {
+					return &blk.Instrs[i]
+				}
+			}
+		}
+	}
+	t.Fatalf("no %v instruction", op)
+	return nil
+}
+
+// TestRTAInstantiatedFilter: the CHA cone dispatches b.m() to both
+// overrides; RTA sees only C1 instantiated and drops C2M.
+func TestRTAInstantiatedFilter(t *testing.T) {
+	prog := compile(t, rtaSrc)
+	call := findCall(t, prog, ir.OpMethodCall)
+
+	cha := modref.Compute(prog)
+	if got := len(cha.Dispatch(call)); got != 3 {
+		t.Fatalf("CHA dispatch set has %d targets, want 3 (BM, C1M, C2M)", got)
+	}
+	if cha.Interprocedural() {
+		t.Error("Compute must report a CHA (non-interprocedural) build")
+	}
+
+	rta := modref.ComputeWith(prog, modref.Config{RTA: true})
+	if !rta.Interprocedural() {
+		t.Error("ComputeWith(RTA) must report an interprocedural build")
+	}
+	targets := rta.Dispatch(call)
+	if len(targets) != 1 || targets[0].Name != "C1M" {
+		var names []string
+		for _, p := range targets {
+			names = append(names, p.Name)
+		}
+		t.Errorf("RTA dispatch set = %v, want [C1M]", names)
+	}
+	// The call's combined effects drop C2M's global write.
+	g2 := findGlobal(t, prog, "g2")
+	eff := rta.CallEffects(call)
+	if eff.ModGlobals[g2] {
+		t.Error("RTA call effects include the uninstantiated override's g2 write")
+	}
+	if !cha.CallEffects(call).ModGlobals[g2] {
+		t.Error("CHA call effects should include g2 (test premise)")
+	}
+}
+
+func findGlobal(t *testing.T, prog *ir.Program, name string) *ir.Var {
+	t.Helper()
+	for _, v := range prog.Globals {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("no global %q", name)
+	return nil
+}
+
+// TestRTAReachabilityAndInstantiated: the Dead type is only allocated
+// in an uncalled procedure, so the RTA walk must neither reach the
+// procedure nor count the type as instantiated.
+func TestRTAReachabilityAndInstantiated(t *testing.T) {
+	prog := compile(t, rtaSrc)
+	rta := modref.ComputeWith(prog, modref.Config{RTA: true})
+	if rta.Reachable(prog.ProcByName["Unreached"]) {
+		t.Error("Unreached is not callable from the module body")
+	}
+	for _, name := range []string{"C1M", "Odd", "Even"} {
+		if !rta.Reachable(prog.ProcByName[name]) {
+			t.Errorf("%s should be reachable", name)
+		}
+	}
+	inst := rta.Instantiated()
+	if inst == nil {
+		t.Fatal("closed-world RTA must produce an instantiated set")
+	}
+	ids := make(map[int]bool, len(inst))
+	for _, id := range inst {
+		ids[id] = true
+	}
+	for _, typ := range prog.Universe.All() {
+		switch typ.String() {
+		case "C1":
+			if !ids[typ.ID()] {
+				t.Error("C1 is instantiated in the module body")
+			}
+		case "C2", "Dead":
+			if ids[typ.ID()] {
+				t.Errorf("%s is never instantiated in reachable code", typ)
+			}
+		}
+	}
+}
+
+// TestRTAOpenWorldDisablesFilter: open-world escapes get the sound
+// top — unavailable code may instantiate anything, so dispatch falls
+// back to the CHA cone.
+func TestRTAOpenWorldDisablesFilter(t *testing.T) {
+	prog := compile(t, rtaSrc)
+	open := modref.ComputeWith(prog, modref.Config{RTA: true, OpenWorld: true})
+	if open.Instantiated() != nil {
+		t.Error("open-world RTA must not filter by instantiated types")
+	}
+	call := findCall(t, prog, ir.OpMethodCall)
+	if got := len(open.Dispatch(call)); got != 3 {
+		t.Errorf("open-world dispatch set has %d targets, want the CHA cone's 3", got)
+	}
+}
+
+// TestSCCSharedSummary: mutually recursive procedures form one SCC and
+// share their transitive effects — the bottom-up summarizer's sound
+// fixpoint for recursion.
+func TestSCCSharedSummary(t *testing.T) {
+	prog := compile(t, rtaSrc)
+	rta := modref.ComputeWith(prog, modref.Config{RTA: true})
+	odd := rta.Effects(prog.ProcByName["Odd"])
+	even := rta.Effects(prog.ProcByName["Even"])
+	if odd != even {
+		t.Error("Odd and Even are one SCC and must share a summary")
+	}
+	g1 := findGlobal(t, prog, "g1")
+	if !odd.ModGlobals[g1] {
+		t.Error("the recursive SCC transitively reassigns g1")
+	}
+}
+
+// freshSrc is a constructor-style program: MakeNode allocates and
+// initializes, Build recursively assembles a list out of fresh nodes,
+// Smash writes a caller-visible field.
+const freshSrc = `
+MODULE F;
+TYPE
+  N = OBJECT val: INTEGER; next: N; END;
+  A = ARRAY OF INTEGER;
+VAR
+  head: N;
+  out: INTEGER;
+
+PROCEDURE MakeNode(v: INTEGER): N =
+VAR n: N;
+BEGIN
+  n := NEW(N);
+  n.val := v;
+  n.next := NIL;
+  RETURN n;
+END MakeNode;
+
+PROCEDURE Build(k: INTEGER): N =
+VAR n: N;
+BEGIN
+  n := MakeNode(k);
+  IF k > 0 THEN
+    n.next := Build(k - 1);
+  END;
+  RETURN n;
+END Build;
+
+PROCEDURE FillFresh(): A =
+VAR a: A;
+BEGIN
+  a := NEW(A, 4);
+  a[0] := 7;
+  RETURN a;
+END FillFresh;
+
+PROCEDURE Smash(n: N) =
+BEGIN
+  n.val := 0;
+END Smash;
+
+BEGIN
+  head := Build(3);
+  Smash(head);
+  out := FillFresh()[0];
+  PutInt(out); PutLn();
+END F.
+`
+
+// TestFreshnessSummaries: stores into invocation-fresh objects vanish
+// from caller-visible summaries; stores into parameters stay.
+func TestFreshnessSummaries(t *testing.T) {
+	prog := compile(t, freshSrc)
+	rta := modref.ComputeWith(prog, modref.Config{RTA: true})
+	for _, name := range []string{"MakeNode", "Build", "FillFresh"} {
+		p := prog.ProcByName[name]
+		if !rta.ReturnsFresh(p) {
+			t.Errorf("%s returns a freshly allocated object", name)
+		}
+		if eff := rta.Effects(p); len(eff.Mods) != 0 || eff.Top {
+			t.Errorf("%s's summary should hide its fresh stores, has Mods=%v Top=%v",
+				name, eff.Mods, eff.Top)
+		}
+	}
+	smash := rta.Effects(prog.ProcByName["Smash"])
+	if len(smash.Mods) != 1 {
+		t.Errorf("Smash writes its parameter — a caller-visible mod; got %v", smash.Mods)
+	}
+	// The CHA build keeps every store visible.
+	cha := modref.Compute(prog)
+	if eff := cha.Effects(prog.ProcByName["Build"]); len(eff.Mods) == 0 {
+		t.Error("CHA summaries must keep the constructor stores (test premise)")
+	}
+}
+
+// TestFreshnessStopsAtEscapedBindings: a store through a parameter, a
+// global, or a variable holding a loaded (pre-existing) object is
+// never fresh.
+func TestFreshnessStopsAtEscapedBindings(t *testing.T) {
+	prog := compile(t, `
+MODULE G;
+TYPE N = OBJECT val: INTEGER; next: N; END;
+VAR head: N;
+
+PROCEDURE Rebind(): N =
+VAR n: N;
+BEGIN
+  n := NEW(N);
+  n := head;     (* n no longer provably fresh *)
+  n.val := 1;
+  RETURN n;
+END Rebind;
+
+PROCEDURE DeepWrite() =
+VAR n: N;
+BEGIN
+  n := NEW(N);
+  n.next := head;
+  n.next.val := 2; (* writes a pre-existing object through a load *)
+END DeepWrite;
+
+BEGIN
+  head := NEW(N);
+  head.val := 9;
+  head := Rebind();
+  DeepWrite();
+  PutInt(head.val); PutLn();
+END G.
+`)
+	rta := modref.ComputeWith(prog, modref.Config{RTA: true})
+	if rta.ReturnsFresh(prog.ProcByName["Rebind"]) {
+		t.Error("Rebind can return the pre-existing head")
+	}
+	if eff := rta.Effects(prog.ProcByName["Rebind"]); len(eff.Mods) == 0 {
+		t.Error("Rebind's store may hit head — it must stay in the summary")
+	}
+	deep := rta.Effects(prog.ProcByName["DeepWrite"])
+	// n.next := head is fresh (n's own field), but n.next.val := 2 goes
+	// through a load and must remain visible.
+	found := false
+	for _, m := range deep.Mods {
+		if len(m.Sels) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DeepWrite's depth-2 store must stay in the summary, has %v", deep.Mods)
+	}
+}

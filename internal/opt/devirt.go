@@ -11,8 +11,11 @@ import (
 // invocation resolution", Section 3.7). The dispatch set is bounded by
 // the static receiver type's subtype cone; an optional refine function
 // (from SMTypeRefs) can narrow the set of possible receiver types.
+// The narrowing — including the conservative fall-back to the full
+// cone when the refined set is empty — lives in modref.Dispatch, the
+// same rule the interprocedural summaries use.
 func Devirtualize(prog *ir.Program, refine func(recv *types.Object) []int) int {
-	mr := modref.Compute(prog)
+	mr := modref.ComputeWith(prog, modref.Config{Refine: refine})
 	resolved := 0
 	for _, p := range prog.Procs {
 		for _, b := range p.Blocks {
@@ -21,7 +24,7 @@ func Devirtualize(prog *ir.Program, refine func(recv *types.Object) []int) int {
 				if in.Op != ir.OpMethodCall {
 					continue
 				}
-				targets := dispatchTargets(prog, mr, in, refine)
+				targets := mr.Dispatch(in)
 				if len(targets) != 1 {
 					continue
 				}
@@ -34,36 +37,4 @@ func Devirtualize(prog *ir.Program, refine func(recv *types.Object) []int) int {
 		}
 	}
 	return resolved
-}
-
-func dispatchTargets(prog *ir.Program, mr *modref.ModRef, in *ir.Instr, refine func(recv *types.Object) []int) []*ir.Proc {
-	if in.RecvType == nil || refine == nil {
-		return mr.Dispatch(in)
-	}
-	possible := refine(in.RecvType)
-	if possible == nil {
-		return mr.Dispatch(in)
-	}
-	seen := map[string]bool{}
-	var out []*ir.Proc
-	for _, id := range possible {
-		o, ok := prog.Universe.ByID(id).(*types.Object)
-		if !ok {
-			continue
-		}
-		impl := o.Implementation(in.Method)
-		if impl == "" || seen[impl] {
-			continue
-		}
-		seen[impl] = true
-		if p := prog.ProcByName[impl]; p != nil {
-			out = append(out, p)
-		}
-	}
-	if len(out) == 0 {
-		// The refinement believes the receiver set is empty (dead call);
-		// fall back to the full cone to stay conservative.
-		return mr.Dispatch(in)
-	}
-	return out
 }

@@ -111,6 +111,9 @@ type loopEnv struct {
 	// locsWritten reports a store through a location or a call that may
 	// write through locations inside the loop.
 	locsWritten bool
+	// callTop reports a call in the loop whose summary is the sound top
+	// (Effects.Top): it may additionally rebind any global.
+	callTop bool
 	// stores are the store instructions inside the loop (kept as
 	// instructions so kill queries carry their statement for
 	// flow-sensitive oracles).
@@ -152,6 +155,12 @@ func hoistFromLoop(prog *ir.Program, p *ir.Proc, l *cfg.Loop, dom *cfg.Dominator
 			case ir.OpCall, ir.OpMethodCall:
 				env.calls = append(env.calls, in)
 				eff := mr.CallEffects(in)
+				if eff != nil && eff.Top {
+					// Nothing is known about the callee: it may rebind
+					// any global and write through any location.
+					env.callTop = true
+					env.locsWritten = true
+				}
 				for g := range eff.ModGlobals {
 					env.varsWritten[g] = true
 				}
@@ -309,6 +318,9 @@ func (env *loopEnv) invariantOperand(o ir.Operand, allowLoadChain bool) bool {
 			return false
 		}
 		if env.locsWritten && env.prog.AddressTakenVars[v] {
+			return false
+		}
+		if env.callTop && v.Kind == ir.GlobalVar {
 			return false
 		}
 		return true

@@ -42,9 +42,14 @@ type gen struct {
 	nTypes   int
 	// supers[t] is T<t>'s direct supertype index (-1 for the root T0).
 	supers []int
-	procs  []procSig
+	// overrides[t] reports whether T<t> overrides the get method, so
+	// virtual dispatch has a type-dependent target set.
+	overrides []bool
+	procs     []procSig
 	// callable bounds which procedures may be called from the current
-	// body (only earlier ones, keeping the call graph acyclic).
+	// body (only earlier ones, keeping the call graph acyclic). The
+	// call-heavy preamble (constructors, the recursive pair, the by-ref
+	// escape) is callable from everywhere.
 	callable int
 	depth    int
 }
@@ -82,14 +87,22 @@ func (g *gen) program() string {
 	g.nTypes = g.cfg.Types
 	g.objVars = make(map[int][]string)
 	g.printf("MODULE Rand;\n\nTYPE\n")
-	// T0 is the root; others subtype a random earlier type.
-	g.printf("  T0 = OBJECT i0: INTEGER; r0: T0; END;\n")
+	// T0 is the root and declares a virtual method; subtypes of a
+	// random earlier type override it with probability 1/2, so dispatch
+	// sets vary with the receiver cone and the instantiated types.
+	g.printf("  T0 = OBJECT i0: INTEGER; r0: T0; METHODS get(): INTEGER := M0; END;\n")
 	g.supers = []int{-1}
+	g.overrides = []bool{true}
 	for t := 1; t < g.nTypes; t++ {
 		super := g.pick(t)
 		g.supers = append(g.supers, super)
-		g.printf("  T%d = T%d OBJECT i%d: INTEGER; r%d: T%d; END;\n",
-			t, super, t, t, g.pick(t+1))
+		ovr := g.pick(2) == 0
+		g.overrides = append(g.overrides, ovr)
+		g.printf("  T%d = T%d OBJECT i%d: INTEGER; r%d: T%d;", t, super, t, t, g.pick(t+1))
+		if ovr {
+			g.printf(" OVERRIDES get := M%d;", t)
+		}
+		g.printf(" END;\n")
 	}
 	g.printf("  Arr = ARRAY OF INTEGER;\n")
 	g.printf("\nVAR\n")
@@ -122,7 +135,8 @@ func (g *gen) program() string {
 		g.printf("  gar: Arr;\n")
 		g.arrVars = append(g.arrVars, "gar")
 	}
-	// Procedures.
+	// The call-heavy preamble, then the random procedures.
+	g.preamble()
 	for p := 0; p < g.cfg.Procs; p++ {
 		g.proc(p)
 	}
@@ -166,6 +180,56 @@ func (g *gen) initAll() {
 	for i, v := range g.arrVars {
 		g.printf("  %s := NEW(Arr, %d);\n", v, 4+i)
 	}
+}
+
+// preamble emits the call-heavy fixture procedures: one get
+// implementation per overriding type (pure, receiver-mutating, or
+// global-writing, so mod-ref summaries differ per dispatch target), a
+// constructor per type (exercising invocation-freshness, with
+// occasional stores of pre-existing objects into the fresh node and
+// occasional non-fresh returns), a mutually recursive pair (a
+// call-graph SCC), and a by-ref rebinder (an address-taken escape).
+func (g *gen) preamble() {
+	for t := 0; t < g.nTypes; t++ {
+		if !g.overrides[t] {
+			continue
+		}
+		g.printf("\nPROCEDURE M%d(self: T%d): INTEGER =\nBEGIN\n", t, t)
+		switch g.pick(3) {
+		case 0: // pure
+			g.printf("  RETURN self.i0 * 2 + %d;\n", t)
+		case 1: // mutates the receiver
+			g.printf("  self.i0 := self.i0 + 1;\n  RETURN self.i0;\n")
+		default: // reassigns a global
+			g.printf("  %s := %s + %d;\n  RETURN self.i0;\n", g.intVars[0], g.intVars[0], t+1)
+		}
+		g.printf("END M%d;\n", t)
+	}
+	for t := 0; t < g.nTypes; t++ {
+		g.printf("\nPROCEDURE Mk%d(v: INTEGER): T%d =\nVAR n: T%d;\nBEGIN\n", t, t, t)
+		g.printf("  n := NEW(T%d);\n  n.i0 := v;\n  n.r0 := NEW(T0);\n", t)
+		if g.pick(3) == 0 {
+			// A pre-existing object stored into the fresh node: the
+			// store target stays invocation-fresh, the value is old.
+			g.printf("  IF v > 40 THEN n.r0 := %s; END;\n", g.objVars[0][0])
+		}
+		if g.pick(4) == 0 && len(g.objVars[t]) > 0 {
+			// A pre-existing object returned instead: the constructor
+			// must then not count as fresh-returning.
+			g.printf("  IF v > 45 THEN RETURN %s; END;\n", g.objVars[t][0])
+		}
+		g.printf("  RETURN n;\nEND Mk%d;\n", t)
+	}
+	g.printf("\nPROCEDURE RecA(d: INTEGER): INTEGER =\nBEGIN\n")
+	g.printf("  IF d <= 0 THEN RETURN 0; END;\n")
+	g.printf("  %s.i0 := %s.i0 + d;\n", g.objVars[0][0], g.objVars[0][0])
+	g.printf("  RETURN RecB(d - 1) + 1;\nEND RecA;\n")
+	g.printf("\nPROCEDURE RecB(d: INTEGER): INTEGER =\nBEGIN\n")
+	g.printf("  IF d <= 0 THEN RETURN 1; END;\n")
+	g.printf("  RETURN RecA(d - 1) + 2;\nEND RecB;\n")
+	g.printf("\nPROCEDURE Esc(VAR o: T0; v: INTEGER) =\nBEGIN\n")
+	g.printf("  IF v MOD 2 = 0 THEN o := NEW(T0); END;\n")
+	g.printf("END Esc;\n")
 }
 
 func (g *gen) proc(idx int) {
@@ -328,7 +392,19 @@ func (g *gen) stmt(depth int) {
 
 func (g *gen) simpleStmt() {
 	ind := g.indent()
-	switch g.pick(8) {
+	switch g.pick(11) {
+	case 8: // virtual dispatch (receivers are always allocated)
+		_, v := g.someObj()
+		g.printf("%s%s := %s.get();\n", ind, g.mutableInt(), v)
+	case 9: // constructor call: a fresh (usually) subtype object
+		u, v := g.someObj()
+		g.printf("%s%s := Mk%d(%s);\n", ind, v, g.subtypeOf(u), g.intExpr(1))
+	case 10: // recursion or a by-ref escape
+		if g.pick(2) == 0 {
+			g.printf("%s%s := RecA(%d);\n", ind, g.mutableInt(), 2+g.pick(5))
+		} else {
+			g.printf("%sEsc(%s, %s);\n", ind, g.objVars[0][g.pick(len(g.objVars[0]))], g.intExpr(1))
+		}
 	case 0: // integer variable assignment
 		g.printf("%s%s := %s;\n", ind, g.mutableInt(), g.intExpr(2))
 	case 1: // heap field store

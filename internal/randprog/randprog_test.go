@@ -149,6 +149,139 @@ func TestPerTypeGroupsSemantics(t *testing.T) {
 	}
 }
 
+// TestInterproceduralPipelineDifferential is the differential harness
+// for the interprocedural layer: on call-heavy random programs
+// (virtual dispatch, mutual recursion, constructors, by-ref escapes),
+// the full pass pipeline — Devirt, MinvInline, RLE, PRE — must produce
+// byte-identical interpreter output at every level × WithInterprocedural
+// setting, and the interprocedural oracle must disambiguate a superset
+// of the flow-sensitive oracle's pairs while RLE removes at least as
+// many loads in every procedure.
+func TestInterproceduralPipelineDifferential(t *testing.T) {
+	configs := []alias.Options{
+		{Level: alias.LevelTypeDecl},
+		{Level: alias.LevelFieldTypeDecl},
+		{Level: alias.LevelSMFieldTypeRefs},
+		{Level: alias.LevelFSTypeRefs},
+		{Level: alias.LevelSMFieldTypeRefs, Interprocedural: true},
+		{Level: alias.LevelIPTypeRefs},
+		{Level: alias.LevelIPTypeRefs, OpenWorld: true},
+	}
+	seeds := 80
+	if testing.Short() {
+		seeds = 20
+	}
+	ran, disambiguated, improvedRLE := 0, 0, 0
+	for seed := int64(5000); seed < int64(5000+seeds); seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		plainProg, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := interp.New(plainProg)
+		in.MaxSteps = 2_000_000
+		want, err := in.Run()
+		if err != nil {
+			continue // trapping program: optimization contracts don't apply
+		}
+		ran++
+		// Property 1: the full pipeline preserves output under every
+		// configuration.
+		for _, opts := range configs {
+			prog, _, err := driver.Compile("rand.m3", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := driver.NewPassEnv(prog, opts)
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			if _, err := driver.RunPasses(env,
+				driver.DevirtPass{}, driver.MinvInlinePass{}, driver.RLEPass{}, driver.PREPass{}); err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			in2 := interp.New(prog)
+			in2.MaxSteps = 8_000_000
+			got, err := in2.Run()
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: pipeline trapped: %v\n%s", seed, opts, err, src)
+			}
+			if got != want {
+				t.Fatalf("seed %d opts %+v: pipeline diverged\nwant %q\ngot  %q\n%s",
+					seed, opts, want, got, src)
+			}
+		}
+		// Property 2 (monotonicity): IP never answers may-alias where FS
+		// answers no-alias — the interprocedural no-alias set is a
+		// superset — and its pair counts never exceed FS's.
+		prog, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsEnv, err := driver.NewPassEnv(prog, alias.Options{Level: alias.LevelFSTypeRefs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipEnv, err := driver.NewPassEnv(prog, alias.Options{Level: alias.LevelIPTypeRefs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, ip := fsEnv.Oracle(), ipEnv.Oracle()
+		refs := alias.References(prog)
+		for i := 0; i < len(refs); i++ {
+			for j := i; j < len(refs); j++ {
+				si := alias.Site{Proc: refs[i].Proc, Instr: refs[i].Instr}
+				sj := alias.Site{Proc: refs[j].Proc, Instr: refs[j].Instr}
+				if ip.MayAliasAt(refs[i].AP, si, refs[j].AP, sj) && !fs.MayAliasAt(refs[i].AP, si, refs[j].AP, sj) {
+					t.Fatalf("seed %d: IP may-alias where FS says no: %s vs %s\n%s",
+						seed, refs[i].AP, refs[j].AP, src)
+				}
+			}
+		}
+		fsPC, ipPC := alias.CountPairs(prog, fs), alias.CountPairs(prog, ip)
+		if ipPC.Global > fsPC.Global || ipPC.Local > fsPC.Local {
+			t.Fatalf("seed %d: IP pair counts exceed FS: IP=%+v FS=%+v", seed, ipPC, fsPC)
+		}
+		if ipPC.Global < fsPC.Global {
+			disambiguated++
+		}
+		// Property 3: IP-driven RLE removes at least as many loads per
+		// procedure as FS-driven RLE.
+		removals := func(lvl alias.Level) opt.RLEResult {
+			p2, _, err := driver.Compile("rand.m3", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := driver.NewPassEnv(p2, alias.Options{Level: lvl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return opt.RLE(p2, env.Oracle(), env.ModRef())
+		}
+		fsRes, ipRes := removals(alias.LevelFSTypeRefs), removals(alias.LevelIPTypeRefs)
+		if ipRes.Removed() < fsRes.Removed() {
+			t.Fatalf("seed %d: IP-driven RLE removed %d < FS's %d\n%s", seed, ipRes.Removed(), fsRes.Removed(), src)
+		}
+		for proc, n := range fsRes.PerProc {
+			if ipRes.PerProc[proc] < n {
+				t.Fatalf("seed %d: IP-driven RLE removed %d < FS's %d in %s\n%s",
+					seed, ipRes.PerProc[proc], n, proc, src)
+			}
+		}
+		if ipRes.Removed() > fsRes.Removed() {
+			improvedRLE++
+		}
+	}
+	t.Logf("ran %d/%d seeds; IP disambiguated pairs on %d, improved RLE on %d",
+		ran, seeds, disambiguated, improvedRLE)
+	if ran < seeds/2 {
+		t.Errorf("too many trapping seeds: only %d of %d ran", ran, seeds)
+	}
+	if disambiguated == 0 && improvedRLE == 0 {
+		t.Error("the interprocedural layer never fired across all seeds — it is inert on call-heavy programs")
+	}
+}
+
 // TestFSTypeRefsIsSoundRefinement pins the two refinement properties on
 // random programs: (1) FSTypeRefs' no-alias set is a superset of
 // SMFieldTypeRefs' — it never answers may-alias where the

@@ -35,6 +35,18 @@ const (
 	// to statement-anchored facts (CountPairs, RLE and PRE kill
 	// decisions). Equivalent to WithFlowSensitive(true).
 	FSTypeRefs = Level(alias.LevelFSTypeRefs)
+	// IPTypeRefs: FSTypeRefs extended with interprocedural mod-ref
+	// summaries over a Rapid Type Analysis call graph. Method calls
+	// dispatch only to implementations selectable by instantiated
+	// receiver types (narrowed further by the TypeRefsTable), each
+	// procedure gets a transitive summary of the access-path classes
+	// and globals its callees may modify (computed bottom-up over
+	// call-graph SCCs, with a sound top for recursion and open-world
+	// escapes), and every call kill — in the flow-sensitive fact layer
+	// and in the RLE/PRE availability dataflows — consults the call's
+	// summary instead of killing everything. Equivalent to
+	// WithInterprocedural(true).
+	IPTypeRefs = Level(alias.LevelIPTypeRefs)
 )
 
 // Levels returns the paper's three analysis levels in ascending
@@ -55,8 +67,9 @@ func (l Level) validate() error {
 }
 
 // ParseLevel maps a level name to a Level: "typedecl", "fieldtypedecl",
-// "smfieldtyperefs", "fstyperefs" (or the shorthands "tbaa" for the
-// paper's most precise level and "fs" for the flow-sensitive
+// "smfieldtyperefs", "fstyperefs", "iptyperefs" (or the shorthands
+// "tbaa" for the paper's most precise level, "fs" for the
+// flow-sensitive extension, and "ip" for the interprocedural
 // extension). Matching is case-insensitive. This is the one
 // level-selection helper shared by cmd/tbaa and cmd/tbaabench.
 func ParseLevel(s string) (Level, error) {
@@ -69,8 +82,10 @@ func ParseLevel(s string) (Level, error) {
 		return SMFieldTypeRefs, nil
 	case "fstyperefs", "fs":
 		return FSTypeRefs, nil
+	case "iptyperefs", "ip":
+		return IPTypeRefs, nil
 	}
-	return 0, fmt.Errorf("tbaa: unknown alias level %q (want typedecl, fieldtypedecl, smfieldtyperefs, or fstyperefs)", s)
+	return 0, fmt.Errorf("tbaa: unknown alias level %q (want typedecl, fieldtypedecl, smfieldtyperefs, fstyperefs, or iptyperefs)", s)
 }
 
 // Set implements flag.Value via ParseLevel, so a *Level registers

@@ -67,6 +67,20 @@ func WithFlowSensitive(fs bool) Option {
 	}
 }
 
+// WithInterprocedural layers interprocedural mod-ref summaries over an
+// RTA call graph on top of the flow-sensitive refinement, so calls
+// kill only what their possible callees may actually modify; with the
+// default level it is equivalent to WithLevel(IPTypeRefs) and implies
+// WithFlowSensitive(true). Like the flow-sensitive refinement it
+// requires SMFieldTypeRefs or above; NewAnalyzer rejects lower levels
+// with a descriptive error.
+func WithInterprocedural(ip bool) Option {
+	return func(c *config) error {
+		c.opts.Interprocedural = ip
+		return nil
+	}
+}
+
 // WithPerTypeGroups selects the paper's footnote-2 variant of
 // SMTypeRefs that maintains a separate group per type (directed
 // propagation) instead of union-find equivalence classes. More precise,

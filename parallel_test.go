@@ -41,6 +41,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	check("TableFS",
 		render(t, seq.TableFS, func(sb *strings.Builder, rows []tbaa.TableFSRow) { tbaa.FprintTableFS(sb, rows) }),
 		render(t, par.TableFS, func(sb *strings.Builder, rows []tbaa.TableFSRow) { tbaa.FprintTableFS(sb, rows) }))
+	check("TableIP",
+		render(t, seq.TableIP, func(sb *strings.Builder, rows []tbaa.TableIPRow) { tbaa.FprintTableIP(sb, rows) }),
+		render(t, par.TableIP, func(sb *strings.Builder, rows []tbaa.TableIPRow) { tbaa.FprintTableIP(sb, rows) }))
 	if testing.Short() {
 		return
 	}
@@ -120,5 +123,22 @@ func TestTableFSGolden(t *testing.T) {
 		func(sb *strings.Builder, rows []tbaa.TableFSRow) { tbaa.FprintTableFS(sb, rows) }) + "\n"
 	if got != string(want) {
 		t.Errorf("Table FS drifted from testdata/tablefs.golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTableIPGolden compares the rendered Table IP against the
+// checked-in golden (exactly `tbaabench -table ip` output) with a full
+// worker pool, pinning both the interprocedural layer's per-benchmark
+// numbers and the byte-stability of the new table under parallel
+// evaluation.
+func TestTableIPGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "tableip.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := render(t, tbaa.NewRunner(0).TableIP,
+		func(sb *strings.Builder, rows []tbaa.TableIPRow) { tbaa.FprintTableIP(sb, rows) }) + "\n"
+	if got != string(want) {
+		t.Errorf("Table IP drifted from testdata/tableip.golden:\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
