@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip cover api api-check examples ci
+.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-baseline profile cover api api-check examples ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,32 @@ golden-ip: build
 bench-ip: build
 	$(GO) run ./cmd/tbaabench -ipjson BENCH_ip.json
 
+# The per-PR query-performance artifact CI uploads: ns/op and allocs/op
+# for MayAlias, MayAliasBatch, and CountPairs at every level on the
+# largest stock benchmark.
+bench-perf-json: build
+	$(GO) run ./cmd/tbaabench -perfjson BENCH_perf.json
+
+# The tracked perf gate: run the tier-1 query benchmarks -count times
+# and fail on >20% ns/op regression against the committed baseline.
+# Refresh the baseline with bench-baseline (and commit it) when a
+# deliberate change or new hardware moves the numbers.
+BENCH_COUNT ?= 5
+BENCH_TIME ?= 300ms
+TRACKED_BENCH = BenchmarkMayAlias$$|BenchmarkCountPairs$$
+bench-perf:
+	$(GO) test ./internal/alias -run=NONE -bench='$(TRACKED_BENCH)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee bench_current.txt
+	$(GO) run ./cmd/benchguard -baseline testdata/bench_perf_baseline.txt -current bench_current.txt -threshold 0.20
+
+bench-baseline:
+	$(GO) test ./internal/alias -run=NONE -bench='$(TRACKED_BENCH)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee testdata/bench_perf_baseline.txt
+
+# pprof evidence for perf PRs: profile the Table 5 sweep (the pair
+# counters are the query-heaviest artifact).
+profile: build
+	$(GO) run ./cmd/tbaabench -cpuprofile cpu.pprof -memprofile mem.pprof -table 5 > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with 'go tool pprof cpu.pprof'"
+
 # Coverage floors on the packages the interprocedural layer lives in;
 # raise the floor as tests accrue, never lower it to ship.
 COVER_FLOOR_MODREF ?= 75
@@ -81,4 +107,4 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip cover api-check examples
+ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf cover api-check examples

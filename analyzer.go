@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"iter"
 	"maps"
+	"runtime"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tbaa/internal/alias"
 	"tbaa/internal/driver"
@@ -23,21 +25,34 @@ import (
 // named by their source syntax ("t.f", "a.b^", "v[i]"); Paths lists
 // the names occurring in the program.
 //
-// An Analyzer is safe for concurrent use: queries serialize on an
-// internal lock, because the memoizing oracle underneath is
-// single-threaded. For CPU parallelism, build one Analyzer per worker
-// from a shared Module — that is exactly what the evaluation harness
-// (Runner) does.
+// An Analyzer is safe for concurrent use, and queries do not block one
+// another: the query path reads an immutable snapshot (the partition
+// oracle plus the access-path index) published through an atomic
+// pointer, so any number of goroutines query in parallel with no lock.
+// The internal mutex is taken only to build the first snapshot, by
+// Invalidate, and by the whole-program executions (Run, Simulate,
+// LimitStudy). Queries that overlap an Invalidate see either the old
+// snapshot or the new one, never a mix.
 type Analyzer struct {
 	mod     *Module
 	results []PassResult
 	stats   *Stats
 
-	mu    sync.Mutex
-	prog  *ir.Program
-	env   *driver.PassEnv
-	paths map[string]*ir.AP // lazily built access-path index
-	names []string          // sorted keys of paths
+	// mu guards snapshot (re)builds and the non-query entry points; the
+	// query fast path never takes it.
+	mu   sync.Mutex
+	prog *ir.Program
+	env  *driver.PassEnv
+	snap atomic.Pointer[querySnap]
+}
+
+// querySnap is one immutable generation of query state: the built
+// oracle and the access-path name index. A snapshot is never mutated
+// after it is published.
+type querySnap struct {
+	oracle *alias.Analysis
+	paths  map[string]*ir.AP
+	names  []string // sorted keys of paths
 }
 
 // NewAnalyzer lowers a fresh program from the module, runs the
@@ -110,11 +125,26 @@ type Verdict struct {
 	Err      error
 }
 
-func (a *Analyzer) ensureIndexLocked() {
-	if a.paths != nil {
-		return
+// snapshot returns the current query snapshot, building and publishing
+// the first one on demand. The fast path is a single atomic load.
+func (a *Analyzer) snapshot() *querySnap {
+	if s := a.snap.Load(); s != nil {
+		return s
 	}
-	a.paths = make(map[string]*ir.AP)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s := a.snap.Load(); s != nil {
+		return s
+	}
+	s := a.buildSnapshotLocked()
+	a.snap.Store(s)
+	return s
+}
+
+// buildSnapshotLocked builds the oracle and the access-path index for
+// the program's current shape; a.mu must be held.
+func (a *Analyzer) buildSnapshotLocked() *querySnap {
+	s := &querySnap{oracle: a.env.Oracle(), paths: make(map[string]*ir.AP)}
 	for _, p := range a.prog.Procs {
 		for _, b := range p.Blocks {
 			for i := range b.Instrs {
@@ -122,45 +152,63 @@ func (a *Analyzer) ensureIndexLocked() {
 				if ap == nil {
 					continue
 				}
-				s := ap.String()
-				if _, ok := a.paths[s]; !ok {
-					a.paths[s] = ap
-					a.names = append(a.names, s)
+				name := ap.String()
+				if _, ok := s.paths[name]; !ok {
+					s.paths[name] = ap
+					s.names = append(s.names, name)
 				}
 			}
 		}
 	}
-	sort.Strings(a.names)
+	sort.Strings(s.names)
+	return s
 }
 
-func (a *Analyzer) resolveLocked(name string) (*ir.AP, error) {
-	a.ensureIndexLocked()
-	if ap, ok := a.paths[name]; ok {
+// Invalidate discards the published query snapshot and every memoized
+// analysis underneath it (oracle, mod-ref summaries, flow facts), then
+// rebuilds and atomically publishes a fresh snapshot. Queries already
+// in flight finish against the snapshot they started with; queries that
+// begin after Invalidate returns see only rebuilt state. Analyzers
+// rebuild to identical verdicts — the program is not mutated after
+// construction — so Invalidate exists for long-lived embedders that
+// want to drop accumulated memo and flow state, and as the rebuild
+// path the pass manager exercises during construction.
+func (a *Analyzer) Invalidate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.env.Invalidate()
+	if a.snap.Load() != nil {
+		a.snap.Store(a.buildSnapshotLocked())
+	}
+}
+
+func (s *querySnap) resolve(file, name string) (*ir.AP, error) {
+	if ap, ok := s.paths[name]; ok {
 		return ap, nil
 	}
-	return nil, &PathError{File: a.mod.File(), Path: name}
+	return nil, &PathError{File: file, Path: name}
 }
 
-func (a *Analyzer) verdictLocked(p Pair) Verdict {
+func (a *Analyzer) verdict(s *querySnap, p Pair) Verdict {
 	v := Verdict{Pair: p}
-	ap, err := a.resolveLocked(p.P)
+	ap, err := s.resolve(a.mod.File(), p.P)
 	if err != nil {
 		v.Err = err
 		return v
 	}
-	aq, err := a.resolveLocked(p.Q)
+	aq, err := s.resolve(a.mod.File(), p.Q)
 	if err != nil {
 		v.Err = err
 		return v
 	}
-	v.MayAlias = a.queryLocked(ap, aq)
+	v.MayAlias = a.query(s, ap, aq)
 	return v
 }
 
-// queryLocked asks the oracle about two resolved paths and maintains
-// the shared stats counters; a.mu must be held.
-func (a *Analyzer) queryLocked(ap, aq *ir.AP) bool {
-	mayAlias := a.env.Oracle().MayAlias(ap, aq)
+// query asks the snapshot's oracle about two resolved paths and
+// maintains the shared stats counters (which are atomic).
+func (a *Analyzer) query(s *querySnap, ap, aq *ir.AP) bool {
+	mayAlias := s.oracle.MayAlias(ap, aq)
 	if a.stats != nil {
 		a.stats.queries.Add(1)
 		if mayAlias {
@@ -173,70 +221,85 @@ func (a *Analyzer) queryLocked(ap, aq *ir.AP) bool {
 // Paths returns the sorted names of every access path occurring in the
 // program — the vocabulary MayAlias queries draw from.
 func (a *Analyzer) Paths() []string {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.ensureIndexLocked()
-	return slices.Clone(a.names)
+	return slices.Clone(a.snapshot().names)
 }
 
 // MayAlias reports whether the two named access paths may denote the
 // same memory location.
 func (a *Analyzer) MayAlias(p, q string) (bool, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	v := a.verdictLocked(Pair{P: p, Q: q})
+	v := a.verdict(a.snapshot(), Pair{P: p, Q: q})
 	return v.MayAlias, v.Err
 }
 
-// MayAliasBatch answers every pair, amortizing the lock and memo
-// lookups over the batch, and returns one Verdict per input pair in
-// order. Cancellation is honored between pairs: once ctx is done, the
-// remaining verdicts carry ctx's error.
+// batchShardMin is the batch size below which MayAliasBatch stays
+// sequential: a partition-oracle query is tens of nanoseconds, so
+// small batches would spend more on goroutine fan-out than on work.
+const batchShardMin = 512
+
+// MayAliasBatch answers every pair against one consistent snapshot and
+// returns one Verdict per input pair in order. Large batches shard the
+// pair vector across GOMAXPROCS workers; the verdict slice is
+// positional, so the result is identical whatever the worker count.
+// Cancellation is honored between pairs: once ctx is done, the
+// remaining verdicts of each worker's stripe carry ctx's error.
 func (a *Analyzer) MayAliasBatch(ctx context.Context, pairs []Pair) []Verdict {
 	out := make([]Verdict, len(pairs))
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	s := a.snapshot()
 	if a.stats != nil {
 		a.stats.batches.Add(1)
 	}
-	for i := range pairs {
-		if err := ctx.Err(); err != nil {
-			for j := i; j < len(pairs); j++ {
-				out[j] = Verdict{Pair: pairs[j], Err: err}
+	fill := func(start, stride int) {
+		for i := start; i < len(pairs); i += stride {
+			if err := ctx.Err(); err != nil {
+				for j := i; j < len(pairs); j += stride {
+					out[j] = Verdict{Pair: pairs[j], Err: err}
+				}
+				return
 			}
-			return out
+			out[i] = a.verdict(s, pairs[i])
 		}
-		out[i] = a.verdictLocked(pairs[i])
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if len(pairs) < batchShardMin || workers <= 1 {
+		fill(0, 1)
+		return out
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fill(w, workers)
+		}(w)
+	}
+	wg.Wait()
 	return out
 }
 
 // Queries returns an iterator over the pairs' verdicts, answering each
-// query lazily as it is pulled. Unlike MayAliasBatch it takes the lock
-// per element, so a long iteration interleaves with other callers. When
-// ctx is canceled the iterator yields one verdict carrying ctx's error
-// and stops.
+// query lazily as it is pulled against the snapshot current when
+// Queries was called. When ctx is canceled the iterator yields one
+// verdict carrying ctx's error and stops.
 //
-// Path names are resolved into a snapshot up front, and a.mu is never
-// held while a verdict is yielded, so the consumer may call MayAlias,
-// AddressTaken, or a nested Queries from inside the loop without
-// self-deadlock (see TestQueriesReentrant).
+// Path names are resolved up front and no lock is held while a verdict
+// is yielded, so the consumer may call MayAlias, AddressTaken, or a
+// nested Queries from inside the loop without self-deadlock (see
+// TestQueriesReentrant).
 func (a *Analyzer) Queries(ctx context.Context, pairs []Pair) iter.Seq[Verdict] {
 	type resolved struct {
 		p, q *ir.AP
 		err  error
 	}
+	s := a.snapshot()
 	rs := make([]resolved, len(pairs))
-	a.mu.Lock()
 	for i, pr := range pairs {
 		var r resolved
-		r.p, r.err = a.resolveLocked(pr.P)
+		r.p, r.err = s.resolve(a.mod.File(), pr.P)
 		if r.err == nil {
-			r.q, r.err = a.resolveLocked(pr.Q)
+			r.q, r.err = s.resolve(a.mod.File(), pr.Q)
 		}
 		rs[i] = r
 	}
-	a.mu.Unlock()
 	return func(yield func(Verdict) bool) {
 		for i, pr := range pairs {
 			if err := ctx.Err(); err != nil {
@@ -245,9 +308,7 @@ func (a *Analyzer) Queries(ctx context.Context, pairs []Pair) iter.Seq[Verdict] 
 			}
 			v := Verdict{Pair: pr, Err: rs[i].err}
 			if v.Err == nil {
-				a.mu.Lock()
-				v.MayAlias = a.queryLocked(rs[i].p, rs[i].q)
-				a.mu.Unlock()
+				v.MayAlias = a.query(s, rs[i].p, rs[i].q)
 			}
 			if !yield(v) {
 				return
@@ -260,13 +321,12 @@ func (a *Analyzer) Queries(ctx context.Context, pairs []Pair) iter.Seq[Verdict] 
 // location the named path denotes (Table 2's AddressTaken predicate,
 // widened under the open-world assumption).
 func (a *Analyzer) AddressTaken(path string) (bool, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	ap, err := a.resolveLocked(path)
+	s := a.snapshot()
+	ap, err := s.resolve(a.mod.File(), path)
 	if err != nil {
 		return false, err
 	}
-	return a.env.Oracle().AddressTaken(ap), nil
+	return s.oracle.AddressTaken(ap), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -283,11 +343,12 @@ type PairCounts struct {
 }
 
 // CountPairs computes the static alias-pair metrics under this
-// analyzer's oracle.
+// analyzer's oracle. At flow-insensitive levels the partition oracle
+// answers with class-size arithmetic instead of a quadratic query
+// sweep; the flow-sensitive levels fan per-procedure work across a
+// worker pool. Safe to call concurrently with queries.
 func (a *Analyzer) CountPairs() PairCounts {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	pc := alias.CountPairs(a.prog, a.env.Oracle())
+	pc := alias.CountPairs(a.prog, a.snapshot().oracle)
 	return PairCounts{References: pc.References, Local: pc.Local, Global: pc.Global}
 }
 
@@ -307,9 +368,7 @@ func (a *Analyzer) ReferenceTypes() []string {
 // maintain no table (raw subtype sets are used) and return an empty
 // map.
 func (a *Analyzer) TypeRefs() map[string][]string {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	o := a.env.Oracle()
+	o := a.snapshot().oracle
 	out := make(map[string][]string)
 	for _, t := range a.prog.Universe.ReferenceTypes() {
 		refs := o.TypeRefs(t)

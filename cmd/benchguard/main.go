@@ -1,0 +1,156 @@
+// Command benchguard compares two `go test -bench` output files and
+// fails when any tracked benchmark regressed beyond a threshold. It is
+// the enforcement half of the bench-perf CI job: benchstat renders the
+// human-readable comparison, benchguard turns ">20% slower than the
+// committed baseline" into a non-zero exit.
+//
+// Usage:
+//
+//	benchguard -baseline testdata/bench_perf_baseline.txt -current out.txt \
+//	    -threshold 0.20 -match BenchmarkMayAlias,BenchmarkCountPairs
+//
+// Benchmarks are matched by name prefix after stripping the -N
+// GOMAXPROCS suffix; of the repeated measurements of one benchmark
+// (-count=5) the minimum is compared — the noise-robust estimator of a
+// benchmark's true cost, since scheduling interference only ever adds
+// time. A benchmark present in the baseline
+// but missing from the current run is an error (a silently deleted
+// benchmark must not pass the gate); new benchmarks absent from the
+// baseline pass with a note.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline `file` (committed go test -bench output)")
+	current := flag.String("current", "", "current `file` (fresh go test -bench output)")
+	threshold := flag.Float64("threshold", 0.20, "maximum allowed ns/op regression (0.20 = +20%)")
+	match := flag.String("match", "BenchmarkMayAlias,BenchmarkCountPairs", "comma-separated benchmark name prefixes to gate")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := parseBench(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseBench(*current)
+	if err != nil {
+		fatal(err)
+	}
+	prefixes := strings.Split(*match, ",")
+	tracked := func(name string) bool {
+		for _, p := range prefixes {
+			if p != "" && strings.HasPrefix(name, strings.TrimSpace(p)) {
+				return true
+			}
+		}
+		return false
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if tracked(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no tracked benchmarks in %s (match %q)", *baseline, *match))
+	}
+	failed := false
+	for _, name := range names {
+		b := minOf(base[name])
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("FAIL %-44s missing from current run\n", name)
+			failed = true
+			continue
+		}
+		cm := minOf(c)
+		delta := (cm - b) / b
+		status := "ok  "
+		if delta > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-44s %10.1f ns/op -> %10.1f ns/op  (%+.1f%%, limit +%.0f%%)\n",
+			status, name, b, cm, 100*delta, 100**threshold)
+	}
+	for name := range cur {
+		if tracked(name) {
+			if _, ok := base[name]; !ok {
+				fmt.Printf("note %-44s new benchmark (no baseline)\n", name)
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: tracked benchmarks regressed beyond the threshold")
+		fmt.Fprintln(os.Stderr, "benchguard: if the change is intentional, refresh the baseline with 'make bench-baseline' and commit it")
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts ns/op samples per benchmark name from a go test
+// -bench output file, stripping the -N GOMAXPROCS suffix.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op in %q", path, sc.Text())
+				}
+				out[name] = append(out[name], v)
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,8 @@
 //	tbaabench -parallel 1        # force the sequential path
 //	tbaabench -fsjson BENCH_fs.json  # write the Table FS JSON artifact
 //	tbaabench -ipjson BENCH_ip.json  # write the Table IP JSON artifact
+//	tbaabench -perfjson BENCH_perf.json  # measure and write the query-perf artifact
+//	tbaabench -cpuprofile cpu.out -table 5  # pprof evidence for perf PRs
 //
 // Output is byte-identical for every worker count: configurations are
 // fanned out as independent cells and reassembled in paper order.
@@ -22,7 +24,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -35,7 +39,41 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
 	fsJSON := flag.String("fsjson", "", "write the Table FS metrics as JSON to `file` (- for stdout)")
 	ipJSON := flag.String("ipjson", "", "write the Table IP metrics as JSON to `file` (- for stdout)")
+	perfJSON := flag.String("perfjson", "", "measure query perf (MayAlias, MayAliasBatch, CountPairs per level) and write JSON to `file` (- for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to `file`")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle live-object stats before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	// Batch tool: the compile cache keeps every benchmark's checked
 	// module live while the simulators churn allocations, so trade heap
@@ -59,6 +97,22 @@ func main() {
 			fatal(fmt.Errorf("invalid -table %q (want 4, 5, 6, fs, or ip)", *table))
 		}
 		tableIdx = n
+	}
+
+	if *perfJSON != "" {
+		rows, err := tbaa.MeasurePerf()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSONArtifact(*perfJSON, rows, tbaa.WritePerfJSON); err != nil {
+			fatal(err)
+		}
+		if *perfJSON != "-" {
+			tbaa.FprintPerf(os.Stdout, rows)
+		}
+		if tableIdx == 0 && *figure == 0 && *fsJSON == "" && *ipJSON == "" {
+			return
+		}
 	}
 
 	if *fsJSON != "" {

@@ -109,15 +109,30 @@
 //
 // Access paths are named by their source syntax ("t.f", "a.b^",
 // "v[i]"; Analyzer.Paths lists the vocabulary). MayAlias answers one
-// query; MayAliasBatch answers a slice of Pairs under a single lock
-// acquisition, amortizing memo traffic, honoring context cancellation
+// query; MayAliasBatch answers a slice of Pairs, sharding large
+// vectors across GOMAXPROCS workers, honoring context cancellation
 // between pairs, and returning one Verdict per Pair; Queries is the
-// lazy iterator form. Analyzers are safe for concurrent callers —
-// queries serialize on an internal lock because the memoizing oracle
-// is single-threaded — so share one Analyzer for convenience, or build
-// one per goroutine from a shared Module for parallel speedup.
-// WithStats attaches an atomic query-counter that may be shared across
-// a fleet of Analyzers.
+// lazy iterator form. WithStats attaches an atomic query-counter that
+// may be shared across a fleet of Analyzers.
+//
+// # Query snapshots and concurrency
+//
+// An Analyzer is safe for concurrent use and its queries never block
+// one another: the query path reads an immutable snapshot — the
+// partition oracle (alias classes over the program's interned access
+// paths plus a precomputed compatibility bitmatrix, making a
+// context-free MayAlias two ID loads and a bitset test) and the
+// access-path name index — published through an atomic pointer. Every
+// query resolves against exactly one snapshot, so a batch or iteration
+// always sees internally consistent verdicts. Invalidate discards the
+// memoized analysis state (oracle, mod-ref summaries, flow facts) and
+// atomically publishes a rebuilt snapshot: queries in flight finish
+// against the snapshot they started with, queries that start after
+// Invalidate returns see only the rebuilt state, and rebuilds are
+// deterministic, so verdicts never change across generations. One
+// Analyzer can therefore serve many goroutines at full parallelism;
+// building one Analyzer per goroutine from a shared Module remains
+// useful only to parallelize pass pipelines, not queries.
 //
 // # Optimization passes
 //

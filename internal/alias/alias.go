@@ -14,6 +14,8 @@ package alias
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"tbaa/internal/ir"
 	"tbaa/internal/types"
@@ -139,9 +141,13 @@ type Oracle interface {
 	Name() string
 }
 
-// Analysis is a built TBAA instance for one program. It memoizes
-// MayAlias per access-path pair, so a single Analysis must not be
-// queried from multiple goroutines; build one per worker instead.
+// Analysis is a built TBAA instance for one program. Once constructed
+// it is safe for concurrent queries: the partition oracle and the
+// AddressTaken tables are immutable, the MayAlias memo is a sharded
+// cache, and the flow-sensitive layer builds per-procedure facts behind
+// its own synchronization. Construction itself (New) interns access
+// paths into the program and must not run concurrently with another New
+// over the same Program.
 type Analysis struct {
 	prog *ir.Program
 	u    *types.Universe
@@ -162,7 +168,18 @@ type Analysis struct {
 	// that run AddressTaken), keyed by the AP pointer pair in the
 	// orientation produced by fieldTypeDecl's rank normalization —
 	// identical for both query orders, so one entry is order-insensitive.
-	memo map[[2]*ir.AP]bool
+	memo *memoCache
+	// apIdx holds the program's interned access paths and canonical
+	// prefix chains (built in New; see ir.InternAPs).
+	apIdx *ir.APIndex
+	// part is the partition oracle: alias classes over the interned
+	// paths plus a class × class compatibility bitmatrix, making
+	// context-free MayAlias two ID loads and a bitset test. Built on
+	// first use (partOnce) and immutable afterwards; noPart disables it
+	// for the differential tests that pin it to the case analysis.
+	part     atomic.Pointer[partition]
+	partOnce sync.Once
+	noPart   bool
 	// flow is the per-procedure flow-sensitive refinement layer, present
 	// at LevelFSTypeRefs and above. Procedure facts are built lazily on
 	// the first site-aware query and dropped by InvalidateFlow.
@@ -171,20 +188,27 @@ type Analysis struct {
 	// layer's call-kill rule (LevelIPTypeRefs; see SetCallSummaries).
 	// While nil, calls kill every flow fact — the FSTypeRefs rule.
 	summaries CallSummaries
-	// prefixCache memoizes StoreKills' proper-prefix APs per path, so
-	// repeated kill queries reuse pointer-stable APs and stay effective
-	// against the pointer-keyed MayAlias memo.
+	// prefixMu/prefixCache memoize StoreKills' proper-prefix APs for
+	// paths the intern index has no canonical chain for (paths
+	// materialized after construction); interned paths use apIdx.
+	prefixMu    sync.RWMutex
 	prefixCache map[*ir.AP][]*ir.AP
 }
-
-// memoLimit bounds the MayAlias cache; when it fills, the cache is
-// dropped and rebuilt.
-const memoLimit = 1 << 18
 
 // New builds a TBAA analysis over a lowered program. It panics if opts
 // is invalid (see Options.Validate); callers constructing options from
 // untrusted input should call Validate first and surface the error.
+//
+// New interns the program's access paths (ir.InternAPs) as part of
+// construction: two New calls over one Program must not run
+// concurrently, but rebuilding over an unchanged program writes
+// nothing, so a rebuild may overlap queries against an earlier
+// Analysis of the same program.
 func New(prog *ir.Program, opts Options) *Analysis {
+	return newAnalysis(prog, opts, true)
+}
+
+func newAnalysis(prog *ir.Program, opts Options, usePartition bool) *Analysis {
 	if err := opts.Validate(); err != nil {
 		panic(err)
 	}
@@ -196,7 +220,8 @@ func New(prog *ir.Program, opts Options) *Analysis {
 		addrFields: prog.AddressTakenFields,
 		addrElems:  prog.AddressTakenElems,
 		addrOwners: make(map[string][]types.Type, len(prog.AddressTakenFields)),
-		memo:       make(map[[2]*ir.AP]bool),
+		memo:       newMemoCache(),
+		noPart:     !usePartition,
 	}
 	for key := range prog.AddressTakenFields {
 		a.addrOwners[key.Field] = append(a.addrOwners[key.Field], prog.Universe.ByID(key.TypeID))
@@ -211,6 +236,9 @@ func New(prog *ir.Program, opts Options) *Analysis {
 	if opts.Level >= LevelFSTypeRefs {
 		a.flow = newFlow(a)
 	}
+	if usePartition {
+		a.apIdx = ir.InternAPs(prog)
+	}
 	return a
 }
 
@@ -223,28 +251,35 @@ func (a *Analysis) Name() string {
 	return n
 }
 
-// MayAlias implements Oracle. Cheap cases (a type-set intersection or
-// two) are recomputed every time; the Table 2 cases that run
-// AddressTaken are memoized inside fieldTypeDecl, because they walk
-// owner-type lists and RLE re-asks them for the same AP pairs
-// throughout its dataflow iteration.
+// MayAlias implements Oracle. Interned paths (everything occurring in
+// the program, plus the canonical prefixes the kill rules walk) answer
+// through the partition oracle — two ID loads and a bitset test. Paths
+// the partition has never seen fall back to the case analysis, whose
+// cheap cases (a type-set intersection or two) are recomputed every
+// time while the Table 2 cases that run AddressTaken are memoized,
+// because they walk owner-type lists and RLE re-asks them for the same
+// AP pairs throughout its dataflow iteration.
 func (a *Analysis) MayAlias(p, q *ir.AP) bool {
+	if !a.noPart {
+		part := a.partition()
+		if ci := part.classOf(p); ci >= 0 {
+			if cj := part.classOf(q); cj >= 0 {
+				return part.compat[ci].Has(int(cj))
+			}
+		}
+	}
+	return a.mayAliasCase(p, q)
+}
+
+// mayAliasCase is the case-analysis verdict (the pre-partition
+// MayAlias): the level's base relation for bare paths, Table 2
+// otherwise. The partition builder calls it on class representatives;
+// queries only reach it for paths materialized after the build.
+func (a *Analysis) mayAliasCase(p, q *ir.AP) bool {
 	if a.opts.Level == LevelTypeDecl {
 		return a.typeCompat(p.Type(), q.Type())
 	}
 	return a.fieldTypeDecl(p, q)
-}
-
-// memoStore records a costly answer. Callers pass the pair in the
-// orientation produced by fieldTypeDecl's rank normalization, which is
-// identical for both query orders — the canonical key — so a single
-// entry serves MayAlias(p, q) and MayAlias(q, p) alike.
-func (a *Analysis) memoStore(p, q *ir.AP, v bool) bool {
-	if len(a.memo) >= memoLimit {
-		clear(a.memo)
-	}
-	a.memo[[2]*ir.AP{p, q}] = v
-	return v
 }
 
 // typeCompat is the level-appropriate base relation: TypeDecl's subtype
@@ -411,10 +446,13 @@ func (a *Analysis) fieldTypeDecl(p, q *ir.AP) bool {
 		return a.typeCompat(prefixType(p), prefixType(q))
 	// Case 3: p.f vs q^ — memoized, AddressTaken is the expensive step.
 	case 1: // field-like vs deref
-		if v, hit := a.memo[[2]*ir.AP{p, q}]; hit {
+		k := memoKey{p, q}
+		if v, hit := a.memo.get(k); hit {
 			return v
 		}
-		return a.memoStore(p, q, a.AddressTaken(p) && a.typeCompat(p.Type(), q.Type()))
+		v := a.AddressTaken(p) && a.typeCompat(p.Type(), q.Type())
+		a.memo.put(k, v)
+		return v
 	// Case 5: p.f vs q[i] — never aliases in Modula-3.
 	case 2: // field-like vs index
 		return false
@@ -423,10 +461,13 @@ func (a *Analysis) fieldTypeDecl(p, q *ir.AP) bool {
 		return a.typeCompat(p.Type(), q.Type())
 	// Case 4: p^ vs q[i] — memoized like case 3.
 	case 5: // deref vs index
-		if v, hit := a.memo[[2]*ir.AP{p, q}]; hit {
+		k := memoKey{p, q}
+		if v, hit := a.memo.get(k); hit {
 			return v
 		}
-		return a.memoStore(p, q, a.AddressTaken(q) && a.typeCompat(p.Type(), q.Type()))
+		v := a.AddressTaken(q) && a.typeCompat(p.Type(), q.Type())
+		a.memo.put(k, v)
+		return v
 	// Case 6: p[i] vs q[j] — ignore the subscripts, compare the arrays.
 	case 8: // index vs index
 		return a.typeCompat(subscriptPrefixType(p), subscriptPrefixType(q))

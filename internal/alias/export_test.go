@@ -1,0 +1,10 @@
+package alias
+
+import "tbaa/internal/ir"
+
+// NewCaseOnly builds an Analysis with the partition oracle disabled, so
+// every query runs the original case analysis. The differential tests
+// pin the partition oracle's answers to this reference implementation.
+func NewCaseOnly(prog *ir.Program, opts Options) *Analysis {
+	return newAnalysis(prog, opts, false)
+}

@@ -1,6 +1,8 @@
 package alias
 
 import (
+	"sync"
+
 	"tbaa/internal/cfg"
 	"tbaa/internal/ir"
 	"tbaa/internal/types"
@@ -100,20 +102,35 @@ func (a *Analysis) StoreKills(p *ir.AP, ps Site, dst *ir.AP, qs Site) bool {
 	return false
 }
 
-// prefixes returns p's proper prefixes of selector length >= 1, cached
-// per path pointer.
+// prefixes returns p's proper prefixes of selector length >= 1. Paths
+// interned at construction answer from the index's canonical chains
+// (shared, pointer-stable, and themselves interned, so the partition
+// oracle serves the kill queries against them); anything else is built
+// on demand behind a lock and cached per path pointer.
 func (a *Analysis) prefixes(p *ir.AP) []*ir.AP {
-	if pre, ok := a.prefixCache[p]; ok {
+	if len(p.Sels) < 2 {
+		return nil
+	}
+	if a.apIdx != nil {
+		if pre := a.apIdx.Prefixes(p); pre != nil {
+			return pre
+		}
+	}
+	a.prefixMu.RLock()
+	pre, ok := a.prefixCache[p]
+	a.prefixMu.RUnlock()
+	if ok {
 		return pre
 	}
-	var pre []*ir.AP
 	for k := 1; k < len(p.Sels); k++ {
 		pre = append(pre, &ir.AP{Root: p.Root, Sels: p.Sels[:k]})
 	}
+	a.prefixMu.Lock()
 	if a.prefixCache == nil {
 		a.prefixCache = make(map[*ir.AP][]*ir.AP)
 	}
 	a.prefixCache[p] = pre
+	a.prefixMu.Unlock()
 	return pre
 }
 
@@ -128,9 +145,11 @@ func (a *Analysis) InvalidateFlow(procs ...*ir.Proc) {
 	if a.flow == nil {
 		return
 	}
+	a.flow.mu.Lock()
 	for _, p := range procs {
 		delete(a.flow.procs, p)
 	}
+	a.flow.mu.Unlock()
 }
 
 // ---------------------------------------------------------------------------
@@ -162,12 +181,22 @@ type procFlow struct {
 }
 
 type flow struct {
-	a     *Analysis
-	procs map[*ir.Proc]*procFlow
+	a *Analysis
+	// mu guards the procs map only; each entry's once serializes that
+	// procedure's solve, so distinct procedures solve concurrently (the
+	// parallel CountPairs prebuild fans them across a worker pool).
+	mu    sync.Mutex
+	procs map[*ir.Proc]*procEntry
+}
+
+// procEntry builds one procedure's facts at most once per program shape.
+type procEntry struct {
+	once sync.Once
+	pf   *procFlow
 }
 
 func newFlow(a *Analysis) *flow {
-	return &flow{a: a, procs: make(map[*ir.Proc]*procFlow)}
+	return &flow{a: a, procs: make(map[*ir.Proc]*procEntry)}
 }
 
 // tracked reports whether the dataflow follows v's value: reference-
@@ -240,14 +269,17 @@ func (f *flow) valueSet(root *ir.Var, s Site) types.Bitset {
 }
 
 // factsFor returns (building on first use) the per-statement facts for
-// a procedure in its current shape.
+// a procedure in its current shape. Safe for concurrent callers.
 func (f *flow) factsFor(p *ir.Proc) *procFlow {
-	if pf := f.procs[p]; pf != nil {
-		return pf
+	f.mu.Lock()
+	e := f.procs[p]
+	if e == nil {
+		e = &procEntry{}
+		f.procs[p] = e
 	}
-	pf := f.solve(p)
-	f.procs[p] = pf
-	return pf
+	f.mu.Unlock()
+	e.once.Do(func() { e.pf = f.solve(p) })
+	return e.pf
 }
 
 // querySite reports whether facts are snapshotted at this instruction:

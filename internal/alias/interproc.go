@@ -31,6 +31,8 @@ type CallSummaries interface {
 func (a *Analysis) SetCallSummaries(cs CallSummaries) {
 	a.summaries = cs
 	if a.flow != nil {
+		a.flow.mu.Lock()
 		clear(a.flow.procs)
+		a.flow.mu.Unlock()
 	}
 }

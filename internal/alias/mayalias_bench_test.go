@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tbaa/internal/alias"
+	"tbaa/internal/bench"
 	"tbaa/internal/driver"
 	"tbaa/internal/ir"
 	"tbaa/internal/randprog"
@@ -87,5 +88,86 @@ func BenchmarkBuildSMTypeRefs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		alias.New(prog, alias.Options{Level: alias.LevelSMFieldTypeRefs})
+	}
+}
+
+// --- Tracked perf benchmarks (stock suite) --------------------------------
+//
+// BenchmarkMayAlias and BenchmarkCountPairs run on the largest stock
+// benchmark (m3cg) and are the two benchmarks the bench-perf CI job
+// tracks against testdata/bench_perf_baseline.txt. Keep their shapes
+// stable: the regression gate compares ns/op by exact benchmark name.
+
+// stockProgram compiles the named stock-suite benchmark.
+func stockProgram(b *testing.B, name string) (*ir.Program, []alias.Ref) {
+	b.Helper()
+	bm, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("no stock benchmark %q", name)
+	}
+	prog, _, err := driver.Compile(bm.Name, bm.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs := alias.References(prog)
+	if len(refs) < 2 {
+		b.Fatal("stock program has too few heap references")
+	}
+	return prog, refs
+}
+
+// perfLevels are the level sweeps the tracked benchmarks cover.
+var perfLevels = []alias.Level{
+	alias.LevelTypeDecl,
+	alias.LevelFieldTypeDecl,
+	alias.LevelSMFieldTypeRefs,
+	alias.LevelFSTypeRefs,
+	alias.LevelIPTypeRefs,
+}
+
+// BenchmarkMayAlias measures the steady-state context-free query on
+// m3cg, per level, over a fixed cycle of reference pairs. The pair
+// schedule is precomputed so the loop measures only the oracle.
+func BenchmarkMayAlias(b *testing.B) {
+	prog, refs := stockProgram(b, "m3cg")
+	for _, lvl := range perfLevels {
+		b.Run(lvl.String(), func(b *testing.B) {
+			a := alias.New(prog, alias.Options{Level: lvl})
+			n := len(refs)
+			type pair struct{ p, q *ir.AP }
+			pairs := make([]pair, 0, 4096)
+			for i := 0; len(pairs) < cap(pairs); i++ {
+				pairs = append(pairs, pair{refs[i%n].AP, refs[(i*7+1)%n].AP})
+			}
+			a.MayAlias(pairs[0].p, pairs[0].q) // warm any lazily built tables
+			b.ReportAllocs()
+			b.ResetTimer()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				pr := pairs[i%len(pairs)]
+				if a.MayAlias(pr.p, pr.q) {
+					hits++
+				}
+			}
+			_ = hits
+		})
+	}
+}
+
+// BenchmarkCountPairs measures the Table 5 pair sweep on m3cg, per
+// level, against a prebuilt analysis — the steady-state regime of the
+// harness, where one oracle serves many CountPairs calls.
+func BenchmarkCountPairs(b *testing.B) {
+	prog, _ := stockProgram(b, "m3cg")
+	for _, lvl := range perfLevels {
+		b.Run(lvl.String(), func(b *testing.B) {
+			a := alias.New(prog, alias.Options{Level: lvl})
+			alias.CountPairs(prog, a) // warm flow facts and lazy tables
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				alias.CountPairs(prog, a)
+			}
+		})
 	}
 }

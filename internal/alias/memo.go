@@ -1,0 +1,85 @@
+package alias
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"tbaa/internal/ir"
+)
+
+// memoCache caches costly MayAlias verdicts (the Table 2 cases that run
+// AddressTaken). It is sharded so concurrent queries on the Analyzer's
+// lock-free read path do not contend on one mutex, and each shard keeps
+// two generations so hitting the capacity limit no longer drops every
+// cached verdict at once: filling the current generation demotes it to
+// "previous" (dropping what was there), and a hit in the previous
+// generation promotes the entry back into the current one. A verdict
+// that is queried at least once per eviction cycle therefore survives
+// indefinitely; only entries that went a whole generation unused are
+// evicted.
+type memoCache struct {
+	seed   maphash.Seed
+	shards [memoShards]memoShard
+}
+
+// memoKey is an AP pair in the orientation produced by the case
+// analysis' rank normalization — identical for both query orders, so
+// one entry is order-insensitive.
+type memoKey [2]*ir.AP
+
+const (
+	// memoShards must be a power of two.
+	memoShards = 16
+	// memoLimit bounds the cache: at most two generations of
+	// memoLimit/memoShards entries per shard.
+	memoLimit      = 1 << 18
+	memoShardLimit = memoLimit / memoShards
+)
+
+type memoShard struct {
+	mu   sync.Mutex
+	cur  map[memoKey]bool
+	prev map[memoKey]bool
+}
+
+func newMemoCache() *memoCache {
+	return &memoCache{seed: maphash.MakeSeed()}
+}
+
+func (c *memoCache) shard(k memoKey) *memoShard {
+	return &c.shards[maphash.Comparable(c.seed, k)&(memoShards-1)]
+}
+
+// get returns the cached verdict for k. A hit in the previous
+// generation re-inserts the entry into the current one.
+func (c *memoCache) get(k memoKey) (v, ok bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.cur[k]; ok {
+		return v, true
+	}
+	if v, ok := s.prev[k]; ok {
+		s.putLocked(k, v)
+		return v, true
+	}
+	return false, false
+}
+
+// put records a verdict.
+func (c *memoCache) put(k memoKey, v bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	s.putLocked(k, v)
+	s.mu.Unlock()
+}
+
+func (s *memoShard) putLocked(k memoKey, v bool) {
+	if len(s.cur) >= memoShardLimit {
+		s.prev, s.cur = s.cur, nil
+	}
+	if s.cur == nil {
+		s.cur = make(map[memoKey]bool)
+	}
+	s.cur[k] = v
+}

@@ -1,0 +1,100 @@
+package alias
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
+
+// memoTestKeys fabricates n distinct memo keys. The APs carry just
+// enough structure to be distinct pointers; the cache never inspects
+// them.
+func memoTestKeys(n int) []memoKey {
+	root := &ir.Var{Name: "m"}
+	keys := make([]memoKey, n)
+	for i := range keys {
+		t := types.Type(nil)
+		_ = t
+		p := &ir.AP{Root: root, Sels: []ir.APSel{{Kind: ir.SelField, Field: fmt.Sprintf("f%d", i)}}}
+		q := &ir.AP{Root: root}
+		keys[i] = memoKey{p, q}
+	}
+	return keys
+}
+
+// TestMemoHotVerdictSurvivesEviction pins the two-generation eviction
+// scheme: a verdict that keeps being queried stays cached across
+// capacity rotations, where the old wholesale clear() dropped it along
+// with everything else.
+func TestMemoHotVerdictSurvivesEviction(t *testing.T) {
+	c := newMemoCache()
+	hot := memoTestKeys(1)[0]
+	c.put(hot, true)
+
+	// Insert more entries than two full generations hold, touching the
+	// hot key at least once per shard-rotation interval.
+	cold := memoTestKeys(2*memoLimit + memoLimit/2)
+	for i, k := range cold {
+		c.put(k, false)
+		if i%(memoShardLimit/2) == 0 {
+			if v, ok := c.get(hot); !ok || !v {
+				t.Fatalf("hot verdict lost after %d cold inserts", i+1)
+			}
+		}
+	}
+	if v, ok := c.get(hot); !ok || !v {
+		t.Fatal("hot verdict evicted despite being queried every cycle")
+	}
+
+	// An entry nobody touched for two generations must be gone — the
+	// cache is still bounded.
+	evicted := 0
+	for _, k := range cold[:memoShardLimit] {
+		if _, ok := c.get(k); !ok {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("no cold entries were evicted; the cache is unbounded")
+	}
+}
+
+// TestMemoBounded checks the per-shard two-generation capacity.
+func TestMemoBounded(t *testing.T) {
+	c := newMemoCache()
+	for _, k := range memoTestKeys(2*memoLimit + memoLimit/2) {
+		c.put(k, true)
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		if n := len(s.cur) + len(s.prev); n > 2*memoShardLimit {
+			t.Fatalf("shard %d holds %d entries, want <= %d", i, n, 2*memoShardLimit)
+		}
+	}
+}
+
+// TestMemoConcurrent hammers one cache from many goroutines under the
+// race detector.
+func TestMemoConcurrent(t *testing.T) {
+	c := newMemoCache()
+	keys := memoTestKeys(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				k := keys[(i*7+g)%len(keys)]
+				if v, ok := c.get(k); ok && !v {
+					t.Error("verdict flipped")
+					return
+				}
+				c.put(k, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

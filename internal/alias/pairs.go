@@ -1,6 +1,13 @@
 package alias
 
-import "tbaa/internal/ir"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
 
 // Ref is one static heap memory reference (a source-level load or store
 // through a pointer).
@@ -48,7 +55,22 @@ type PairCounts struct {
 // Each reference trivially aliases itself; self-pairs are excluded.
 // Site-aware oracles (FSTypeRefs) are queried with each reference's own
 // statement, so flow-sensitive narrowing shrinks the counts.
+//
+// An Analysis answers through its partition oracle: at flow-insensitive
+// levels the quadratic sweep collapses to class-size arithmetic, and at
+// the flow-sensitive levels the per-site refinement batches references
+// per procedure and fans the work across a worker pool. Both produce
+// exactly the counts the pairwise oracle sweep would.
 func CountPairs(prog *ir.Program, o Oracle) PairCounts {
+	if a, ok := o.(*Analysis); ok && !a.noPart {
+		return a.countPairs(prog)
+	}
+	return countPairsGeneric(prog, o)
+}
+
+// countPairsGeneric is the reference implementation: one MayAliasAt
+// query per pair of references.
+func countPairsGeneric(prog *ir.Program, o Oracle) PairCounts {
 	refs := References(prog)
 	pc := PairCounts{References: len(refs)}
 	for i := 0; i < len(refs); i++ {
@@ -64,4 +86,176 @@ func CountPairs(prog *ir.Program, o Oracle) PairCounts {
 		}
 	}
 	return pc
+}
+
+// countPairs is the partition-accelerated sweep.
+func (a *Analysis) countPairs(prog *ir.Program) PairCounts {
+	refs := References(prog)
+	part := a.partition()
+	cls := make([]int32, len(refs))
+	for i := range refs {
+		c := part.classOf(refs[i].AP)
+		if c < 0 {
+			// The program grew paths after this analysis was built (a
+			// stale analysis over a mutated program); answer with the
+			// reference sweep rather than a partial partition.
+			return countPairsGeneric(prog, a)
+		}
+		cls[i] = c
+	}
+	if a.flow == nil {
+		return countPairsArithmetic(refs, cls, part)
+	}
+	return a.countPairsFlow(refs, cls, part)
+}
+
+// countPairsArithmetic computes the flow-insensitive metrics without a
+// single oracle query: references of one class are interchangeable, so
+// the global count is a sum over compatible class pairs of the product
+// of their populations, and the local count repeats that per procedure.
+func countPairsArithmetic(refs []Ref, cls []int32, part *partition) PairCounts {
+	pc := PairCounts{References: len(refs)}
+	n := len(part.reps)
+	cnt := make([]int, n)
+	for _, c := range cls {
+		cnt[c]++
+	}
+	for c1 := 0; c1 < n; c1++ {
+		n1 := cnt[c1]
+		if n1 == 0 {
+			continue
+		}
+		if part.compat[c1].Has(c1) {
+			pc.Global += n1 * (n1 - 1) / 2
+		}
+		for c2 := c1 + 1; c2 < n; c2++ {
+			if cnt[c2] != 0 && part.compat[c1].Has(c2) {
+				pc.Global += n1 * cnt[c2]
+			}
+		}
+	}
+	// Local pairs: the same arithmetic per procedure. References stay
+	// grouped by procedure in program order, so each group is one
+	// contiguous run of the refs slice.
+	for lo := 0; lo < len(refs); {
+		hi := lo + 1
+		for hi < len(refs) && refs[hi].Proc == refs[lo].Proc {
+			hi++
+		}
+		for i := lo; i < hi; i++ {
+			row := part.compat[cls[i]]
+			for j := i + 1; j < hi; j++ {
+				if row.Has(int(cls[j])) {
+					pc.Local++
+				}
+			}
+		}
+		lo = hi
+	}
+	return pc
+}
+
+// countPairsFlow computes the site-anchored metrics (FSTypeRefs and
+// above): the partition answers the context-free half, and the
+// flow-sensitive refinement is evaluated from per-reference narrowed
+// sets. Procedure facts prebuild in parallel (batched per procedure),
+// and the pair sweep stripes across a worker pool; partial sums of
+// integers make the result identical for any worker count.
+func (a *Analysis) countPairsFlow(refs []Ref, cls []int32, part *partition) PairCounts {
+	pc := PairCounts{References: len(refs)}
+	var procs []*ir.Proc
+	seen := make(map[*ir.Proc]bool)
+	for i := range refs {
+		if p := refs[i].Proc; !seen[p] {
+			seen[p] = true
+			procs = append(procs, p)
+		}
+	}
+	parallelDo(len(procs), func(i int) { a.flow.factsFor(procs[i]) })
+	// sets[i] is the narrowed allocated-type set of refs[i]'s root at its
+	// site, or nil when the refinement cannot speak for it — exactly the
+	// inputs of flow.disjoint.
+	sets := make([]types.Bitset, len(refs))
+	for i := range refs {
+		if rootOwned(refs[i].AP) {
+			sets[i] = a.flow.valueSet(refs[i].AP.Root, Site{Proc: refs[i].Proc, Instr: refs[i].Instr})
+		}
+	}
+	workers := 1
+	if len(refs) >= 128 {
+		workers = parallelWorkers(len(refs))
+	}
+	type partial struct{ local, global int }
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var local, global int
+			for i := w; i < len(refs); i += workers {
+				row := part.compat[cls[i]]
+				si := sets[i]
+				for j := i + 1; j < len(refs); j++ {
+					if !row.Has(int(cls[j])) {
+						continue
+					}
+					if si != nil && sets[j] != nil && !si.Intersects(sets[j]) {
+						continue
+					}
+					global++
+					if refs[i].Proc == refs[j].Proc {
+						local++
+					}
+				}
+			}
+			partials[w] = partial{local, global}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		pc.Local += p.local
+		pc.Global += p.global
+	}
+	return pc
+}
+
+// parallelWorkers caps a worker pool at GOMAXPROCS and the task count.
+func parallelWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelDo runs fn(0..n-1) across a worker pool; with one worker (or
+// one task) it degrades to a plain loop.
+func parallelDo(n int, fn func(i int)) {
+	workers := parallelWorkers(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,166 @@
+package alias
+
+import (
+	"sync/atomic"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
+
+// This file implements the partition oracle: a precomputed, immutable
+// acceleration structure that answers context-free MayAlias in O(1).
+//
+// Every access path in the program is interned to a dense identity
+// (ir.InternAPs). Paths are then grouped into alias classes by their
+// case-analysis signature — the exact tuple of inputs Table 2's case
+// analysis consults (selector rank, final field name, path type, prefix
+// type, subscript types). Two paths with equal signatures are
+// indistinguishable to the oracle: for any third path r,
+// MayAlias(p, r) == MayAlias(q, r). One representative per class is
+// therefore enough to precompute a class × class compatibility
+// bitmatrix with the ordinary case analysis, after which MayAlias is
+// two ID loads and a bitset test, and CountPairs at flow-insensitive
+// levels collapses to class-size arithmetic (see pairs.go).
+//
+// The partition is built at most once per Analysis (interning happens
+// in New's single-threaded construction window; the matrix on first
+// use, guarded by a sync.Once) and never mutated afterwards, which is
+// what makes the Analyzer's lock-free read path possible.
+
+// apSig is the case-analysis signature of one access path. Type
+// identities use -1 for "no type" (typeCompat treats nil as unknown and
+// answers true; representatives reproduce that, since every member of
+// the class has the same nil).
+type apSig struct {
+	kind      int8   // 0 bare variable, 1 field-like, 2 deref, 3 index
+	field     string // fieldName of the final selector, field-like only
+	typ       int32  // Type().ID()
+	prefix    int32  // prefixType ID, field-like only
+	subPrefix int32  // subscriptPrefixType ID, index only
+	arr       int32  // subscriptArrayType ID, index only
+}
+
+func typeID(t types.Type) int32 {
+	if t == nil {
+		return -1
+	}
+	return int32(t.ID())
+}
+
+// signature computes p's apSig under the analysis level. LevelTypeDecl
+// ignores selectors entirely (MayAlias is plain type compatibility), so
+// its signature is the path type alone — maximal class merging.
+func (a *Analysis) signature(p *ir.AP) apSig {
+	if a.opts.Level == LevelTypeDecl {
+		return apSig{typ: typeID(p.Type())}
+	}
+	last := p.Last()
+	if last == nil {
+		return apSig{kind: 0, typ: typeID(p.Type())}
+	}
+	switch rank(last.Kind) {
+	case 0: // field-like (fields and the implicit dope selectors)
+		return apSig{
+			kind:   1,
+			field:  fieldName(last),
+			typ:    typeID(p.Type()),
+			prefix: typeID(prefixType(p)),
+		}
+	case 1: // deref
+		return apSig{kind: 2, typ: typeID(p.Type())}
+	default: // index
+		var arr int32 = -1
+		if at := subscriptArrayType(p); at != nil {
+			arr = int32(at.ID())
+		}
+		return apSig{
+			kind:      3,
+			typ:       typeID(p.Type()),
+			subPrefix: typeID(subscriptPrefixType(p)),
+			arr:       arr,
+		}
+	}
+}
+
+// partition is the immutable O(1) query structure.
+type partition struct {
+	idx *ir.APIndex
+	// aps is idx's dense path table (aps[iid-1]); classOf validates an
+	// IID against it before trusting the classification.
+	aps []*ir.AP
+	// cls maps intern IDs to class IDs; cls[0] is unused (IID 0 means
+	// "not interned") and holes hold -1.
+	cls []int32
+	// compat is the symmetric class × class may-alias bitmatrix.
+	compat []types.Bitset
+	// reps holds one representative path per class.
+	reps []*ir.AP
+}
+
+// newPartition interns (idempotently) and classifies every access path
+// of the program, then fills the compatibility matrix by running the
+// ordinary case analysis once per class pair.
+func newPartition(a *Analysis) *partition {
+	idx := a.apIdx
+	part := &partition{idx: idx, aps: idx.APs, cls: make([]int32, idx.Len()+1)}
+	classes := make(map[apSig]int32)
+	for i, ap := range idx.APs {
+		if ap == nil {
+			// A hole: the identity belongs to a path an earlier build
+			// interned but this program no longer carries.
+			part.cls[i+1] = -1
+			continue
+		}
+		sig := a.signature(ap)
+		ci, ok := classes[sig]
+		if !ok {
+			ci = int32(len(part.reps))
+			classes[sig] = ci
+			part.reps = append(part.reps, ap)
+		}
+		part.cls[i+1] = ci
+	}
+	n := len(part.reps)
+	part.compat = make([]types.Bitset, n)
+	for i := range part.compat {
+		part.compat[i] = types.NewBitset(n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if a.mayAliasCase(part.reps[i], part.reps[j]) {
+				part.compat[i].Add(j)
+				part.compat[j].Add(i)
+			}
+		}
+	}
+	return part
+}
+
+// classOf returns the class of an interned path, or -1 for paths this
+// partition has never seen (the caller falls back to the case
+// analysis, which is always correct). The IID is only trusted when
+// this partition's own index maps it back to the same path: a rebuild
+// over a mutated program numbers inserted paths, and an identity from
+// another build generation must not be taken at face value.
+func (p *partition) classOf(ap *ir.AP) int32 {
+	iid := atomic.LoadInt32(&ap.IID)
+	// uint32(iid)-1 folds the iid >= 1 and bounds checks into one
+	// compare (0 wraps to MaxUint32); the pointer compare rejects
+	// identities assigned by another build generation.
+	if i := uint32(iid) - 1; int(i) < len(p.aps) && p.aps[i] == ap {
+		return p.cls[iid]
+	}
+	return -1
+}
+
+// partition returns the query structure, building the class matrix on
+// first use. The fast path is a single atomic load.
+func (a *Analysis) partition() *partition {
+	if p := a.part.Load(); p != nil {
+		return p
+	}
+	a.partOnce.Do(func() {
+		a.part.Store(newPartition(a))
+	})
+	return a.part.Load()
+}

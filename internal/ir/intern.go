@@ -1,0 +1,166 @@
+package ir
+
+import "sync/atomic"
+
+// Canonical access-path interning. InternAPs assigns every access path
+// occurring in a program a dense identity (AP.IID) so downstream
+// analyses can replace pointer-keyed maps with array indexing — the
+// foundation of the alias package's partition oracle, whose MayAlias is
+// two ID loads and a bitset test.
+//
+// Interning happens during a single-threaded build window (analysis
+// construction); instruction APs keep their IID for the lifetime of the
+// program, so a rebuild over an unchanged program writes nothing and
+// may run concurrently with readers of earlier intern generations.
+
+// APKey canonicalizes an access path for content-based interning: the
+// root variable's identity plus the rendered selector chain. Two APs
+// with the same key are Equal (same root, same selectors, syntactically
+// identical subscripts).
+type APKey struct {
+	Root *Var
+	Sels string
+}
+
+// Key returns the canonical interning key of p. Only the selector chain
+// is rendered; the root is kept as a pointer, so same-named variables
+// of different procedures never collide.
+func (p *AP) Key() APKey {
+	if len(p.Sels) == 0 {
+		return APKey{Root: p.Root}
+	}
+	n := 0
+	for i := range p.Sels {
+		n += 1 + len(p.Sels[i].Field) + 8
+	}
+	buf := make([]byte, 0, n)
+	for i := range p.Sels {
+		sel := &p.Sels[i]
+		switch sel.Kind {
+		case SelField:
+			buf = append(buf, '.')
+			buf = append(buf, sel.Field...)
+		case SelDeref:
+			buf = append(buf, '^')
+		case SelIndex:
+			buf = append(buf, '[')
+			buf = append(buf, sel.Index.String()...)
+			buf = append(buf, ']')
+		case SelDopeLen:
+			buf = append(buf, "{len}"...)
+		case SelDopeElems:
+			buf = append(buf, "{elems}"...)
+		}
+	}
+	return APKey{Root: p.Root, Sels: string(buf)}
+}
+
+// APIndex is the result of interning one program's access paths: a
+// dense table of every distinct path (instruction paths by pointer,
+// plus one canonical AP per proper prefix), and the canonical prefix
+// chains the store-kill rules walk.
+type APIndex struct {
+	// APs lists the interned paths; APs[i] has IID int32(i+1) (IID 0
+	// means "not interned").
+	APs []*AP
+	// prefixes maps each interned instruction AP (by pointer) to its
+	// proper prefixes of selector length >= 1, shallowest first, each an
+	// interned canonical AP shared by every path extending it.
+	prefixes map[*AP][]*AP
+}
+
+// InternAPs interns every access path carried by prog's instructions,
+// and a canonical AP for each proper prefix (store kills query those).
+// The walk order is deterministic, so re-interning an unchanged program
+// reproduces the same numbering; instruction APs that already carry an
+// IID keep it, and paths new to this build (structural passes clone
+// and insert instructions) are numbered strictly above every
+// previously assigned identity, so one identity never names two
+// different paths across builds. Identities of paths the program no
+// longer carries are left as nil holes in APs; consumers must treat a
+// hole as "not this build's path". IIDs are written with atomic
+// stores, so a rebuild may overlap readers of earlier intern
+// generations (whose lookups validate the pointer behind the identity
+// and fall back on mismatch). Not safe to run concurrently with itself
+// over one program — callers intern during analysis (re)construction.
+func InternAPs(prog *Program) *APIndex {
+	x := &APIndex{prefixes: make(map[*AP][]*AP)}
+	byKey := make(map[APKey]*AP)
+	// Pass 1: the highest identity any earlier build assigned. Fresh
+	// paths number from here, never colliding with a surviving one.
+	next := int32(0)
+	forEachInstrAP(prog, func(ap *AP) {
+		if id := atomic.LoadInt32(&ap.IID); id > next {
+			next = id
+		}
+	})
+	intern := func(ap *AP) {
+		id := atomic.LoadInt32(&ap.IID)
+		if id == 0 {
+			next++
+			id = next
+			atomic.StoreInt32(&ap.IID, id)
+		}
+		for int(id) > len(x.APs) {
+			x.APs = append(x.APs, nil)
+		}
+		x.APs[id-1] = ap
+		byKey[ap.Key()] = ap
+	}
+	internPrefixes := func(ap *AP) {
+		if len(ap.Sels) < 2 {
+			return
+		}
+		if _, done := x.prefixes[ap]; done {
+			return
+		}
+		chain := make([]*AP, 0, len(ap.Sels)-1)
+		for k := 1; k < len(ap.Sels); k++ {
+			p := &AP{Root: ap.Root, Sels: ap.Sels[:k]}
+			if c, ok := byKey[p.Key()]; ok {
+				p = c
+			} else {
+				intern(p)
+			}
+			chain = append(chain, p)
+		}
+		x.prefixes[ap] = chain
+	}
+	forEachInstrAP(prog, intern)
+	// Prefixes intern after every instruction path, so a prefix that is
+	// itself an instruction path canonicalizes to that instruction's AP
+	// and rebuilt indexes number fresh prefix APs deterministically.
+	forEachInstrAP(prog, internPrefixes)
+	return x
+}
+
+// forEachInstrAP visits every instruction-carried access path in
+// deterministic program order.
+func forEachInstrAP(prog *Program, fn func(*AP)) {
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				if ap := b.Instrs[i].AP; ap != nil {
+					fn(ap)
+				}
+			}
+		}
+	}
+}
+
+// Len returns the number of interned paths; valid IIDs are 1..Len.
+func (x *APIndex) Len() int { return len(x.APs) }
+
+// ByID returns the interned path with the given IID, or nil.
+func (x *APIndex) ByID(id int32) *AP {
+	if id < 1 || int(id) > len(x.APs) {
+		return nil
+	}
+	return x.APs[id-1]
+}
+
+// Prefixes returns ap's proper prefixes of selector length >= 1
+// (shallowest first) as interned canonical APs, or nil when ap was not
+// an interned instruction path. The slice is shared: callers must not
+// mutate it.
+func (x *APIndex) Prefixes(ap *AP) []*AP { return x.prefixes[ap] }

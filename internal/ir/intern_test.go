@@ -1,0 +1,159 @@
+package ir_test
+
+import (
+	"testing"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/types"
+)
+
+// internProgram builds a small program whose instruction paths exercise
+// the interner: duplicate-content paths on distinct AP values, deep
+// paths whose prefixes overlap, and a path whose prefix is itself an
+// instruction path.
+func internProgram() (*ir.Program, []*ir.AP) {
+	u, vars := mkVars()
+	a, b := vars[0], vars[1]
+	deep := &ir.AP{Root: a, Sels: []ir.APSel{
+		{Kind: ir.SelField, Field: "f", Type: u.IntT},
+		{Kind: ir.SelDeref, Type: u.IntT},
+		{Kind: ir.SelField, Field: "g", Type: u.IntT},
+	}}
+	shallow := &ir.AP{Root: a, Sels: deep.Sels[:1]} // content-equal to deep's first prefix
+	dupA := &ir.AP{Root: b, Sels: []ir.APSel{{Kind: ir.SelField, Field: "f", Type: u.IntT}}}
+	dupB := &ir.AP{Root: b, Sels: []ir.APSel{{Kind: ir.SelField, Field: "f", Type: u.IntT}}}
+	aps := []*ir.AP{deep, shallow, dupA, dupB}
+	blk := &ir.Block{ID: 0, Name: "entry"}
+	for _, ap := range aps {
+		blk.Instrs = append(blk.Instrs, ir.Instr{Op: ir.OpLoad, Dst: 0, AP: ap})
+	}
+	blk.Instrs = append(blk.Instrs, ir.Instr{Op: ir.OpReturn})
+	proc := &ir.Proc{Name: "p", Blocks: []*ir.Block{blk}, Entry: blk}
+	prog := &ir.Program{
+		Name:       "intern",
+		Universe:   u,
+		Procs:      []*ir.Proc{proc},
+		Main:       proc,
+		ProcByName: map[string]*ir.Proc{"p": proc},
+	}
+	return prog, aps
+}
+
+func TestInternAPsAssignsDenseIDs(t *testing.T) {
+	prog, aps := internProgram()
+	x := ir.InternAPs(prog)
+	seen := map[int32]bool{}
+	for _, ap := range aps {
+		if ap.IID == 0 {
+			t.Fatalf("%s not interned", ap)
+		}
+		if seen[ap.IID] {
+			t.Fatalf("%s shares an IID; distinct AP values must keep distinct identities", ap)
+		}
+		seen[ap.IID] = true
+		if got := x.ByID(ap.IID); got != ap {
+			t.Fatalf("ByID(%d) = %v, want %s", ap.IID, got, ap)
+		}
+	}
+	if x.Len() < len(aps) {
+		t.Fatalf("Len() = %d, want >= %d", x.Len(), len(aps))
+	}
+	if x.ByID(0) != nil || x.ByID(int32(x.Len()+1)) != nil {
+		t.Fatal("out-of-range ByID must return nil")
+	}
+}
+
+func TestInternAPsCanonicalPrefixes(t *testing.T) {
+	prog, aps := internProgram()
+	x := ir.InternAPs(prog)
+	deep, shallow := aps[0], aps[1]
+	pre := x.Prefixes(deep)
+	if len(pre) != 2 {
+		t.Fatalf("deep path has %d prefixes, want 2", len(pre))
+	}
+	// The depth-1 prefix is content-equal to the shallow instruction
+	// path, so interning must canonicalize to that very AP.
+	if pre[0] != shallow {
+		t.Fatalf("prefix %s did not canonicalize to the instruction path", pre[0])
+	}
+	for i, p := range pre {
+		if p.IID == 0 {
+			t.Fatalf("prefix %s not interned", p)
+		}
+		if want := (&ir.AP{Root: deep.Root, Sels: deep.Sels[:i+1]}); !p.Equal(want) {
+			t.Fatalf("prefix %d = %s, want %s", i, p, want)
+		}
+	}
+	// Paths with fewer than two selectors have no proper prefixes.
+	if got := x.Prefixes(shallow); got != nil {
+		t.Fatalf("shallow path has prefixes %v, want none", got)
+	}
+}
+
+func TestInternAPsRebuildIsStable(t *testing.T) {
+	prog, aps := internProgram()
+	x1 := ir.InternAPs(prog)
+	ids := make([]int32, len(aps))
+	for i, ap := range aps {
+		ids[i] = ap.IID
+	}
+	x2 := ir.InternAPs(prog)
+	for i, ap := range aps {
+		if ap.IID != ids[i] {
+			t.Fatalf("rebuild renumbered %s: %d -> %d", ap, ids[i], ap.IID)
+		}
+	}
+	if x1.Len() != x2.Len() {
+		t.Fatalf("rebuild changed table size: %d -> %d", x1.Len(), x2.Len())
+	}
+	// Rebuilt prefix chains are fresh APs (the original chain belongs to
+	// the first index) but must keep identical numbering and content.
+	p1, p2 := x1.Prefixes(aps[0]), x2.Prefixes(aps[0])
+	if len(p1) != len(p2) {
+		t.Fatalf("rebuild changed prefix count: %d -> %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].IID != p2[i].IID || !p1[i].Equal(p2[i]) {
+			t.Fatalf("rebuild changed prefix %d: %s(%d) -> %s(%d)",
+				i, p1[i], p1[i].IID, p2[i], p2[i].IID)
+		}
+	}
+}
+
+// TestInternAPsVarShadowing pins that same-named roots in different
+// procedures never canonicalize together: the intern key is the root's
+// identity, not its rendering.
+func TestInternAPsVarShadowing(t *testing.T) {
+	u := types.NewUniverse()
+	obj := u.NewObject("T", nil, false, "")
+	mk := func(name string) (*ir.Proc, *ir.AP) {
+		v := &ir.Var{Name: "x", Type: obj, Kind: ir.LocalVar}
+		ap := &ir.AP{Root: v, Sels: []ir.APSel{
+			{Kind: ir.SelField, Field: "f", Type: u.IntT},
+			{Kind: ir.SelDeref, Type: u.IntT},
+		}}
+		blk := &ir.Block{Name: "entry", Instrs: []ir.Instr{
+			{Op: ir.OpLoad, AP: ap}, {Op: ir.OpReturn},
+		}}
+		return &ir.Proc{Name: name, Locals: []*ir.Var{v}, Blocks: []*ir.Block{blk}, Entry: blk}, ap
+	}
+	p1, ap1 := mk("p1")
+	p2, ap2 := mk("p2")
+	prog := &ir.Program{
+		Name:     "shadow",
+		Universe: u,
+		Procs:    []*ir.Proc{p1, p2},
+		Main:     p1,
+	}
+	x := ir.InternAPs(prog)
+	if ap1.IID == ap2.IID {
+		t.Fatal("same-named roots in different procs interned together")
+	}
+	pre1, pre2 := x.Prefixes(ap1), x.Prefixes(ap2)
+	if len(pre1) != 1 || len(pre2) != 1 {
+		t.Fatalf("want one prefix each, got %d and %d", len(pre1), len(pre2))
+	}
+	if pre1[0] == pre2[0] || pre1[0].IID == pre2[0].IID {
+		t.Fatal("prefixes of same-named roots canonicalized together")
+	}
+}

@@ -176,6 +176,15 @@ type APSel struct {
 type AP struct {
 	Root *Var
 	Sels []APSel
+	// IID is the path's dense intern identity, assigned by InternAPs
+	// during analysis (re)construction; 0 means "not interned". Once
+	// set it is never changed, and assignment uses atomic stores
+	// because a rebuild over a pass-mutated program numbers the
+	// inserted paths while readers of an earlier intern generation may
+	// still load the field. An IID is only a hint: consumers validate
+	// it against their own APIndex (the pointer behind the identity
+	// must match) before trusting it.
+	IID int32
 }
 
 // Type returns the static type of the full path.

@@ -7,6 +7,8 @@
 package modref
 
 import (
+	"sync"
+
 	"tbaa/internal/alias"
 	"tbaa/internal/ir"
 	"tbaa/internal/types"
@@ -84,6 +86,10 @@ type ModRef struct {
 	// reachable marks procedures the RTA walk reached from the module
 	// body; nil when no RTA ran.
 	reachable map[*ir.Proc]bool
+	// effMu guards effMemo: CallEffects is reached from the analyzer's
+	// lock-free query path (the flow layer's interprocedural call-kill
+	// rule consults it while procedure facts solve concurrently).
+	effMu sync.Mutex
 	// effMemo caches CallEffects per call instruction (method calls
 	// combine their dispatch targets' summaries; RLE's dataflow re-asks
 	// per iteration).
@@ -283,13 +289,24 @@ func (mr *ModRef) dispatch(in *ir.Instr, filtered bool) []*ir.Proc {
 }
 
 // CallEffects returns the combined effects of a call instruction
-// (OpCall or OpMethodCall), memoized per instruction.
+// (OpCall or OpMethodCall), memoized per instruction. Safe for
+// concurrent callers: the summaries themselves are immutable once
+// computed, so only the memo map needs the lock.
 func (mr *ModRef) CallEffects(in *ir.Instr) *Effects {
+	mr.effMu.Lock()
 	if eff, ok := mr.effMemo[in]; ok {
+		mr.effMu.Unlock()
 		return eff
 	}
+	mr.effMu.Unlock()
 	eff := mr.callEffects(in)
-	mr.effMemo[in] = eff
+	mr.effMu.Lock()
+	if prior, ok := mr.effMemo[in]; ok {
+		eff = prior // keep one canonical summary per call
+	} else {
+		mr.effMemo[in] = eff
+	}
+	mr.effMu.Unlock()
 	return eff
 }
 

@@ -1,0 +1,148 @@
+package tbaa
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// This file implements the tracked query-performance report behind
+// `tbaabench -perfjson` (CI stores it as BENCH_perf.json): ns/op and
+// allocs/op for the three public query entry points — MayAlias,
+// MayAliasBatch, and CountPairs — at every analysis level, measured on
+// the largest stock benchmark. Together with the bench-perf CI job
+// (which gates BenchmarkMayAlias / BenchmarkCountPairs against the
+// committed baseline) it makes the query path's perf trajectory
+// visible per PR.
+
+// PerfBenchmarkName is the stock benchmark the perf report measures:
+// the one with the most static heap references.
+const PerfBenchmarkName = "m3cg"
+
+// perfBatchPairs is the MayAliasBatch vector size the report measures;
+// large enough to engage the batch's worker sharding.
+const perfBatchPairs = 4096
+
+// PerfRow is one measured configuration of the perf report.
+type PerfRow struct {
+	// Benchmark is the stock program measured (PerfBenchmarkName).
+	Benchmark string `json:"benchmark"`
+	// Level is the analysis level's name.
+	Level string `json:"level"`
+	// Op identifies the query entry point: "MayAlias" (one context-free
+	// query), "MayAliasBatch" (one batch of batch_pairs pairs), or
+	// "CountPairs" (one full Table 5 sweep).
+	Op string `json:"op"`
+	// BatchPairs is the vector size for the MayAliasBatch op, 0 otherwise.
+	BatchPairs int `json:"batch_pairs,omitempty"`
+	// NsPerOp and AllocsPerOp are the measured cost of one op.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// perfLevels is the level sweep the perf report covers: the paper's
+// three plus both extensions.
+func perfLevels() []Level {
+	return []Level{TypeDecl, FieldTypeDecl, SMFieldTypeRefs, FSTypeRefs, IPTypeRefs}
+}
+
+// MeasurePerf measures the query entry points at every level on the
+// largest stock benchmark and returns one row per (level × op). It
+// drives testing.Benchmark, so a full run takes on the order of a
+// second per row.
+func MeasurePerf() ([]PerfRow, error) {
+	var bm Benchmark
+	found := false
+	for _, b := range Benchmarks() {
+		if b.Name == PerfBenchmarkName {
+			bm, found = b, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("tbaa: stock benchmark %q not registered", PerfBenchmarkName)
+	}
+	mod, err := Compile(bm.Name+".m3", bm.Source)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PerfRow
+	for _, lvl := range perfLevels() {
+		a, err := mod.NewAnalyzer(WithLevel(lvl))
+		if err != nil {
+			return nil, err
+		}
+		names := a.Paths()
+		if len(names) < 2 {
+			return nil, fmt.Errorf("tbaa: %s has too few access paths to measure", bm.Name)
+		}
+		pairs := make([]Pair, 0, perfBatchPairs)
+		for i := 0; len(pairs) < cap(pairs); i++ {
+			pairs = append(pairs, Pair{P: names[i%len(names)], Q: names[(i*7+1)%len(names)]})
+		}
+		// Warm the lazily built state (snapshot, partition matrix, flow
+		// facts) so every op measures steady state.
+		if _, err := a.MayAlias(pairs[0].P, pairs[0].Q); err != nil {
+			return nil, err
+		}
+		a.CountPairs()
+		row := func(op string, batch int, r testing.BenchmarkResult) PerfRow {
+			return PerfRow{
+				Benchmark:   bm.Name,
+				Level:       lvl.String(),
+				Op:          op,
+				BatchPairs:  batch,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+		}
+		rows = append(rows, row("MayAlias", 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pr := pairs[i%len(pairs)]
+				if _, err := a.MayAlias(pr.P, pr.Q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+		ctx := context.Background()
+		rows = append(rows, row("MayAliasBatch", perfBatchPairs, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.MayAliasBatch(ctx, pairs)
+			}
+		})))
+		rows = append(rows, row("CountPairs", 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.CountPairs()
+			}
+		})))
+	}
+	return rows, nil
+}
+
+// WritePerfJSON writes the perf report as indented JSON — the per-PR
+// query-performance artifact CI stores as BENCH_perf.json.
+func WritePerfJSON(w io.Writer, rows []PerfRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// FprintPerf renders the perf report as a table.
+func FprintPerf(w io.Writer, rows []PerfRow) {
+	fmt.Fprintf(w, "Perf: query cost on %s (ns/op, allocs/op)\n", PerfBenchmarkName)
+	fmt.Fprintf(w, "%-16s %-14s %12s %10s %10s\n", "Level", "Op", "ns/op", "allocs/op", "B/op")
+	for _, r := range rows {
+		op := r.Op
+		if r.BatchPairs > 0 {
+			op = fmt.Sprintf("%s[%d]", r.Op, r.BatchPairs)
+		}
+		fmt.Fprintf(w, "%-16s %-14s %12.1f %10d %10d\n", r.Level, op, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+}
