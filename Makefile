@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-baseline profile cover api api-check examples ci
+.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-baseline bench-scale bench-scale-full bench-scale-baseline profile cover api api-check examples ci
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,29 @@ bench-perf:
 bench-baseline:
 	$(GO) test ./internal/alias -run=NONE -bench='$(TRACKED_BENCH)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee testdata/bench_perf_baseline.txt
 
+# The scale gate: sweep generated 10k-100k-line modules (plus the
+# lower-vm megabenchmark) through compile, summary construction, and
+# every analysis level, write BENCH_scale.json, then fail if any
+# (level, op) growth exponent — the log-log slope of ns/op against
+# module lines — exceeds its hard cap or the committed baseline's
+# exponent plus a margin. Exponents are machine-independent, so the
+# committed baseline (testdata/bench_scale_baseline.json) gates any
+# hardware. bench-scale is the trimmed per-PR sweep (two sizes);
+# bench-scale-full is the nightly three-size sweep.
+bench-scale: build
+	$(GO) run ./cmd/tbaabench -scalejson BENCH_scale.json
+	$(GO) run ./cmd/benchguard -scale -baseline testdata/bench_scale_baseline.json -current BENCH_scale.json
+
+bench-scale-full: build
+	$(GO) run ./cmd/tbaabench -scalejson BENCH_scale.json -scalesweep full
+	$(GO) run ./cmd/benchguard -scale -baseline testdata/bench_scale_baseline.json -current BENCH_scale.json
+
+# Refresh the committed scale baseline (and commit it) after a
+# deliberate scaling change. Uses the same trimmed sweep the per-PR
+# gate runs, so baseline and gate fit exponents over identical sizes.
+bench-scale-baseline: build
+	$(GO) run ./cmd/tbaabench -scalejson testdata/bench_scale_baseline.json
+
 # pprof evidence for perf PRs: profile the Table 5 sweep (the pair
 # counters are the query-heaviest artifact).
 profile: build
@@ -107,4 +130,4 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf cover api-check examples
+ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-scale cover api-check examples

@@ -1,153 +1,134 @@
-// Command benchguard compares two `go test -bench` output files and
-// fails when any tracked benchmark regressed beyond a threshold. It is
-// the enforcement half of the bench-perf CI job: benchstat renders the
-// human-readable comparison, benchguard turns ">20% slower than the
-// committed baseline" into a non-zero exit.
+// Command benchguard is the enforcement half of the perf CI jobs. It
+// has two modes, both built on the testable internal/guard package:
 //
-// Usage:
+// Classic (default): compare two `go test -bench` output files and
+// fail when any tracked benchmark regressed beyond a threshold.
+// benchstat renders the human-readable comparison; benchguard turns
+// ">20% slower than the committed baseline" into a non-zero exit.
 //
 //	benchguard -baseline testdata/bench_perf_baseline.txt -current out.txt \
 //	    -threshold 0.20 -match BenchmarkMayAlias,BenchmarkCountPairs
 //
-// Benchmarks are matched by name prefix after stripping the -N
-// GOMAXPROCS suffix; of the repeated measurements of one benchmark
-// (-count=5) the minimum is compared — the noise-robust estimator of a
-// benchmark's true cost, since scheduling interference only ever adds
-// time. A benchmark present in the baseline
-// but missing from the current run is an error (a silently deleted
-// benchmark must not pass the gate); new benchmarks absent from the
-// baseline pass with a note.
+// Scale (-scale): compare two BENCH_scale.json sweep artifacts by
+// growth exponent — the log-log slope of each (level, op) cost against
+// module size — and fail when per-query cost stops being ~flat in
+// module size or a build stage goes superlinear past the committed
+// baseline. Exponents are machine-independent, so the committed
+// baseline gates runs on any hardware.
+//
+//	benchguard -scale -baseline testdata/bench_scale_baseline.json \
+//	    -current BENCH_scale.json
+//
+// A missing or malformed baseline is a readable failure (exit 2), not
+// a panic and never a silent pass; refresh baselines with
+// `make bench-baseline` / `make bench-scale-baseline`.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"tbaa/internal/guard"
 )
 
 func main() {
-	baseline := flag.String("baseline", "", "baseline `file` (committed go test -bench output)")
-	current := flag.String("current", "", "current `file` (fresh go test -bench output)")
-	threshold := flag.Float64("threshold", 0.20, "maximum allowed ns/op regression (0.20 = +20%)")
-	match := flag.String("match", "BenchmarkMayAlias,BenchmarkCountPairs", "comma-separated benchmark name prefixes to gate")
+	baseline := flag.String("baseline", "", "baseline `file` (committed artifact)")
+	current := flag.String("current", "", "current `file` (fresh run output)")
+	threshold := flag.Float64("threshold", 0.20, "classic mode: maximum allowed ns/op regression (0.20 = +20%)")
+	match := flag.String("match", "BenchmarkMayAlias,BenchmarkCountPairs", "classic mode: comma-separated benchmark name prefixes to gate")
+	scale := flag.Bool("scale", false, "scale mode: gate BENCH_scale.json growth exponents instead of go test -bench output")
+	margin := flag.Float64("margin", guard.DefaultScalePolicy().Margin, "scale mode: allowed exponent increase over the committed baseline")
 	flag.Parse()
-	if *baseline == "" || *current == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
-		os.Exit(2)
+	if *current == "" {
+		usageError("-current is required")
 	}
-	base, err := parseBench(*baseline)
+	if *baseline == "" {
+		usageError("-baseline is required")
+	}
+	if *scale {
+		runScale(*baseline, *current, *margin)
+		return
+	}
+	runClassic(*baseline, *current, *match, *threshold)
+}
+
+func runClassic(baseline, current, match string, threshold float64) {
+	base := parseBenchFile(baseline, "baseline")
+	cur := parseBenchFile(current, "current")
+	rep, err := guard.CompareBench(base, cur, splitList(match), threshold)
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := parseBench(*current)
-	if err != nil {
-		fatal(err)
-	}
-	prefixes := strings.Split(*match, ",")
-	tracked := func(name string) bool {
-		for _, p := range prefixes {
-			if p != "" && strings.HasPrefix(name, strings.TrimSpace(p)) {
-				return true
-			}
-		}
-		return false
-	}
-	names := make([]string, 0, len(base))
-	for name := range base {
-		if tracked(name) {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		fatal(fmt.Errorf("no tracked benchmarks in %s (match %q)", *baseline, *match))
-	}
-	failed := false
-	for _, name := range names {
-		b := minOf(base[name])
-		c, ok := cur[name]
-		if !ok {
-			fmt.Printf("FAIL %-44s missing from current run\n", name)
-			failed = true
-			continue
-		}
-		cm := minOf(c)
-		delta := (cm - b) / b
-		status := "ok  "
-		if delta > *threshold {
-			status = "FAIL"
-			failed = true
-		}
-		fmt.Printf("%s %-44s %10.1f ns/op -> %10.1f ns/op  (%+.1f%%, limit +%.0f%%)\n",
-			status, name, b, cm, 100*delta, 100**threshold)
-	}
-	for name := range cur {
-		if tracked(name) {
-			if _, ok := base[name]; !ok {
-				fmt.Printf("note %-44s new benchmark (no baseline)\n", name)
-			}
-		}
-	}
-	if failed {
+	rep.Fprint(os.Stdout)
+	if rep.Failed {
 		fmt.Fprintln(os.Stderr, "benchguard: tracked benchmarks regressed beyond the threshold")
 		fmt.Fprintln(os.Stderr, "benchguard: if the change is intentional, refresh the baseline with 'make bench-baseline' and commit it")
 		os.Exit(1)
 	}
 }
 
-// parseBench extracts ns/op samples per benchmark name from a go test
-// -bench output file, stripping the -N GOMAXPROCS suffix.
-func parseBench(path string) (map[string][]float64, error) {
-	f, err := os.Open(path)
+func runScale(baseline, current string, margin float64) {
+	base := parseScaleFile(baseline, "baseline", "make bench-scale-baseline")
+	cur := parseScaleFile(current, "current", "make bench-scale")
+	pol := guard.DefaultScalePolicy()
+	pol.Margin = margin
+	rep, err := guard.CompareScale(cur, base, pol)
 	if err != nil {
-		return nil, err
+		fatal(err)
 	}
-	defer f.Close()
-	out := make(map[string][]float64)
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					return nil, fmt.Errorf("%s: bad ns/op in %q", path, sc.Text())
-				}
-				out[name] = append(out[name], v)
-				break
-			}
-		}
+	rep.Fprint(os.Stdout)
+	if rep.Failed {
+		fmt.Fprintln(os.Stderr, "benchguard: scale-sweep growth exponents exceed the gate")
+		fmt.Fprintln(os.Stderr, "benchguard: if the scaling change is intentional, refresh the baseline with 'make bench-scale-baseline' and commit it")
+		os.Exit(1)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark lines found", path)
-	}
-	return out, nil
 }
 
-func minOf(xs []float64) float64 {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
+func parseBenchFile(path, role string) map[string][]float64 {
+	f, err := os.Open(path)
+	if err != nil {
+		usageError(fmt.Sprintf("cannot read %s file: %v", role, err))
+	}
+	defer f.Close()
+	out, err := guard.ParseBench(f, path)
+	if err != nil {
+		usageError(err.Error())
+	}
+	return out
+}
+
+func parseScaleFile(path, role, refreshHint string) []guard.ScaleRow {
+	f, err := os.Open(path)
+	if err != nil {
+		usageError(fmt.Sprintf("cannot read %s scale artifact: %v (regenerate with '%s')", role, err, refreshHint))
+	}
+	defer f.Close()
+	rows, err := guard.ParseScale(f, path)
+	if err != nil {
+		usageError(fmt.Sprintf("%v (regenerate with '%s')", err, refreshHint))
+	}
+	return rows
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
 		}
 	}
-	return m
+	return out
+}
+
+// usageError reports a setup problem (missing flag, unreadable or
+// malformed input) distinctly from a gate failure: exit 2, never a
+// panic, never a silent pass.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "benchguard:", msg)
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -13,6 +13,8 @@
 //	tbaabench -fsjson BENCH_fs.json  # write the Table FS JSON artifact
 //	tbaabench -ipjson BENCH_ip.json  # write the Table IP JSON artifact
 //	tbaabench -perfjson BENCH_perf.json  # measure and write the query-perf artifact
+//	tbaabench -scalejson BENCH_scale.json            # trimmed scale sweep (two sizes)
+//	tbaabench -scalejson BENCH_scale.json -scalesweep full  # nightly full sweep
 //	tbaabench -cpuprofile cpu.out -table 5  # pprof evidence for perf PRs
 //
 // Output is byte-identical for every worker count: configurations are
@@ -40,6 +42,8 @@ func main() {
 	fsJSON := flag.String("fsjson", "", "write the Table FS metrics as JSON to `file` (- for stdout)")
 	ipJSON := flag.String("ipjson", "", "write the Table IP metrics as JSON to `file` (- for stdout)")
 	perfJSON := flag.String("perfjson", "", "measure query perf (MayAlias, MayAliasBatch, CountPairs per level) and write JSON to `file` (- for stdout)")
+	scaleJSON := flag.String("scalejson", "", "run the scale corpus sweep (generated 10k-100k-line modules × levels) and write JSON to `file` (- for stdout)")
+	scaleSweep := flag.String("scalesweep", "trim", "scale sweep size: trim (per-PR, two sizes) or full (nightly, three sizes)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to `file`")
 	flag.Parse()
@@ -97,6 +101,30 @@ func main() {
 			fatal(fmt.Errorf("invalid -table %q (want 4, 5, 6, fs, or ip)", *table))
 		}
 		tableIdx = n
+	}
+
+	if *scaleJSON != "" {
+		full := false
+		switch *scaleSweep {
+		case "trim":
+		case "full":
+			full = true
+		default:
+			fatal(fmt.Errorf("invalid -scalesweep %q (want trim or full)", *scaleSweep))
+		}
+		rows, err := tbaa.MeasureScale(full)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSONArtifact(*scaleJSON, rows, tbaa.WriteScaleJSON); err != nil {
+			fatal(err)
+		}
+		if *scaleJSON != "-" {
+			tbaa.FprintScale(os.Stdout, rows)
+		}
+		if tableIdx == 0 && *figure == 0 && *fsJSON == "" && *ipJSON == "" && *perfJSON == "" {
+			return
+		}
 	}
 
 	if *perfJSON != "" {

@@ -158,9 +158,13 @@ func countPairsArithmetic(refs []Ref, cls []int32, part *partition) PairCounts {
 // countPairsFlow computes the site-anchored metrics (FSTypeRefs and
 // above): the partition answers the context-free half, and the
 // flow-sensitive refinement is evaluated from per-reference narrowed
-// sets. Procedure facts prebuild in parallel (batched per procedure),
-// and the pair sweep stripes across a worker pool; partial sums of
-// integers make the result identical for any worker count.
+// sets. Two references with the same alias class and the same narrowed
+// set are interchangeable in every pair predicate, so the global count
+// collapses to arithmetic over (class, set) groups — the O(R²)
+// all-references sweep this replaces dominated CountPairs on large
+// modules. The local count stays a direct sweep per procedure, whose
+// runs are small; partial sums of integers make the result identical
+// for any worker count.
 func (a *Analysis) countPairsFlow(refs []Ref, cls []int32, part *partition) PairCounts {
 	pc := PairCounts{References: len(refs)}
 	var procs []*ir.Proc
@@ -181,43 +185,133 @@ func (a *Analysis) countPairsFlow(refs []Ref, cls []int32, part *partition) Pair
 			sets[i] = a.flow.valueSet(refs[i].AP.Root, Site{Proc: refs[i].Proc, Instr: refs[i].Instr})
 		}
 	}
-	workers := 1
-	if len(refs) >= 128 {
-		workers = parallelWorkers(len(refs))
+	// Intern the distinct narrowed sets (hash, confirmed by Equal), then
+	// group references by (class, set). An imperfect dedup only splits a
+	// group in two — the arithmetic stays exact.
+	setID := make([]int32, len(refs))
+	var distinct []types.Bitset
+	byHash := make(map[uint64][]int32)
+	for i := range refs {
+		s := sets[i]
+		if s == nil {
+			setID[i] = -1
+			continue
+		}
+		h := hashBitset(s)
+		id := int32(-1)
+		for _, cand := range byHash[h] {
+			if distinct[cand].Equal(s) {
+				id = cand
+				break
+			}
+		}
+		if id < 0 {
+			id = int32(len(distinct))
+			distinct = append(distinct, s)
+			byHash[h] = append(byHash[h], id)
+		}
+		setID[i] = id
 	}
-	type partial struct{ local, global int }
-	partials := make([]partial, workers)
+	type group struct {
+		cls int32
+		set types.Bitset // nil when the refinement cannot speak
+		n   int
+	}
+	gIndex := make(map[[2]int32]int32)
+	var groups []group
+	for i := range refs {
+		key := [2]int32{cls[i], setID[i]}
+		gi, ok := gIndex[key]
+		if !ok {
+			gi = int32(len(groups))
+			gIndex[key] = gi
+			groups = append(groups, group{cls: cls[i], set: sets[i]})
+		}
+		groups[gi].n++
+	}
+	// The pair predicate on groups, mirroring the reference sweep: class
+	// compatibility plus non-disjoint narrowed sets.
+	pairOK := func(g1, g2 *group) bool {
+		if !part.compat[g1.cls].Has(int(g2.cls)) {
+			return false
+		}
+		return g1.set == nil || g2.set == nil || g1.set.Intersects(g2.set)
+	}
+	workers := 1
+	if len(groups) >= 64 {
+		workers = parallelWorkers(len(groups))
+	}
+	globals := make([]int, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			var local, global int
-			for i := w; i < len(refs); i += workers {
-				row := part.compat[cls[i]]
-				si := sets[i]
-				for j := i + 1; j < len(refs); j++ {
-					if !row.Has(int(cls[j])) {
-						continue
-					}
-					if si != nil && sets[j] != nil && !si.Intersects(sets[j]) {
-						continue
-					}
-					global++
-					if refs[i].Proc == refs[j].Proc {
-						local++
+			global := 0
+			for gi := w; gi < len(groups); gi += workers {
+				g1 := &groups[gi]
+				if pairOK(g1, g1) {
+					global += g1.n * (g1.n - 1) / 2
+				}
+				for gj := gi + 1; gj < len(groups); gj++ {
+					if g2 := &groups[gj]; pairOK(g1, g2) {
+						global += g1.n * g2.n
 					}
 				}
 			}
-			partials[w] = partial{local, global}
+			globals[w] = global
 		}(w)
 	}
 	wg.Wait()
-	for _, p := range partials {
-		pc.Local += p.local
-		pc.Global += p.global
+	for _, g := range globals {
+		pc.Global += g
+	}
+	// Local pairs: references stay grouped by procedure in program
+	// order, so each procedure is one contiguous run; sweep the runs in
+	// parallel.
+	var runs [][2]int
+	for lo := 0; lo < len(refs); {
+		hi := lo + 1
+		for hi < len(refs) && refs[hi].Proc == refs[lo].Proc {
+			hi++
+		}
+		runs = append(runs, [2]int{lo, hi})
+		lo = hi
+	}
+	locals := make([]int, len(runs))
+	parallelDo(len(runs), func(k int) {
+		lo, hi := runs[k][0], runs[k][1]
+		local := 0
+		for i := lo; i < hi; i++ {
+			row := part.compat[cls[i]]
+			si := sets[i]
+			for j := i + 1; j < hi; j++ {
+				if !row.Has(int(cls[j])) {
+					continue
+				}
+				if si != nil && sets[j] != nil && !si.Intersects(sets[j]) {
+					continue
+				}
+				local++
+			}
+		}
+		locals[k] = local
+	})
+	for _, l := range locals {
+		pc.Local += l
 	}
 	return pc
+}
+
+// hashBitset is an FNV-1a fold of the bitset's words, used only to
+// bucket candidate duplicates for Equal confirmation.
+func hashBitset(s types.Bitset) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range s {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
 }
 
 // parallelWorkers caps a worker pool at GOMAXPROCS and the task count.

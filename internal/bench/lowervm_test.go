@@ -1,0 +1,107 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/bench"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+)
+
+// TestLowerVMRegisteredOutsideSuite pins the megabenchmark's contract:
+// reachable by name for the scale harness, but absent from the Table 4
+// suite so the paper-replication goldens stay byte-identical.
+func TestLowerVMRegisteredOutsideSuite(t *testing.T) {
+	if _, ok := bench.ByName("lower-vm"); !ok {
+		t.Fatal("lower-vm is not registered")
+	}
+	for _, b := range bench.All() {
+		if b.Name == "lower-vm" {
+			t.Fatal("lower-vm must not appear in the Table 4 suite")
+		}
+	}
+}
+
+// TestLowerVMRuns checks the pipeline program executes its stages:
+// synthesis, folding, lowering, peephole, and the VM must all report
+// non-zero work, deterministically.
+func TestLowerVMRuns(t *testing.T) {
+	b, _ := bench.ByName("lower-vm")
+	prog, _, err := driver.Compile("lower-vm.m3", b.Source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := interp.New(prog)
+	in.MaxSteps = 50_000_000
+	out, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{"nodes ", "folds ", "emitted ", "peep-removed ", "steps ", "checksum "} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q stage report:\n%s", marker, out)
+		}
+	}
+	if strings.Contains(out, "folds 0") || strings.Contains(out, "peep-removed 0") {
+		t.Errorf("a lowering stage did no work:\n%s", out)
+	}
+	again := interp.New(prog)
+	again.MaxSteps = 50_000_000
+	out2, err := again.Run()
+	if err != nil || out2 != out {
+		t.Fatalf("non-deterministic output (err=%v)", err)
+	}
+}
+
+// TestLowerVMPipelineDifferential runs the full pass pipeline over the
+// megabenchmark at every analysis level and requires byte-identical VM
+// output — the corpus-level version of the randprog differential.
+func TestLowerVMPipelineDifferential(t *testing.T) {
+	b, _ := bench.ByName("lower-vm")
+	plainProg, _, err := driver.Compile("lower-vm.m3", b.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := interp.New(plainProg)
+	in.MaxSteps = 50_000_000
+	want, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []alias.Options{
+		{Level: alias.LevelTypeDecl},
+		{Level: alias.LevelFieldTypeDecl},
+		{Level: alias.LevelSMFieldTypeRefs},
+		{Level: alias.LevelFSTypeRefs},
+		{Level: alias.LevelIPTypeRefs},
+		{Level: alias.LevelIPTypeRefs, OpenWorld: true},
+	}
+	if testing.Short() {
+		configs = configs[len(configs)-2:]
+	}
+	for _, opts := range configs {
+		prog, _, err := driver.Compile("lower-vm.m3", b.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := driver.NewPassEnv(prog, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if _, err := driver.RunPasses(env,
+			driver.DevirtPass{}, driver.MinvInlinePass{}, driver.RLEPass{}, driver.PREPass{}); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		in2 := interp.New(prog)
+		in2.MaxSteps = 50_000_000
+		got, err := in2.Run()
+		if err != nil {
+			t.Fatalf("opts %+v: pipeline trapped: %v", opts, err)
+		}
+		if got != want {
+			t.Fatalf("opts %+v: pipeline diverged\nwant %q\ngot  %q", opts, want, got)
+		}
+	}
+}

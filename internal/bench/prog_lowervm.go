@@ -1,0 +1,767 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "lower-vm",
+		Description: "Staged lowering pipeline and bytecode VM: AST synthesis, folding, linearization, peephole, dispatch loop",
+		Source:      lowerVMSrc,
+	})
+}
+
+// lower-vm is the scale corpus' program-shaped megabenchmark: unlike
+// the randomly generated modules it has the control and data shape of a
+// real compiler backend — an AST object hierarchy rewritten by folding
+// passes, a label-resolving linearizer, a peephole pass over the linear
+// form, and a bytecode interpreter whose frames recurse through CALL.
+// It is registered outside the Table 4 suite (All() filters by name),
+// so the paper-replication goldens are unaffected.
+const lowerVMSrc = `
+MODULE LowerVM;
+
+(* A staged lowering pipeline over a small expression language.
+
+   Stage 1 synthesizes function bodies as AST objects from a
+   deterministic PRNG. Stage 2 rewrites the trees with two folding
+   passes (constant folding, identity elimination) through virtual
+   dispatch. Stage 3 lowers each tree to a linked instruction list with
+   symbolic labels, then linearizes it into flat arrays, resolving
+   labels to indices. Stage 4 runs a peephole pass over the linear
+   code. Stage 5 executes everything on a stack VM whose CALL
+   instruction recurses into callee frames. Per-stage counters and a
+   final checksum are printed so optimizers can be differentially
+   validated against the unoptimized program. *)
+
+TYPE
+  IntArr = ARRAY OF INTEGER;
+
+  Instr = OBJECT
+    op, a: INTEGER;
+    next: Instr;
+  END;
+
+  Code = OBJECT
+    first, last: Instr;
+    n: INTEGER;        (* instrs including label pseudo-ops *)
+    nlabels: INTEGER;
+    nlocals: INTEGER;  (* local slots; slot 0 is the argument *)
+    ops, args: IntArr; (* the linearized program *)
+    len: INTEGER;      (* linear length after label resolution *)
+  END;
+
+  Node = OBJECT
+  METHODS
+    fold(): Node := NodeFold;
+    simplify(): Node := NodeSimplify;
+    isConst(): INTEGER := NodeIsConst;
+    constVal(): INTEGER := NodeConstVal;
+    size(): INTEGER := NodeSize;
+    lower(c: Code) := NodeLower;
+  END;
+
+  Num = Node OBJECT
+    val: INTEGER;
+  OVERRIDES
+    isConst := NumIsConst;
+    constVal := NumConstVal;
+    lower := NumLower;
+  END;
+
+  Loc = Node OBJECT
+    slot: INTEGER;
+  OVERRIDES
+    lower := LocLower;
+  END;
+
+  Glb = Node OBJECT
+    idx: INTEGER;
+  OVERRIDES
+    lower := GlbLower;
+  END;
+
+  Bin = Node OBJECT
+    op: INTEGER; (* 0 add, 1 sub, 2 mul *)
+    lhs, rhs: Node;
+  OVERRIDES
+    fold := BinFold;
+    simplify := BinSimplify;
+    size := BinSize;
+    lower := BinLower;
+  END;
+
+  Cond = Node OBJECT
+    cond, yes, no: Node;
+  OVERRIDES
+    fold := CondFold;
+    simplify := CondSimplify;
+    size := CondSize;
+    lower := CondLower;
+  END;
+
+  Rep = Node OBJECT
+    times: INTEGER;
+    body: Node;
+  OVERRIDES
+    fold := RepFold;
+    simplify := RepSimplify;
+    size := RepSize;
+    lower := RepLower;
+  END;
+
+  CallN = Node OBJECT
+    fidx: INTEGER;
+    arg: Node;
+  OVERRIDES
+    fold := CallFold;
+    simplify := CallSimplify;
+    size := CallSize;
+    lower := CallLower;
+  END;
+
+  Fun = OBJECT
+    idx: INTEGER;
+    body: Node;
+    code: Code;
+  END;
+
+  FunArr = ARRAY OF Fun;
+
+CONST
+  NFuncs = 24;
+  NGlobals = 16;
+
+  (* Bytecode opcodes. *)
+  OpPush = 0;
+  OpLoad = 1;
+  OpStore = 2;
+  OpGLoad = 3;
+  OpGStore = 4;
+  OpAdd = 5;
+  OpSub = 6;
+  OpMul = 7;
+  OpJz = 8;   (* a = label *)
+  OpJmp = 9;  (* a = label *)
+  OpJnz = 10; (* a = label *)
+  OpCall = 11;
+  OpRet = 12;
+  OpLabel = 13; (* pseudo-op, removed by linearization *)
+  OpPop = 14;
+
+VAR
+  rnd: INTEGER;
+  funs: FunArr;
+  gmem: IntArr;
+  nodesBuilt, foldsDone, simplified: INTEGER;
+  emitted, peepRemoved, vmSteps: INTEGER;
+
+PROCEDURE NextRnd(): INTEGER =
+BEGIN
+  rnd := (rnd * 1021 + 77) MOD 32749;
+  RETURN rnd;
+END NextRnd;
+
+(* ---- Stage 1: AST synthesis ---- *)
+
+PROCEDURE MkNum(v: INTEGER): Node =
+VAR n: Num;
+BEGIN
+  n := NEW(Num);
+  n.val := v;
+  INC(nodesBuilt);
+  RETURN n;
+END MkNum;
+
+PROCEDURE MkLoc(s: INTEGER): Node =
+VAR n: Loc;
+BEGIN
+  n := NEW(Loc);
+  n.slot := s;
+  INC(nodesBuilt);
+  RETURN n;
+END MkLoc;
+
+PROCEDURE MkGlb(i: INTEGER): Node =
+VAR n: Glb;
+BEGIN
+  n := NEW(Glb);
+  n.idx := i MOD NGlobals;
+  INC(nodesBuilt);
+  RETURN n;
+END MkGlb;
+
+PROCEDURE MkBin(op: INTEGER; l, r: Node): Node =
+VAR n: Bin;
+BEGIN
+  n := NEW(Bin);
+  n.op := op;
+  n.lhs := l;
+  n.rhs := r;
+  INC(nodesBuilt);
+  RETURN n;
+END MkBin;
+
+(* Build a random expression for function fidx; calls only reach
+   lower-index functions, so VM recursion is bounded by the DAG. *)
+PROCEDURE Build(fidx, depth: INTEGER): Node =
+VAR k: INTEGER; c: Cond; r: Rep; cl: CallN;
+BEGIN
+  IF depth <= 0 THEN
+    k := NextRnd() MOD 4;
+    IF k = 0 THEN
+      RETURN MkNum(NextRnd() MOD 64);
+    ELSIF k = 1 THEN
+      RETURN MkLoc(0);
+    ELSIF k = 2 THEN
+      RETURN MkGlb(NextRnd());
+    ELSE
+      (* constant subexpression: folding fodder *)
+      RETURN MkBin(NextRnd() MOD 3, MkNum(NextRnd() MOD 16), MkNum(1 + NextRnd() MOD 8));
+    END;
+  END;
+  k := NextRnd() MOD 10;
+  IF k < 4 THEN
+    RETURN MkBin(NextRnd() MOD 3, Build(fidx, depth - 1), Build(fidx, depth - 1));
+  ELSIF k < 6 THEN
+    c := NEW(Cond);
+    c.cond := Build(fidx, depth - 2);
+    c.yes := Build(fidx, depth - 1);
+    c.no := Build(fidx, depth - 1);
+    INC(nodesBuilt);
+    RETURN c;
+  ELSIF k < 8 THEN
+    r := NEW(Rep);
+    r.times := 2 + NextRnd() MOD 5;
+    r.body := Build(fidx, depth - 1);
+    INC(nodesBuilt);
+    RETURN r;
+  ELSIF (k < 9) AND (fidx > 0) THEN
+    cl := NEW(CallN);
+    cl.fidx := NextRnd() MOD fidx;
+    cl.arg := Build(fidx, depth - 1);
+    INC(nodesBuilt);
+    RETURN cl;
+  ELSE
+    RETURN MkBin(0, MkGlb(NextRnd()), Build(fidx, depth - 1));
+  END;
+END Build;
+
+(* ---- Stage 2a: constant folding ---- *)
+
+PROCEDURE NodeFold(self: Node): Node =
+BEGIN
+  RETURN self;
+END NodeFold;
+
+PROCEDURE NodeSimplify(self: Node): Node =
+BEGIN
+  RETURN self;
+END NodeSimplify;
+
+PROCEDURE NodeIsConst(self: Node): INTEGER =
+BEGIN
+  RETURN 0;
+END NodeIsConst;
+
+PROCEDURE NodeConstVal(self: Node): INTEGER =
+BEGIN
+  RETURN 0;
+END NodeConstVal;
+
+PROCEDURE NodeSize(self: Node): INTEGER =
+BEGIN
+  RETURN 1;
+END NodeSize;
+
+PROCEDURE NumIsConst(self: Num): INTEGER =
+BEGIN
+  RETURN 1;
+END NumIsConst;
+
+PROCEDURE NumConstVal(self: Num): INTEGER =
+BEGIN
+  RETURN self.val;
+END NumConstVal;
+
+PROCEDURE EvalBin(op, x, y: INTEGER): INTEGER =
+BEGIN
+  IF op = 0 THEN
+    RETURN (x + y) MOD 9973;
+  ELSIF op = 1 THEN
+    RETURN (x - y + 9973) MOD 9973;
+  ELSE
+    RETURN (x * y) MOD 9973;
+  END;
+END EvalBin;
+
+PROCEDURE BinFold(self: Bin): Node =
+BEGIN
+  self.lhs := self.lhs.fold();
+  self.rhs := self.rhs.fold();
+  IF (self.lhs.isConst() = 1) AND (self.rhs.isConst() = 1) THEN
+    INC(foldsDone);
+    RETURN MkNum(EvalBin(self.op, self.lhs.constVal(), self.rhs.constVal()));
+  END;
+  RETURN self;
+END BinFold;
+
+PROCEDURE BinSize(self: Bin): INTEGER =
+BEGIN
+  RETURN 1 + self.lhs.size() + self.rhs.size();
+END BinSize;
+
+PROCEDURE CondFold(self: Cond): Node =
+BEGIN
+  self.cond := self.cond.fold();
+  self.yes := self.yes.fold();
+  self.no := self.no.fold();
+  IF self.cond.isConst() = 1 THEN
+    INC(foldsDone);
+    IF self.cond.constVal() # 0 THEN
+      RETURN self.yes;
+    ELSE
+      RETURN self.no;
+    END;
+  END;
+  RETURN self;
+END CondFold;
+
+PROCEDURE CondSize(self: Cond): INTEGER =
+BEGIN
+  RETURN 1 + self.cond.size() + self.yes.size() + self.no.size();
+END CondSize;
+
+PROCEDURE RepFold(self: Rep): Node =
+BEGIN
+  self.body := self.body.fold();
+  RETURN self;
+END RepFold;
+
+PROCEDURE RepSize(self: Rep): INTEGER =
+BEGIN
+  RETURN 1 + self.body.size();
+END RepSize;
+
+PROCEDURE CallFold(self: CallN): Node =
+BEGIN
+  self.arg := self.arg.fold();
+  RETURN self;
+END CallFold;
+
+PROCEDURE CallSize(self: CallN): INTEGER =
+BEGIN
+  RETURN 1 + self.arg.size();
+END CallSize;
+
+(* ---- Stage 2b: identity elimination (x+0, x*1, 1-rep loops) ---- *)
+
+PROCEDURE BinSimplify(self: Bin): Node =
+BEGIN
+  self.lhs := self.lhs.simplify();
+  self.rhs := self.rhs.simplify();
+  IF (self.op = 0) AND (self.rhs.isConst() = 1) AND (self.rhs.constVal() = 0) THEN
+    INC(simplified);
+    RETURN self.lhs;
+  END;
+  IF (self.op = 2) AND (self.rhs.isConst() = 1) AND (self.rhs.constVal() = 1) THEN
+    INC(simplified);
+    RETURN self.lhs;
+  END;
+  RETURN self;
+END BinSimplify;
+
+PROCEDURE CondSimplify(self: Cond): Node =
+BEGIN
+  self.cond := self.cond.simplify();
+  self.yes := self.yes.simplify();
+  self.no := self.no.simplify();
+  RETURN self;
+END CondSimplify;
+
+PROCEDURE RepSimplify(self: Rep): Node =
+BEGIN
+  self.body := self.body.simplify();
+  IF self.times = 1 THEN
+    INC(simplified);
+    RETURN self.body;
+  END;
+  RETURN self;
+END RepSimplify;
+
+PROCEDURE CallSimplify(self: CallN): Node =
+BEGIN
+  self.arg := self.arg.simplify();
+  RETURN self;
+END CallSimplify;
+
+(* ---- Stage 3: lowering to a labeled instruction list ---- *)
+
+PROCEDURE Emit(c: Code; op, a: INTEGER) =
+VAR i: Instr;
+BEGIN
+  i := NEW(Instr);
+  i.op := op;
+  i.a := a;
+  IF c.last = NIL THEN
+    c.first := i;
+  ELSE
+    c.last.next := i;
+  END;
+  c.last := i;
+  INC(c.n);
+  INC(emitted);
+END Emit;
+
+PROCEDURE NewLabel(c: Code): INTEGER =
+BEGIN
+  INC(c.nlabels);
+  RETURN c.nlabels - 1;
+END NewLabel;
+
+PROCEDURE NewSlot(c: Code): INTEGER =
+BEGIN
+  INC(c.nlocals);
+  RETURN c.nlocals - 1;
+END NewSlot;
+
+PROCEDURE NodeLower(self: Node; c: Code) =
+BEGIN
+  Emit(c, OpPush, 0);
+END NodeLower;
+
+PROCEDURE NumLower(self: Num; c: Code) =
+BEGIN
+  Emit(c, OpPush, self.val);
+END NumLower;
+
+PROCEDURE LocLower(self: Loc; c: Code) =
+BEGIN
+  Emit(c, OpLoad, self.slot);
+END LocLower;
+
+PROCEDURE GlbLower(self: Glb; c: Code) =
+BEGIN
+  Emit(c, OpGLoad, self.idx);
+END GlbLower;
+
+PROCEDURE BinLower(self: Bin; c: Code) =
+BEGIN
+  self.lhs.lower(c);
+  self.rhs.lower(c);
+  IF self.op = 0 THEN
+    Emit(c, OpAdd, 0);
+  ELSIF self.op = 1 THEN
+    Emit(c, OpSub, 0);
+  ELSE
+    Emit(c, OpMul, 0);
+  END;
+END BinLower;
+
+PROCEDURE CondLower(self: Cond; c: Code) =
+VAR elseL, doneL: INTEGER;
+BEGIN
+  elseL := NewLabel(c);
+  doneL := NewLabel(c);
+  self.cond.lower(c);
+  Emit(c, OpJz, elseL);
+  self.yes.lower(c);
+  Emit(c, OpJmp, doneL);
+  Emit(c, OpLabel, elseL);
+  self.no.lower(c);
+  Emit(c, OpLabel, doneL);
+END CondLower;
+
+PROCEDURE RepLower(self: Rep; c: Code) =
+VAR topL: INTEGER; ctr, acc: INTEGER;
+BEGIN
+  (* acc := 0; ctr := times; do acc := acc + body; ctr-- while ctr # 0 *)
+  ctr := NewSlot(c);
+  acc := NewSlot(c);
+  topL := NewLabel(c);
+  Emit(c, OpPush, 0);
+  Emit(c, OpStore, acc);
+  Emit(c, OpPush, self.times);
+  Emit(c, OpStore, ctr);
+  Emit(c, OpLabel, topL);
+  Emit(c, OpLoad, acc);
+  self.body.lower(c);
+  Emit(c, OpAdd, 0);
+  Emit(c, OpStore, acc);
+  Emit(c, OpLoad, ctr);
+  Emit(c, OpPush, 1);
+  Emit(c, OpSub, 0);
+  Emit(c, OpStore, ctr);
+  Emit(c, OpLoad, ctr);
+  Emit(c, OpJnz, topL);
+  Emit(c, OpLoad, acc);
+END RepLower;
+
+PROCEDURE CallLower(self: CallN; c: Code) =
+BEGIN
+  self.arg.lower(c);
+  Emit(c, OpCall, self.fidx);
+END CallLower;
+
+(* Linearize: resolve labels to instruction indices, drop the label
+   pseudo-ops, and write the flat ops/args arrays. *)
+PROCEDURE Linearize(c: Code) =
+VAR
+  labAt: IntArr;
+  i: Instr;
+  idx: INTEGER;
+BEGIN
+  labAt := NEW(IntArr, c.nlabels + 1);
+  idx := 0;
+  i := c.first;
+  WHILE i # NIL DO
+    IF i.op = OpLabel THEN
+      labAt[i.a] := idx;
+    ELSE
+      INC(idx);
+    END;
+    i := i.next;
+  END;
+  c.len := idx;
+  c.ops := NEW(IntArr, c.len + 1);
+  c.args := NEW(IntArr, c.len + 1);
+  idx := 0;
+  i := c.first;
+  WHILE i # NIL DO
+    IF i.op # OpLabel THEN
+      c.ops[idx] := i.op;
+      IF (i.op = OpJz) OR (i.op = OpJmp) OR (i.op = OpJnz) THEN
+        c.args[idx] := labAt[i.a];
+      ELSE
+        c.args[idx] := i.a;
+      END;
+      INC(idx);
+    END;
+    i := i.next;
+  END;
+END Linearize;
+
+(* ---- Stage 4: peephole over the linear form ---- *)
+
+PROCEDURE JumpsInto(c: Code; lo, hi: INTEGER): BOOLEAN =
+VAR k: INTEGER;
+BEGIN
+  FOR k := 0 TO c.len - 1 DO
+    IF (c.ops[k] = OpJz) OR (c.ops[k] = OpJmp) OR (c.ops[k] = OpJnz) THEN
+      IF (c.args[k] > lo) AND (c.args[k] <= hi) THEN
+        RETURN TRUE;
+      END;
+    END;
+  END;
+  RETURN FALSE;
+END JumpsInto;
+
+(* One pass: Push a; Push b; Arith  =>  Push (a op b), when no jump
+   lands inside the triple. Jump targets after the gap shift left. *)
+PROCEDURE Peephole(c: Code): INTEGER =
+VAR
+  nops, nargs: IntArr;
+  i, w, k, hits: INTEGER;
+BEGIN
+  hits := 0;
+  nops := NEW(IntArr, c.len + 1);
+  nargs := NEW(IntArr, c.len + 1);
+  i := 0;
+  w := 0;
+  WHILE i < c.len DO
+    IF (i + 2 < c.len) AND (c.ops[i] = OpPush) AND (c.ops[i + 1] = OpPush)
+       AND ((c.ops[i + 2] = OpAdd) OR (c.ops[i + 2] = OpSub) OR (c.ops[i + 2] = OpMul))
+       AND (NOT JumpsInto(c, i, i + 2)) THEN
+      nops[w] := OpPush;
+      nargs[w] := EvalBin(c.ops[i + 2] - OpAdd, c.args[i], c.args[i + 1]);
+      (* Shift every jump target beyond the shrunk window. *)
+      FOR k := 0 TO c.len - 1 DO
+        IF (c.ops[k] = OpJz) OR (c.ops[k] = OpJmp) OR (c.ops[k] = OpJnz) THEN
+          IF c.args[k] > i THEN
+            c.args[k] := c.args[k] - 2;
+          END;
+        END;
+      END;
+      INC(w);
+      i := i + 3;
+      INC(hits);
+    ELSE
+      nops[w] := c.ops[i];
+      nargs[w] := c.args[i];
+      INC(w);
+      INC(i);
+    END;
+  END;
+  c.ops := nops;
+  c.args := nargs;
+  c.len := w;
+  RETURN hits;
+END Peephole;
+
+(* ---- Stage 5: the VM ---- *)
+
+PROCEDURE Exec(fidx, arg: INTEGER): INTEGER =
+VAR
+  c: Code;
+  stack, locals: IntArr;
+  sp, pc, op, a, x, y: INTEGER;
+BEGIN
+  c := funs[fidx].code;
+  stack := NEW(IntArr, c.len + 8);
+  locals := NEW(IntArr, c.nlocals + 1);
+  locals[0] := arg;
+  sp := 0;
+  pc := 0;
+  WHILE pc < c.len DO
+    op := c.ops[pc];
+    a := c.args[pc];
+    INC(pc);
+    INC(vmSteps);
+    IF op = OpPush THEN
+      stack[sp] := a;
+      INC(sp);
+    ELSIF op = OpLoad THEN
+      stack[sp] := locals[a];
+      INC(sp);
+    ELSIF op = OpStore THEN
+      DEC(sp);
+      locals[a] := stack[sp];
+    ELSIF op = OpGLoad THEN
+      stack[sp] := gmem[a];
+      INC(sp);
+    ELSIF op = OpGStore THEN
+      DEC(sp);
+      gmem[a] := stack[sp];
+    ELSIF op = OpAdd THEN
+      DEC(sp);
+      y := stack[sp];
+      x := stack[sp - 1];
+      stack[sp - 1] := EvalBin(0, x, y);
+    ELSIF op = OpSub THEN
+      DEC(sp);
+      y := stack[sp];
+      x := stack[sp - 1];
+      stack[sp - 1] := EvalBin(1, x, y);
+    ELSIF op = OpMul THEN
+      DEC(sp);
+      y := stack[sp];
+      x := stack[sp - 1];
+      stack[sp - 1] := EvalBin(2, x, y);
+    ELSIF op = OpJz THEN
+      DEC(sp);
+      IF stack[sp] = 0 THEN
+        pc := a;
+      END;
+    ELSIF op = OpJnz THEN
+      DEC(sp);
+      IF stack[sp] # 0 THEN
+        pc := a;
+      END;
+    ELSIF op = OpJmp THEN
+      pc := a;
+    ELSIF op = OpCall THEN
+      x := stack[sp - 1];
+      stack[sp - 1] := Exec(a, x);
+    ELSIF op = OpPop THEN
+      DEC(sp);
+    ELSIF op = OpRet THEN
+      pc := c.len;
+    END;
+  END;
+  IF sp > 0 THEN
+    RETURN stack[sp - 1];
+  END;
+  RETURN 0;
+END Exec;
+
+(* ---- Driver ---- *)
+
+PROCEDURE BuildAll() =
+VAR f: Fun; i, before, after: INTEGER;
+BEGIN
+  funs := NEW(FunArr, NFuncs);
+  FOR i := 0 TO NFuncs - 1 DO
+    f := NEW(Fun);
+    f.idx := i;
+    f.body := Build(i, 3 + i MOD 4);
+    funs[i] := f;
+  END;
+  before := 0;
+  after := 0;
+  FOR i := 0 TO NFuncs - 1 DO
+    f := funs[i];
+    before := before + f.body.size();
+    f.body := f.body.fold();
+    f.body := f.body.simplify();
+    after := after + f.body.size();
+  END;
+  PutText("nodes ");
+  PutInt(nodesBuilt);
+  PutText(" size ");
+  PutInt(before);
+  PutText("->");
+  PutInt(after);
+  PutText(" folds ");
+  PutInt(foldsDone);
+  PutText(" simpl ");
+  PutInt(simplified);
+  PutLn();
+END BuildAll;
+
+PROCEDURE LowerAll() =
+VAR f: Fun; c: Code; i, passes, hits: INTEGER;
+BEGIN
+  FOR i := 0 TO NFuncs - 1 DO
+    f := funs[i];
+    c := NEW(Code);
+    c.nlocals := 1; (* slot 0: argument *)
+    f.body.lower(c);
+    (* A little dead traffic for the peephole to find. *)
+    Emit(c, OpPush, 3);
+    Emit(c, OpPush, 4);
+    Emit(c, OpAdd, 0);
+    Emit(c, OpGStore, i MOD NGlobals);
+    Linearize(c);
+    passes := 0;
+    hits := 1;
+    WHILE (hits > 0) AND (passes < 4) DO
+      hits := Peephole(c);
+      peepRemoved := peepRemoved + 2 * hits;
+      INC(passes);
+    END;
+    f.code := c;
+  END;
+  PutText("emitted ");
+  PutInt(emitted);
+  PutText(" peep-removed ");
+  PutInt(peepRemoved);
+  PutLn();
+END LowerAll;
+
+PROCEDURE RunAll() =
+VAR i, a, sum: INTEGER;
+BEGIN
+  gmem := NEW(IntArr, NGlobals);
+  FOR i := 0 TO NGlobals - 1 DO
+    gmem[i] := i * 17 + 3;
+  END;
+  sum := 0;
+  FOR i := 0 TO NFuncs - 1 DO
+    FOR a := 0 TO 6 DO
+      sum := (sum + Exec(i, a * 13 + i)) MOD 999983;
+    END;
+  END;
+  FOR i := 0 TO NGlobals - 1 DO
+    sum := (sum + gmem[i]) MOD 999983;
+  END;
+  PutText("steps ");
+  PutInt(vmSteps);
+  PutText(" checksum ");
+  PutInt(sum);
+  PutLn();
+END RunAll;
+
+BEGIN
+  rnd := 4099;
+  BuildAll();
+  LowerAll();
+  RunAll();
+END LowerVM.
+`

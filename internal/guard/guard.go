@@ -1,0 +1,157 @@
+// Package guard implements the comparison logic behind cmd/benchguard:
+// the classic `go test -bench` regression gate (bench-perf CI job) and
+// the scale-sweep growth-exponent gate (bench-scale CI job). Keeping
+// the logic here, pure and file-free, makes both gates unit-testable;
+// the command is a thin CLI that turns a Report into an exit code.
+package guard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseBench extracts ns/op samples per benchmark name from `go test
+// -bench` output, stripping the -N GOMAXPROCS suffix. An input with no
+// benchmark lines is an error: a gate that parses nothing must not
+// silently pass.
+func ParseBench(r io.Reader, label string) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op in %q", label, sc.Text())
+				}
+				out[name] = append(out[name], v)
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", label, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found (is this `go test -bench` output?)", label)
+	}
+	return out, nil
+}
+
+// BenchRow is one gated benchmark in a comparison report.
+type BenchRow struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Delta      float64 // (current-baseline)/baseline; 0 when not comparable
+	// Status is "ok", "FAIL", "missing" (in baseline, absent from the
+	// current run — also a failure), or "new" (no baseline; a note).
+	Status string
+}
+
+// BenchReport is the outcome of a classic benchmark comparison.
+type BenchReport struct {
+	Rows      []BenchRow
+	Threshold float64
+	Failed    bool
+}
+
+// CompareBench gates current against baseline: every baseline
+// benchmark matching one of the name prefixes must be present and
+// within threshold (0.20 = +20% ns/op). Repeated samples of one
+// benchmark compare by minimum — the noise-robust estimator, since
+// interference only ever adds time.
+func CompareBench(base, cur map[string][]float64, prefixes []string, threshold float64) (*BenchReport, error) {
+	tracked := func(name string) bool {
+		for _, p := range prefixes {
+			if p = strings.TrimSpace(p); p != "" && strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var names []string
+	for name := range base {
+		if tracked(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no tracked benchmarks in baseline (match %q)", strings.Join(prefixes, ","))
+	}
+	rep := &BenchReport{Threshold: threshold}
+	for _, name := range names {
+		b := minOf(base[name])
+		row := BenchRow{Name: name, BaselineNs: b}
+		if c, ok := cur[name]; ok {
+			row.CurrentNs = minOf(c)
+			row.Delta = (row.CurrentNs - b) / b
+			row.Status = "ok"
+			if row.Delta > threshold {
+				row.Status = "FAIL"
+				rep.Failed = true
+			}
+		} else {
+			row.Status = "missing"
+			rep.Failed = true
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	var fresh []string
+	for name := range cur {
+		if tracked(name) {
+			if _, ok := base[name]; !ok {
+				fresh = append(fresh, name)
+			}
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		rep.Rows = append(rep.Rows, BenchRow{Name: name, CurrentNs: minOf(cur[name]), Status: "new"})
+	}
+	return rep, nil
+}
+
+// Fprint renders a classic comparison report.
+func (rep *BenchReport) Fprint(w io.Writer) {
+	for _, r := range rep.Rows {
+		switch r.Status {
+		case "missing":
+			fmt.Fprintf(w, "FAIL %-44s missing from current run\n", r.Name)
+		case "new":
+			fmt.Fprintf(w, "note %-44s new benchmark (no baseline)\n", r.Name)
+		default:
+			status := "ok  "
+			if r.Status == "FAIL" {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "%s %-44s %10.1f ns/op -> %10.1f ns/op  (%+.1f%%, limit +%.0f%%)\n",
+				status, r.Name, r.BaselineNs, r.CurrentNs, 100*r.Delta, 100*rep.Threshold)
+		}
+	}
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

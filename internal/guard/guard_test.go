@@ -1,0 +1,101 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: tbaa
+BenchmarkMayAlias/TypeDecl-8         	 5000000	        41.5 ns/op
+BenchmarkMayAlias/TypeDecl-8         	 5000000	        43.0 ns/op
+BenchmarkCountPairs/TypeDecl-8       	     300	    400000 ns/op	  120 B/op
+BenchmarkOther-8                     	 1000000	      1000 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(benchOut), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -8 suffix stripped, repeated samples accumulate.
+	if samples := got["BenchmarkMayAlias/TypeDecl"]; len(samples) != 2 || samples[0] != 41.5 {
+		t.Fatalf("MayAlias samples = %v", samples)
+	}
+	if samples := got["BenchmarkCountPairs/TypeDecl"]; len(samples) != 1 || samples[0] != 400000 {
+		t.Fatalf("CountPairs samples = %v", samples)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	_, err := ParseBench(strings.NewReader("PASS\nok  \ttbaa\t1.2s\n"), "baseline.txt")
+	if err == nil || !strings.Contains(err.Error(), "baseline.txt") {
+		t.Fatalf("want labeled no-benchmarks error, got %v", err)
+	}
+}
+
+func TestParseBenchMalformedNsOp(t *testing.T) {
+	_, err := ParseBench(strings.NewReader("BenchmarkX-8 10 zap ns/op\n"), "f")
+	if err == nil || !strings.Contains(err.Error(), "bad ns/op") {
+		t.Fatalf("want bad ns/op error, got %v", err)
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := map[string][]float64{
+		"BenchmarkMayAlias/A": {100, 105},
+		"BenchmarkMayAlias/B": {100},
+		"BenchmarkMayAlias/C": {100},
+		"BenchmarkUntracked":  {100},
+	}
+	cur := map[string][]float64{
+		"BenchmarkMayAlias/A": {118, 130}, // min 118: within +20%
+		"BenchmarkMayAlias/B": {200},      // regression
+		// C missing from current run
+		"BenchmarkMayAlias/D": {50}, // new, no baseline
+		"BenchmarkUntracked":  {900},
+	}
+	rep, err := CompareBench(base, cur, []string{"BenchmarkMayAlias"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("want failure")
+	}
+	status := make(map[string]string)
+	for _, r := range rep.Rows {
+		status[r.Name] = r.Status
+	}
+	want := map[string]string{
+		"BenchmarkMayAlias/A": "ok",
+		"BenchmarkMayAlias/B": "FAIL",
+		"BenchmarkMayAlias/C": "missing",
+		"BenchmarkMayAlias/D": "new",
+	}
+	for name, ws := range want {
+		if status[name] != ws {
+			t.Errorf("%s: status = %q, want %q", name, status[name], ws)
+		}
+	}
+	if _, ok := status["BenchmarkUntracked"]; ok {
+		t.Error("untracked benchmark appeared in report")
+	}
+
+	var buf strings.Builder
+	rep.Fprint(&buf)
+	for _, want := range []string{"FAIL", "missing from current run", "new benchmark"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestCompareBenchNoTracked(t *testing.T) {
+	base := map[string][]float64{"BenchmarkX": {1}}
+	_, err := CompareBench(base, base, []string{"BenchmarkMayAlias"}, 0.2)
+	if err == nil || !strings.Contains(err.Error(), "no tracked benchmarks") {
+		t.Fatalf("want no-tracked error, got %v", err)
+	}
+}

@@ -1,0 +1,231 @@
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The scale gate turns BENCH_scale.json into growth exponents and
+// fails when cost grows faster in module size than the per-op policy
+// allows. Exponents (the log-log slope of ns/op against module lines,
+// fitted over the generated randprog-* sweep points) are
+// machine-independent: a slower CI runner shifts every point by a
+// constant factor and leaves the slope untouched, so the committed
+// baseline stays comparable across hardware — the property an absolute
+// ns/op threshold lacks.
+
+// ScaleRow mirrors the BENCH_scale.json schema (tbaa.ScaleRow); guard
+// redeclares it so the package stays dependency-free and testable.
+type ScaleRow struct {
+	Benchmark string  `json:"benchmark"`
+	Lines     int     `json:"lines"`
+	Level     string  `json:"level"`
+	Op        string  `json:"op"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// ParseScale reads a BENCH_scale.json artifact, rejecting empty or
+// malformed inputs with a diagnostic naming the label.
+func ParseScale(r io.Reader, label string) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("%s: malformed scale artifact: %w", label, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: empty scale artifact", label)
+	}
+	return rows, nil
+}
+
+// Exponent is a fitted growth exponent for one (level, op) series.
+type Exponent struct {
+	Level, Op string
+	// Alpha is the least-squares slope of log(ns/op) vs log(lines):
+	// 0 = flat, 1 = linear, 2 = quadratic.
+	Alpha float64
+	// Points is the number of sweep sizes fitted (>= 2).
+	Points             int
+	MinLines, MaxLines int
+	// MinNs/MaxNs are the measurements at the smallest and largest size.
+	MinNs, MaxNs float64
+}
+
+// seriesKey identifies one exponent series.
+type seriesKey struct{ level, op string }
+
+// GrowthExponents fits one exponent per (level, op) over the generated
+// sweep modules (benchmark names starting "randprog-"); series with
+// fewer than two distinct sizes are skipped — one point has no slope.
+func GrowthExponents(rows []ScaleRow) []Exponent {
+	series := make(map[seriesKey]map[int]float64)
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Benchmark, "randprog-") || r.Lines <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		k := seriesKey{r.Level, r.Op}
+		if series[k] == nil {
+			series[k] = make(map[int]float64)
+		}
+		series[k][r.Lines] = r.NsPerOp
+	}
+	var out []Exponent
+	for k, pts := range series {
+		if len(pts) < 2 {
+			continue
+		}
+		var xs, ys []float64
+		minL, maxL := 0, 0
+		for lines := range pts {
+			if minL == 0 || lines < minL {
+				minL = lines
+			}
+			if lines > maxL {
+				maxL = lines
+			}
+		}
+		var sizes []int
+		for lines := range pts {
+			sizes = append(sizes, lines)
+		}
+		sort.Ints(sizes)
+		for _, lines := range sizes {
+			xs = append(xs, math.Log(float64(lines)))
+			ys = append(ys, math.Log(pts[lines]))
+		}
+		out = append(out, Exponent{
+			Level: k.level, Op: k.op,
+			Alpha:  slope(xs, ys),
+			Points: len(pts), MinLines: minL, MaxLines: maxL,
+			MinNs: pts[minL], MaxNs: pts[maxL],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
+}
+
+// slope is the least-squares slope of y against x.
+func slope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// ScalePolicy sets the per-op exponent gate: a series fails when its
+// alpha exceeds max(Caps[op], baseline alpha + Margin). The hard cap
+// states the structural claim (queries ~flat, builds not superlinear);
+// the baseline margin catches creep well under the cap. Ops without a
+// cap entry are reported but not gated.
+type ScalePolicy struct {
+	Caps   map[string]float64
+	Margin float64
+}
+
+// DefaultScalePolicy encodes the repo's scaling claims. Query cost
+// must stay ~flat in module size: the partition answers MayAlias in
+// O(1), so only cache effects may grow the hot number, and the
+// random-pair number may grow sublinearly with working-set misses.
+// CountPairs is gated per reference (the sweep output itself grows
+// with the module). Build stages — frontend, partition+flow analyzer
+// build, SCC mod-ref summaries — must stay below frank quadratic,
+// with the margin holding them near the committed curve.
+func DefaultScalePolicy() ScalePolicy {
+	return ScalePolicy{
+		Caps: map[string]float64{
+			"MayAliasHot":      0.35,
+			"MayAliasRand":     0.90,
+			"CountPairsPerRef": 0.80,
+			"Compile":          1.45,
+			"AnalyzerBuild":    1.60,
+			"SummaryCHA":       1.60,
+			"SummaryRTA":       1.60,
+		},
+		Margin: 0.25,
+	}
+}
+
+// ScaleRowResult is one gated series in a scale report.
+type ScaleRowResult struct {
+	Exponent
+	// BaselineAlpha is NaN when the committed baseline lacks the series.
+	BaselineAlpha float64
+	// Limit is the alpha this series must not exceed; NaN when the op
+	// is untracked (reported, never failed).
+	Limit  float64
+	Status string // "ok", "FAIL", or "info"
+}
+
+// ScaleReport is the outcome of a scale-sweep gate run.
+type ScaleReport struct {
+	Rows   []ScaleRowResult
+	Failed bool
+}
+
+// CompareScale gates the current sweep's growth exponents against the
+// policy and the committed baseline sweep. base may be nil (bootstrap:
+// hard caps only).
+func CompareScale(cur, base []ScaleRow, pol ScalePolicy) (*ScaleReport, error) {
+	exps := GrowthExponents(cur)
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("current artifact has no gateable series: need randprog-* rows at >=2 module sizes")
+	}
+	baseAlpha := make(map[seriesKey]float64)
+	for _, e := range GrowthExponents(base) {
+		baseAlpha[seriesKey{e.Level, e.Op}] = e.Alpha
+	}
+	rep := &ScaleReport{}
+	for _, e := range exps {
+		row := ScaleRowResult{Exponent: e, BaselineAlpha: math.NaN(), Limit: math.NaN(), Status: "info"}
+		if ba, ok := baseAlpha[seriesKey{e.Level, e.Op}]; ok {
+			row.BaselineAlpha = ba
+		}
+		if cap, tracked := pol.Caps[e.Op]; tracked {
+			row.Limit = cap
+			if !math.IsNaN(row.BaselineAlpha) && row.BaselineAlpha+pol.Margin > cap {
+				row.Limit = row.BaselineAlpha + pol.Margin
+			}
+			row.Status = "ok"
+			if e.Alpha > row.Limit {
+				row.Status = "FAIL"
+				rep.Failed = true
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Fprint renders a scale report.
+func (rep *ScaleReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%-4s %-16s %-18s %7s %9s %7s  %s\n",
+		"", "Level", "Op", "alpha", "baseline", "limit", "sweep")
+	for _, r := range rep.Rows {
+		status := r.Status
+		if status == "ok" {
+			status = "ok  "
+		}
+		base, limit := "-", "-"
+		if !math.IsNaN(r.BaselineAlpha) {
+			base = fmt.Sprintf("%.2f", r.BaselineAlpha)
+		}
+		if !math.IsNaN(r.Limit) {
+			limit = fmt.Sprintf("%.2f", r.Limit)
+		}
+		fmt.Fprintf(w, "%-4s %-16s %-18s %7.2f %9s %7s  %d..%d lines (%.0f -> %.0f ns)\n",
+			status, r.Level, r.Op, r.Alpha, base, limit, r.MinLines, r.MaxLines, r.MinNs, r.MaxNs)
+	}
+}

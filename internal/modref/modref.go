@@ -7,6 +7,8 @@
 package modref
 
 import (
+	"math/bits"
+	"strconv"
 	"sync"
 
 	"tbaa/internal/alias"
@@ -35,43 +37,121 @@ type Effects struct {
 	// store whose access path was not recorded). MayModify and MayRebind
 	// answer true for everything under a Top summary.
 	Top bool
+
+	// mods and refs are the construction-time representation: bitsets
+	// over interned shape IDs (see shapeTab). Absorbing a callee summary
+	// is then a word-wise union instead of an O(n·m) scan-based slice
+	// merge, which kept the old builder quadratic on deep call graphs.
+	// materialize turns them into the public Mods/Refs slices once the
+	// bottom-up summarization is complete.
+	mods, refs bitvec
 }
 
-// absorb unions src into eff and reports whether eff grew.
-func (eff *Effects) absorb(src *Effects) bool {
+// bitvec is a growable bitset over shape IDs.
+type bitvec []uint64
+
+func (b *bitvec) add(id int32) {
+	w := int(id >> 6)
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << uint(id&63)
+}
+
+func (b *bitvec) union(src bitvec) {
+	if len(src) > len(*b) {
+		*b = append(*b, make([]uint64, len(src)-len(*b))...)
+	}
+	for i, w := range src {
+		(*b)[i] |= w
+	}
+}
+
+// absorb unions src into eff.
+func (eff *Effects) absorb(src *Effects) {
 	if src == nil {
-		return false
+		return
 	}
-	changed := false
-	for _, ap := range src.Mods {
-		n := len(eff.Mods)
-		eff.Mods = addAP(eff.Mods, ap)
-		if len(eff.Mods) != n {
-			changed = true
-		}
-	}
-	for _, ap := range src.Refs {
-		n := len(eff.Refs)
-		eff.Refs = addAP(eff.Refs, ap)
-		if len(eff.Refs) != n {
-			changed = true
-		}
-	}
+	eff.mods.union(src.mods)
+	eff.refs.union(src.refs)
 	for g := range src.ModGlobals {
-		if !eff.ModGlobals[g] {
-			eff.ModGlobals[g] = true
-			changed = true
+		eff.ModGlobals[g] = true
+	}
+	if src.WritesThroughLocs {
+		eff.WritesThroughLocs = true
+	}
+	if src.Top {
+		eff.Top = true
+	}
+}
+
+// materialize fills the public Mods/Refs slices from the shape bitsets,
+// in shape-ID (first-interning) order — deterministic across runs.
+func (eff *Effects) materialize(st *shapeTab) {
+	eff.Mods = st.paths(eff.mods)
+	eff.Refs = st.paths(eff.refs)
+}
+
+// shapeTab interns access paths by shape (root type plus the selector
+// kinds, fields, and types along the path) to dense IDs, so summaries
+// can hold shape sets as bitsets. The per-pointer memo is effective
+// because the compiler interns APs program-wide. Keying on the type ID
+// (nil as its own bucket) refines the old scan's nil-type wildcard at
+// worst into an extra representative with identical shape otherwise —
+// a superset of representatives, so verdicts stay sound.
+type shapeTab struct {
+	byAP  map[*ir.AP]int32
+	byKey map[string]int32
+	reps  []*ir.AP
+}
+
+func newShapeTab() *shapeTab {
+	return &shapeTab{byAP: make(map[*ir.AP]int32), byKey: make(map[string]int32)}
+}
+
+func (st *shapeTab) id(ap *ir.AP) int32 {
+	if id, ok := st.byAP[ap]; ok {
+		return id
+	}
+	key := shapeKey(ap)
+	id, ok := st.byKey[key]
+	if !ok {
+		id = int32(len(st.reps))
+		st.byKey[key] = id
+		st.reps = append(st.reps, ap)
+	}
+	st.byAP[ap] = id
+	return id
+}
+
+// paths returns the representative APs of the shapes in b.
+func (st *shapeTab) paths(b bitvec) []*ir.AP {
+	var out []*ir.AP
+	for w, word := range b {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, st.reps[w<<6+bits.TrailingZeros64(word)])
 		}
 	}
-	if src.WritesThroughLocs && !eff.WritesThroughLocs {
-		eff.WritesThroughLocs = true
-		changed = true
+	return out
+}
+
+func shapeKey(ap *ir.AP) string {
+	var b []byte
+	b = strconv.AppendInt(b, int64(ap.Root.Type.ID()), 10)
+	for i := range ap.Sels {
+		s := &ap.Sels[i]
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(s.Kind), 10)
+		b = append(b, ':')
+		b = append(b, s.Field...)
+		b = append(b, ':')
+		tid := -1
+		if s.Type != nil {
+			tid = s.Type.ID()
+		}
+		b = strconv.AppendInt(b, int64(tid), 10)
 	}
-	if src.Top && !eff.Top {
-		eff.Top = true
-		changed = true
-	}
-	return changed
+	return string(b)
 }
 
 // ModRef holds summaries for a whole program.
@@ -80,6 +160,10 @@ type ModRef struct {
 	cfg     Config
 	byProc  map[*ir.Proc]*Effects
 	callees map[*ir.Proc][]*ir.Proc
+	// shapes interns every Mod/Ref access-path shape to a dense ID;
+	// read-only once construction finishes (CallEffects only unions
+	// bitsets of finished summaries and reads reps).
+	shapes *shapeTab
 	// inst is the RTA instantiated-type set; a nil bitset disables the
 	// dispatch filter (the CHA cone).
 	inst types.Bitset
@@ -150,7 +234,7 @@ func (mr *ModRef) collectDirect() {
 				case ir.OpStore:
 					if in.AP != nil {
 						if !mr.freshStores[in] {
-							eff.Mods = addAP(eff.Mods, in.AP)
+							eff.mods.add(mr.shapes.id(in.AP))
 						}
 						if in.Sel.Kind == ir.SelDeref {
 							eff.WritesThroughLocs = true
@@ -161,7 +245,7 @@ func (mr *ModRef) collectDirect() {
 					}
 				case ir.OpLoad:
 					if in.AP != nil && !in.AP.IsDope() {
-						eff.Refs = addAP(eff.Refs, in.AP)
+						eff.refs.add(mr.shapes.id(in.AP))
 					}
 				case ir.OpSetVar:
 					if in.Var.Kind == ir.GlobalVar {
@@ -172,7 +256,7 @@ func (mr *ModRef) collectDirect() {
 						eff.ModGlobals[in.Var] = true
 					}
 					if in.AP != nil {
-						eff.Mods = addAP(eff.Mods, in.AP)
+						eff.mods.add(mr.shapes.id(in.AP))
 					}
 				case ir.OpCall:
 					if mr.cfg.RTA && mr.prog.ProcByName[in.Callee] == nil {
@@ -183,54 +267,6 @@ func (mr *ModRef) collectDirect() {
 			}
 		}
 	}
-}
-
-// fixpoint is the CHA-mode transitive closure (iterate until stable;
-// the lattice is finite because representative APs are deduplicated by
-// shape).
-func (mr *ModRef) fixpoint() {
-	changed := true
-	for changed {
-		changed = false
-		for _, p := range mr.prog.Procs {
-			eff := mr.byProc[p]
-			for _, c := range mr.callees[p] {
-				if eff.absorb(mr.byProc[c]) {
-					changed = true
-				}
-			}
-		}
-	}
-}
-
-// addAP appends ap if no existing representative has the same shape
-// (selector kinds, fields, and types along the path).
-func addAP(list []*ir.AP, ap *ir.AP) []*ir.AP {
-	for _, e := range list {
-		if sameShape(e, ap) {
-			return list
-		}
-	}
-	return append(list, ap)
-}
-
-func sameShape(a, b *ir.AP) bool {
-	if len(a.Sels) != len(b.Sels) {
-		return false
-	}
-	if a.Root.Type.ID() != b.Root.Type.ID() {
-		return false
-	}
-	for i := range a.Sels {
-		x, y := &a.Sels[i], &b.Sels[i]
-		if x.Kind != y.Kind || x.Field != y.Field {
-			return false
-		}
-		if x.Type != nil && y.Type != nil && x.Type.ID() != y.Type.ID() {
-			return false
-		}
-	}
-	return true
 }
 
 // Effects returns the summary for a procedure.
@@ -322,9 +358,14 @@ func (mr *ModRef) callEffects(in *ir.Instr) *Effects {
 		}
 	case ir.OpMethodCall:
 		combined := &Effects{ModGlobals: make(map[*ir.Var]bool)}
+		seen := make(map[*Effects]bool)
 		for _, callee := range mr.Dispatch(in) {
-			combined.absorb(mr.byProc[callee])
+			if sum := mr.byProc[callee]; !seen[sum] {
+				seen[sum] = true
+				combined.absorb(sum)
+			}
 		}
+		combined.materialize(mr.shapes)
 		return combined
 	}
 	return &Effects{ModGlobals: map[*ir.Var]bool{}}

@@ -56,22 +56,36 @@ func ComputeWith(prog *ir.Program, cfg Config) *ModRef {
 		byProc:  make(map[*ir.Proc]*Effects, len(prog.Procs)),
 		callees: make(map[*ir.Proc][]*ir.Proc, len(prog.Procs)),
 		effMemo: make(map[*ir.Instr]*Effects),
+		shapes:  newShapeTab(),
 	}
+	if cfg.RTA && !cfg.OpenWorld && prog.Main != nil {
+		mr.rta()
+	}
+	// Both modes summarize bottom-up over call-graph SCCs: one pass in
+	// Tarjan emission order computes the same transitive closure the old
+	// CHA iterate-until-stable fixpoint did, in linear passes instead of
+	// quadratic re-scans.
+	mr.collectEdges()
+	sccs := mr.tarjanSCCs()
 	if cfg.RTA {
-		if !cfg.OpenWorld && prog.Main != nil {
-			mr.rta()
-		}
-		mr.collectEdges()
-		sccs := mr.tarjanSCCs()
 		mr.computeFreshness(sccs)
-		mr.collectDirect()
-		mr.summarizeSCCs(sccs)
-	} else {
-		mr.collectEdges()
-		mr.collectDirect()
-		mr.fixpoint()
 	}
+	mr.collectDirect()
+	mr.summarizeSCCs(sccs)
+	mr.materializeSummaries()
 	return mr
+}
+
+// materializeSummaries converts every distinct summary's shape bitsets
+// into the public Mods/Refs slices, once, after summarization.
+func (mr *ModRef) materializeSummaries() {
+	done := make(map[*Effects]bool, len(mr.byProc))
+	for _, p := range mr.prog.Procs {
+		if eff := mr.byProc[p]; !done[eff] {
+			done[eff] = true
+			eff.materialize(mr.shapes)
+		}
+	}
 }
 
 // Interprocedural reports whether this ModRef was built with the RTA
@@ -214,11 +228,13 @@ func (mr *ModRef) summarizeSCCs(sccs [][]*ir.Proc) {
 			member[p] = true
 		}
 		sum := &Effects{ModGlobals: make(map[*ir.Var]bool)}
+		absorbed := make(map[*Effects]bool)
 		for _, p := range scc {
 			sum.absorb(mr.byProc[p])
 			for _, c := range mr.callees[p] {
-				if !member[c] {
-					sum.absorb(mr.byProc[c])
+				if cs := mr.byProc[c]; !member[c] && !absorbed[cs] {
+					absorbed[cs] = true
+					sum.absorb(cs)
 				}
 			}
 		}

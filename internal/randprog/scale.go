@@ -1,0 +1,470 @@
+package randprog
+
+// Scale mode: GenerateScale emits coherent 10k-100k-line MiniM3 modules
+// that exercise the analysis at sizes where the stock suite (whose
+// largest member measures in microseconds) never goes: deep type
+// hierarchies with field-dense object declarations, wide virtual
+// dispatch cones, hot mutually-recursive procedure clusters, and
+// thousands of worker procedures with bounded per-procedure working
+// sets. Programs are deterministic per (seed, config), always
+// terminate, and run in the differential interpreter within a few
+// hundred thousand steps: the module body drives only a sampled subset
+// of the workers at small call depths, so module *size* scales two
+// orders of magnitude while *execution* stays test-suite friendly.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// ScaleConfig bounds one generated at-scale module. The zero value of
+// any field is replaced by a derived default; most callers should use
+// ScaleConfigForLines and only adjust TargetLines.
+type ScaleConfig struct {
+	// TargetLines is the module size the generator aims for, in emitted
+	// source lines. The generator tops up worker procedures until it is
+	// within a few percent below the target, so the result lands in
+	// [0.95*TargetLines, 1.05*TargetLines] for targets in the advertised
+	// 10k-100k band.
+	TargetLines int
+	// Types is the number of object types (all transitively rooted at
+	// T0). Grows ~sqrt(TargetLines) by default so alias-class diversity
+	// rises without making the class-pair arithmetic quadratic in lines.
+	Types int
+	// IntFieldsPer / RefFieldsPer bound the extra fields each type
+	// declares on top of the inherited ones (field-dense structs).
+	IntFieldsPer int
+	RefFieldsPer int
+	// Pools is the number of global object variables the workers share.
+	Pools int
+	// Clusters is the number of mutually recursive procedure clusters
+	// (each a call-graph SCC of 2-4 procedures).
+	Clusters int
+	// StmtsPer is the statement budget of one worker procedure body.
+	StmtsPer int
+	// SampleCalls bounds how many workers the module body invokes (the
+	// interpreter cost knob; module size is unaffected).
+	SampleCalls int
+}
+
+// ScaleConfigForLines derives a coherent configuration for a module of
+// roughly n lines. Callers commonly pass one of the sweep sizes
+// (10_000 .. 100_000).
+func ScaleConfigForLines(n int) ScaleConfig {
+	if n < 1000 {
+		n = 1000
+	}
+	sq := int(math.Sqrt(float64(n)))
+	return ScaleConfig{
+		TargetLines:  n,
+		Types:        clampInt(16, 160, sq/2),
+		IntFieldsPer: 5,
+		RefFieldsPer: 2,
+		Pools:        clampInt(16, 96, sq/3),
+		Clusters:     clampInt(2, 24, n/4000),
+		StmtsPer:     24,
+		SampleCalls:  120,
+	}
+}
+
+func clampInt(lo, hi, v int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// fill replaces zero fields with the derived defaults for TargetLines.
+func (c ScaleConfig) fill() ScaleConfig {
+	d := ScaleConfigForLines(c.TargetLines)
+	if c.Types == 0 {
+		c.Types = d.Types
+	}
+	if c.IntFieldsPer == 0 {
+		c.IntFieldsPer = d.IntFieldsPer
+	}
+	if c.RefFieldsPer == 0 {
+		c.RefFieldsPer = d.RefFieldsPer
+	}
+	if c.Pools == 0 {
+		c.Pools = d.Pools
+	}
+	if c.Clusters == 0 {
+		c.Clusters = d.Clusters
+	}
+	if c.StmtsPer == 0 {
+		c.StmtsPer = d.StmtsPer
+	}
+	if c.SampleCalls == 0 {
+		c.SampleCalls = d.SampleCalls
+	}
+	c.TargetLines = d.TargetLines
+	return c
+}
+
+// GenerateScale produces a deterministic at-scale program for a seed.
+func GenerateScale(seed int64, cfg ScaleConfig) string {
+	cfg = cfg.fill()
+	g := &sgen{rng: rand.New(rand.NewSource(seed ^ 0x5ca1ab1e)), cfg: cfg}
+	g.program()
+	return g.b.String()
+}
+
+// sgen is the at-scale generator. Unlike gen it tracks emitted lines so
+// the worker loop can top up to the configured size, and it gives every
+// worker a small fixed working set of pools (realistic locality, and
+// bounded per-procedure reference counts).
+type sgen struct {
+	rng   *rand.Rand
+	cfg   ScaleConfig
+	b     strings.Builder
+	lines int
+
+	supers    []int  // direct supertype (-1 for T0)
+	overrides []bool // type overrides the virtual get
+	// intFields[t] / refFields[t] name the fields T<t> itself declares;
+	// refTarget[f] is the declared type of ref field f (indexed by the
+	// global ref-field counter that names it).
+	intFields [][]string
+	refFields [][]string
+	refTarget map[string]int
+
+	poolType []int // static type of pool global p<k>
+
+	nWorkers  int
+	nClusters int
+}
+
+func (g *sgen) pick(n int) int { return g.rng.Intn(n) }
+
+func (g *sgen) printf(format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	g.lines += strings.Count(s, "\n")
+	g.b.WriteString(s)
+}
+
+// isSub reports whether T<a> is T<b> or a transitive subtype of it.
+func (g *sgen) isSub(a, b int) bool {
+	for t := a; t != -1; t = g.supers[t] {
+		if t == b {
+			return true
+		}
+	}
+	return false
+}
+
+// subtypeOf picks a random subtype of T<t> (possibly t itself).
+func (g *sgen) subtypeOf(t int) int {
+	var subs []int
+	for u := range g.supers {
+		if g.isSub(u, t) {
+			subs = append(subs, u)
+		}
+	}
+	return subs[g.pick(len(subs))]
+}
+
+func (g *sgen) program() {
+	g.types()
+	g.globals()
+	g.methods()
+	g.constructors()
+	g.clusters()
+	g.workers()
+	g.main()
+}
+
+// types emits the hierarchy: T0 is the root with the virtual get; every
+// later type extends its predecessor with probability ~1/2 (deep
+// chains) or a random earlier type (bushy cones), declaring a dense
+// block of integer fields and a couple of typed reference fields.
+func (g *sgen) types() {
+	n := g.cfg.Types
+	g.printf("MODULE Scale;\n\nTYPE\n")
+	g.printf("  T0 = OBJECT i0: INTEGER; r0: T0; METHODS get(): INTEGER := M0; END;\n")
+	g.supers = []int{-1}
+	g.overrides = []bool{true}
+	g.intFields = [][]string{{"i0"}}
+	g.refFields = [][]string{{"r0"}}
+	g.refTarget = map[string]int{"r0": 0}
+	for t := 1; t < n; t++ {
+		super := t - 1
+		if g.pick(2) == 0 {
+			super = g.pick(t)
+		}
+		g.supers = append(g.supers, super)
+		ovr := g.pick(3) != 0
+		g.overrides = append(g.overrides, ovr)
+		nInt := 2 + g.pick(g.cfg.IntFieldsPer)
+		nRef := 1 + g.pick(g.cfg.RefFieldsPer)
+		var ints, refs []string
+		g.printf("  T%d = T%d OBJECT", t, super)
+		for j := 0; j < nInt; j++ {
+			f := fmt.Sprintf("f%dx%d", t, j)
+			ints = append(ints, f)
+			g.printf(" %s: INTEGER;", f)
+		}
+		for j := 0; j < nRef; j++ {
+			f := fmt.Sprintf("r%dx%d", t, j)
+			tgt := g.pick(t) // any earlier type
+			refs = append(refs, f)
+			g.refTarget[f] = tgt
+			g.printf(" %s: T%d;", f, tgt)
+		}
+		if ovr {
+			g.printf(" OVERRIDES get := M%d;", t)
+		}
+		g.printf(" END;\n")
+		g.intFields = append(g.intFields, ints)
+		g.refFields = append(g.refFields, refs)
+	}
+	g.printf("  Arr = ARRAY OF INTEGER;\n")
+}
+
+func (g *sgen) globals() {
+	g.printf("\nVAR\n")
+	for k := 0; k < 8; k++ {
+		g.printf("  gi%d: INTEGER;\n", k)
+	}
+	for k := 0; k < 4; k++ {
+		g.printf("  ga%d: Arr;\n", k)
+	}
+	g.poolType = make([]int, g.cfg.Pools)
+	for k := 0; k < g.cfg.Pools; k++ {
+		t := g.pick(g.cfg.Types)
+		g.poolType[k] = t
+		g.printf("  p%d: T%d;\n", k, t)
+	}
+}
+
+// ownIntField picks an integer field visible on T<t> (its own chain).
+func (g *sgen) ownIntField(t int) string {
+	// Walk the chain collecting candidates; i0 is always there.
+	var fs []string
+	for a := t; a != -1; a = g.supers[a] {
+		fs = append(fs, g.intFields[a]...)
+	}
+	return fs[g.pick(len(fs))]
+}
+
+// methods emits one get override body per overriding type: pure
+// arithmetic, receiver mutation, or a global write, so dispatch targets
+// have observably different mod-ref behavior.
+func (g *sgen) methods() {
+	for t := 0; t < g.cfg.Types; t++ {
+		if !g.overrides[t] {
+			continue
+		}
+		g.printf("\nPROCEDURE M%d(self: T%d): INTEGER =\nBEGIN\n", t, t)
+		f := g.ownIntField(t)
+		switch g.pick(3) {
+		case 0:
+			g.printf("  RETURN self.%s * 2 + %d;\n", f, t)
+		case 1:
+			g.printf("  self.%s := self.%s + 1;\n  RETURN self.%s;\n", f, f, f)
+		default:
+			g.printf("  gi%d := gi%d + %d;\n  RETURN self.%s;\n", t%8, t%8, t+1, f)
+		}
+		g.printf("END M%d;\n", t)
+	}
+}
+
+// constructors emits Mk<t> for every type: a fresh node with its own
+// integer fields seeded and r0 allocated (so depth-2 reads through r0
+// are guarded-safe), occasionally wiring a pre-existing pool object
+// into a declared ref field (invocation-freshness stress).
+func (g *sgen) constructors() {
+	for t := 0; t < g.cfg.Types; t++ {
+		g.printf("\nPROCEDURE Mk%d(v: INTEGER): T%d =\nVAR n: T%d;\nBEGIN\n", t, t, t)
+		g.printf("  n := NEW(T%d);\n  n.i0 := v;\n  n.r0 := NEW(T0);\n", t)
+		for _, f := range g.intFields[t] {
+			if f == "i0" {
+				continue
+			}
+			g.printf("  n.%s := v + %d;\n", f, g.pick(50))
+		}
+		for _, f := range g.refFields[t] {
+			if f == "r0" {
+				continue
+			}
+			tgt := g.refTarget[f]
+			if g.pick(4) == 0 {
+				if k := g.poolOf(tgt); k >= 0 {
+					// Store an old object into the fresh node: the target
+					// stays invocation-fresh, the value is not.
+					g.printf("  IF v > 40 THEN n.%s := p%d; END;\n", f, k)
+					continue
+				}
+			}
+			g.printf("  n.%s := NEW(T%d);\n", f, g.subtypeOf(tgt))
+		}
+		g.printf("  RETURN n;\nEND Mk%d;\n", t)
+	}
+}
+
+// poolOf returns a pool global assignable to T<want>, or -1.
+func (g *sgen) poolOf(want int) int {
+	for tries := 0; tries < 12; tries++ {
+		k := g.pick(len(g.poolType))
+		if g.isSub(g.poolType[k], want) {
+			return k
+		}
+	}
+	for k, t := range g.poolType {
+		if g.isSub(t, want) {
+			return k
+		}
+	}
+	return -1
+}
+
+// clusters emits the mutually recursive procedure clusters: K<c>x<i>
+// calls K<c>x<i+1 mod size> with a decremented depth, each member
+// touching a distinct slice of the pools, so every cluster is a hot
+// call-graph SCC with its own mod-ref footprint.
+func (g *sgen) clusters() {
+	g.nClusters = g.cfg.Clusters
+	for c := 0; c < g.nClusters; c++ {
+		size := 2 + g.pick(3)
+		for i := 0; i < size; i++ {
+			g.printf("\nPROCEDURE K%dx%d(d: INTEGER): INTEGER =\nBEGIN\n", c, i)
+			g.printf("  IF d <= 0 THEN RETURN %d; END;\n", c+i)
+			k := g.pick(len(g.poolType))
+			g.printf("  p%d.i0 := p%d.i0 + d;\n", k, k)
+			if g.pick(2) == 0 {
+				g.printf("  gi%d := gi%d + %d;\n", c%8, c%8, i+1)
+			}
+			g.printf("  RETURN K%dx%d(d - 1) + %d;\nEND K%dx%d;\n", c, (i+1)%size, i, c, i)
+		}
+	}
+}
+
+// workers emits W<p> procedures until the module reaches its line
+// budget. Each worker owns a small working set of pools and may call
+// strictly earlier workers (fuel-guarded), cluster entries, virtual
+// methods, and constructors.
+func (g *sgen) workers() {
+	// Reserve room for the module body: pool/array/int initialization,
+	// the sampled calls, and the observable-state dump.
+	reserve := 3*len(g.poolType) + 8 + 4 + g.cfg.SampleCalls + g.nClusters +
+		len(g.poolType) + 8 + 4 + 16
+	budget := g.cfg.TargetLines - reserve
+	for g.lines < budget {
+		g.worker(g.nWorkers)
+		g.nWorkers++
+	}
+}
+
+func (g *sgen) worker(idx int) {
+	g.printf("\nPROCEDURE W%d(d: INTEGER; a: INTEGER): INTEGER =\nVAR li: INTEGER; lj: INTEGER;\nBEGIN\n", idx)
+	g.printf("  li := a;\n  lj := d;\n")
+	// The worker's working set: a few pools it keeps coming back to.
+	ws := make([]int, 3+g.pick(4))
+	for i := range ws {
+		ws[i] = g.pick(len(g.poolType))
+	}
+	for s := 0; s < g.cfg.StmtsPer; s++ {
+		g.workerStmt(idx, ws)
+	}
+	g.printf("  RETURN li + lj;\nEND W%d;\n", idx)
+}
+
+// wsPool picks a pool from the worker's working set.
+func wsPick(g *sgen, ws []int) int { return ws[g.pick(len(ws))] }
+
+// workerStmt emits one statement of a worker body. All heap loads
+// through ref fields are NIL-guarded; calls to other workers pass d-1
+// behind a fuel guard, so the dynamic call tree is bounded even though
+// the static call graph is wide.
+func (g *sgen) workerStmt(idx int, ws []int) {
+	k := wsPick(g, ws)
+	t := g.poolType[k]
+	switch g.pick(12) {
+	case 0: // dense field load
+		g.printf("  li := li + p%d.%s;\n", k, g.ownIntField(t))
+	case 1: // dense field store
+		g.printf("  p%d.%s := li + %d;\n", k, g.ownIntField(t), g.pick(100))
+	case 2: // depth-2 guarded read through r0
+		g.printf("  IF p%d.r0 # NIL THEN lj := lj + p%d.r0.i0; END;\n", k, k)
+	case 3: // depth-2 guarded store through r0 (prefix-kill stress)
+		k2 := wsPick(g, ws)
+		g.printf("  IF p%d.r0 # NIL THEN p%d.r0.r0 := p%d.r0; END;\n", k, k, k2)
+	case 4: // pointer shuffle within the cone
+		k2 := g.poolOf(t)
+		if k2 >= 0 {
+			g.printf("  p%d := p%d;\n", k, k2)
+		} else {
+			g.printf("  p%d := NEW(T%d);\n", k, g.subtypeOf(t))
+		}
+	case 5: // fresh allocation (subtype: widens the row, narrows the fact)
+		g.printf("  p%d := Mk%d(li MOD 97);\n", k, g.subtypeOf(t))
+	case 6: // virtual dispatch
+		g.printf("  li := li + p%d.get();\n", k)
+	case 7: // array traffic
+		a := g.pick(4)
+		g.printf("  ga%d[ABS(li) MOD NUMBER(ga%d)] := lj;\n", a, a)
+	case 8: // call an earlier worker, fuel-guarded
+		if idx > 0 {
+			g.printf("  IF d > 0 THEN lj := lj + W%d(d - 1, li MOD 53); END;\n", g.pick(idx))
+		} else {
+			g.printf("  INC(li, %d);\n", 1+g.pick(9))
+		}
+	case 9: // enter a recursive cluster at a small depth
+		c := g.pick(g.nClusters)
+		g.printf("  lj := lj + K%dx0(%d);\n", c, 2+g.pick(4))
+	case 10: // a small bounded loop of arithmetic
+		iv := g.pick(100)
+		g.printf("  FOR it%d := 0 TO %d DO li := (li * 3 + it%d + gi%d) MOD 99991; END;\n",
+			iv, 1+g.pick(6), iv, g.pick(8))
+	default:
+		g.printf("  gi%d := (gi%d + li) MOD 99991;\n", g.pick(8), g.pick(8))
+	}
+}
+
+// main emits the module body: deterministic initialization of every
+// global, a sampled sweep of worker calls at small fuel, one entry into
+// each cluster, and an observable-state dump (ints, array edges, and a
+// folded checksum of every pool's i0).
+func (g *sgen) main() {
+	g.printf("\nBEGIN\n")
+	for k := 0; k < 8; k++ {
+		g.printf("  gi%d := %d;\n", k, k*7+1)
+	}
+	for k := 0; k < 4; k++ {
+		g.printf("  ga%d := NEW(Arr, %d);\n", k, 8+k)
+	}
+	for k, t := range g.poolType {
+		g.printf("  p%d := NEW(T%d);\n", k, g.subtypeOf(t))
+		g.printf("  p%d.i0 := %d;\n", k, g.pick(100))
+		g.printf("  p%d.r0 := NEW(T0);\n", k)
+	}
+	for c := 0; c < g.nClusters; c++ {
+		g.printf("  gi0 := gi0 + K%dx0(%d);\n", c, 4+g.pick(5))
+	}
+	// Sampled worker calls: every stride-th worker, bounded by
+	// SampleCalls, each with a tiny fuel so the dynamic tree stays small.
+	stride := 1
+	if g.nWorkers > g.cfg.SampleCalls {
+		stride = (g.nWorkers + g.cfg.SampleCalls - 1) / g.cfg.SampleCalls
+	}
+	for w := 0; w < g.nWorkers; w += stride {
+		g.printf("  gi%d := (gi%d + W%d(2, %d)) MOD 99991;\n", w%8, w%8, w, g.pick(100))
+	}
+	for k := 0; k < 8; k++ {
+		g.printf("  PutInt(gi%d); PutChar(' ');\n", k)
+	}
+	for k := 0; k < 4; k++ {
+		g.printf("  PutInt(ga%d[0] + ga%d[NUMBER(ga%d) - 1]); PutChar(' ');\n", k, k, k)
+	}
+	// Fold the pools into one checksum line instead of thousands of
+	// PutInt lines: reuse gi0 as the accumulator.
+	for k := range g.poolType {
+		g.printf("  gi0 := (gi0 * 31 + p%d.i0) MOD 99991;\n", k)
+	}
+	g.printf("  PutInt(gi0); PutLn();\nEND Scale.\n")
+}

@@ -1,0 +1,202 @@
+package randprog_test
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/interp"
+	"tbaa/internal/randprog"
+)
+
+// countLines counts source lines the way the generator budgets them.
+func countLines(src string) int {
+	return strings.Count(src, "\n")
+}
+
+// TestScaleDeterministic pins the at-scale generator's contract: the
+// same (seed, config) always yields byte-identical source, and
+// different seeds yield different programs.
+func TestScaleDeterministic(t *testing.T) {
+	cfg := randprog.ScaleConfigForLines(10_000)
+	a := randprog.GenerateScale(7, cfg)
+	b := randprog.GenerateScale(7, cfg)
+	if a != b {
+		t.Fatal("GenerateScale is not deterministic for a fixed seed")
+	}
+	if c := randprog.GenerateScale(8, cfg); c == a {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+// TestScaleSizeBand checks generated modules land in the advertised
+// 10k–100k-line band, close to the requested target.
+func TestScaleSizeBand(t *testing.T) {
+	targets := []int{10_000, 32_000, 100_000}
+	if testing.Short() {
+		targets = targets[:1]
+	}
+	for _, n := range targets {
+		for seed := int64(0); seed < 3; seed++ {
+			src := randprog.GenerateScale(seed, randprog.ScaleConfigForLines(n))
+			got := countLines(src)
+			if got < n*9/10 || got > n*11/10 {
+				t.Errorf("target %d seed %d: %d lines, outside ±10%%", n, seed, got)
+			}
+			if got < 9_000 || got > 110_000 {
+				t.Errorf("target %d seed %d: %d lines, outside the 10k–100k band", n, seed, got)
+			}
+		}
+	}
+}
+
+// TestScaleCompilesAndRuns checks the generated modules are valid
+// MiniM3 that compiles and terminates without trapping — at-scale
+// programs must be real workloads, not fuzz noise.
+func TestScaleCompilesAndRuns(t *testing.T) {
+	n := 12_000
+	seeds := int64(4)
+	if testing.Short() {
+		seeds = 1
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.GenerateScale(seed, randprog.ScaleConfigForLines(n))
+		prog, _, err := driver.Compile("scale.m3", src)
+		if err != nil {
+			t.Fatalf("seed %d does not compile: %v", seed, err)
+		}
+		in := interp.New(prog)
+		in.MaxSteps = 50_000_000
+		if _, err := in.Run(); err != nil {
+			t.Fatalf("seed %d trapped: %v", seed, err)
+		}
+	}
+}
+
+// TestScalePipelineDifferential is the at-scale differential: on
+// sampled large modules, the full pass pipeline must preserve
+// interpreter output byte-for-byte at every analysis level.
+func TestScalePipelineDifferential(t *testing.T) {
+	configs := []alias.Options{
+		{Level: alias.LevelTypeDecl},
+		{Level: alias.LevelSMFieldTypeRefs},
+		{Level: alias.LevelFSTypeRefs},
+		{Level: alias.LevelIPTypeRefs},
+		{Level: alias.LevelIPTypeRefs, OpenWorld: true},
+	}
+	seeds := int64(3)
+	if testing.Short() {
+		seeds = 1
+		configs = []alias.Options{{Level: alias.LevelIPTypeRefs}}
+	}
+	cfg := randprog.ScaleConfigForLines(10_000)
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.GenerateScale(seed, cfg)
+		plainProg, _, err := driver.Compile("scale.m3", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := interp.New(plainProg)
+		in.MaxSteps = 50_000_000
+		want, err := in.Run()
+		if err != nil {
+			t.Fatalf("seed %d: baseline trapped: %v", seed, err)
+		}
+		for _, opts := range configs {
+			prog, _, err := driver.Compile("scale.m3", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := driver.NewPassEnv(prog, opts)
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			if _, err := driver.RunPasses(env,
+				driver.DevirtPass{}, driver.MinvInlinePass{}, driver.RLEPass{}, driver.PREPass{}); err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			in2 := interp.New(prog)
+			in2.MaxSteps = 50_000_000
+			got, err := in2.Run()
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: pipeline trapped: %v", seed, opts, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d opts %+v: pipeline diverged\nwant %d bytes\ngot  %d bytes",
+					seed, opts, len(want), len(got))
+			}
+		}
+	}
+}
+
+// TestLongDifferentialFuzz is the nightly extended fuzz: it runs the
+// full-pipeline differential on RANDPROG_SEEDS random small programs at
+// every level (the nightly workflow sets it to thousands). Without the
+// variable it covers a token handful so the harness itself stays
+// exercised in regular runs.
+func TestLongDifferentialFuzz(t *testing.T) {
+	seeds := 5
+	if v := os.Getenv("RANDPROG_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("invalid RANDPROG_SEEDS=%q", v)
+		}
+		seeds = n
+	} else if testing.Short() {
+		t.Skip("set RANDPROG_SEEDS for the long fuzz")
+	}
+	configs := []alias.Options{
+		{Level: alias.LevelTypeDecl},
+		{Level: alias.LevelFieldTypeDecl},
+		{Level: alias.LevelSMFieldTypeRefs},
+		{Level: alias.LevelFSTypeRefs},
+		{Level: alias.LevelIPTypeRefs},
+		{Level: alias.LevelIPTypeRefs, OpenWorld: true},
+	}
+	ran := 0
+	for seed := int64(100_000); seed < int64(100_000+seeds); seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		plainProg, _, err := driver.Compile("rand.m3", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := interp.New(plainProg)
+		in.MaxSteps = 2_000_000
+		want, err := in.Run()
+		if err != nil {
+			continue // trapping program: optimization contracts don't apply
+		}
+		ran++
+		for _, opts := range configs {
+			prog, _, err := driver.Compile("rand.m3", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := driver.NewPassEnv(prog, opts)
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			if _, err := driver.RunPasses(env,
+				driver.DevirtPass{}, driver.MinvInlinePass{}, driver.RLEPass{}, driver.PREPass{}); err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			in2 := interp.New(prog)
+			in2.MaxSteps = 8_000_000
+			got, err := in2.Run()
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: pipeline trapped: %v\n%s", seed, opts, err, src)
+			}
+			if got != want {
+				t.Fatalf("seed %d opts %+v: pipeline diverged\nwant %q\ngot  %q\n%s",
+					seed, opts, want, got, src)
+			}
+		}
+	}
+	t.Logf("long fuzz ran %d/%d seeds", ran, seeds)
+	if ran < seeds/2 {
+		t.Errorf("too many trapping seeds: only %d of %d ran", ran, seeds)
+	}
+}
