@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-baseline bench-scale bench-scale-full bench-scale-baseline profile cover api api-check examples ci
+.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-baseline bench-scale bench-scale-full bench-scale-baseline tbaad-smoke profile cover api api-check examples ci
 
 build:
 	$(GO) build ./...
@@ -94,16 +94,26 @@ bench-scale-full: build
 bench-scale-baseline: build
 	$(GO) run ./cmd/tbaabench -scalejson testdata/bench_scale_baseline.json
 
+# End-to-end smoke of the analysis server: build tbaad + tbaactl,
+# start the daemon on a kernel-assigned port, upload a stock
+# benchmark, run single/batch/countpairs queries, scrape /metrics
+# (kept as tbaad_metrics.txt — CI uploads it as an artifact), then
+# SIGTERM and require a clean drain.
+tbaad-smoke:
+	./scripts/tbaad_smoke.sh
+
 # pprof evidence for perf PRs: profile the Table 5 sweep (the pair
 # counters are the query-heaviest artifact).
 profile: build
 	$(GO) run ./cmd/tbaabench -cpuprofile cpu.pprof -memprofile mem.pprof -table 5 > /dev/null
 	@echo "wrote cpu.pprof and mem.pprof; inspect with 'go tool pprof cpu.pprof'"
 
-# Coverage floors on the packages the interprocedural layer lives in;
-# raise the floor as tests accrue, never lower it to ship.
+# Coverage floors on the packages the interprocedural layer and the
+# analysis server live in; raise the floor as tests accrue, never
+# lower it to ship.
 COVER_FLOOR_MODREF ?= 75
 COVER_FLOOR_ALIAS  ?= 75
+COVER_FLOOR_SERVER ?= 75
 cover:
 	@check() { \
 		out=$$($(GO) test -cover $$1) || { echo "$$out"; echo "$$1: tests failed"; exit 1; }; \
@@ -114,7 +124,8 @@ cover:
 			|| { echo "$$1 coverage fell below the $$2% floor"; exit 1; }; \
 	}; \
 	check ./internal/modref $(COVER_FLOOR_MODREF) && \
-	check ./internal/alias $(COVER_FLOOR_ALIAS)
+	check ./internal/alias $(COVER_FLOOR_ALIAS) && \
+	check ./internal/server $(COVER_FLOOR_SERVER)
 
 # The public API surface, as seen by `go doc -all tbaa`. Drift fails CI
 # until the golden is regenerated (make api) and the diff reviewed.
@@ -130,4 +141,4 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-scale cover api-check examples
+ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-scale tbaad-smoke cover api-check examples

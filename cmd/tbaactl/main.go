@@ -1,0 +1,268 @@
+// Command tbaactl is the client for the tbaad analysis server: it
+// uploads modules and issues may-alias queries over the same JSON wire
+// types the server defines (internal/server), so the two cannot drift.
+//
+// Usage:
+//
+//	tbaactl [-addr host:port] COMMAND [args]
+//
+//	tbaactl upload file.m3             upload a module, print its hash
+//	tbaactl upload -bench m3cg         upload a stock benchmark
+//	tbaactl modules                    list resident modules
+//	tbaactl mayalias HASH P Q          one query (flags: -level, -open)
+//	tbaactl batch HASH                 pairs "P Q" per line on stdin
+//	tbaactl countpairs HASH            Table 5 static pair metrics
+//	tbaactl metrics                    dump /metrics (Prometheus text)
+//	tbaactl health                     liveness probe
+//
+// Exit status is 0 on success, 1 on any server or transport error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"tbaa"
+	"tbaa/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "tbaad `address`")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: "http://" + *addr, hc: &http.Client{Timeout: 60 * time.Second}}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "upload":
+		err = c.upload(args)
+	case "modules":
+		err = c.modules()
+	case "mayalias":
+		err = c.mayAlias(args)
+	case "batch":
+		err = c.batch(args)
+	case "countpairs":
+		err = c.countPairs(args)
+	case "metrics":
+		err = c.text("/metrics")
+	case "health":
+		err = c.text("/healthz")
+	default:
+		fmt.Fprintf(os.Stderr, "tbaactl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbaactl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tbaactl [-addr host:port] COMMAND [args]
+
+commands:
+  upload file.m3 | upload -bench NAME   upload a module, print its hash
+  modules                               list resident modules
+  mayalias HASH P Q [-level L] [-open]  one may-alias query
+  batch HASH [-level L] [-open]         pairs "P Q" per line on stdin
+  countpairs HASH [-level L] [-open]    static pair metrics
+  metrics                               dump Prometheus metrics
+  health                                liveness probe`)
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// post sends a JSON body and decodes the JSON answer into out,
+// rendering the server's ErrorResponse on any non-2xx status.
+func (c *client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			for _, d := range e.Diagnostics {
+				fmt.Fprintln(os.Stderr, " ", d)
+			}
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s %s: %s", "POST", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *client) text(path string) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c *client) upload(args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	benchName := fs.String("bench", "", "upload a stock benchmark instead of a file")
+	fs.Parse(args)
+	var file, src string
+	switch {
+	case *benchName != "":
+		b, ok := tbaa.BenchmarkByName(*benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", *benchName)
+		}
+		file, src = b.Name+".m3", b.Source
+	case fs.NArg() == 1:
+		file = fs.Arg(0)
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("upload wants one file argument or -bench NAME")
+	}
+	var resp server.UploadResponse
+	if err := c.post("/v1/modules", server.UploadRequest{File: file, Source: src}, &resp); err != nil {
+		return err
+	}
+	state := "compiled"
+	if resp.Cached {
+		state = "cached"
+	}
+	fmt.Printf("%s %s generation=%d resident=%d (%s)\n", resp.Hash, state, resp.Generation, resp.Resident, resp.File)
+	return nil
+}
+
+func (c *client) modules() error {
+	var resp server.ModulesResponse
+	if err := c.get("/v1/modules", &resp); err != nil {
+		return err
+	}
+	for _, m := range resp.Modules {
+		fmt.Printf("%s gen=%d queries=%d batches=%d %s\n", m.Hash, m.Generation, m.Queries, m.Batches, m.File)
+	}
+	return nil
+}
+
+// levelFlags parses the shared -level/-open selection after the
+// positional arguments of a query command.
+func levelFlags(name string, args []string, positional int) (server.LevelRequest, []string, error) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	level := fs.String("level", "", "analysis level (typedecl..iptyperefs; default smfieldtyperefs)")
+	open := fs.Bool("open", false, "open-world assumption")
+	var pos []string
+	rest := args
+	for len(pos) < positional && len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		pos, rest = append(pos, rest[0]), rest[1:]
+	}
+	fs.Parse(rest)
+	pos = append(pos, fs.Args()...)
+	if len(pos) != positional {
+		return server.LevelRequest{}, nil, fmt.Errorf("%s wants %d arguments", name, positional)
+	}
+	return server.LevelRequest{Level: *level, Open: *open}, pos, nil
+}
+
+func (c *client) mayAlias(args []string) error {
+	lv, pos, err := levelFlags("mayalias", args, 3)
+	if err != nil {
+		return err
+	}
+	var resp server.QueryResponse
+	req := server.QueryRequest{LevelRequest: lv, P: pos[1], Q: pos[2]}
+	if err := c.post("/v1/modules/"+pos[0]+"/mayalias", req, &resp); err != nil {
+		return err
+	}
+	fmt.Printf("%s ~ %s: may-alias=%v generation=%d\n", pos[1], pos[2], resp.MayAlias, resp.Generation)
+	return nil
+}
+
+func (c *client) batch(args []string) error {
+	lv, pos, err := levelFlags("batch", args, 1)
+	if err != nil {
+		return err
+	}
+	req := server.BatchRequest{LevelRequest: lv}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		if len(f) != 2 {
+			return fmt.Errorf("batch line %q: want two access paths per line", sc.Text())
+		}
+		req.Pairs = append(req.Pairs, server.PairJSON{P: f[0], Q: f[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	var resp server.BatchResponse
+	if err := c.post("/v1/modules/"+pos[0]+"/mayalias-batch", req, &resp); err != nil {
+		return err
+	}
+	for _, v := range resp.Verdicts {
+		if v.Error != "" {
+			fmt.Printf("%s ~ %s: error: %s\n", v.P, v.Q, v.Error)
+			continue
+		}
+		fmt.Printf("%s ~ %s: may-alias=%v\n", v.P, v.Q, v.MayAlias)
+	}
+	fmt.Printf("generation=%d session queries=%d aliased=%d batches=%d\n",
+		resp.Generation, resp.Stats.Queries, resp.Stats.Aliased, resp.Stats.Batches)
+	return nil
+}
+
+func (c *client) countPairs(args []string) error {
+	lv, pos, err := levelFlags("countpairs", args, 1)
+	if err != nil {
+		return err
+	}
+	var resp server.CountPairsResponse
+	if err := c.post("/v1/modules/"+pos[0]+"/countpairs", lv, &resp); err != nil {
+		return err
+	}
+	fmt.Printf("references=%d local-pairs=%d global-pairs=%d generation=%d\n",
+		resp.References, resp.Local, resp.Global, resp.Generation)
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command tbaad is the long-lived analysis server: a daemon that
+// accepts MiniM3 module uploads over HTTP/JSON (compiled once, cached
+// by source content hash), holds many live Analyzers, and serves
+// may-alias queries to any number of concurrent clients.
+//
+// Usage:
+//
+//	tbaad [flags]
+//
+//	-addr ADDR          listen address (default 127.0.0.1:8347; use
+//	                    host:0 for a kernel-assigned port)
+//	-portfile FILE      write the bound address to FILE once listening
+//	                    (how scripts find a :0 port)
+//	-max-modules N      resident-module cap, LRU-evicted (default 16)
+//	-max-batch N        pair cap per mayalias-batch request (default 65536)
+//	-max-inflight N     concurrently served /v1 requests (default 128)
+//	-timeout D          per-request query timeout (default 30s)
+//	-drain D            graceful-shutdown deadline on SIGINT/SIGTERM
+//	                    (default 10s)
+//
+// Endpoints (see internal/server for the wire types):
+//
+//	POST /v1/modules                        upload source, get its hash
+//	GET  /v1/modules                        list resident modules
+//	POST /v1/modules/{hash}/mayalias        one query
+//	POST /v1/modules/{hash}/mayalias-batch  a vector of queries
+//	POST /v1/modules/{hash}/countpairs      Table 5 static pair metrics
+//	GET  /metrics                           Prometheus text format
+//	GET  /healthz                           liveness probe
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, lets
+// in-flight requests finish (up to -drain), then exits 0. cmd/tbaactl
+// is the matching client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tbaa/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen `address`")
+	portFile := flag.String("portfile", "", "write the bound address to `file` once listening")
+	maxModules := flag.Int("max-modules", server.DefaultMaxModules, "resident-module cap (LRU eviction)")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "pair cap per mayalias-batch request")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight, "concurrently served /v1 requests")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request query timeout")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline")
+	flag.Parse()
+
+	log.SetPrefix("tbaad: ")
+	log.SetFlags(log.LstdFlags)
+
+	s := server.New(server.Config{
+		MaxModules:     *maxModules,
+		MaxBatch:       *maxBatch,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *timeout,
+	})
+
+	// Listen before daemonizing concerns: with -addr host:0 the kernel
+	// picks the port, and -portfile is how a harness learns it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	log.Printf("listening on %s (modules<=%d batch<=%d inflight<=%d timeout=%s)",
+		bound, *maxModules, *maxBatch, *maxInflight, *timeout)
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful drain: stop accepting, let in-flight requests finish,
+	// give up after -drain so a wedged client cannot hold the process.
+	log.Printf("draining (deadline %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Fatalf("drain failed: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "tbaad: drained cleanly")
+}

@@ -146,6 +146,21 @@
 // optimized program under the interpreter, the cache timing model, and
 // the dynamic redundant-load limit study respectively.
 //
+// # Serving queries as a daemon
+//
+// The snapshot discipline is what makes the Analyzer servable:
+// cmd/tbaad packages it as a long-lived HTTP daemon that accepts
+// module uploads (compiled once, cached by ModuleHash — a stable
+// content hash of the source, also available as Module.Hash), builds
+// Analyzers lazily per requested configuration, and serves
+// MayAlias/MayAliasBatch/CountPairs to any number of concurrent
+// clients with bounded memory (LRU module eviction), load shedding,
+// per-request timeouts, and Prometheus metrics that share their op
+// vocabulary with the BENCH_perf.json artifact. Re-uploading a module
+// swaps its compiled state atomically: requests in flight finish on
+// the generation they resolved. cmd/tbaactl is the matching client;
+// see README.md "Running the analysis server".
+//
 // # The evaluation harness
 //
 // Runner regenerates the paper's Tables 4-6 and Figures 8-12 — plus

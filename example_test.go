@@ -145,3 +145,20 @@ END Demo.
 	// output 5000
 	// heap loads after RLE: 0
 }
+
+// ModuleHash is the content-addressed cache key the analysis server
+// (cmd/tbaad) stores compiled modules under: a stable function of the
+// source bytes alone.
+func ExampleModuleHash() {
+	mod, err := tbaa.Compile("quick.m3", exampleSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The module's hash is the hash of its source — the file name does
+	// not participate, so any client computes the same key.
+	fmt.Println(mod.Hash() == tbaa.ModuleHash(exampleSrc))
+	fmt.Println(len(mod.Hash()))
+	// Output:
+	// true
+	// 64
+}

@@ -1,0 +1,22 @@
+package tbaa
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// ModuleHash returns a stable content hash of MiniM3 source text: 64
+// lowercase hex digits of the SHA-256 of the bytes. The hash depends
+// only on the source — not on the file name a module is compiled
+// under, the analysis configuration, or anything about the process —
+// so it is usable as a cross-process cache key: two uploads of the
+// same bytes name the same compiled Module wherever they happen. The
+// analysis server (cmd/tbaad) keys its resident-module cache on it.
+func ModuleHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// Hash returns the module's content hash: ModuleHash of the source it
+// was compiled from.
+func (m *Module) Hash() string { return m.hash }

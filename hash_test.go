@@ -1,0 +1,69 @@
+package tbaa
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+)
+
+// ModuleHash is the server's cache key: it must be a stable function of
+// the source bytes alone, and distinct sources must not collide in any
+// way a cache could plausibly hit.
+func TestModuleHashDeterministic(t *testing.T) {
+	src := "MODULE m; BEGIN END m."
+	h := ModuleHash(src)
+	for i := 0; i < 100; i++ {
+		if g := ModuleHash(src); g != h {
+			t.Fatalf("ModuleHash not deterministic: %q vs %q", g, h)
+		}
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(h) {
+		t.Fatalf("ModuleHash %q is not 64 lowercase hex digits", h)
+	}
+}
+
+func TestModuleHashCollisionSanity(t *testing.T) {
+	seen := make(map[string]string)
+	add := func(src string) {
+		t.Helper()
+		h := ModuleHash(src)
+		if prev, ok := seen[h]; ok && prev != src {
+			t.Fatalf("ModuleHash collision: %q and %q both hash to %s", prev, src, h)
+		}
+		seen[h] = src
+	}
+	// Near-miss variants of one module: whitespace, identifier, and
+	// single-character edits must all produce distinct hashes.
+	add("MODULE m; BEGIN END m.")
+	add("MODULE m;  BEGIN END m.")
+	add("MODULE m; BEGIN END m. ")
+	add("MODULE n; BEGIN END n.")
+	add("")
+	for i := 0; i < 1000; i++ {
+		add(fmt.Sprintf("MODULE m%d; BEGIN END m%d.", i, i))
+	}
+	// Every stock benchmark hashes distinctly.
+	for _, b := range Benchmarks() {
+		add(b.Source)
+	}
+}
+
+// Module.Hash must agree with ModuleHash of the source and be
+// independent of the file name the module compiles under.
+func TestModuleHashMatchesCompiled(t *testing.T) {
+	src := "MODULE m; VAR x: INTEGER; BEGIN x := 1 END m."
+	m1, err := Compile("a.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Compile("b.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Hash() != ModuleHash(src) {
+		t.Fatalf("Module.Hash = %s, want ModuleHash = %s", m1.Hash(), ModuleHash(src))
+	}
+	if m1.Hash() != m2.Hash() {
+		t.Fatalf("hash depends on file name: %s vs %s", m1.Hash(), m2.Hash())
+	}
+}

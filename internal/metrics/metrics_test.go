@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations (~1µs) and 10 slow ones (~1ms): the median
+	// must land in the fast band, p99 in the slow band.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < 1e3 || p50 > 4e3 {
+		t.Errorf("p50 = %g ns, want ~1µs (bucket upper bound ≤ 4µs)", p50)
+	}
+	if p99 < 1e6 || p99 > 4e6 {
+		t.Errorf("p99 = %g ns, want ~1ms (bucket upper bound ≤ 4ms)", p99)
+	}
+	if p50 > p99 {
+		t.Errorf("quantiles not monotone: p50 %g > p99 %g", p50, p99)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", q)
+	}
+	h.Observe(0)               // clamps to 1ns
+	h.Observe(100 * time.Hour) // clamps to the last bucket
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if q := h.Quantile(1.0); q == 0 {
+		t.Errorf("q=1.0 on a populated histogram returned 0")
+	}
+}
+
+func TestRegistryObserveConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Observe(OpMayAlias, time.Microsecond)
+				r.Queries.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Hist(OpMayAlias).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Queries.Load(); got != 8000 {
+		t.Fatalf("Queries = %d, want 8000", got)
+	}
+	// Unknown ops are dropped, not a panic or a stray series.
+	r.Observe("NotAnOp", time.Second)
+	if r.Hist("NotAnOp") != nil {
+		t.Fatal("unknown op grew a histogram")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.Queries.Add(7)
+	r.Aliased.Add(3)
+	r.Batches.Add(2)
+	r.CacheHits.Add(1)
+	r.Resident.Store(2)
+	r.ShedBatch.Add(5)
+	r.Observe(OpMayAliasBatch, 2*time.Millisecond)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"tbaad_queries_total 7",
+		"tbaad_aliased_total 3",
+		"tbaad_batches_total 2",
+		"tbaad_cache_hits_total 1",
+		"tbaad_modules_resident 2",
+		`tbaad_shed_total{reason="batch_size"} 5`,
+		`tbaad_query_duration_ns{op="MayAliasBatch",quantile="0.99"}`,
+		`tbaad_query_duration_ns_count{op="MayAliasBatch"} 1`,
+		"# TYPE tbaad_queries_total counter",
+		"# TYPE tbaad_modules_resident gauge",
+		"# TYPE tbaad_query_duration_ns summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	// Every op in the shared vocabulary gets a summary series even
+	// before traffic arrives — scrapers see a stable schema.
+	for _, op := range Ops() {
+		if !strings.Contains(out, `op="`+op+`"`) {
+			t.Errorf("metrics output missing op %q", op)
+		}
+	}
+}

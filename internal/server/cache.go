@@ -1,0 +1,165 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"tbaa"
+	"tbaa/internal/metrics"
+)
+
+// generation is one immutable compiled lifetime of an uploaded module:
+// the Module itself plus the Analyzers lazily built from it, one per
+// requested configuration. A re-upload of the same hash installs a
+// fresh generation; requests that resolved the old one keep answering
+// on it until they finish, so a batch never mixes state from two
+// generations.
+type generation struct {
+	seq  uint64
+	mod  *tbaa.Module
+	file string
+
+	mu        sync.Mutex
+	analyzers map[analyzerKey]*tbaa.Analyzer
+}
+
+// analyzerKey identifies one analyzer configuration within a
+// generation. Every distinct (level, open-world) pair gets its own
+// lazily built Analyzer.
+type analyzerKey struct {
+	level tbaa.Level
+	open  bool
+}
+
+// analyzer returns the generation's Analyzer for the key, building and
+// memoizing it on first use. Stats is attached to every analyzer of
+// the entry so per-module counters aggregate across configurations.
+func (g *generation) analyzer(key analyzerKey, stats *tbaa.Stats) (*tbaa.Analyzer, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if a, ok := g.analyzers[key]; ok {
+		return a, nil
+	}
+	a, err := g.mod.NewAnalyzer(
+		tbaa.WithLevel(key.level),
+		tbaa.WithOpenWorld(key.open),
+		tbaa.WithStats(stats),
+	)
+	if err != nil {
+		return nil, err
+	}
+	g.analyzers[key] = a
+	return a, nil
+}
+
+// entry is one resident module: its content hash, the current
+// generation behind an atomic pointer (readers load it once and stay
+// on it), and the per-module session stats every generation's
+// analyzers share.
+type entry struct {
+	hash  string
+	gen   atomic.Pointer[generation]
+	stats *tbaa.Stats
+}
+
+// moduleCache is the LRU-bounded set of resident modules, keyed by
+// content hash. The mutex guards only the map and recency list —
+// compilation happens outside it, and query traffic touches it only
+// for the O(1) lookup.
+type moduleCache struct {
+	reg *metrics.Registry
+
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element // of *entry
+	order   *list.List               // front = most recently used
+}
+
+func newModuleCache(max int, reg *metrics.Registry) *moduleCache {
+	return &moduleCache{
+		reg:     reg,
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// lookup returns the resident entry for hash, refreshing its recency,
+// or nil.
+func (c *moduleCache) lookup(hash string) *entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry)
+}
+
+// install makes the compiled module resident under its hash. If the
+// hash is already resident the new compilation is swapped in as the
+// next generation (in-flight requests finish on the one they hold) and
+// install reports swapped=true; otherwise a new entry is created,
+// evicting the least-recently-used module when the cache is full.
+func (c *moduleCache) install(mod *tbaa.Module, file string) (e *entry, gen uint64, swapped bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hash := mod.Hash()
+	if el, ok := c.entries[hash]; ok {
+		e = el.Value.(*entry)
+		old := e.gen.Load()
+		next := &generation{
+			seq:       old.seq + 1,
+			mod:       mod,
+			file:      file,
+			analyzers: make(map[analyzerKey]*tbaa.Analyzer),
+		}
+		e.gen.Store(next)
+		c.order.MoveToFront(el)
+		return e, next.seq, true
+	}
+	for c.max > 0 && c.order.Len() >= c.max {
+		lru := c.order.Back()
+		victim := lru.Value.(*entry)
+		c.order.Remove(lru)
+		delete(c.entries, victim.hash)
+		c.reg.Evictions.Add(1)
+		c.reg.Resident.Add(-1)
+	}
+	e = &entry{hash: hash, stats: &tbaa.Stats{}}
+	first := &generation{seq: 1, mod: mod, file: file, analyzers: make(map[analyzerKey]*tbaa.Analyzer)}
+	e.gen.Store(first)
+	c.entries[hash] = c.order.PushFront(e)
+	c.reg.Resident.Add(1)
+	return e, first.seq, false
+}
+
+// moduleInfo is one row of the resident-module listing.
+type moduleInfo struct {
+	Hash       string `json:"hash"`
+	File       string `json:"file"`
+	Generation uint64 `json:"generation"`
+	Queries    uint64 `json:"queries"`
+	Batches    uint64 `json:"batches"`
+}
+
+// list returns the resident modules, most recently used first.
+func (c *moduleCache) list() []moduleInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]moduleInfo, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		g := e.gen.Load()
+		out = append(out, moduleInfo{
+			Hash:       e.hash,
+			File:       g.file,
+			Generation: g.seq,
+			Queries:    e.stats.Queries(),
+			Batches:    e.stats.Batches(),
+		})
+	}
+	return out
+}

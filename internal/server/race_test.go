@@ -1,0 +1,163 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tbaa"
+)
+
+// TestConcurrentBatchesDuringReupload is the issue's race gate: 8
+// client goroutines issue MayAliasBatch requests against two resident
+// modules while another goroutine re-uploads one of them in a loop,
+// swapping generations mid-traffic. Every batch must come back
+// internally coherent — one generation for all its verdicts, verdicts
+// byte-equal to the in-process Analyzer's answers — and the whole
+// dance must be clean under -race.
+func TestConcurrentBatchesDuringReupload(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Two resident modules, queried concurrently.
+	fileA, srcA := srcModule(50)
+	fileB, srcB := srcModule(51)
+	upA := upload(t, ts.URL, fileA, srcA)
+	upB := upload(t, ts.URL, fileB, srcB)
+
+	// In-process ground truth per module. The re-uploads swap in fresh
+	// compilations of the same bytes, so the expected verdicts never
+	// change — any drift is a mixed or torn snapshot.
+	type truth struct {
+		hash  string
+		pairs []PairJSON
+		want  []bool
+	}
+	groundTruth := func(up UploadResponse, file, src string) truth {
+		a, names := analyzerPaths(t, file, src)
+		pairs := allPairs(names)
+		want := make([]bool, len(pairs))
+		for i, p := range pairs {
+			v, err := a.MayAlias(p.P, p.Q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = v
+		}
+		return truth{hash: up.Hash, pairs: pairs, want: want}
+	}
+	truths := []truth{
+		groundTruth(upA, fileA, srcA),
+		groundTruth(upB, fileB, srcB),
+	}
+
+	const (
+		clients          = 8
+		batchesPerClient = 50
+		reuploads        = 100
+	)
+	var wg sync.WaitGroup
+	var maxGen atomic.Uint64
+
+	// The writer: force-re-upload module A in a loop over plain HTTP.
+	// Each POST recompiles the source and atomically swaps in the next
+	// generation while the clients' batches are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reuploads; i++ {
+			var resp UploadResponse
+			status := postJSON(t, ts.URL+"/v1/modules",
+				UploadRequest{File: fileA, Source: srcA, Force: true}, &resp)
+			if status != http.StatusCreated {
+				t.Errorf("forced re-upload %d: status %d", i, status)
+				return
+			}
+			for {
+				cur := maxGen.Load()
+				if resp.Generation <= cur || maxGen.CompareAndSwap(cur, resp.Generation) {
+					break
+				}
+			}
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tr := truths[c%len(truths)]
+			for i := 0; i < batchesPerClient; i++ {
+				var br BatchResponse
+				status := postJSON(t, ts.URL+"/v1/modules/"+tr.hash+"/mayalias-batch",
+					BatchRequest{Pairs: tr.pairs}, &br)
+				if status != http.StatusOK {
+					t.Errorf("client %d batch %d: status %d", c, i, status)
+					return
+				}
+				if len(br.Verdicts) != len(tr.pairs) {
+					t.Errorf("client %d: %d verdicts for %d pairs", c, len(br.Verdicts), len(tr.pairs))
+					return
+				}
+				if br.Generation == 0 {
+					t.Errorf("client %d: batch answered with no generation", c)
+					return
+				}
+				for j, v := range br.Verdicts {
+					if v.Error != "" {
+						t.Errorf("client %d pair (%s,%s): %s", c, v.P, v.Q, v.Error)
+						return
+					}
+					if v.MayAlias != tr.want[j] {
+						t.Errorf("client %d pair (%s,%s): got %v, in-process says %v (generation %d)",
+							c, v.P, v.Q, v.MayAlias, tr.want[j], br.Generation)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// The swap actually happened under traffic: module A's final
+	// generation moved past the initial upload.
+	if got := maxGen.Load(); got < 2 {
+		t.Fatalf("re-upload loop never swapped a generation (max seen %d)", got)
+	}
+	// And a fresh batch answers on the newest generation.
+	var br BatchResponse
+	postJSON(t, ts.URL+"/v1/modules/"+truths[0].hash+"/mayalias-batch",
+		BatchRequest{Pairs: truths[0].pairs}, &br)
+	if br.Generation < maxGen.Load() {
+		t.Fatalf("post-swap batch answered on generation %d, want >= %d", br.Generation, maxGen.Load())
+	}
+}
+
+// TestConcurrentUploadsSameHash races 8 goroutines uploading the same
+// source: exactly one entry must become resident, and every response
+// must name the same hash.
+func TestConcurrentUploadsSameHash(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	file, src := srcModule(60)
+	want := tbaa.ModuleHash(src)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp UploadResponse
+			status := postJSON(t, ts.URL+"/v1/modules", UploadRequest{File: file, Source: src}, &resp)
+			if status != http.StatusOK && status != http.StatusCreated {
+				t.Errorf("upload status %d", status)
+				return
+			}
+			if resp.Hash != want {
+				t.Errorf("hash %s, want %s", resp.Hash, want)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Metrics().Resident.Load(); got != 1 {
+		t.Fatalf("resident = %d after racing identical uploads, want 1", got)
+	}
+}

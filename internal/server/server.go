@@ -1,0 +1,383 @@
+// Package server is the analysis daemon behind cmd/tbaad: a long-lived
+// HTTP front over the tbaa package that accepts MiniM3 module uploads,
+// compiles each source once (cached by content hash), lazily builds
+// one Analyzer per requested (level, open-world) configuration, and
+// serves may-alias queries to any number of concurrent clients.
+//
+// The server is production-shaped in the ways the ROADMAP's
+// "millions of users" direction asks for:
+//
+//   - Bounded memory: at most MaxModules modules stay resident, evicted
+//     least-recently-used; re-uploading an evicted hash recompiles.
+//   - Load shedding: batches over MaxBatch pairs are rejected with 429
+//     and requests beyond MaxInflight with 503 + Retry-After, so an
+//     overloaded server answers cheaply instead of OOMing.
+//   - Timeouts: every query request runs under RequestTimeout, enforced
+//     mid-batch through tbaa.MayAliasBatch's context; expiry answers 504.
+//   - Coherent re-upload: installing a hash that is already resident
+//     atomically swaps in a fresh generation. Requests in flight keep
+//     the generation they resolved, so a batch never mixes verdicts
+//     from two generations.
+//   - Observability: /metrics exposes the shared internal/metrics
+//     vocabulary (the same op names BENCH_perf.json measures) in
+//     Prometheus text format; /healthz answers liveness probes; every
+//     module carries per-session tbaa.Stats reported in its responses.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tbaa"
+	"tbaa/internal/metrics"
+)
+
+// Config bounds one server instance. The zero value is usable:
+// Defaults fills every unset limit.
+type Config struct {
+	// MaxModules caps resident modules; the least recently used is
+	// evicted to admit a new hash. 0 means the default.
+	MaxModules int
+	// MaxBatch caps the pair count of one mayalias-batch request;
+	// larger batches are shed with 429. 0 means the default.
+	MaxBatch int
+	// MaxInflight caps concurrently served /v1 requests; excess load is
+	// shed with 503. 0 means the default.
+	MaxInflight int
+	// MaxSourceBytes caps an upload's source size. 0 means the default.
+	MaxSourceBytes int64
+	// RequestTimeout bounds one query request, enforced mid-batch via
+	// context. 0 means the default.
+	RequestTimeout time.Duration
+}
+
+// The default limits: small enough to demonstrate eviction and
+// shedding in tests, large enough for real sessions.
+const (
+	DefaultMaxModules     = 16
+	DefaultMaxBatch       = 1 << 16
+	DefaultMaxInflight    = 128
+	DefaultMaxSourceBytes = 16 << 20
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// Defaults returns the configuration with every unset field filled.
+func (c Config) Defaults() Config {
+	if c.MaxModules <= 0 {
+		c.MaxModules = DefaultMaxModules
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = DefaultMaxSourceBytes
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	return c
+}
+
+// Server holds the resident-module cache and serves the v1 API. Create
+// with New; the methods of one Server are safe for any number of
+// concurrent requests.
+type Server struct {
+	cfg      Config
+	reg      *metrics.Registry
+	cache    *moduleCache
+	inflight chan struct{}
+	mux      *http.ServeMux
+}
+
+// New returns a Server with the given limits (zero fields take
+// defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.Defaults()
+	reg := metrics.New()
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		cache:    newModuleCache(cfg.MaxModules, reg),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/modules", s.limited(s.handleUpload))
+	mux.HandleFunc("GET /v1/modules", s.handleModules)
+	mux.HandleFunc("POST /v1/modules/{hash}/mayalias", s.limited(s.handleMayAlias))
+	mux.HandleFunc("POST /v1/modules/{hash}/mayalias-batch", s.limited(s.handleBatch))
+	mux.HandleFunc("POST /v1/modules/{hash}/countpairs", s.limited(s.handleCountPairs))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root handler, ready for http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's counter registry (shared with the
+// /metrics endpoint); tests and embedders read it directly.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// limited wraps a /v1 handler with the in-flight cap: when MaxInflight
+// requests are already being served the request is shed immediately
+// with 503 and a Retry-After hint, never queued.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			h(w, r)
+		default:
+			s.reg.ShedInflight.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server at capacity", nil)
+		}
+	}
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
+		return
+	}
+	if req.File == "" {
+		req.File = "module.m3"
+	}
+	hash := tbaa.ModuleHash(req.Source)
+	// Fast path: the hash is already resident, so skip the compile
+	// entirely — this is the cache the content hash exists for. Force
+	// bypasses it to recompile and swap generations.
+	if e := s.cache.lookup(hash); e != nil && !req.Force {
+		s.reg.CacheHits.Add(1)
+		writeJSON(w, http.StatusOK, UploadResponse{
+			Hash:       hash,
+			File:       e.gen.Load().file,
+			Cached:     true,
+			Generation: e.gen.Load().seq,
+			Resident:   s.reg.Resident.Load(),
+		})
+		return
+	}
+	mod, err := tbaa.Compile(req.File, req.Source)
+	if err != nil {
+		writeCompileError(w, err)
+		return
+	}
+	s.reg.CacheMisses.Add(1)
+	// A concurrent upload of the same source may have installed the
+	// hash while this one compiled; install then swaps generations,
+	// which is harmless (same bytes, same verdicts).
+	_, gen, swapped := s.cache.install(mod, req.File)
+	writeJSON(w, http.StatusCreated, UploadResponse{
+		Hash:       mod.Hash(),
+		File:       req.File,
+		Cached:     swapped,
+		Generation: gen,
+		Resident:   s.reg.Resident.Load(),
+	})
+}
+
+func (s *Server) handleModules(w http.ResponseWriter, r *http.Request) {
+	rows := s.cache.list()
+	resp := ModulesResponse{Modules: make([]ModuleInfo, len(rows))}
+	for i, m := range rows {
+		resp.Modules[i] = ModuleInfo(m)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolve turns the request's {hash} and level selection into the
+// entry, its current generation, and the generation's analyzer. A nil
+// analyzer return means resolve already answered the request.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, lv LevelRequest) (*entry, *generation, *tbaa.Analyzer) {
+	e := s.cache.lookup(r.PathValue("hash"))
+	if e == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no module %q resident (upload it first)", r.PathValue("hash")), nil)
+		return nil, nil, nil
+	}
+	level := tbaa.SMFieldTypeRefs
+	if lv.Level != "" {
+		var err error
+		if level, err = tbaa.ParseLevel(lv.Level); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), nil)
+			return nil, nil, nil
+		}
+	}
+	// Load the generation pointer exactly once: everything below — the
+	// lazily built analyzer and every verdict of the request — comes
+	// from this one generation even if a re-upload swaps mid-request.
+	g := e.gen.Load()
+	a, err := g.analyzer(analyzerKey{level: level, open: lv.Open}, e.stats)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), nil)
+		return nil, nil, nil
+	}
+	return e, g, a
+}
+
+func (s *Server) handleMayAlias(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req QueryRequest
+	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
+		return
+	}
+	_, g, a := s.resolve(w, r, req.LevelRequest)
+	if a == nil {
+		return
+	}
+	may, err := a.MayAlias(req.P, req.Q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	s.reg.Queries.Add(1)
+	if may {
+		s.reg.Aliased.Add(1)
+	}
+	s.reg.Observe(metrics.OpMayAlias, time.Since(start))
+	writeJSON(w, http.StatusOK, QueryResponse{MayAlias: may, Generation: g.seq})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req BatchRequest
+	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		s.reg.ShedBatch.Add(1)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("batch of %d pairs exceeds the %d-pair limit; split it", len(req.Pairs), s.cfg.MaxBatch), nil)
+		return
+	}
+	e, g, a := s.resolve(w, r, req.LevelRequest)
+	if a == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	pairs := make([]tbaa.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = tbaa.Pair{P: p.P, Q: p.Q}
+	}
+	verdicts := a.MayAliasBatch(ctx, pairs)
+	resp := BatchResponse{
+		Verdicts:   make([]VerdictJSON, len(verdicts)),
+		Generation: g.seq,
+	}
+	var timedOut bool
+	for i, v := range verdicts {
+		vj := VerdictJSON{P: v.Pair.P, Q: v.Pair.Q, MayAlias: v.MayAlias}
+		if v.Err != nil {
+			vj.Error = v.Err.Error()
+			vj.MayAlias = false
+			if errors.Is(v.Err, context.DeadlineExceeded) {
+				timedOut = true
+			}
+		} else {
+			s.reg.Queries.Add(1)
+			if v.MayAlias {
+				s.reg.Aliased.Add(1)
+			}
+		}
+		resp.Verdicts[i] = vj
+	}
+	if timedOut {
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("batch exceeded the %s request timeout", s.cfg.RequestTimeout), nil)
+		return
+	}
+	resp.Stats = SessionStats{
+		Queries: e.stats.Queries(),
+		Aliased: e.stats.Aliased(),
+		Batches: e.stats.Batches(),
+	}
+	s.reg.Batches.Add(1)
+	s.reg.Observe(metrics.OpMayAliasBatch, time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCountPairs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req LevelRequest
+	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
+		return
+	}
+	_, g, a := s.resolve(w, r, req)
+	if a == nil {
+		return
+	}
+	pc := a.CountPairs()
+	s.reg.Observe(metrics.OpCountPairs, time.Since(start))
+	writeJSON(w, http.StatusOK, CountPairsResponse{
+		References: pc.References,
+		Local:      pc.Local,
+		Global:     pc.Global,
+		Generation: g.seq,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// ---------------------------------------------------------------------------
+// JSON plumbing
+
+// decodeJSON parses the request body into v, answering 400 itself on
+// failure. The body is capped at limit bytes (the source-size bound is
+// the largest legitimate body).
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), nil)
+		return false
+	}
+	return true
+}
+
+// writeCompileError maps frontend failures to 422 with diagnostics.
+func writeCompileError(w http.ResponseWriter, err error) {
+	var diags []string
+	var pe *tbaa.ParseError
+	var ce *tbaa.CheckError
+	switch {
+	case errors.As(err, &pe):
+		for _, d := range pe.Diagnostics {
+			diags = append(diags, d.String())
+		}
+	case errors.As(err, &ce):
+		for _, d := range ce.Diagnostics {
+			diags = append(diags, d.String())
+		}
+	}
+	writeError(w, http.StatusUnprocessableEntity, "module does not compile: "+err.Error(), diags)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, diags []string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Diagnostics: diags})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

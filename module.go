@@ -25,7 +25,8 @@ func ParseAST(file, src string) (string, error) {
 // so any number of Analyzers may be built from it concurrently, each
 // over its own private lowering.
 type Module struct {
-	c *driver.Compiled
+	c    *driver.Compiled
+	hash string
 }
 
 // Compile parses and type-checks a MiniM3 module and precomputes the
@@ -42,7 +43,7 @@ func Compile(file, src string) (*Module, error) {
 		}
 		return nil, err
 	}
-	return &Module{c: c}, nil
+	return &Module{c: c, hash: ModuleHash(src)}, nil
 }
 
 // New is the one-call form of Compile followed by Module.NewAnalyzer.

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"testing"
+
+	"tbaa/internal/metrics"
 )
 
 // This file implements the tracked query-performance report behind
@@ -33,7 +35,10 @@ type PerfRow struct {
 	Level string `json:"level"`
 	// Op identifies the query entry point: "MayAlias" (one context-free
 	// query), "MayAliasBatch" (one batch of batch_pairs pairs), or
-	// "CountPairs" (one full Table 5 sweep).
+	// "CountPairs" (one full Table 5 sweep). The names are the shared
+	// internal/metrics vocabulary, so the rows here and the analysis
+	// server's /metrics latency summaries label the same ops
+	// identically and can never drift.
 	Op string `json:"op"`
 	// BatchPairs is the vector size for the MayAliasBatch op, 0 otherwise.
 	BatchPairs int `json:"batch_pairs,omitempty"`
@@ -100,7 +105,7 @@ func MeasurePerf() ([]PerfRow, error) {
 				BytesPerOp:  r.AllocedBytesPerOp(),
 			}
 		}
-		rows = append(rows, row("MayAlias", 0, testing.Benchmark(func(b *testing.B) {
+		rows = append(rows, row(metrics.OpMayAlias, 0, testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pr := pairs[i%len(pairs)]
@@ -110,13 +115,13 @@ func MeasurePerf() ([]PerfRow, error) {
 			}
 		})))
 		ctx := context.Background()
-		rows = append(rows, row("MayAliasBatch", perfBatchPairs, testing.Benchmark(func(b *testing.B) {
+		rows = append(rows, row(metrics.OpMayAliasBatch, perfBatchPairs, testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				a.MayAliasBatch(ctx, pairs)
 			}
 		})))
-		rows = append(rows, row("CountPairs", 0, testing.Benchmark(func(b *testing.B) {
+		rows = append(rows, row(metrics.OpCountPairs, 0, testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				a.CountPairs()

@@ -1,0 +1,71 @@
+#!/bin/sh
+# tbaad smoke test: build the daemon and client, start the daemon on a
+# kernel-assigned port, upload a stock benchmark, run single and batch
+# queries, scrape /metrics (kept as tbaad_metrics.txt for the CI
+# artifact), then SIGTERM and assert a clean drain. Any failure exits
+# non-zero. Run via `make tbaad-smoke`.
+set -eu
+
+BIN=${BIN:-bin}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== building tbaad and tbaactl"
+go build -o "$BIN/tbaad" ./cmd/tbaad
+go build -o "$BIN/tbaactl" ./cmd/tbaactl
+
+echo "== starting tbaad on a random port"
+"$BIN/tbaad" -addr 127.0.0.1:0 -portfile "$WORK/port" -max-modules 4 &
+TBAAD_PID=$!
+
+# Wait for the port file (the daemon writes it once listening).
+i=0
+while [ ! -s "$WORK/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "tbaad never wrote its port file" >&2
+        kill "$TBAAD_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/port")
+CTL="$BIN/tbaactl -addr $ADDR"
+echo "== tbaad is up on $ADDR"
+
+echo "== health check"
+$CTL health | grep -q ok
+
+echo "== uploading the m3cg stock benchmark"
+$CTL upload -bench m3cg | tee "$WORK/upload"
+HASH=$(awk '{print $1}' "$WORK/upload")
+[ -n "$HASH" ] || { echo "no hash in upload output" >&2; exit 1; }
+
+echo "== second upload must hit the cache"
+$CTL upload -bench m3cg | grep -q cached
+
+echo "== single may-alias query"
+$CTL mayalias "$HASH" a.line b.first | grep -q "may-alias="
+
+echo "== batch query over real access paths"
+printf 'a.line a.line\na.line b.first\nb.id b.last\n' | $CTL batch "$HASH" | tee "$WORK/batch"
+grep -q "may-alias" "$WORK/batch"
+grep -q "session queries=" "$WORK/batch"
+
+echo "== countpairs"
+$CTL countpairs "$HASH" | grep -q "references="
+
+echo "== scraping /metrics"
+$CTL metrics | tee tbaad_metrics.txt >/dev/null
+grep -q "tbaad_queries_total" tbaad_metrics.txt
+grep -q "tbaad_modules_resident 1" tbaad_metrics.txt
+grep -q 'tbaad_query_duration_ns_count{op="MayAliasBatch"} 1' tbaad_metrics.txt
+
+echo "== SIGTERM and clean drain"
+kill -TERM "$TBAAD_PID"
+if ! wait "$TBAAD_PID"; then
+    echo "tbaad did not exit cleanly" >&2
+    exit 1
+fi
+
+echo "== smoke OK (metrics kept in tbaad_metrics.txt)"
