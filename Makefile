@@ -63,7 +63,7 @@ bench-perf-json: build
 # deliberate change or new hardware moves the numbers.
 BENCH_COUNT ?= 5
 BENCH_TIME ?= 300ms
-TRACKED_BENCH = BenchmarkMayAlias$$|BenchmarkCountPairs$$
+TRACKED_BENCH = BenchmarkMayAlias$$|BenchmarkCountPairs$$|BenchmarkRebuildOneProc$$
 bench-perf:
 	$(GO) test ./internal/alias -run=NONE -bench='$(TRACKED_BENCH)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) | tee bench_current.txt
 	$(GO) run ./cmd/benchguard -baseline testdata/bench_perf_baseline.txt -current bench_current.txt -threshold 0.20

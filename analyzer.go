@@ -63,7 +63,7 @@ func (m *Module) NewAnalyzer(options ...Option) (*Analyzer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tbaa: %w", err)
 	}
-	prog := m.c.Lower()
+	prog := m.lower()
 	env, err := driver.NewPassEnv(prog, cfg.opts)
 	if err != nil {
 		return nil, fmt.Errorf("tbaa: %w", err)
@@ -168,11 +168,20 @@ func (a *Analyzer) buildSnapshotLocked() *querySnap {
 // analysis underneath it (oracle, mod-ref summaries, flow facts), then
 // rebuilds and atomically publishes a fresh snapshot. Queries already
 // in flight finish against the snapshot they started with; queries that
-// begin after Invalidate returns see only rebuilt state. Analyzers
-// rebuild to identical verdicts — the program is not mutated after
-// construction — so Invalidate exists for long-lived embedders that
-// want to drop accumulated memo and flow state, and as the rebuild
-// path the pass manager exercises during construction.
+// begin after Invalidate returns see only rebuilt state.
+//
+// The rebuild is incremental when it can be: the pass environment
+// tracks which procedures mutated since the last build (the per-proc
+// mutation clock ir.Program.MarkMutated stamps) and rebuilds only
+// their access paths, flow facts, and mod-ref SCC summaries, falling
+// back to a from-scratch build whenever the delta preconditions do not
+// hold. Both routes produce identical verdicts for the program's
+// current shape — the delta path is differentially pinned to the
+// from-scratch build, so a dirty-tracking bug can only cost
+// performance, never soundness. With no intervening mutation
+// (ApplyEdit, or a pass pipeline step) the rebuilt snapshot answers
+// exactly as the old one; Invalidate then merely drops accumulated
+// memo and flow state, its original role for long-lived embedders.
 func (a *Analyzer) Invalidate() {
 	a.mu.Lock()
 	defer a.mu.Unlock()

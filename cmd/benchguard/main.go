@@ -7,7 +7,7 @@
 // ">20% slower than the committed baseline" into a non-zero exit.
 //
 //	benchguard -baseline testdata/bench_perf_baseline.txt -current out.txt \
-//	    -threshold 0.20 -match BenchmarkMayAlias,BenchmarkCountPairs
+//	    -threshold 0.20 -match BenchmarkMayAlias,BenchmarkCountPairs,BenchmarkRebuildOneProc
 //
 // Scale (-scale): compare two BENCH_scale.json sweep artifacts by
 // growth exponent — the log-log slope of each (level, op) cost against
@@ -36,7 +36,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline `file` (committed artifact)")
 	current := flag.String("current", "", "current `file` (fresh run output)")
 	threshold := flag.Float64("threshold", 0.20, "classic mode: maximum allowed ns/op regression (0.20 = +20%)")
-	match := flag.String("match", "BenchmarkMayAlias,BenchmarkCountPairs", "classic mode: comma-separated benchmark name prefixes to gate")
+	match := flag.String("match", "BenchmarkMayAlias,BenchmarkCountPairs,BenchmarkRebuildOneProc", "classic mode: comma-separated benchmark name prefixes to gate")
 	scale := flag.Bool("scale", false, "scale mode: gate BENCH_scale.json growth exponents instead of go test -bench output")
 	margin := flag.Float64("margin", guard.DefaultScalePolicy().Margin, "scale mode: allowed exponent increase over the committed baseline")
 	flag.Parse()

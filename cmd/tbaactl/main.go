@@ -8,6 +8,7 @@
 //
 //	tbaactl upload file.m3             upload a module, print its hash
 //	tbaactl upload -bench m3cg         upload a stock benchmark
+//	tbaactl edit HASH proc.m3          replace one procedure (or - for stdin)
 //	tbaactl modules                    list resident modules
 //	tbaactl mayalias HASH P Q          one query (flags: -level, -open)
 //	tbaactl batch HASH                 pairs "P Q" per line on stdin
@@ -48,6 +49,8 @@ func main() {
 	switch cmd {
 	case "upload":
 		err = c.upload(args)
+	case "edit":
+		err = c.edit(args)
 	case "modules":
 		err = c.modules()
 	case "mayalias":
@@ -76,6 +79,7 @@ func usage() {
 
 commands:
   upload file.m3 | upload -bench NAME   upload a module, print its hash
+  edit HASH proc.m3 | edit HASH -       replace one procedure incrementally
   modules                               list resident modules
   mayalias HASH P Q [-level L] [-open]  one may-alias query
   batch HASH [-level L] [-open]         pairs "P Q" per line on stdin
@@ -170,6 +174,32 @@ func (c *client) upload(args []string) error {
 		state = "cached"
 	}
 	fmt.Printf("%s %s generation=%d resident=%d (%s)\n", resp.Hash, state, resp.Generation, resp.Resident, resp.File)
+	return nil
+}
+
+// edit posts a single-procedure replacement: the resident module keeps
+// its hash and compiled form, only the named procedure is re-checked,
+// re-lowered, and incrementally re-analyzed server-side.
+func (c *client) edit(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("edit wants HASH and a procedure file (or - for stdin)")
+	}
+	hash, file := args[0], args[1]
+	var data []byte
+	var err error
+	if file == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return err
+	}
+	var resp server.EditResponse
+	if err := c.post("/v1/modules/"+hash+"/edit", server.EditRequest{Source: string(data)}, &resp); err != nil {
+		return err
+	}
+	fmt.Printf("%s edited proc=%s generation=%d reanalyzed=%d\n", resp.Hash, resp.Proc, resp.Generation, resp.Reanalyzed)
 	return nil
 }
 

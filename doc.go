@@ -129,10 +129,26 @@
 // atomically publishes a rebuilt snapshot: queries in flight finish
 // against the snapshot they started with, queries that start after
 // Invalidate returns see only the rebuilt state, and rebuilds are
-// deterministic, so verdicts never change across generations. One
-// Analyzer can therefore serve many goroutines at full parallelism;
-// building one Analyzer per goroutine from a shared Module remains
-// useful only to parallelize pass pipelines, not queries.
+// deterministic, so verdicts change across generations only when the
+// program itself changed. One Analyzer can therefore serve many
+// goroutines at full parallelism; building one Analyzer per goroutine
+// from a shared Module remains useful only to parallelize pass
+// pipelines, not queries.
+//
+// Rebuilds are priced by the edit, not the module. Every mutation site
+// — an optimization pass rewriting a body, or a single-procedure edit
+// applied through Module.EditProc and Analyzer.ApplyEdit — stamps the
+// mutated procedures on a per-procedure mutation clock, and the next
+// rebuild re-interns and re-partitions only the stamped bodies' access
+// paths, recomputes only their flow facts, and re-summarizes only
+// their mod-ref SCCs and the SCCs that transitively reach them. The
+// delta path guards itself: whenever its preconditions do not hold
+// (an unstamped mutation may be hiding, or a module-wide fact table
+// grew), it refuses and the rebuild falls back to the from-scratch
+// construction, which is always exact. Incremental and from-scratch
+// builds are differentially pinned to byte-equal verdicts at every
+// level, so a dirty-tracking bug can only cost performance — an
+// unnecessary full rebuild — never soundness.
 //
 // # Optimization passes
 //

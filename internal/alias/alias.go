@@ -193,6 +193,10 @@ type Analysis struct {
 	// materialized after construction); interned paths use apIdx.
 	prefixMu    sync.RWMutex
 	prefixCache map[*ir.AP][]*ir.AP
+	// fp witnesses the global fact tables this build consumed; Update
+	// compares it against the program's current tables to decide whether
+	// the context-free structures are reusable (see incremental.go).
+	fp fingerprint
 }
 
 // New builds a TBAA analysis over a lowered program. It panics if opts
@@ -239,6 +243,7 @@ func newAnalysis(prog *ir.Program, opts Options, usePartition bool) *Analysis {
 	if usePartition {
 		a.apIdx = ir.InternAPs(prog)
 	}
+	a.fp = fingerprintOf(prog)
 	return a
 }
 

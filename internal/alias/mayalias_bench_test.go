@@ -154,6 +154,43 @@ func BenchmarkMayAlias(b *testing.B) {
 	}
 }
 
+// BenchmarkRebuildOneProc measures the incremental rebuild after a
+// one-procedure mutation on m3cg, per level — the alias.Update delta
+// path behind PassEnv.Invalidate and the server's edit mode. The
+// analysis is fully warmed (partition materialized, flow facts solved
+// for every procedure) so each iteration pays the real delta: re-intern
+// the dirty body's paths, extend the partition, carry over every
+// untouched flow entry. Falling back to a full build fails the run —
+// the gate exists precisely to catch delta invalidation regressing
+// toward whole-module cost.
+func BenchmarkRebuildOneProc(b *testing.B) {
+	prog, refs := stockProgram(b, "m3cg")
+	var dirty *ir.Proc
+	for _, p := range prog.Procs {
+		if p.Name == "Annotate" {
+			dirty = p
+		}
+	}
+	if dirty == nil {
+		b.Fatal("m3cg has no procedure Annotate")
+	}
+	for _, lvl := range perfLevels {
+		b.Run(lvl.String(), func(b *testing.B) {
+			a := alias.New(prog, alias.Options{Level: lvl})
+			a.MayAlias(refs[0].AP, refs[1].AP) // materialize the partition
+			alias.CountPairs(prog, a)         // solve every flow entry
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prog.MarkMutated(dirty)
+				if alias.Update(a, []*ir.Proc{dirty}) == nil {
+					b.Fatal("delta rebuild fell back to a full build")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCountPairs measures the Table 5 pair sweep on m3cg, per
 // level, against a prebuilt analysis — the steady-state regime of the
 // harness, where one oracle serves many CountPairs calls.

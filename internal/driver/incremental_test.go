@@ -1,0 +1,163 @@
+package driver_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+	"tbaa/internal/randprog"
+)
+
+// This file is the differential gate for incremental re-analysis: on
+// randomly generated programs, run the full pass pipeline one pass at a
+// time, force an incremental rebuild after every pass, and require the
+// rebuilt oracle and summaries to answer byte-identically to a
+// from-scratch build over the same mutated program — MayAlias (site
+// aware), StoreKills, MayModify under every procedure's summary, and
+// the CountPairs metrics, at every level crossed with both world
+// assumptions. Any divergence is a bug in a delta invariant
+// (internal/alias/incremental.go, internal/modref/incremental.go) or a
+// missing MarkMutated stamp at a pass mutation site.
+
+// diffSeeds is the number of random programs the differential gate
+// checks, spread round-robin over the level x world configurations.
+// TBAA_DIFF_SEEDS overrides (the CI gate runs the full 500); -short
+// trims to a smoke count.
+func diffSeeds(t *testing.T) int {
+	if s := os.Getenv("TBAA_DIFF_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad TBAA_DIFF_SEEDS=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 60
+	}
+	return 500
+}
+
+// diffMaxRefs caps the quadratic pair sweep per rebuild check.
+const diffMaxRefs = 40
+
+func TestIncrementalRebuildDifferential(t *testing.T) {
+	seeds := diffSeeds(t)
+	levels := []alias.Level{
+		alias.LevelTypeDecl,
+		alias.LevelFieldTypeDecl,
+		alias.LevelSMFieldTypeRefs,
+		alias.LevelFSTypeRefs,
+		alias.LevelIPTypeRefs,
+	}
+	type config struct {
+		level alias.Level
+		open  bool
+	}
+	var configs []config
+	for _, lvl := range levels {
+		configs = append(configs, config{lvl, false}, config{lvl, true})
+	}
+	// One parallel subtest per configuration; seed k goes to
+	// configuration k mod len(configs), so every configuration sees
+	// seeds/len(configs) distinct programs.
+	for ci, cfg := range configs {
+		name := fmt.Sprintf("%v", cfg.level)
+		if cfg.open {
+			name += "_open"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for k := ci; k < seeds; k += len(configs) {
+				checkIncrementalSeed(t, int64(77000+k), alias.Options{Level: cfg.level, OpenWorld: cfg.open})
+			}
+		})
+	}
+}
+
+// checkIncrementalSeed runs the pipeline over one generated program,
+// invalidating and incrementally rebuilding after every pass, and
+// compares each rebuilt generation against a from-scratch build.
+func checkIncrementalSeed(t *testing.T, seed int64, opts alias.Options) {
+	t.Helper()
+	src := randprog.Generate(seed, randprog.DefaultConfig())
+	c, err := driver.Frontend("r.m3", src)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	prog := c.Lower()
+	env, err := driver.NewPassEnv(prog, opts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	passes := []driver.Pass{
+		driver.DevirtPass{},
+		driver.MinvInlinePass{},
+		driver.RLEPass{},
+		driver.PREPass{},
+	}
+	for _, p := range passes {
+		if _, err := p.Run(env); err != nil {
+			t.Fatalf("seed %d: pass %s: %v", seed, p.Name(), err)
+		}
+		// Force a rebuild even after passes that do not invalidate
+		// (RLE, PRE): their mutation stamps must make the delta exact.
+		env.Invalidate()
+		incrO, incrMR := env.Oracle(), env.ModRef()
+		fresh, err := driver.NewPassEnv(prog, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		scratchO, scratchMR := fresh.Oracle(), fresh.ModRef()
+		compareOracles(t, seed, p.Name(), prog, incrO, scratchO, incrMR, scratchMR)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// compareOracles requires the incrementally rebuilt generation and the
+// from-scratch build to agree on every verdict kind a client can
+// observe.
+func compareOracles(t *testing.T, seed int64, pass string, prog *ir.Program, incrO, scratchO *alias.Analysis, incrMR, scratchMR *modref.ModRef) {
+	t.Helper()
+	refs := alias.References(prog)
+	if len(refs) > diffMaxRefs {
+		refs = refs[:diffMaxRefs]
+	}
+	site := func(r alias.Ref) alias.Site { return alias.Site{Proc: r.Proc, Instr: r.Instr} }
+	for i := range refs {
+		for j := i; j < len(refs); j++ {
+			ri, rj := refs[i], refs[j]
+			si, sj := site(ri), site(rj)
+			if got, want := alias.MayAliasAt(incrO, ri.AP, si, rj.AP, sj), alias.MayAliasAt(scratchO, ri.AP, si, rj.AP, sj); got != want {
+				t.Fatalf("seed %d after %s: MayAlias(%s@%s, %s@%s) incremental=%v scratch=%v",
+					seed, pass, ri.AP, ri.Proc.Name, rj.AP, rj.Proc.Name, got, want)
+			}
+			if got, want := modref.StoreKills(incrO, ri.AP, si, rj.AP, sj), modref.StoreKills(scratchO, ri.AP, si, rj.AP, sj); got != want {
+				t.Fatalf("seed %d after %s: StoreKills(%s@%s, %s@%s) incremental=%v scratch=%v",
+					seed, pass, ri.AP, ri.Proc.Name, rj.AP, rj.Proc.Name, got, want)
+			}
+		}
+	}
+	// Pin the summaries directly: every procedure's transitive effects
+	// must kill exactly the same reference paths under both builds.
+	at := prog.AddressTakenVars
+	for _, p := range prog.Procs {
+		ie, se := incrMR.Effects(p), scratchMR.Effects(p)
+		for _, r := range refs {
+			s := site(r)
+			if got, want := modref.MayModify(ie, r.AP, s, incrO, at), modref.MayModify(se, r.AP, s, scratchO, at); got != want {
+				t.Fatalf("seed %d after %s: MayModify(%s effects, %s@%s) incremental=%v scratch=%v",
+					seed, pass, p.Name, r.AP, r.Proc.Name, got, want)
+			}
+		}
+	}
+	if got, want := alias.CountPairs(prog, incrO), alias.CountPairs(prog, scratchO); got != want {
+		t.Fatalf("seed %d after %s: CountPairs incremental=%+v scratch=%+v", seed, pass, got, want)
+	}
+}

@@ -48,6 +48,22 @@ type PassEnv struct {
 	Opts   alias.Options
 	oracle *alias.Analysis
 	mr     *modref.ModRef
+
+	// builtClock is the program mutation clock (ir.Program.MutClock) the
+	// current handles are consistent with, advanced whenever a handle is
+	// (re)built. Mutations that are not followed by Invalidate — RLE and
+	// PRE splice instructions that reuse interned access paths and drop
+	// their own flow facts — leave the handles exact by contract, so the
+	// clock of the latest build stands for both.
+	builtClock uint64
+	// prevOracle/prevMR/prevClock stash the generation retired by the
+	// last Invalidate: the seed of the incremental rebuild. prevClock is
+	// the mutation clock that generation was consistent with, so
+	// Prog.DirtySince(prevClock) is exactly the set of procedures it has
+	// not seen.
+	prevOracle *alias.Analysis
+	prevMR     *modref.ModRef
+	prevClock  uint64
 }
 
 // NewPassEnv validates opts and wraps prog for a pass pipeline. Options
@@ -65,23 +81,83 @@ func NewPassEnv(prog *ir.Program, opts alias.Options) (*PassEnv, error) {
 // the interprocedural mod-ref summaries are wired into the oracle's
 // flow-sensitive call-kill rule before the oracle is handed out, so
 // site-aware answers never depend on whether ModRef was forced first.
+//
+// After an Invalidate the build is incremental when it can be: the
+// retired generation plus the set of procedures mutated since it was
+// built seed alias.Update (and, interprocedurally, modref.Update), and
+// only when the delta preconditions fail is the analysis rebuilt from
+// scratch. Both roads produce identical verdicts.
 func (e *PassEnv) Oracle() *alias.Analysis {
 	if e.oracle == nil {
-		e.oracle = alias.New(e.Prog, e.Opts)
-		if e.Opts.Interprocedural {
-			e.oracle.SetCallSummaries(ipSummaries{
-				mr: e.ModRef(),
-				o:  e.oracle,
-				at: e.Prog.AddressTakenVars,
-			})
+		if !e.updateAnalyses() {
+			e.oracle = alias.New(e.Prog, e.Opts)
+			if e.Opts.Interprocedural {
+				e.oracle.SetCallSummaries(ipSummaries{
+					mr: e.ModRef(),
+					o:  e.oracle,
+					at: e.Prog.AddressTakenVars,
+				})
+			}
 		}
+		e.builtClock = e.Prog.MutClock()
 	}
 	return e.oracle
 }
 
+// updateAnalyses attempts the incremental rebuild from the stashed
+// generation. On success it installs the new oracle (and, under
+// WithInterprocedural, the new summaries, invalidating the flow facts
+// of every procedure whose callee summaries changed) and reports true.
+// Any failed precondition reports false: the caller builds from
+// scratch, which is always exact.
+func (e *PassEnv) updateAnalyses() bool {
+	if e.prevOracle == nil {
+		return false
+	}
+	// An empty dirty set after an Invalidate means either nothing
+	// changed or a mutation went unstamped; the full rebuild is the
+	// only answer that is right in both cases.
+	dirty := e.Prog.DirtySince(e.prevClock)
+	if len(dirty) == 0 {
+		return false
+	}
+	o := alias.Update(e.prevOracle, dirty)
+	if o == nil {
+		return false
+	}
+	if e.Opts.Interprocedural {
+		cfg := modref.Config{
+			RTA:       true,
+			OpenWorld: e.Opts.OpenWorld,
+			Refine:    refineFromOracle(o),
+		}
+		mr, consumers := modref.Update(e.prevMR, cfg, dirty)
+		if mr == nil {
+			// The alias delta stands — nothing in it depends on the
+			// summaries — but the summaries must be rebuilt from scratch,
+			// and every carried-over flow fact consulted the old ones
+			// through CallEffects, so drop them all.
+			mr = modref.ComputeWith(e.Prog, cfg)
+			for _, p := range e.Prog.Procs {
+				alias.InvalidateFlow(o, p)
+			}
+		} else {
+			for _, p := range consumers {
+				alias.InvalidateFlow(o, p)
+			}
+		}
+		e.mr = mr
+		o.SetCallSummaries(ipSummaries{mr: mr, o: o, at: e.Prog.AddressTakenVars})
+	}
+	e.oracle = o
+	return true
+}
+
 // ModRef returns the mod-ref summaries, computing them on first use:
 // CHA-cone summaries by default, RTA-call-graph SCC summaries (refined
-// by the oracle's TypeRefsTable) under WithInterprocedural.
+// by the oracle's TypeRefsTable) under WithInterprocedural. Like
+// Oracle, the build after an Invalidate is incremental when the delta
+// preconditions hold.
 func (e *PassEnv) ModRef() *modref.ModRef {
 	if e.mr != nil {
 		return e.mr
@@ -99,8 +175,21 @@ func (e *PassEnv) ModRef() *modref.ModRef {
 			Refine:    refineFromOracle(o),
 		})
 	} else {
-		e.mr = modref.Compute(e.Prog)
+		if e.prevMR != nil {
+			if dirty := e.Prog.DirtySince(e.prevClock); len(dirty) > 0 {
+				// CHA flow facts never consult the summaries (no call
+				// summaries are wired at these levels), so the consumers
+				// need no flow invalidation here.
+				if mr, _ := modref.Update(e.prevMR, modref.Config{}, dirty); mr != nil {
+					e.mr = mr
+				}
+			}
+		}
+		if e.mr == nil {
+			e.mr = modref.Compute(e.Prog)
+		}
 	}
+	e.builtClock = e.Prog.MutClock()
 	return e.mr
 }
 
@@ -123,9 +212,28 @@ func (s ipSummaries) CallMayRebind(call *ir.Instr, v *ir.Var) bool {
 	return s.mr.CallEffects(call).MayRebind(v, s.at)
 }
 
-// Invalidate drops the memoized analyses after a structural change
+// Invalidate retires the memoized analyses after a structural change
 // (inlining creates new code); the next Oracle/ModRef call rebuilds.
-func (e *PassEnv) Invalidate() { e.oracle, e.mr = nil, nil }
+//
+// The retired generation is not discarded: it seeds an incremental
+// rebuild. The next build asks the program which procedures were
+// mutated since the generation was built (the per-procedure stamps
+// written by ir.Program.MarkMutated) and re-analyzes only those — the
+// alias layer re-interns and re-partitions only the dirty bodies'
+// access paths and drops only their flow facts, the mod-ref layer
+// re-summarizes only the call-graph components the dirty bodies can
+// influence. When the delta preconditions fail — the dirty set is
+// empty (a mutation may have gone unstamped), a global fact table
+// grew, the RTA instantiated set changed — the rebuild is from
+// scratch instead. Both roads yield byte-identical verdicts, so a bug
+// in dirty tracking can only cost performance (an unnecessary full
+// rebuild or an oversized delta), never soundness.
+func (e *PassEnv) Invalidate() {
+	if e.oracle != nil || e.mr != nil {
+		e.prevOracle, e.prevMR, e.prevClock = e.oracle, e.mr, e.builtClock
+	}
+	e.oracle, e.mr = nil, nil
+}
 
 // RunPasses runs the pipeline in order and collects per-pass results.
 // It stops at the first failing pass.

@@ -129,10 +129,23 @@ func slope(xs, ys []float64) float64 {
 // alpha exceeds max(Caps[op], baseline alpha + Margin). The hard cap
 // states the structural claim (queries ~flat, builds not superlinear);
 // the baseline margin catches creep well under the cap. Ops without a
-// cap entry are reported but not gated.
+// cap entry are reported but not gated. Ratios adds absolute
+// same-machine gates: Ratios[op] fails when op costs more than Max
+// times its companion op on the same (module, level) at the largest
+// generated module — the shape of a claim like "an incremental rebuild
+// is at least 10x cheaper than a from-scratch build", which an
+// exponent alone cannot state.
 type ScalePolicy struct {
 	Caps   map[string]float64
 	Margin float64
+	Ratios map[string]RatioGate
+}
+
+// RatioGate bounds one op's cost relative to a companion op measured
+// in the same sweep cell.
+type RatioGate struct {
+	Against string
+	Max     float64
 }
 
 // DefaultScalePolicy encodes the repo's scaling claims. Query cost
@@ -143,6 +156,11 @@ type ScalePolicy struct {
 // with the module). Build stages — frontend, partition+flow analyzer
 // build, SCC mod-ref summaries — must stay below frank quadratic,
 // with the margin holding them near the committed curve.
+// RebuildOneProc — a one-procedure edit through the incremental
+// invalidation path — may keep a linear component (the snapshot and
+// partition extension scan the path table once), but must stay far
+// below AnalyzerBuild's curve; the ratio gate pins it to a tenth of
+// the from-scratch build at the largest module.
 func DefaultScalePolicy() ScalePolicy {
 	return ScalePolicy{
 		Caps: map[string]float64{
@@ -153,8 +171,12 @@ func DefaultScalePolicy() ScalePolicy {
 			"AnalyzerBuild":    1.60,
 			"SummaryCHA":       1.60,
 			"SummaryRTA":       1.60,
+			"RebuildOneProc":   1.30,
 		},
 		Margin: 0.25,
+		Ratios: map[string]RatioGate{
+			"RebuildOneProc": {Against: "AnalyzerBuild", Max: 0.10},
+		},
 	}
 }
 
@@ -169,9 +191,20 @@ type ScaleRowResult struct {
 	Status string // "ok", "FAIL", or "info"
 }
 
+// RatioRowResult is one gated cost ratio in a scale report.
+type RatioRowResult struct {
+	Level, Op, Against string
+	// Lines is the module size the ratio was taken at (the largest
+	// generated module in the sweep).
+	Lines      int
+	Ratio, Max float64
+	Status     string // "ok" or "FAIL"
+}
+
 // ScaleReport is the outcome of a scale-sweep gate run.
 type ScaleReport struct {
 	Rows   []ScaleRowResult
+	Ratios []RatioRowResult
 	Failed bool
 }
 
@@ -206,7 +239,70 @@ func CompareScale(cur, base []ScaleRow, pol ScalePolicy) (*ScaleReport, error) {
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
+	for _, r := range ratioRows(cur, pol) {
+		if r.Status == "FAIL" {
+			rep.Failed = true
+		}
+		rep.Ratios = append(rep.Ratios, r)
+	}
 	return rep, nil
+}
+
+// ratioRows evaluates the policy's cost-ratio gates at the largest
+// generated module of the current sweep — the size where an absolute
+// claim like "10x cheaper than a from-scratch build" matters most and
+// constant overheads matter least. Gates whose op or companion is
+// absent from the sweep are skipped, so older artifacts without the op
+// stay parseable.
+func ratioRows(rows []ScaleRow, pol ScalePolicy) []RatioRowResult {
+	if len(pol.Ratios) == 0 {
+		return nil
+	}
+	maxLines := 0
+	for _, r := range rows {
+		if strings.HasPrefix(r.Benchmark, "randprog-") && r.Lines > maxLines {
+			maxLines = r.Lines
+		}
+	}
+	if maxLines == 0 {
+		return nil
+	}
+	cell := make(map[seriesKey]float64)
+	for _, r := range rows {
+		if strings.HasPrefix(r.Benchmark, "randprog-") && r.Lines == maxLines && r.NsPerOp > 0 {
+			cell[seriesKey{r.Level, r.Op}] = r.NsPerOp
+		}
+	}
+	var keys []seriesKey
+	for k := range cell {
+		if _, gated := pol.Ratios[k.op]; gated {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].op != keys[j].op {
+			return keys[i].op < keys[j].op
+		}
+		return keys[i].level < keys[j].level
+	})
+	var out []RatioRowResult
+	for _, k := range keys {
+		g := pol.Ratios[k.op]
+		against, ok := cell[seriesKey{k.level, g.Against}]
+		if !ok {
+			continue
+		}
+		r := RatioRowResult{
+			Level: k.level, Op: k.op, Against: g.Against,
+			Lines: maxLines, Ratio: cell[k] / against, Max: g.Max,
+			Status: "ok",
+		}
+		if r.Ratio > g.Max {
+			r.Status = "FAIL"
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // Fprint renders a scale report.
@@ -227,5 +323,13 @@ func (rep *ScaleReport) Fprint(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-4s %-16s %-18s %7.2f %9s %7s  %d..%d lines (%.0f -> %.0f ns)\n",
 			status, r.Level, r.Op, r.Alpha, base, limit, r.MinLines, r.MaxLines, r.MinNs, r.MaxNs)
+	}
+	for _, r := range rep.Ratios {
+		status := r.Status
+		if status == "ok" {
+			status = "ok  "
+		}
+		fmt.Fprintf(w, "%-4s %-16s %-18s %s = %.3f of %s (max %.2f) at %d lines\n",
+			status, r.Level, r.Op, "cost", r.Ratio, r.Against, r.Max, r.Lines)
 	}
 }

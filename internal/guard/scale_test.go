@@ -118,6 +118,62 @@ func TestCompareScale(t *testing.T) {
 	}
 }
 
+func TestCompareScaleRatioGate(t *testing.T) {
+	pol := ScalePolicy{
+		Caps:   map[string]float64{"AnalyzerBuild": 1.60, "RebuildOneProc": 1.30},
+		Margin: 0.25,
+		Ratios: map[string]RatioGate{
+			"RebuildOneProc": {Against: "AnalyzerBuild", Max: 0.10},
+		},
+	}
+	// Build cost 100*n^1.2; rebuild a flat-ish 0.4*n^0.9. At the largest
+	// module (100k lines) the ratio is well under a tenth.
+	base := synthRows("L", "AnalyzerBuild", 100, 1.2, 10000, 100000)
+	base = append(base, synthRows("L", "RebuildOneProc", 0.4, 0.9, 10000, 100000)...)
+	rep, err := CompareScale(base, nil, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed || len(rep.Ratios) != 1 {
+		t.Fatalf("want one passing ratio row, got %+v", rep)
+	}
+	r := rep.Ratios[0]
+	if r.Op != "RebuildOneProc" || r.Against != "AnalyzerBuild" || r.Lines != 100000 || r.Status != "ok" {
+		t.Fatalf("ratio row = %+v", r)
+	}
+	wantRatio := (0.4 * math.Pow(100000, 0.9)) / (100 * math.Pow(100000, 1.2))
+	if math.Abs(r.Ratio-wantRatio) > 1e-12 {
+		t.Fatalf("ratio = %g, want %g", r.Ratio, wantRatio)
+	}
+
+	// A rebuild that crept to a third of the from-scratch build fails
+	// even though its growth exponent is fine.
+	bad := synthRows("L", "AnalyzerBuild", 100, 1.2, 10000, 100000)
+	bad = append(bad, synthRows("L", "RebuildOneProc", 33, 1.2, 10000, 100000)...)
+	rep, err = CompareScale(bad, nil, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("want failure for a rebuild costing a third of the build")
+	}
+	var buf strings.Builder
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "RebuildOneProc") {
+		t.Errorf("report missing ratio FAIL:\n%s", buf.String())
+	}
+
+	// Artifacts predating the op carry no ratio rows and stay gateable.
+	old := synthRows("L", "AnalyzerBuild", 100, 1.2, 10000, 100000)
+	rep, err = CompareScale(old, nil, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed || len(rep.Ratios) != 0 {
+		t.Fatalf("want no ratio rows for an artifact without the op, got %+v", rep)
+	}
+}
+
 func TestCompareScaleBootstrapAndErrors(t *testing.T) {
 	pol := DefaultScalePolicy()
 	cur := synthRows("L", "MayAliasHot", 40, 0.05, 10000, 100000)

@@ -67,6 +67,11 @@ type APIndex struct {
 	// proper prefixes of selector length >= 1, shallowest first, each an
 	// interned canonical AP shared by every path extending it.
 	prefixes map[*AP][]*AP
+	// byKey canonicalizes prefix paths across builds. It is consulted and
+	// mutated only inside the single-threaded intern window (InternAPs /
+	// ExtendAPs) and is shared by extensions of this index, so canonical
+	// prefix identities stay stable across incremental builds.
+	byKey map[APKey]*AP
 }
 
 // InternAPs interns every access path carried by prog's instructions,
@@ -84,12 +89,56 @@ type APIndex struct {
 // and fall back on mismatch). Not safe to run concurrently with itself
 // over one program — callers intern during analysis (re)construction.
 func InternAPs(prog *Program) *APIndex {
-	x := &APIndex{prefixes: make(map[*AP][]*AP)}
-	byKey := make(map[APKey]*AP)
-	// Pass 1: the highest identity any earlier build assigned. Fresh
-	// paths number from here, never colliding with a surviving one.
-	next := int32(0)
-	forEachInstrAP(prog, func(ap *AP) {
+	x := &APIndex{prefixes: make(map[*AP][]*AP), byKey: make(map[APKey]*AP)}
+	visit := func(fn func(*AP)) {
+		for _, p := range prog.Procs {
+			forEachProcAP(p, fn)
+		}
+	}
+	x.intern(visit)
+	return x
+}
+
+// ExtendAPs interns the access paths of the given (mutated) procedures
+// into a copy of a previous build's index, leaving every other
+// procedure's identities untouched — the incremental counterpart of
+// InternAPs, costing O(table copy + dirty paths) instead of a full
+// program walk. The returned index shares canonical prefix identities
+// with old (via the retained byKey map, which it takes over and
+// mutates); old's APs table and prefix map are never written, so
+// readers of earlier analysis generations stay valid. Table slots whose
+// paths the mutated bodies no longer carry keep their old entries; they
+// are unreachable through any current instruction and classOf-style
+// consumers validate the pointer behind an identity anyway. Same
+// single-threaded contract as InternAPs.
+func ExtendAPs(prog *Program, old *APIndex, dirty []*Proc) *APIndex {
+	x := &APIndex{
+		APs:      append([]*AP(nil), old.APs...),
+		prefixes: make(map[*AP][]*AP, len(old.prefixes)),
+		byKey:    old.byKey,
+	}
+	for k, v := range old.prefixes {
+		x.prefixes[k] = v
+	}
+	visit := func(fn func(*AP)) {
+		for _, p := range dirty {
+			forEachProcAP(p, fn)
+		}
+	}
+	x.intern(visit)
+	return x
+}
+
+// intern runs the two-pass intern protocol over the paths produced by
+// visit: pass 0 finds the highest identity any earlier build assigned
+// (fresh paths number strictly above it), pass 1 interns instruction
+// paths, pass 2 interns prefixes. Prefixes intern after every
+// instruction path, so a prefix that is itself an instruction path
+// canonicalizes to that instruction's AP and rebuilt indexes number
+// fresh prefix APs deterministically.
+func (x *APIndex) intern(visit func(fn func(*AP))) {
+	next := int32(len(x.APs))
+	visit(func(ap *AP) {
 		if id := atomic.LoadInt32(&ap.IID); id > next {
 			next = id
 		}
@@ -105,7 +154,7 @@ func InternAPs(prog *Program) *APIndex {
 			x.APs = append(x.APs, nil)
 		}
 		x.APs[id-1] = ap
-		byKey[ap.Key()] = ap
+		x.byKey[ap.Key()] = ap
 	}
 	internPrefixes := func(ap *AP) {
 		if len(ap.Sels) < 2 {
@@ -117,7 +166,7 @@ func InternAPs(prog *Program) *APIndex {
 		chain := make([]*AP, 0, len(ap.Sels)-1)
 		for k := 1; k < len(ap.Sels); k++ {
 			p := &AP{Root: ap.Root, Sels: ap.Sels[:k]}
-			if c, ok := byKey[p.Key()]; ok {
+			if c, ok := x.byKey[p.Key()]; ok {
 				p = c
 			} else {
 				intern(p)
@@ -126,23 +175,17 @@ func InternAPs(prog *Program) *APIndex {
 		}
 		x.prefixes[ap] = chain
 	}
-	forEachInstrAP(prog, intern)
-	// Prefixes intern after every instruction path, so a prefix that is
-	// itself an instruction path canonicalizes to that instruction's AP
-	// and rebuilt indexes number fresh prefix APs deterministically.
-	forEachInstrAP(prog, internPrefixes)
-	return x
+	visit(intern)
+	visit(internPrefixes)
 }
 
-// forEachInstrAP visits every instruction-carried access path in
-// deterministic program order.
-func forEachInstrAP(prog *Program, fn func(*AP)) {
-	for _, p := range prog.Procs {
-		for _, b := range p.Blocks {
-			for i := range b.Instrs {
-				if ap := b.Instrs[i].AP; ap != nil {
-					fn(ap)
-				}
+// forEachProcAP visits every instruction-carried access path of one
+// procedure in deterministic order.
+func forEachProcAP(p *Proc, fn func(*AP)) {
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if ap := b.Instrs[i].AP; ap != nil {
+				fn(ap)
 			}
 		}
 	}

@@ -446,6 +446,11 @@ type Proc struct {
 	// MethodOf is the object type whose method table names this procedure,
 	// or nil.
 	MethodOf *types.Object
+	// MutGen is the program mutation-clock value at which this
+	// procedure's body was last mutated (see Program.MarkMutated); zero
+	// means "unchanged since lowering". Analyses compare it against a
+	// clock value they captured at build time to find the dirty set.
+	MutGen uint64
 }
 
 // AllVars returns params then locals.
@@ -490,6 +495,41 @@ type Program struct {
 	// ByRefFormalTypes records the type IDs of pass-by-reference formals;
 	// open-world AddressTaken consults it (Section 4 of the paper).
 	ByRefFormalTypes map[int]bool
+	// mutClock is the monotonically increasing mutation clock advanced by
+	// MarkMutated. It is touched only during single-threaded mutation
+	// windows (pass pipelines, server edits), never on the query path.
+	mutClock uint64
+}
+
+// MarkMutated advances the program's mutation clock and stamps the given
+// procedures as mutated at the new value. Every site that rewrites a
+// procedure body (optimization passes, server-side edits) must call it;
+// an unstamped mutation is still sound — consumers that find an empty
+// dirty set after an explicit invalidation fall back to a full rebuild —
+// but forfeits incrementality. Not safe concurrently with itself or with
+// analysis construction.
+func (p *Program) MarkMutated(procs ...*Proc) {
+	p.mutClock++
+	for _, pr := range procs {
+		pr.MutGen = p.mutClock
+	}
+}
+
+// MutClock returns the current mutation-clock value. An analysis captures
+// it at build time and later asks DirtySince(captured) for the
+// procedures mutated after that build.
+func (p *Program) MutClock() uint64 { return p.mutClock }
+
+// DirtySince returns the procedures whose bodies were stamped mutated
+// after the given clock value, in Procs order (deterministic).
+func (p *Program) DirtySince(clock uint64) []*Proc {
+	var dirty []*Proc
+	for _, pr := range p.Procs {
+		if pr.MutGen > clock {
+			dirty = append(dirty, pr)
+		}
+	}
+	return dirty
 }
 
 // Merge is one pointer assignment's (destination, source) static types.

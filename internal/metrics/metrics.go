@@ -26,10 +26,16 @@ const (
 	OpMayAlias      = "MayAlias"
 	OpMayAliasBatch = "MayAliasBatch"
 	OpCountPairs    = "CountPairs"
+	// OpRebuildOneProc is the incremental re-analysis after a
+	// one-procedure edit: re-lower the procedure, rebuild the analyses
+	// from its dirty set, and publish the refreshed snapshot. The
+	// server observes it per edit request; the benchmark measures the
+	// same operation via Analyzer.EditProc on the m3cg module.
+	OpRebuildOneProc = "RebuildOneProc"
 )
 
 // Ops returns the query operations in reporting order.
-func Ops() []string { return []string{OpMayAlias, OpMayAliasBatch, OpCountPairs} }
+func Ops() []string { return []string{OpMayAlias, OpMayAliasBatch, OpCountPairs, OpRebuildOneProc} }
 
 // Quantiles are the latency percentiles every latency report exposes.
 var Quantiles = []float64{0.5, 0.9, 0.99}
@@ -115,6 +121,10 @@ type Registry struct {
 	ShedBatch    atomic.Uint64
 	ShedInflight atomic.Uint64
 
+	// Edits counts accepted one-procedure edits (each advances a
+	// module generation and incrementally re-analyzes it).
+	Edits atomic.Uint64
+
 	hist map[string]*Histogram
 }
 
@@ -152,6 +162,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	counter("tbaad_cache_hits_total", "Uploads that found the module resident.", r.CacheHits.Load())
 	counter("tbaad_cache_misses_total", "Uploads that compiled a new module.", r.CacheMisses.Load())
 	counter("tbaad_evictions_total", "Modules evicted by the LRU cap.", r.Evictions.Load())
+	counter("tbaad_edits_total", "One-procedure edits applied incrementally.", r.Edits.Load())
 	fmt.Fprintf(w, "# HELP tbaad_modules_resident Modules currently held in memory.\n")
 	fmt.Fprintf(w, "# TYPE tbaad_modules_resident gauge\ntbaad_modules_resident %d\n", r.Resident.Load())
 	fmt.Fprintf(w, "# HELP tbaad_shed_total Requests rejected by a limit.\n# TYPE tbaad_shed_total counter\n")

@@ -47,42 +47,48 @@ func (mr *ModRef) computeFreshness(sccs [][]*ir.Proc) {
 	mr.freshStores = make(map[*ir.Instr]bool)
 	mr.returnsFresh = make(map[*ir.Proc]bool)
 	for _, scc := range sccs {
-		// Optimistic: every member returns fresh until a return value
-		// proves otherwise; iterate the SCC to its greatest fixpoint.
-		// The last iteration (the one that changes nothing) leaves
-		// every member's region state computed under the final flags,
-		// so the store-marking pass below reuses it.
+		mr.freshnessSCC(scc)
+	}
+}
+
+// freshnessSCC runs the freshness fixpoint for one SCC, assuming every
+// callee SCC's returnsFresh facts are already final (bottom-up order).
+func (mr *ModRef) freshnessSCC(scc []*ir.Proc) {
+	// Optimistic: every member returns fresh until a return value
+	// proves otherwise; iterate the SCC to its greatest fixpoint.
+	// The last iteration (the one that changes nothing) leaves
+	// every member's region state computed under the final flags,
+	// so the store-marking pass below reuses it.
+	for _, p := range scc {
+		mr.returnsFresh[p] = true
+	}
+	region := make(map[*ir.Proc]regionState, len(scc))
+	for changed := true; changed; {
+		changed = false
 		for _, p := range scc {
-			mr.returnsFresh[p] = true
-		}
-		region := make(map[*ir.Proc]regionState, len(scc))
-		for changed := true; changed; {
-			changed = false
-			for _, p := range scc {
-				st := mr.regionValues(p)
-				region[p] = st
-				if !mr.returnsFresh[p] {
-					continue
-				}
-				for _, b := range p.Blocks {
-					for i := range b.Instrs {
-						in := &b.Instrs[i]
-						if in.Op == ir.OpReturn && len(in.Args) > 0 && !st.operand(in.Args[0]) {
-							mr.returnsFresh[p] = false
-							changed = true
-						}
+			st := mr.regionValues(p)
+			region[p] = st
+			if !mr.returnsFresh[p] {
+				continue
+			}
+			for _, b := range p.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if in.Op == ir.OpReturn && len(in.Args) > 0 && !st.operand(in.Args[0]) {
+						mr.returnsFresh[p] = false
+						changed = true
 					}
 				}
 			}
 		}
-		for _, p := range scc {
-			st := region[p]
-			for _, b := range p.Blocks {
-				for i := range b.Instrs {
-					in := &b.Instrs[i]
-					if in.Op == ir.OpStore && in.AP != nil && st.freshStore(in.AP) {
-						mr.freshStores[in] = true
-					}
+	}
+	for _, p := range scc {
+		st := region[p]
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op == ir.OpStore && in.AP != nil && st.freshStore(in.AP) {
+					mr.freshStores[in] = true
 				}
 			}
 		}

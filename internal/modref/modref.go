@@ -156,9 +156,14 @@ func shapeKey(ap *ir.AP) string {
 
 // ModRef holds summaries for a whole program.
 type ModRef struct {
-	prog    *ir.Program
-	cfg     Config
-	byProc  map[*ir.Proc]*Effects
+	prog   *ir.Program
+	cfg    Config
+	byProc map[*ir.Proc]*Effects
+	// direct holds each procedure's own (non-transitive) effects, kept
+	// separately from the byProc summaries so an incremental rebuild can
+	// re-absorb untouched procedures without rescanning their bodies
+	// (see incremental.go).
+	direct  map[*ir.Proc]*Effects
 	callees map[*ir.Proc][]*ir.Proc
 	// shapes interns every Mod/Ref access-path shape to a dense ID;
 	// read-only once construction finishes (CallEffects only unions
@@ -186,6 +191,16 @@ type ModRef struct {
 	// returnsFresh marks procedures whose every return value is an
 	// invocation-fresh object. Nil outside RTA mode.
 	returnsFresh map[*ir.Proc]bool
+	// fp witnesses the global fact tables dispatch and freshness
+	// consult; Update bails to a full rebuild when any grew (see
+	// incremental.go).
+	fp modrefFP
+	// sccOf and sccSize record the call-graph SCC decomposition the
+	// summaries were built under, so Update can prove a component's
+	// membership unchanged before reusing its freshness facts and
+	// summary (see incremental.go).
+	sccOf   map[*ir.Proc]int32
+	sccSize []int32
 }
 
 // Compute builds transitive mod-ref summaries over the CHA call graph —
@@ -199,22 +214,27 @@ func Compute(prog *ir.Program) *ModRef {
 // (method-call edges bounded by the current dispatch filter).
 func (mr *ModRef) collectEdges() {
 	for _, p := range mr.prog.Procs {
-		for _, b := range p.Blocks {
-			for i := range b.Instrs {
-				in := &b.Instrs[i]
-				switch in.Op {
-				case ir.OpCall:
-					if callee := mr.prog.ProcByName[in.Callee]; callee != nil {
-						mr.callees[p] = append(mr.callees[p], callee)
-					}
-				case ir.OpMethodCall:
-					for _, callee := range mr.Dispatch(in) {
-						mr.callees[p] = append(mr.callees[p], callee)
-					}
+		mr.callees[p] = mr.collectProcEdges(p)
+	}
+}
+
+// collectProcEdges returns one procedure's call-graph successors.
+func (mr *ModRef) collectProcEdges(p *ir.Proc) []*ir.Proc {
+	var out []*ir.Proc
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpCall:
+				if callee := mr.prog.ProcByName[in.Callee]; callee != nil {
+					out = append(out, callee)
 				}
+			case ir.OpMethodCall:
+				out = append(out, mr.Dispatch(in)...)
 			}
 		}
 	}
+	return out
 }
 
 // collectDirect scans every procedure for its direct effects. In RTA
@@ -225,48 +245,53 @@ func (mr *ModRef) collectEdges() {
 // poison the summary with the sound Top.
 func (mr *ModRef) collectDirect() {
 	for _, p := range mr.prog.Procs {
-		eff := &Effects{ModGlobals: make(map[*ir.Var]bool)}
-		mr.byProc[p] = eff
-		for _, b := range p.Blocks {
-			for i := range b.Instrs {
-				in := &b.Instrs[i]
-				switch in.Op {
-				case ir.OpStore:
-					if in.AP != nil {
-						if !mr.freshStores[in] {
-							eff.mods.add(mr.shapes.id(in.AP))
-						}
-						if in.Sel.Kind == ir.SelDeref {
-							eff.WritesThroughLocs = true
-						}
-					} else if mr.cfg.RTA {
-						// A store with no recorded path could hit anything.
-						eff.Top = true
-					}
-				case ir.OpLoad:
-					if in.AP != nil && !in.AP.IsDope() {
-						eff.refs.add(mr.shapes.id(in.AP))
-					}
-				case ir.OpSetVar:
-					if in.Var.Kind == ir.GlobalVar {
-						eff.ModGlobals[in.Var] = true
-					}
-				case ir.OpStoreVarField:
-					if in.Var.Kind == ir.GlobalVar {
-						eff.ModGlobals[in.Var] = true
-					}
-					if in.AP != nil {
+		mr.direct[p] = mr.collectDirectProc(p)
+	}
+}
+
+// collectDirectProc scans one procedure's body for its direct effects.
+func (mr *ModRef) collectDirectProc(p *ir.Proc) *Effects {
+	eff := &Effects{ModGlobals: make(map[*ir.Var]bool)}
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpStore:
+				if in.AP != nil {
+					if !mr.freshStores[in] {
 						eff.mods.add(mr.shapes.id(in.AP))
 					}
-				case ir.OpCall:
-					if mr.cfg.RTA && mr.prog.ProcByName[in.Callee] == nil {
-						// The callee is outside the program: sound top.
-						eff.Top = true
+					if in.Sel.Kind == ir.SelDeref {
+						eff.WritesThroughLocs = true
 					}
+				} else if mr.cfg.RTA {
+					// A store with no recorded path could hit anything.
+					eff.Top = true
+				}
+			case ir.OpLoad:
+				if in.AP != nil && !in.AP.IsDope() {
+					eff.refs.add(mr.shapes.id(in.AP))
+				}
+			case ir.OpSetVar:
+				if in.Var.Kind == ir.GlobalVar {
+					eff.ModGlobals[in.Var] = true
+				}
+			case ir.OpStoreVarField:
+				if in.Var.Kind == ir.GlobalVar {
+					eff.ModGlobals[in.Var] = true
+				}
+				if in.AP != nil {
+					eff.mods.add(mr.shapes.id(in.AP))
+				}
+			case ir.OpCall:
+				if mr.cfg.RTA && mr.prog.ProcByName[in.Callee] == nil {
+					// The callee is outside the program: sound top.
+					eff.Top = true
 				}
 			}
 		}
 	}
+	return eff
 }
 
 // Effects returns the summary for a procedure.

@@ -54,9 +54,11 @@ func ComputeWith(prog *ir.Program, cfg Config) *ModRef {
 		prog:    prog,
 		cfg:     cfg,
 		byProc:  make(map[*ir.Proc]*Effects, len(prog.Procs)),
+		direct:  make(map[*ir.Proc]*Effects, len(prog.Procs)),
 		callees: make(map[*ir.Proc][]*ir.Proc, len(prog.Procs)),
 		effMemo: make(map[*ir.Instr]*Effects),
 		shapes:  newShapeTab(),
+		fp:      modrefFPOf(prog),
 	}
 	if cfg.RTA && !cfg.OpenWorld && prog.Main != nil {
 		mr.rta()
@@ -67,6 +69,7 @@ func ComputeWith(prog *ir.Program, cfg Config) *ModRef {
 	// quadratic re-scans.
 	mr.collectEdges()
 	sccs := mr.tarjanSCCs()
+	mr.recordSCCs(sccs)
 	if cfg.RTA {
 		mr.computeFreshness(sccs)
 	}
@@ -74,6 +77,20 @@ func ComputeWith(prog *ir.Program, cfg Config) *ModRef {
 	mr.summarizeSCCs(sccs)
 	mr.materializeSummaries()
 	return mr
+}
+
+// recordSCCs remembers the SCC decomposition the summaries were built
+// under, so an incremental Update can prove a component's membership
+// unchanged before reusing its results (see incremental.go).
+func (mr *ModRef) recordSCCs(sccs [][]*ir.Proc) {
+	mr.sccOf = make(map[*ir.Proc]int32, len(mr.prog.Procs))
+	mr.sccSize = make([]int32, len(sccs))
+	for i, scc := range sccs {
+		mr.sccSize[i] = int32(len(scc))
+		for _, p := range scc {
+			mr.sccOf[p] = int32(i)
+		}
+	}
 }
 
 // materializeSummaries converts every distinct summary's shape bitsets
@@ -230,7 +247,7 @@ func (mr *ModRef) summarizeSCCs(sccs [][]*ir.Proc) {
 		sum := &Effects{ModGlobals: make(map[*ir.Var]bool)}
 		absorbed := make(map[*Effects]bool)
 		for _, p := range scc {
-			sum.absorb(mr.byProc[p])
+			sum.absorb(mr.direct[p])
 			for _, c := range mr.callees[p] {
 				if cs := mr.byProc[c]; !member[c] && !absorbed[cs] {
 					absorbed[cs] = true

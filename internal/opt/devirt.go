@@ -18,6 +18,7 @@ func Devirtualize(prog *ir.Program, refine func(recv *types.Object) []int) int {
 	mr := modref.ComputeWith(prog, modref.Config{Refine: refine})
 	resolved := 0
 	for _, p := range prog.Procs {
+		inProc := 0
 		for _, b := range p.Blocks {
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
@@ -32,8 +33,12 @@ func Devirtualize(prog *ir.Program, refine func(recv *types.Object) []int) int {
 				in.Callee = targets[0].Name
 				in.Method = ""
 				in.RecvType = nil
-				resolved++
+				inProc++
 			}
+		}
+		if inProc > 0 {
+			prog.MarkMutated(p)
+			resolved += inProc
 		}
 	}
 	return resolved

@@ -66,6 +66,9 @@ func inlineProc(prog *ir.Program, caller *ir.Proc) int {
 		}
 	}
 	caller.ComputeCFGEdges()
+	if count > 0 {
+		prog.MarkMutated(caller)
+	}
 	return count
 }
 

@@ -275,6 +275,7 @@ func preProc(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) in
 	}
 	p.ComputeCFGEdges()
 	if inserted > 0 {
+		prog.MarkMutated(p)
 		alias.InvalidateFlow(o, p)
 	}
 	return inserted

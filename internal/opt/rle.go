@@ -65,6 +65,7 @@ func hoistLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef)
 		cfg.EnsurePreheader(p, l)
 	}
 	if len(p.Blocks) != nBlocks {
+		prog.MarkMutated(p)
 		alias.InvalidateFlow(o, p)
 	}
 	// Preheader insertion changed the CFG; recompute.
@@ -85,6 +86,7 @@ func hoistLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef)
 		nBlocks = len(p.Blocks)
 		cfg.EnsurePreheader(p, l)
 		if len(p.Blocks) != nBlocks {
+			prog.MarkMutated(p)
 			alias.InvalidateFlow(o, p)
 		}
 		total += hoistFromLoop(prog, p, l, dom, o, mr)
@@ -225,6 +227,7 @@ func hoistFromLoop(prog *ir.Program, p *ir.Proc, l *cfg.Loop, dom *cfg.Dominator
 	}
 	ph.Instrs = append(body, term)
 	// The rebuilt instruction slices orphan any per-statement flow facts.
+	env.prog.MarkMutated(p)
 	alias.InvalidateFlow(env.o, p)
 	return sourceHoisted
 }
@@ -587,6 +590,7 @@ func cseLoads(prog *ir.Program, p *ir.Proc, o alias.Oracle, mr *modref.ModRef) i
 		}
 		b.Instrs = out
 	}
+	prog.MarkMutated(p)
 	alias.InvalidateFlow(o, p)
 	return len(redundant)
 }

@@ -6,6 +6,7 @@ package server
 //
 //	POST /v1/modules                          UploadRequest  → UploadResponse
 //	GET  /v1/modules                          —              → ModulesResponse
+//	POST /v1/modules/{hash}/edit              EditRequest    → EditResponse
 //	POST /v1/modules/{hash}/mayalias          QueryRequest   → QueryResponse
 //	POST /v1/modules/{hash}/mayalias-batch    BatchRequest   → BatchResponse
 //	POST /v1/modules/{hash}/countpairs        LevelRequest   → CountPairsResponse
@@ -42,6 +43,31 @@ type UploadResponse struct {
 	Cached     bool   `json:"cached"`
 	Generation uint64 `json:"generation"`
 	Resident   int64  `json:"resident"`
+}
+
+// EditRequest is the "edit" upload mode: instead of re-uploading and
+// recompiling the whole module, Source carries one PROCEDURE
+// declaration that replaces the resident module's procedure of the
+// same name. The edit is type-checked against the frozen module
+// (declared type names only, signature unchanged) and every built
+// analyzer re-analyzes incrementally from the one-procedure dirty set.
+// An accepted edit advances the module's generation: requests in
+// flight finish on the generation (and published snapshot) they
+// resolved, requests arriving after the response see only edited
+// verdicts. A rejected edit (422) leaves the module untouched.
+type EditRequest struct {
+	Source string `json:"source"`
+}
+
+// EditResponse describes an applied edit. Reanalyzed counts the
+// already-built analyzer configurations that were incrementally
+// rebuilt; configurations not yet built will lower the edited module
+// on first use.
+type EditResponse struct {
+	Hash       string `json:"hash"`
+	Proc       string `json:"proc"`
+	Generation uint64 `json:"generation"`
+	Reanalyzed int    `json:"reanalyzed"`
 }
 
 // ModulesResponse lists resident modules, most recently used first.

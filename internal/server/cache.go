@@ -61,6 +61,43 @@ type entry struct {
 	hash  string
 	gen   atomic.Pointer[generation]
 	stats *tbaa.Stats
+
+	// editMu serializes edits to this module: racing edits (to the
+	// same or different procedures) apply one at a time, each
+	// advancing the generation, so every analyzer sees the same edit
+	// order and the module converges to the last write.
+	editMu sync.Mutex
+}
+
+// edit applies a one-procedure replacement to the entry's current
+// generation: the edit is checked once against the shared module, every
+// analyzer configuration built so far is incrementally re-analyzed, and
+// a successor generation is published. Configurations not yet built
+// need no replay — they lower from the shared module, which already
+// carries the edit. In-flight requests hold the generation pointer (and
+// each analyzer's published snapshot) they resolved and are undisturbed.
+func (e *entry) edit(src string) (gen uint64, proc string, reanalyzed int, err error) {
+	e.editMu.Lock()
+	defer e.editMu.Unlock()
+	old := e.gen.Load()
+	pe, err := old.mod.EditProc(src)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	old.mu.Lock()
+	built := make(map[analyzerKey]*tbaa.Analyzer, len(old.analyzers))
+	for k, a := range old.analyzers {
+		built[k] = a
+	}
+	old.mu.Unlock()
+	for _, a := range built {
+		if err := a.ApplyEdit(pe); err != nil {
+			return 0, "", 0, err
+		}
+	}
+	next := &generation{seq: old.seq + 1, mod: old.mod, file: old.file, analyzers: built}
+	e.gen.Store(next)
+	return next.seq, pe.Proc(), len(built), nil
 }
 
 // moduleCache is the LRU-bounded set of resident modules, keyed by

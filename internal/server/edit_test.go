@@ -1,0 +1,228 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"tbaa/internal/metrics"
+)
+
+// The edit-mode tests pin the server half of incremental re-analysis:
+// the edit endpoint replaces one procedure without recompiling, bumps
+// the generation, and re-analyzes; and under racing edits and query
+// traffic every batch stays coherent on the generation it resolved.
+
+// editSrc is a module whose procedures can be edited independently:
+// the module body's references (t.f, t.next.f) are stable across every
+// edit the tests apply, so their verdicts are constant ground truth.
+const editSrc = `MODULE EditD;
+TYPE
+  T = OBJECT f, g: INTEGER; next: T END;
+  U = OBJECT a, b: INTEGER END;
+  V = OBJECT c, d: INTEGER END;
+VAR t: T; u: U; v: V; x: INTEGER;
+PROCEDURE P() =
+BEGIN
+  x := u.a
+END P;
+PROCEDURE Q() =
+BEGIN
+  x := v.c
+END Q;
+BEGIN
+  t := NEW(T);
+  x := t.f;
+  x := t.next.f;
+  P();
+  Q()
+END EditD.
+`
+
+// editBody renders a replacement body for proc reading the given path.
+func editBody(proc, path string) string {
+	return fmt.Sprintf("PROCEDURE %s() =\nBEGIN\n  x := %s\nEND %s;", proc, path, proc)
+}
+
+func postEdit(t *testing.T, base, hash, src string) (EditResponse, int) {
+	t.Helper()
+	var resp EditResponse
+	status := postJSON(t, base+"/v1/modules/"+hash+"/edit", EditRequest{Source: src}, &resp)
+	return resp, status
+}
+
+func TestEditEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	up := upload(t, ts.URL, "editd.m3", editSrc)
+
+	// Build an analyzer and take a pre-edit verdict set.
+	var pre CountPairsResponse
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/countpairs", LevelRequest{}, &pre); st != http.StatusOK {
+		t.Fatalf("countpairs: status %d", st)
+	}
+	// u.b is not referenced pre-edit: a query for it fails.
+	var q QueryResponse
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: "u.b", Q: "u.b"}, &q); st != http.StatusBadRequest {
+		t.Fatalf("pre-edit u.b query: status %d", st)
+	}
+
+	resp, status := postEdit(t, ts.URL, up.Hash, editBody("P", "u.b"))
+	if status != http.StatusOK {
+		t.Fatalf("edit: status %d", status)
+	}
+	if resp.Proc != "P" || resp.Generation != up.Generation+1 || resp.Reanalyzed != 1 {
+		t.Fatalf("edit response %+v", resp)
+	}
+
+	// The edited body's reference is now queryable and the static pair
+	// metrics changed with it, on the bumped generation.
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: "u.b", Q: "u.b"}, &q); st != http.StatusOK {
+		t.Fatalf("post-edit u.b query: status %d", st)
+	}
+	if !q.MayAlias || q.Generation != resp.Generation {
+		t.Fatalf("post-edit verdict %+v", q)
+	}
+	var post CountPairsResponse
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/countpairs", LevelRequest{}, &post); st != http.StatusOK {
+		t.Fatalf("countpairs: status %d", st)
+	}
+	if post == pre {
+		t.Fatalf("pair metrics unchanged by the edit: %+v", post)
+	}
+
+	// The re-analysis latency metric recorded the edit.
+	if got := s.Metrics().Edits.Load(); got != 1 {
+		t.Fatalf("edits counter = %d", got)
+	}
+	if got := s.Metrics().Hist(metrics.OpRebuildOneProc).Count(); got != 1 {
+		t.Fatalf("RebuildOneProc observations = %d", got)
+	}
+
+	// Rejections: unknown module, unknown procedure, signature change.
+	if _, st := postEdit(t, ts.URL, "nosuchhash", editBody("P", "u.a")); st != http.StatusNotFound {
+		t.Fatalf("edit of unknown hash: status %d", st)
+	}
+	if _, st := postEdit(t, ts.URL, up.Hash, editBody("Nope", "u.a")); st != http.StatusUnprocessableEntity {
+		t.Fatalf("edit of unknown proc: status %d", st)
+	}
+	if _, st := postEdit(t, ts.URL, up.Hash, "PROCEDURE P(n: INTEGER) =\nBEGIN\nEND P;"); st != http.StatusUnprocessableEntity {
+		t.Fatalf("signature-changing edit: status %d", st)
+	}
+	// Rejected edits did not advance the generation.
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: "t.f", Q: "t.f"}, &q); st != http.StatusOK {
+		t.Fatalf("query after rejections: status %d", st)
+	}
+	if q.Generation != resp.Generation {
+		t.Fatalf("rejected edits moved the generation to %d", q.Generation)
+	}
+}
+
+// TestEditGenerationSemantics is the issue's race gate for edits: 8
+// client goroutines stream batches while two editors race edits to
+// different procedures. Every batch must answer the stable pairs with
+// their constant ground-truth verdicts (a drifting verdict means a
+// torn or mixed snapshot), each client's observed generation must be
+// monotone (a batch finishes on the generation it resolved; later
+// requests never travel back), and after the dust settles the module
+// answers for exactly the last body each editor installed.
+func TestEditGenerationSemantics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := upload(t, ts.URL, "editd.m3", editSrc)
+
+	// Ground truth for the stable pairs from the in-process analyzer.
+	a, _ := analyzerPaths(t, "editd.m3", editSrc)
+	stable := []PairJSON{
+		{P: "t.f", Q: "t.f"},
+		{P: "t.f", Q: "t.next.f"},
+		{P: "t.next.f", Q: "t.next.f"},
+	}
+	want := make([]bool, len(stable))
+	for i, p := range stable {
+		v, err := a.MayAlias(p.P, p.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	const (
+		clients          = 8
+		batchesPerClient = 40
+		editsPerEditor   = 20
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, clients+2)
+
+	// Editors: each owns one procedure and alternates its body between
+	// two paths, recording the final one.
+	finals := make([]string, 2)
+	editor := func(slot int, proc string, paths [2]string) {
+		defer wg.Done()
+		for i := 0; i < editsPerEditor; i++ {
+			path := paths[i%2]
+			if _, st := postEdit(t, ts.URL, up.Hash, editBody(proc, path)); st != http.StatusOK {
+				errc <- fmt.Errorf("edit %s -> %s: status %d", proc, path, st)
+				return
+			}
+			finals[slot] = path
+		}
+	}
+	wg.Add(2)
+	go editor(0, "P", [2]string{"u.a", "u.b"})
+	go editor(1, "Q", [2]string{"v.c", "v.d"})
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; i < batchesPerClient; i++ {
+				var resp BatchResponse
+				st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias-batch", BatchRequest{Pairs: stable}, &resp)
+				if st != http.StatusOK {
+					errc <- fmt.Errorf("batch: status %d", st)
+					return
+				}
+				if resp.Generation < lastGen {
+					errc <- fmt.Errorf("generation went backwards: %d after %d", resp.Generation, lastGen)
+					return
+				}
+				lastGen = resp.Generation
+				for j, v := range resp.Verdicts {
+					if v.Error != "" || v.MayAlias != want[j] {
+						errc <- fmt.Errorf("gen %d: stable pair (%s,%s) answered %v/%q, want %v",
+							resp.Generation, v.P, v.Q, v.MayAlias, v.Error, want[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Convergence: the module answers for exactly the last installed
+	// body of each procedure.
+	last := map[string]string{"P": finals[0], "Q": finals[1]}
+	gone := map[string]string{"u.a": "u.b", "u.b": "u.a", "v.c": "v.d", "v.d": "v.c"}
+	var q QueryResponse
+	for _, path := range []string{last["P"], last["Q"]} {
+		if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: path, Q: path}, &q); st != http.StatusOK {
+			t.Fatalf("final body's path %s: status %d", path, st)
+		}
+		if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: gone[path], Q: gone[path]}, &q); st != http.StatusBadRequest {
+			t.Fatalf("replaced body's path %s still resolves (status %d)", gone[path], st)
+		}
+	}
+	// The final generation reflects every applied edit.
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: "t.f", Q: "t.f"}, &q); st != http.StatusOK {
+		t.Fatalf("final query: status %d", st)
+	}
+	if wantGen := up.Generation + 2*editsPerEditor; q.Generation != wantGen {
+		t.Fatalf("final generation %d, want %d", q.Generation, wantGen)
+	}
+}

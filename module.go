@@ -1,8 +1,11 @@
 package tbaa
 
 import (
+	"sync"
+
 	"tbaa/internal/ast"
 	"tbaa/internal/driver"
+	"tbaa/internal/ir"
 	"tbaa/internal/parser"
 	"tbaa/internal/sema"
 )
@@ -20,13 +23,21 @@ func ParseAST(file, src string) (string, error) {
 }
 
 // Module is a parsed, type-checked MiniM3 module whose lowering can be
-// replayed cheaply: one frontend, many lowered programs. A Module is
-// immutable after Compile — its type universe is fully precomputed —
-// so any number of Analyzers may be built from it concurrently, each
-// over its own private lowering.
+// replayed cheaply: one frontend, many lowered programs. Its type
+// universe is fully precomputed, so any number of Analyzers may be
+// built from it concurrently, each over its own private lowering. The
+// one mutation a Module admits after Compile is EditProc, which
+// replaces a single procedure's checked body under the module lock;
+// lowering and edits are serialized against each other, so edits are
+// safe concurrently with analyzer construction and queries.
 type Module struct {
 	c    *driver.Compiled
 	hash string
+
+	// mu serializes EditProc (writer) against lowering and AST
+	// rendering (readers). Queries never touch it — they run over each
+	// Analyzer's private program and published snapshots.
+	mu sync.RWMutex
 }
 
 // Compile parses and type-checks a MiniM3 module and precomputes the
@@ -59,4 +70,16 @@ func New(file, src string, options ...Option) (*Analyzer, error) {
 func (m *Module) File() string { return m.c.File }
 
 // AST renders the parsed module as source-shaped text.
-func (m *Module) AST() string { return ast.Print(m.c.Sema.Module) }
+func (m *Module) AST() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return ast.Print(m.c.Sema.Module)
+}
+
+// lower produces a private program from the module under the read half
+// of the edit lock.
+func (m *Module) lower() *ir.Program {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.c.Lower()
+}

@@ -12,12 +12,13 @@ import (
 
 // This file implements the tracked query-performance report behind
 // `tbaabench -perfjson` (CI stores it as BENCH_perf.json): ns/op and
-// allocs/op for the three public query entry points — MayAlias,
-// MayAliasBatch, and CountPairs — at every analysis level, measured on
-// the largest stock benchmark. Together with the bench-perf CI job
-// (which gates BenchmarkMayAlias / BenchmarkCountPairs against the
-// committed baseline) it makes the query path's perf trajectory
-// visible per PR.
+// allocs/op for the public query entry points — MayAlias,
+// MayAliasBatch, and CountPairs — plus the one-procedure incremental
+// rebuild (RebuildOneProc), at every analysis level, measured on the
+// largest stock benchmark. Together with the bench-perf CI job (which
+// gates BenchmarkMayAlias / BenchmarkCountPairs /
+// BenchmarkRebuildOneProc against the committed baseline) it makes the
+// query path's perf trajectory visible per PR.
 
 // PerfBenchmarkName is the stock benchmark the perf report measures:
 // the one with the most static heap references.
@@ -27,6 +28,22 @@ const PerfBenchmarkName = "m3cg"
 // large enough to engage the batch's worker sharding.
 const perfBatchPairs = 4096
 
+// perfEditProc is the one-procedure edit the RebuildOneProc op applies:
+// a verbatim copy of m3cg's Annotate. Re-installing the same body
+// leaves every verdict and every append-only fact table unchanged, so
+// each iteration measures a true one-procedure delta — check, re-lower,
+// incremental invalidation, snapshot republish — never cumulative
+// drift.
+const perfEditProc = `PROCEDURE Annotate(line, op: INTEGER) =
+VAR a: Annot;
+BEGIN
+  a := NEW(Annot);
+  a.line := line;
+  a.op := op;
+  a.anext := annots;
+  annots := a;
+END Annotate;`
+
 // PerfRow is one measured configuration of the perf report.
 type PerfRow struct {
 	// Benchmark is the stock program measured (PerfBenchmarkName).
@@ -34,10 +51,12 @@ type PerfRow struct {
 	// Level is the analysis level's name.
 	Level string `json:"level"`
 	// Op identifies the query entry point: "MayAlias" (one context-free
-	// query), "MayAliasBatch" (one batch of batch_pairs pairs), or
-	// "CountPairs" (one full Table 5 sweep). The names are the shared
-	// internal/metrics vocabulary, so the rows here and the analysis
-	// server's /metrics latency summaries label the same ops
+	// query), "MayAliasBatch" (one batch of batch_pairs pairs),
+	// "CountPairs" (one full Table 5 sweep), or "RebuildOneProc" (one
+	// single-procedure edit applied through Analyzer.EditProc — check,
+	// re-lower, delta-invalidate, republish the snapshot). The names are
+	// the shared internal/metrics vocabulary, so the rows here and the
+	// analysis server's /metrics latency summaries label the same ops
 	// identically and can never drift.
 	Op string `json:"op"`
 	// BatchPairs is the vector size for the MayAliasBatch op, 0 otherwise.
@@ -125,6 +144,14 @@ func MeasurePerf() ([]PerfRow, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				a.CountPairs()
+			}
+		})))
+		rows = append(rows, row(metrics.OpRebuildOneProc, 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.EditProc(perfEditProc); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})))
 	}

@@ -80,7 +80,7 @@ func (r *Runner) compile(b Benchmark) (*ir.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.c.Lower(), nil
+	return m.lower(), nil
 }
 
 // run evaluates n independent cells on the worker pool. With one worker

@@ -20,7 +20,8 @@ import (
 // (CI stores it as BENCH_scale.json): generated modules one and two
 // orders of magnitude larger than the paper's suite, measured per
 // analysis level for compile, summary-construction, analyzer-build,
-// MayAlias, and CountPairs cost. cmd/benchguard -scale fits log-log
+// MayAlias, CountPairs, and one-procedure incremental-rebuild cost.
+// cmd/benchguard -scale fits log-log
 // growth exponents across the module sizes and fails CI when per-query
 // cost stops being ~flat in module size or a build stage goes
 // superlinear past the committed baseline
@@ -64,13 +65,41 @@ type ScaleRow struct {
 	Level string `json:"level"`
 	// Op names the measured stage: Compile, SummaryCHA, SummaryRTA,
 	// AnalyzerBuild, MayAliasHot, MayAliasRand, CountPairs,
-	// CountPairsPerRef.
+	// CountPairsPerRef, RebuildOneProc.
 	Op      string  `json:"op"`
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
 // scaleLevels is the level sweep; identical to the perf report's.
 func scaleLevels() []Level { return perfLevels() }
+
+// scaleEditProc extracts the first top-level PROCEDURE declaration of
+// src, verbatim — the one-procedure edit the RebuildOneProc row
+// re-installs. Re-installing a body the module already has leaves
+// every verdict and fact table unchanged, so the row times a pure
+// delta: check one body, re-lower it, incrementally invalidate,
+// republish the snapshot.
+func scaleEditProc(src string) (string, error) {
+	const kw = "\nPROCEDURE "
+	start := strings.Index(src, kw)
+	if start < 0 {
+		return "", fmt.Errorf("module has no PROCEDURE declaration to edit")
+	}
+	start++ // keep the declaration, drop the leading newline
+	name := src[start+len(kw)-1:]
+	for i, r := range name {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			name = name[:i]
+			break
+		}
+	}
+	endMark := "\nEND " + name + ";"
+	end := strings.Index(src[start:], endMark)
+	if end < 0 {
+		return "", fmt.Errorf("procedure %s has no matching END", name)
+	}
+	return src[start : start+end+len(endMark)], nil
+}
 
 // minDuration returns the fastest of reps runs of fn — the stable
 // statistic for one-shot build timings. Each rep starts from a
@@ -139,7 +168,7 @@ func measureScaleModule(name string, target int, src string) ([]ScaleRow, error)
 
 	// Level-independent stages: the frontend and both mod-ref summary
 	// constructions, on a private lowering.
-	prog := mod.c.Lower()
+	prog := mod.lower()
 	base.Procs = len(prog.Procs)
 	base.Refs = len(alias.References(prog))
 	_ = ir.InternAPs(prog)
@@ -216,6 +245,22 @@ func measureScaleModule(name string, target int, src string) ([]ScaleRow, error)
 			return nil, err
 		}
 
+		// One-procedure incremental rebuild: re-install a verbatim body
+		// through the public edit path and time the whole mutation —
+		// this is the number the ≥10x-cheaper-than-AnalyzerBuild gate
+		// (guard.DefaultScalePolicy) enforces at the largest module.
+		editSrc, err := scaleEditProc(src)
+		if err != nil {
+			return nil, err
+		}
+		editT, err := minDuration(3, func() error {
+			_, err := a.EditProc(editSrc)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
 		lvlName := lvl.String()
 		rows = append(rows,
 			row(lvlName, "AnalyzerBuild", float64(buildT.Nanoseconds())),
@@ -223,6 +268,7 @@ func measureScaleModule(name string, target int, src string) ([]ScaleRow, error)
 			row(lvlName, "MayAliasRand", randNs),
 			row(lvlName, "CountPairs", float64(cpT.Nanoseconds())),
 			row(lvlName, "CountPairsPerRef", float64(cpT.Nanoseconds())/float64(max(base.Refs, 1))),
+			row(lvlName, "RebuildOneProc", float64(editT.Nanoseconds())),
 		)
 	}
 

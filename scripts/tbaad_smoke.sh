@@ -53,13 +53,48 @@ grep -q "may-alias" "$WORK/batch"
 grep -q "session queries=" "$WORK/batch"
 
 echo "== countpairs"
-$CTL countpairs "$HASH" | grep -q "references="
+$CTL countpairs "$HASH" | tee "$WORK/pairs.before" | grep -q "references="
+
+echo "== edit mode: replace one procedure and re-analyze incrementally"
+# a.src1 is not referenced by the uploaded module; the edit adds the
+# reference, so its resolvability is a verdict the edit must change.
+! $CTL mayalias "$HASH" a.src1 a.src1 >/dev/null 2>&1 || {
+    echo "a.src1 resolved before the edit" >&2; exit 1; }
+cat > "$WORK/edit.m3" <<'EOF'
+PROCEDURE SumAnnots(): INTEGER =
+VAR a: Annot; s: INTEGER;
+BEGIN
+  s := 0;
+  a := annots;
+  WHILE a # NIL DO
+    s := (s + a.line * 3 + a.op + a.src1) MOD 99991;
+    a := a.anext;
+  END;
+  RETURN s;
+END SumAnnots;
+EOF
+$CTL edit "$HASH" "$WORK/edit.m3" | tee "$WORK/edit"
+grep -q "proc=SumAnnots" "$WORK/edit"
+grep -q "generation=2" "$WORK/edit"
+
+echo "== changed verdicts on the bumped generation"
+$CTL mayalias "$HASH" a.src1 a.src1 | tee "$WORK/postedit"
+grep -q "may-alias=true" "$WORK/postedit"
+grep -q "generation=2" "$WORK/postedit"
+$CTL countpairs "$HASH" | tee "$WORK/pairs.after"
+REFS_BEFORE=$(awk '{print $1}' "$WORK/pairs.before")
+REFS_AFTER=$(awk '{print $1}' "$WORK/pairs.after")
+if [ "$REFS_BEFORE" = "$REFS_AFTER" ]; then
+    echo "reference count unchanged by the edit" >&2; exit 1
+fi
 
 echo "== scraping /metrics"
 $CTL metrics | tee tbaad_metrics.txt >/dev/null
 grep -q "tbaad_queries_total" tbaad_metrics.txt
 grep -q "tbaad_modules_resident 1" tbaad_metrics.txt
 grep -q 'tbaad_query_duration_ns_count{op="MayAliasBatch"} 1' tbaad_metrics.txt
+grep -q "tbaad_edits_total 1" tbaad_metrics.txt
+grep -q 'tbaad_query_duration_ns_count{op="RebuildOneProc"} 1' tbaad_metrics.txt
 
 echo "== SIGTERM and clean drain"
 kill -TERM "$TBAAD_PID"
