@@ -34,9 +34,10 @@ import (
 // LimitStudy). Queries that overlap an Invalidate see either the old
 // snapshot or the new one, never a mix.
 type Analyzer struct {
-	mod     *Module
-	results []PassResult
-	stats   *Stats
+	mod      *Module
+	results  []PassResult
+	stats    *Stats
+	artifact ArtifactStatus
 
 	// mu guards snapshot (re)builds and the non-query entry points; the
 	// query fast path never takes it.
@@ -58,10 +59,30 @@ type querySnap struct {
 // NewAnalyzer lowers a fresh program from the module, runs the
 // configured passes over it, and returns an Analyzer for the result.
 // Lowering never mutates the module, so concurrent calls are safe.
+//
+// Under WithArtifactCache a cacheable configuration first tries to
+// decode a persisted snapshot, skipping lowering and analysis entirely
+// on a hit; on a miss (or an invalid artifact) it builds from scratch
+// and (re)writes the artifact.
 func (m *Module) NewAnalyzer(options ...Option) (*Analyzer, error) {
 	cfg, err := newConfig(options)
 	if err != nil {
 		return nil, fmt.Errorf("tbaa: %w", err)
+	}
+	status := ArtifactNone
+	if cfg.cacheable() && !m.edited.Load() {
+		// Surface a bad configuration as the configuration error it is,
+		// not as an artifact miss.
+		if err := cfg.opts.Validate(); err != nil {
+			return nil, fmt.Errorf("tbaa: %w", err)
+		}
+		var env *driver.PassEnv
+		var qs *querySnap
+		if env, qs, status = m.warmStart(cfg); status == ArtifactHit {
+			a := &Analyzer{mod: m, stats: cfg.stats, artifact: status, prog: env.Prog, env: env}
+			a.snap.Store(qs)
+			return a, nil
+		}
 	}
 	prog := m.lower()
 	env, err := driver.NewPassEnv(prog, cfg.opts)
@@ -76,9 +97,18 @@ func (m *Module) NewAnalyzer(options ...Option) (*Analyzer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tbaa: %w", err)
 	}
-	a := &Analyzer{mod: m, stats: cfg.stats, prog: prog, env: env}
+	a := &Analyzer{mod: m, stats: cfg.stats, artifact: status, prog: prog, env: env}
 	for _, r := range results {
 		a.results = append(a.results, fromDriverResult(r))
+	}
+	// Re-check edited here rather than trusting the gate above: an edit
+	// that landed before lowering would otherwise persist the edited
+	// program under the pristine hash. EditProc (write lock) serializes
+	// with lower (read lock), so a false flag after lowering proves the
+	// program predates any edit; an edit after lowering is harmless —
+	// the artifact records the pre-edit program the hash names.
+	if status != ArtifactNone && !m.edited.Load() {
+		m.writeArtifact(cfg, env)
 	}
 	return a, nil
 }

@@ -8,6 +8,7 @@
 //
 //	tbaactl upload file.m3             upload a module, print its hash
 //	tbaactl upload -bench m3cg         upload a stock benchmark
+//	                                   (-force recompiles a resident hash)
 //	tbaactl edit HASH proc.m3          replace one procedure (or - for stdin)
 //	tbaactl modules                    list resident modules
 //	tbaactl mayalias HASH P Q          one query (flags: -level, -open)
@@ -93,8 +94,29 @@ type client struct {
 	hc   *http.Client
 }
 
+// httpError turns a non-2xx response into the error main prints on
+// stderr, always carrying the server's own words: the ErrorResponse
+// message when the body parses (diagnostics are printed to stderr
+// directly), the raw body otherwise. A 429's advice or a 503's
+// Retry-After story must reach the operator, not be swallowed into a
+// bare status line.
+func (c *client) httpError(method, path string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var e server.ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		for _, d := range e.Diagnostics {
+			fmt.Fprintln(os.Stderr, " ", d)
+		}
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, e.Error)
+	}
+	if msg := strings.TrimSpace(string(body)); msg != "" {
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, msg)
+	}
+	return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+}
+
 // post sends a JSON body and decodes the JSON answer into out,
-// rendering the server's ErrorResponse on any non-2xx status.
+// surfacing the server's error body on any non-2xx status.
 func (c *client) post(path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -106,14 +128,7 @@ func (c *client) post(path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var e server.ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			for _, d := range e.Diagnostics {
-				fmt.Fprintln(os.Stderr, " ", d)
-			}
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("%s %s: %s", "POST", path, resp.Status)
+		return c.httpError("POST", path, resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
@@ -125,7 +140,7 @@ func (c *client) get(path string, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("GET %s: %s", path, resp.Status)
+		return c.httpError("GET", path, resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
@@ -137,7 +152,7 @@ func (c *client) text(path string) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("GET %s: %s", path, resp.Status)
+		return c.httpError("GET", path, resp)
 	}
 	_, err = io.Copy(os.Stdout, resp.Body)
 	return err
@@ -146,6 +161,7 @@ func (c *client) text(path string) error {
 func (c *client) upload(args []string) error {
 	fs := flag.NewFlagSet("upload", flag.ExitOnError)
 	benchName := fs.String("bench", "", "upload a stock benchmark instead of a file")
+	force := fs.Bool("force", false, "recompile and swap in a fresh generation even if the hash is resident")
 	fs.Parse(args)
 	var file, src string
 	switch {
@@ -166,7 +182,7 @@ func (c *client) upload(args []string) error {
 		return fmt.Errorf("upload wants one file argument or -bench NAME")
 	}
 	var resp server.UploadResponse
-	if err := c.post("/v1/modules", server.UploadRequest{File: file, Source: src}, &resp); err != nil {
+	if err := c.post("/v1/modules", server.UploadRequest{File: file, Source: src, Force: *force}, &resp); err != nil {
 		return err
 	}
 	state := "compiled"

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tbaa/internal/server"
+)
+
+// TestErrorBodiesSurfaced pins that every response path — the
+// JSON-decoding POST and GET helpers and the raw-text GET — carries
+// the server's error body into the error main prints, for both the
+// structured ErrorResponse shape and opaque bodies (a proxy's plain
+// text, or nothing at all). A shed or timed-out request must tell the
+// operator why, not just that it failed.
+func TestErrorBodiesSurfaced(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		body   string
+		want   string // substring the returned error must carry
+	}{
+		{"shed batch 429", http.StatusTooManyRequests,
+			`{"error":"batch of 70000 pairs exceeds the 65536-pair limit; split it"}`, "split it"},
+		{"at capacity 503", http.StatusServiceUnavailable,
+			`{"error":"server at capacity"}`, "server at capacity"},
+		{"timeout 504", http.StatusGatewayTimeout,
+			`{"error":"batch exceeded the 30s request timeout"}`, "request timeout"},
+		{"non-JSON body", http.StatusServiceUnavailable,
+			"upstream proxy says no", "upstream proxy says no"},
+		{"empty body", http.StatusGatewayTimeout, "", "504"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(tc.status)
+				io.WriteString(w, tc.body)
+			}))
+			defer ts.Close()
+			c := &client{base: ts.URL, hc: &http.Client{Timeout: 5 * time.Second}}
+			for name, err := range map[string]error{
+				"post": c.post("/v1/modules/x/mayalias-batch", server.BatchRequest{}, &server.BatchResponse{}),
+				"get":  c.get("/v1/modules", &server.ModulesResponse{}),
+				"text": c.text("/metrics"),
+			} {
+				if err == nil {
+					t.Fatalf("%s: non-2xx status answered a nil error", name)
+				}
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Errorf("%s: error %q does not surface %q", name, err, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSubcommandErrorsSurface drives the same contract through the
+// subcommand entry points scripts actually call.
+func TestSubcommandErrorsSurface(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"server at capacity"}`)
+	}))
+	defer ts.Close()
+	c := &client{base: ts.URL, hc: &http.Client{Timeout: 5 * time.Second}}
+	for name, err := range map[string]error{
+		"mayalias":   c.mayAlias([]string{"deadbeef", "x.i", "y.j"}),
+		"countpairs": c.countPairs([]string{"deadbeef"}),
+		"modules":    c.modules(),
+		"metrics":    c.text("/metrics"),
+	} {
+		if err == nil {
+			t.Fatalf("%s: 503 answered a nil error", name)
+		}
+		if !strings.Contains(err.Error(), "server at capacity") {
+			t.Errorf("%s: error %q swallowed the server's body", name, err)
+		}
+	}
+}

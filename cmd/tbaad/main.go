@@ -17,6 +17,9 @@
 //	-timeout D          per-request query timeout (default 30s)
 //	-drain D            graceful-shutdown deadline on SIGINT/SIGTERM
 //	                    (default 10s)
+//	-cache-dir DIR      persist analysis artifacts in DIR; a restarted
+//	                    daemon warm-starts resident analyzers from them
+//	                    instead of re-analyzing (default off)
 //
 // Endpoints (see internal/server for the wire types):
 //
@@ -57,6 +60,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight, "concurrently served /v1 requests")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request query timeout")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline")
+	cacheDir := flag.String("cache-dir", "", "persist analysis artifacts in `dir` for warm restarts")
 	flag.Parse()
 
 	log.SetPrefix("tbaad: ")
@@ -67,7 +71,11 @@ func main() {
 		MaxBatch:       *maxBatch,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
+		CacheDir:       *cacheDir,
 	})
+	if *cacheDir != "" {
+		log.Printf("artifact cache at %s", *cacheDir)
+	}
 
 	// Listen before daemonizing concerns: with -addr host:0 the kernel
 	// picks the port, and -portfile is how a harness learns it.
@@ -79,7 +87,10 @@ func main() {
 	log.Printf("listening on %s (modules<=%d batch<=%d inflight<=%d timeout=%s)",
 		bound, *maxModules, *maxBatch, *maxInflight, *timeout)
 	if *portFile != "" {
-		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+		// Owner-only: the file points at a live local service, and the
+		// daemon has no authentication — don't advertise the port to
+		// other users on the machine.
+		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o600); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -110,6 +121,14 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	// The port file names a listener that no longer exists; leaving it
+	// behind would point the next script at a dead (or, worse, someone
+	// else's) port.
+	if *portFile != "" {
+		if err := os.Remove(*portFile); err != nil {
+			log.Printf("removing port file: %v", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "tbaad: drained cleanly")
 }

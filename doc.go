@@ -177,6 +177,28 @@
 // the generation they resolved. cmd/tbaactl is the matching client;
 // see README.md "Running the analysis server".
 //
+// # Persistent artifacts and warm start
+//
+// WithArtifactCache(dir) adds a disk tier under analyzer
+// construction: a built analysis snapshot — the lowered program, the
+// interned access-path table, the alias-class partition with its
+// compatibility matrix, and (interprocedurally) the mod-ref summaries
+// — is persisted as a versioned, checksummed artifact keyed by
+// (Module.Hash, level, open-world, format version, Go toolchain).
+// A later NewAnalyzer over the same key decodes the snapshot and
+// publishes it without lowering or re-analysis; ArtifactStatus reports
+// whether a build hit, missed, or recovered from an invalid artifact.
+// Every failure mode — missing file, truncation, bit flips, version or
+// toolchain skew, a key naming a different module — falls back to a
+// from-scratch build and rewrites the artifact, so corruption can only
+// cost performance, never soundness. Configurations that mutate the
+// program (WithPasses) or change the table shape (WithPerTypeGroups)
+// bypass the tier, as does a Module edited in place by EditProc (its
+// hash no longer names its semantics). cmd/tbaad exposes the tier as
+// -cache-dir: a restarted daemon warm-starts its resident analyzers,
+// and an edit invalidates the edited module's artifacts before the
+// successor generation publishes.
+//
 // # The evaluation harness
 //
 // Runner regenerates the paper's Tables 4-6 and Figures 8-12 — plus

@@ -49,6 +49,9 @@ func (m *Module) EditProc(src string) (*ProcEdit, error) {
 		}
 		return nil, err
 	}
+	// The module no longer matches the source its hash names; persisted
+	// artifacts keyed by that hash must not serve or record it.
+	m.edited.Store(true)
 	return &ProcEdit{mod: m, proc: proc}, nil
 }
 

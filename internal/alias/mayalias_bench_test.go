@@ -178,7 +178,7 @@ func BenchmarkRebuildOneProc(b *testing.B) {
 		b.Run(lvl.String(), func(b *testing.B) {
 			a := alias.New(prog, alias.Options{Level: lvl})
 			a.MayAlias(refs[0].AP, refs[1].AP) // materialize the partition
-			alias.CountPairs(prog, a)         // solve every flow entry
+			alias.CountPairs(prog, a)          // solve every flow entry
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

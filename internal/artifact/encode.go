@@ -1,0 +1,583 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+	"tbaa/internal/token"
+	"tbaa/internal/types"
+)
+
+// The payload is a string intern table followed by three sections:
+// program, alias, mod-ref (optional). Integers are uvarints (zigzag for
+// signed), strings are table references, types are universe IDs shifted
+// by one so 0 means nil, variables are positions in one flat table
+// (globals, then each procedure's params and locals in program order),
+// access paths are positions in one pointer-deduplicated table built in
+// the same Procs → Blocks → Instrs first-visit order the decoder
+// replays — so decoding reproduces the exact sharing structure, which
+// is what makes re-interning reproduce the identities.
+//
+// Instructions carry a field-presence mask: a bit is set iff the field
+// deviates from its zero value, and only set fields are encoded. A
+// typical instruction populates a handful of ir.Instr's ~20 fields, so
+// the mask cuts both the payload size and the decode work severalfold —
+// the decoder's zeroed instruction slab already holds every absent
+// field's value.
+
+// Instruction field-presence bits, in ir.Instr field order (Op is
+// unconditional and precedes the mask).
+const (
+	imPos uint64 = 1 << iota
+	imDst
+	imArgs
+	imBinOp
+	imUnOp
+	imVar
+	imField
+	imBase
+	imSel
+	imAP
+	imType
+	imCallee
+	imMethod
+	imRecvType
+	imByRef
+	imBuiltin
+	imSpeculative
+	imTarget
+	imThen
+	imElse
+
+	imAll = 1<<iota - 1
+)
+
+type enc struct {
+	buf     []byte
+	strIdx  map[string]uint64
+	strs    []string
+	varIdx  map[*ir.Var]uint64
+	apIdx   map[*ir.AP]uint64
+	apList  []*ir.AP
+	procIdx map[*ir.Proc]uint64
+	err     error
+}
+
+func (e *enc) u(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *enc) i(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+func (e *enc) b(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *enc) str(s string) {
+	ix, ok := e.strIdx[s]
+	if !ok {
+		ix = uint64(len(e.strs))
+		e.strIdx[s] = ix
+		e.strs = append(e.strs, s)
+	}
+	e.u(ix)
+}
+
+func (e *enc) typ(t types.Type) {
+	if t == nil {
+		e.u(0)
+		return
+	}
+	e.u(uint64(t.ID()) + 1)
+}
+
+func (e *enc) obj(o *types.Object) {
+	if o == nil {
+		e.u(0)
+		return
+	}
+	e.u(uint64(o.ID()) + 1)
+}
+
+func (e *enc) varRef(v *ir.Var) {
+	if v == nil {
+		e.u(0)
+		return
+	}
+	ix, ok := e.varIdx[v]
+	if !ok {
+		e.fail("variable %s is not in the program's variable tables", v.Name)
+		return
+	}
+	e.u(ix + 1)
+}
+
+func (e *enc) fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf("artifact: "+format, args...)
+	}
+}
+
+func encodePayload(prog *ir.Program, idx *ir.APIndex, aliasSnap *alias.Snapshot, mrSnap *modref.Snapshot) ([]byte, error) {
+	e := &enc{
+		strIdx:  make(map[string]uint64),
+		varIdx:  make(map[*ir.Var]uint64),
+		apIdx:   make(map[*ir.AP]uint64),
+		procIdx: make(map[*ir.Proc]uint64),
+	}
+	e.encodeProgram(prog)
+	e.encodeAlias(idx, aliasSnap)
+	e.encodeModRef(mrSnap)
+	if e.err != nil {
+		return nil, e.err
+	}
+	body := e.buf
+	// String table first so the decoder can resolve references in one
+	// pass, then the sections.
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(e.strs)))
+	for _, s := range e.strs {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	out = append(out, body...)
+	return out, nil
+}
+
+// encodeProgram emits the program section into e.buf. Side effect:
+// fills varIdx, apIdx, procIdx for later sections.
+func (e *enc) encodeProgram(prog *ir.Program) {
+	e.u(uint64(prog.Universe.NumTypes()))
+	e.str(prog.Name)
+
+	// Signatures first: this walk defines the flat variable index.
+	e.u(uint64(len(prog.Globals)))
+	for _, v := range prog.Globals {
+		e.varDef(v)
+	}
+	e.u(uint64(len(prog.Procs)))
+	for i, p := range prog.Procs {
+		e.procIdx[p] = uint64(i)
+		e.str(p.Name)
+		e.obj(p.MethodOf)
+		e.typ(p.Result)
+		e.i(int64(p.NumRegs))
+		e.u(uint64(len(p.Params)))
+		for _, v := range p.Params {
+			e.varDef(v)
+		}
+		e.u(uint64(len(p.Locals)))
+		for _, v := range p.Locals {
+			e.varDef(v)
+		}
+	}
+
+	// The access-path table, deduplicated by pointer in first-visit
+	// order. Content-equal but pointer-distinct paths stay distinct:
+	// intern() hands them distinct identities, and the decoded program
+	// must reproduce that.
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for ii := range b.Instrs {
+				if ap := b.Instrs[ii].AP; ap != nil {
+					if _, ok := e.apIdx[ap]; !ok {
+						e.apIdx[ap] = uint64(len(e.apList))
+						e.apList = append(e.apList, ap)
+					}
+				}
+			}
+		}
+	}
+	e.u(uint64(len(e.apList)))
+	for _, ap := range e.apList {
+		e.varRef(ap.Root)
+		e.u(uint64(len(ap.Sels)))
+		for si := range ap.Sels {
+			s := &ap.Sels[si]
+			e.u(uint64(s.Kind))
+			e.str(s.Field)
+			e.operand(s.Index)
+			e.typ(s.Type)
+		}
+	}
+
+	// Bodies, one length-prefixed chunk per procedure. A body references
+	// only tables that precede it (strings, variables, access paths), so
+	// the decoder fans the chunks out across workers — instruction
+	// bodies are the bulk of a large artifact, and their decode wall
+	// time is most of what a warm start costs.
+	var scratch []byte
+	for _, p := range prog.Procs {
+		saved := e.buf
+		e.buf = scratch[:0]
+		e.procBody(p)
+		body := e.buf
+		e.buf = saved
+		e.u(uint64(len(body)))
+		e.buf = append(e.buf, body...)
+		scratch = body
+	}
+	if prog.Main == nil {
+		e.u(0)
+	} else if mi, ok := e.procIdx[prog.Main]; ok {
+		e.u(mi + 1)
+	} else {
+		e.fail("main procedure %s is not in the procedure list", prog.Main.Name)
+	}
+
+	// Whole-program fact tables, in deterministic order.
+	fields := make([]ir.FieldKey, 0, len(prog.AddressTakenFields))
+	for k, v := range prog.AddressTakenFields {
+		if v {
+			fields = append(fields, k)
+		}
+	}
+	sortFieldKeys(fields)
+	e.u(uint64(len(fields)))
+	for _, k := range fields {
+		e.u(uint64(k.TypeID))
+		e.str(k.Field)
+	}
+	elems := sortedIntKeys(prog.AddressTakenElems)
+	e.u(uint64(len(elems)))
+	for _, id := range elems {
+		e.u(uint64(id))
+	}
+	atVars := make([]uint64, 0, len(prog.AddressTakenVars))
+	for v, taken := range prog.AddressTakenVars {
+		if !taken {
+			continue
+		}
+		ix, ok := e.varIdx[v]
+		if !ok {
+			e.fail("address-taken variable %s is not in the program's variable tables", v.Name)
+			continue
+		}
+		atVars = append(atVars, ix)
+	}
+	sortUint64s(atVars)
+	e.u(uint64(len(atVars)))
+	for _, ix := range atVars {
+		e.u(ix)
+	}
+	e.u(uint64(len(prog.Merges)))
+	for _, m := range prog.Merges {
+		e.typ(m.Dst)
+		e.typ(m.Src)
+	}
+	byRef := sortedIntKeys(prog.ByRefFormalTypes)
+	e.u(uint64(len(byRef)))
+	for _, id := range byRef {
+		e.u(uint64(id))
+	}
+}
+
+// procBody emits one procedure's blocks, instructions, and entry
+// reference — the per-procedure chunk the decoder can process
+// independently of every other body.
+func (e *enc) procBody(p *ir.Proc) {
+	// Totals first, so the decoder can carve the procedure's
+	// instructions and operands out of two slab allocations instead of
+	// one per block and one per call.
+	var nInstrs, nOps uint64
+	for _, b := range p.Blocks {
+		nInstrs += uint64(len(b.Instrs))
+		for ii := range b.Instrs {
+			nOps += uint64(len(b.Instrs[ii].Args))
+		}
+	}
+	e.u(nInstrs)
+	e.u(nOps)
+	e.u(uint64(len(p.Blocks)))
+	blockIdx := make(map[*ir.Block]uint64, len(p.Blocks))
+	for bi, b := range p.Blocks {
+		blockIdx[b] = uint64(bi)
+		e.i(int64(b.ID))
+		e.str(b.Name)
+	}
+	for _, b := range p.Blocks {
+		e.u(uint64(len(b.Instrs)))
+		for ii := range b.Instrs {
+			e.instr(&b.Instrs[ii], blockIdx)
+		}
+	}
+	entry, ok := blockIdx[p.Entry]
+	if p.Entry != nil && !ok {
+		e.fail("procedure %s has an entry block outside its block list", p.Name)
+	}
+	if p.Entry == nil {
+		e.u(0)
+	} else {
+		e.u(entry + 1)
+	}
+}
+
+func (e *enc) varDef(v *ir.Var) {
+	if _, dup := e.varIdx[v]; dup {
+		e.fail("variable %s appears in two variable tables", v.Name)
+	}
+	e.varIdx[v] = uint64(len(e.varIdx))
+	e.str(v.Name)
+	e.typ(v.Type)
+	e.u(uint64(v.Kind))
+	e.b(v.ByRef)
+	e.i(int64(v.Slot))
+}
+
+func (e *enc) operand(op ir.Operand) {
+	e.u(uint64(op.Kind))
+	switch op.Kind {
+	case ir.NoOperand:
+	case ir.ConstOp:
+		e.u(uint64(op.Const.Kind))
+		e.i(op.Const.Int)
+		e.str(op.Const.Text)
+	case ir.RegOp:
+		e.i(int64(op.Reg))
+	case ir.VarOp:
+		e.varRef(op.Var)
+	default:
+		e.fail("unknown operand kind %d", op.Kind)
+	}
+}
+
+func (e *enc) blockRef(b *ir.Block, blockIdx map[*ir.Block]uint64) {
+	if b == nil {
+		e.u(0)
+		return
+	}
+	ix, ok := blockIdx[b]
+	if !ok {
+		e.fail("branch targets a block outside its procedure")
+		return
+	}
+	e.u(ix + 1)
+}
+
+func (e *enc) instr(in *ir.Instr, blockIdx map[*ir.Block]uint64) {
+	var mask uint64
+	if in.Pos != (token.Pos{}) {
+		mask |= imPos
+	}
+	if in.Dst != 0 {
+		mask |= imDst
+	}
+	if len(in.Args) > 0 {
+		mask |= imArgs
+	}
+	if in.BinOp != 0 {
+		mask |= imBinOp
+	}
+	if in.UnOp != 0 {
+		mask |= imUnOp
+	}
+	if in.Var != nil {
+		mask |= imVar
+	}
+	if in.Field != "" {
+		mask |= imField
+	}
+	if in.Base != (ir.Operand{}) {
+		mask |= imBase
+	}
+	if in.Sel != (ir.Sel{}) {
+		mask |= imSel
+	}
+	if in.AP != nil {
+		mask |= imAP
+	}
+	if in.Type != nil {
+		mask |= imType
+	}
+	if in.Callee != "" {
+		mask |= imCallee
+	}
+	if in.Method != "" {
+		mask |= imMethod
+	}
+	if in.RecvType != nil {
+		mask |= imRecvType
+	}
+	if len(in.ByRef) > 0 {
+		mask |= imByRef
+	}
+	if in.Builtin != 0 {
+		mask |= imBuiltin
+	}
+	if in.Speculative {
+		mask |= imSpeculative
+	}
+	if in.Target != nil {
+		mask |= imTarget
+	}
+	if in.Then != nil {
+		mask |= imThen
+	}
+	if in.Else != nil {
+		mask |= imElse
+	}
+	e.u(uint64(in.Op))
+	e.u(mask)
+	if mask&imPos != 0 {
+		e.str(in.Pos.File)
+		e.u(uint64(in.Pos.Line))
+		e.u(uint64(in.Pos.Col))
+	}
+	if mask&imDst != 0 {
+		e.i(int64(in.Dst))
+	}
+	if mask&imArgs != 0 {
+		e.u(uint64(len(in.Args)))
+		for _, a := range in.Args {
+			e.operand(a)
+		}
+	}
+	if mask&imBinOp != 0 {
+		e.u(uint64(in.BinOp))
+	}
+	if mask&imUnOp != 0 {
+		e.u(uint64(in.UnOp))
+	}
+	if mask&imVar != 0 {
+		e.varRef(in.Var)
+	}
+	if mask&imField != 0 {
+		e.str(in.Field)
+	}
+	if mask&imBase != 0 {
+		e.operand(in.Base)
+	}
+	if mask&imSel != 0 {
+		e.u(uint64(in.Sel.Kind))
+		e.str(in.Sel.Field)
+		e.operand(in.Sel.Index)
+	}
+	if mask&imAP != 0 {
+		if ix, ok := e.apIdx[in.AP]; ok {
+			e.u(ix + 1)
+		} else {
+			e.fail("instruction access path missing from the path table")
+		}
+	}
+	if mask&imType != 0 {
+		e.typ(in.Type)
+	}
+	if mask&imCallee != 0 {
+		e.str(in.Callee)
+	}
+	if mask&imMethod != 0 {
+		e.str(in.Method)
+	}
+	if mask&imRecvType != 0 {
+		e.obj(in.RecvType)
+	}
+	if mask&imByRef != 0 {
+		e.u(uint64(len(in.ByRef)))
+		for _, br := range in.ByRef {
+			e.b(br)
+		}
+	}
+	if mask&imBuiltin != 0 {
+		e.u(uint64(in.Builtin))
+	}
+	if mask&imSpeculative != 0 {
+		e.b(in.Speculative)
+	}
+	if mask&imTarget != 0 {
+		e.blockRef(in.Target, blockIdx)
+	}
+	if mask&imThen != 0 {
+		e.blockRef(in.Then, blockIdx)
+	}
+	if mask&imElse != 0 {
+		e.blockRef(in.Else, blockIdx)
+	}
+}
+
+func (e *enc) encodeAlias(idx *ir.APIndex, snap *alias.Snapshot) {
+	e.u(uint64(idx.Len()))
+	var d8 [8]byte
+	binary.LittleEndian.PutUint64(d8[:], indexDigest(idx))
+	e.buf = append(e.buf, d8[:]...)
+	e.u(uint64(len(snap.TypeRefs)))
+	for _, row := range snap.TypeRefs {
+		if row == nil {
+			e.b(false)
+			continue
+		}
+		e.b(true)
+		e.bitset(row)
+	}
+	e.u(uint64(len(snap.Cls)))
+	for _, c := range snap.Cls {
+		e.i(int64(c))
+	}
+	e.u(uint64(len(snap.Compat)))
+	for _, row := range snap.Compat {
+		e.bitset(row)
+	}
+	e.int32s(snap.RepIIDs)
+}
+
+func (e *enc) bitset(bs types.Bitset) {
+	e.u(uint64(len(bs)))
+	for _, w := range bs {
+		e.u(w)
+	}
+}
+
+func (e *enc) encodeModRef(snap *modref.Snapshot) {
+	if snap == nil {
+		e.b(false)
+		return
+	}
+	e.b(true)
+	e.b(snap.RTA)
+	e.b(snap.OpenWorld)
+	e.int32s(snap.ShapeIIDs)
+	e.u(uint64(len(snap.Effects)))
+	for i := range snap.Effects {
+		es := &snap.Effects[i]
+		e.int32s(es.Mods)
+		e.int32s(es.Refs)
+		e.int32s(es.ModGlobals)
+		e.b(es.WritesThroughLocs)
+		e.b(es.Top)
+	}
+	e.int32s(snap.ByProc)
+	e.u(uint64(len(snap.Callees)))
+	for _, cs := range snap.Callees {
+		e.int32s(cs)
+	}
+	e.b(snap.HasInst)
+	if snap.HasInst {
+		e.u(uint64(len(snap.Inst)))
+		for _, w := range snap.Inst {
+			e.u(w)
+		}
+	}
+	e.b(snap.HasReachable)
+	if snap.HasReachable {
+		e.int32s(snap.Reachable)
+	}
+	e.b(snap.HasReturnsFresh)
+	if snap.HasReturnsFresh {
+		e.int32s(snap.ReturnsFresh)
+	}
+}
+
+func (e *enc) int32s(v []int32) {
+	e.u(uint64(len(v)))
+	for _, x := range v {
+		e.i(int64(x))
+	}
+}

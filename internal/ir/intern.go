@@ -99,6 +99,27 @@ func InternAPs(prog *Program) *APIndex {
 	return x
 }
 
+// InternAPList interns the given paths — a program's distinct
+// instruction access paths in Procs → Blocks → Instrs first-visit
+// order — and produces the index InternAPs would build by walking that
+// program. The two are equivalent because intern consumes only the
+// order of first visits: a repeated instruction path already carries
+// its identity and re-interning it is a no-op, so the deduplicated
+// first-visit list drives the protocol through the same states the
+// full occurrence sequence would. The artifact decoder uses this to
+// rebuild an index without touching instruction bodies, which lets
+// interning overlap their decode. Same single-threaded contract as
+// InternAPs.
+func InternAPList(aps []*AP) *APIndex {
+	x := &APIndex{prefixes: make(map[*AP][]*AP), byKey: make(map[APKey]*AP)}
+	x.intern(func(fn func(*AP)) {
+		for _, ap := range aps {
+			fn(ap)
+		}
+	})
+	return x
+}
+
 // ExtendAPs interns the access paths of the given (mutated) procedures
 // into a copy of a previous build's index, leaving every other
 // procedure's identities untouched — the incremental counterpart of

@@ -125,6 +125,15 @@ type Registry struct {
 	// module generation and incrementally re-analyzes it).
 	Edits atomic.Uint64
 
+	// Persistent artifact cache: analyzer builds decoded from a valid
+	// on-disk artifact (hits), built from scratch because none existed
+	// (misses), and built from scratch because an artifact failed
+	// validation — truncation, checksum or digest mismatch, version or
+	// build skew (invalid; the bad artifact is overwritten).
+	ArtifactHits    atomic.Uint64
+	ArtifactMisses  atomic.Uint64
+	ArtifactInvalid atomic.Uint64
+
 	hist map[string]*Histogram
 }
 
@@ -163,6 +172,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	counter("tbaad_cache_misses_total", "Uploads that compiled a new module.", r.CacheMisses.Load())
 	counter("tbaad_evictions_total", "Modules evicted by the LRU cap.", r.Evictions.Load())
 	counter("tbaad_edits_total", "One-procedure edits applied incrementally.", r.Edits.Load())
+	counter("tbaad_artifact_hits_total", "Analyzer builds decoded from a persisted artifact.", r.ArtifactHits.Load())
+	counter("tbaad_artifact_misses_total", "Analyzer builds with no persisted artifact on disk.", r.ArtifactMisses.Load())
+	counter("tbaad_artifact_invalid_total", "Analyzer builds that recovered from an invalid artifact.", r.ArtifactInvalid.Load())
 	fmt.Fprintf(w, "# HELP tbaad_modules_resident Modules currently held in memory.\n")
 	fmt.Fprintf(w, "# TYPE tbaad_modules_resident gauge\ntbaad_modules_resident %d\n", r.Resident.Load())
 	fmt.Fprintf(w, "# HELP tbaad_shed_total Requests rejected by a limit.\n# TYPE tbaad_shed_total counter\n")

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The artifact-tier tests pin the server half of warm start: a second
+// daemon over the same cache directory decodes persisted snapshots
+// instead of re-analyzing, the /metrics endpoint reports the tier's
+// traffic, and an edit invalidates the edited module's artifacts
+// before its generation publishes.
+
+// artifactFiles globs the on-disk artifacts for a module hash.
+func artifactFiles(t *testing.T, dir, hash string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, hash+"-l*.art"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestServerArtifactWarmRestart simulates a daemon restart: a fresh
+// Server over the same cache directory must serve its first analyzer
+// build from the persisted artifact (a hit, no re-analysis) and answer
+// identically.
+func TestServerArtifactWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	file, src := srcModule(60)
+
+	s1, ts1 := newTestServer(t, Config{CacheDir: dir})
+	up := upload(t, ts1.URL, file, src)
+	var cold QueryResponse
+	if st := postJSON(t, ts1.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: "x.i", Q: "y.j"}, &cold); st != http.StatusOK {
+		t.Fatalf("cold query: status %d", st)
+	}
+	if m, h := s1.Metrics().ArtifactMisses.Load(), s1.Metrics().ArtifactHits.Load(); m != 1 || h != 0 {
+		t.Fatalf("cold server: misses=%d hits=%d, want 1/0", m, h)
+	}
+	if got := artifactFiles(t, dir, up.Hash); len(got) != 1 {
+		t.Fatalf("cold build persisted %d artifacts, want 1: %v", len(got), got)
+	}
+
+	// "Restart": a new server, same directory, same module.
+	s2, ts2 := newTestServer(t, Config{CacheDir: dir})
+	upload(t, ts2.URL, file, src)
+	var warm QueryResponse
+	if st := postJSON(t, ts2.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: "x.i", Q: "y.j"}, &warm); st != http.StatusOK {
+		t.Fatalf("warm query: status %d", st)
+	}
+	if warm.MayAlias != cold.MayAlias {
+		t.Fatalf("warm verdict %v != cold verdict %v", warm.MayAlias, cold.MayAlias)
+	}
+	if h, m, inv := s2.Metrics().ArtifactHits.Load(), s2.Metrics().ArtifactMisses.Load(), s2.Metrics().ArtifactInvalid.Load(); h != 1 || m != 0 || inv != 0 {
+		t.Fatalf("warm server: hits=%d misses=%d invalid=%d, want 1/0/0", h, m, inv)
+	}
+
+	// The tier's counters are scrape-visible.
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := readAll(t, resp)
+	for _, want := range []string{
+		"tbaad_artifact_hits_total 1",
+		"tbaad_artifact_misses_total 0",
+		"tbaad_artifact_invalid_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestServerEditInvalidatesArtifacts pins the soundness edge of the
+// disk tier: once a module is edited in place its hash no longer names
+// its semantics, so the edit must delete the persisted artifacts and
+// later builds of the edited module must neither read nor repopulate
+// the tier — until a re-upload restores the pristine source.
+func TestServerEditInvalidatesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{CacheDir: dir})
+	up := upload(t, ts.URL, "editd.m3", editSrc)
+	var q QueryResponse
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: "t.f", Q: "t.f"}, &q); st != http.StatusOK {
+		t.Fatalf("query: status %d", st)
+	}
+	if got := artifactFiles(t, dir, up.Hash); len(got) != 1 {
+		t.Fatalf("build persisted %d artifacts, want 1", len(got))
+	}
+
+	if _, st := postEdit(t, ts.URL, up.Hash, editBody("P", "u.b")); st != http.StatusOK {
+		t.Fatalf("edit: status %d", st)
+	}
+	if got := artifactFiles(t, dir, up.Hash); len(got) != 0 {
+		t.Fatalf("edit left %d stale artifacts on disk: %v", len(got), got)
+	}
+
+	// A post-edit build (new level, not yet built) must bypass the tier:
+	// no file appears, and the tier counters do not move.
+	req := QueryRequest{LevelRequest: LevelRequest{Level: "typedecl"}, P: "t.f", Q: "t.f"}
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", req, &q); st != http.StatusOK {
+		t.Fatalf("post-edit query: status %d", st)
+	}
+	if got := artifactFiles(t, dir, up.Hash); len(got) != 0 {
+		t.Fatalf("edited module repopulated the tier: %v", got)
+	}
+	if m := s.Metrics().ArtifactMisses.Load(); m != 1 {
+		t.Fatalf("artifact misses = %d after the dirty build, want 1 (pre-edit only)", m)
+	}
+
+	// Force re-upload: the resident module is again a pristine compile
+	// of the hash's source, so the tier re-engages and repopulates.
+	var re UploadResponse
+	if st := postJSON(t, ts.URL+"/v1/modules", UploadRequest{File: "editd.m3", Source: editSrc, Force: true}, &re); st != http.StatusCreated {
+		t.Fatalf("force re-upload: status %d", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", QueryRequest{P: "t.f", Q: "t.f"}, &q); st != http.StatusOK {
+		t.Fatalf("post-reupload query: status %d", st)
+	}
+	if got := artifactFiles(t, dir, up.Hash); len(got) != 1 {
+		t.Fatalf("pristine re-upload did not repopulate the tier: %v", got)
+	}
+	if m := s.Metrics().ArtifactMisses.Load(); m != 2 {
+		t.Fatalf("artifact misses = %d after re-upload, want 2", m)
+	}
+}

@@ -2,12 +2,19 @@ package server
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"tbaa"
+	"tbaa/internal/artifact"
 	"tbaa/internal/metrics"
 )
+
+// errNotResident reports that the module a request named was evicted
+// (or never uploaded). handleEdit maps it to the same 404 resolve
+// answers for an unknown hash.
+var errNotResident = errors.New("module not resident")
 
 // generation is one immutable compiled lifetime of an uploaded module:
 // the Module itself plus the Analyzers lazily built from it, one per
@@ -19,6 +26,15 @@ type generation struct {
 	seq  uint64
 	mod  *tbaa.Module
 	file string
+
+	// Artifact-cache plumbing, shared by every generation of an entry:
+	// the disk tier's directory ("" disables it), the server counters,
+	// and the entry's dirty latch — set once the module has been edited
+	// in place, after which its on-disk key no longer describes its
+	// semantics and the disk tier must be bypassed.
+	cacheDir string
+	reg      *metrics.Registry
+	dirty    *atomic.Bool
 
 	mu        sync.Mutex
 	analyzers map[analyzerKey]*tbaa.Analyzer
@@ -35,19 +51,37 @@ type analyzerKey struct {
 // analyzer returns the generation's Analyzer for the key, building and
 // memoizing it on first use. Stats is attached to every analyzer of
 // the entry so per-module counters aggregate across configurations.
+//
+// With a cache directory configured the build goes through the disk
+// tier — a warm restart decodes the persisted snapshot instead of
+// re-analyzing — unless the entry is dirty (edited since install):
+// then the on-disk key names semantics the module no longer has, so
+// the build is forced from scratch and nothing is written back.
 func (g *generation) analyzer(key analyzerKey, stats *tbaa.Stats) (*tbaa.Analyzer, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if a, ok := g.analyzers[key]; ok {
 		return a, nil
 	}
-	a, err := g.mod.NewAnalyzer(
+	opts := []tbaa.Option{
 		tbaa.WithLevel(key.level),
 		tbaa.WithOpenWorld(key.open),
 		tbaa.WithStats(stats),
-	)
+	}
+	if g.cacheDir != "" && !g.dirty.Load() {
+		opts = append(opts, tbaa.WithArtifactCache(g.cacheDir))
+	}
+	a, err := g.mod.NewAnalyzer(opts...)
 	if err != nil {
 		return nil, err
+	}
+	switch a.ArtifactStatus() {
+	case tbaa.ArtifactHit:
+		g.reg.ArtifactHits.Add(1)
+	case tbaa.ArtifactMiss:
+		g.reg.ArtifactMisses.Add(1)
+	case tbaa.ArtifactInvalid:
+		g.reg.ArtifactInvalid.Add(1)
 	}
 	g.analyzers[key] = a
 	return a, nil
@@ -61,6 +95,13 @@ type entry struct {
 	hash  string
 	gen   atomic.Pointer[generation]
 	stats *tbaa.Stats
+
+	// dirty latches when an edit lands: the entry's semantics have
+	// diverged from the source its hash names, so persisted artifacts
+	// under that key must be neither served nor written. A re-upload
+	// (install's swap path) replaces the module with a pristine compile
+	// of the hash's source and clears the latch.
+	dirty atomic.Bool
 
 	// editMu serializes edits to this module: racing edits (to the
 	// same or different procedures) apply one at a time, each
@@ -76,13 +117,31 @@ type entry struct {
 // need no replay — they lower from the shared module, which already
 // carries the edit. In-flight requests hold the generation pointer (and
 // each analyzer's published snapshot) they resolved and are undisturbed.
-func (e *entry) edit(src string) (gen uint64, proc string, reanalyzed int, err error) {
+//
+// Before anything mutates, the entry is marked dirty and its persisted
+// artifacts are invalidated on disk: from this point the hash's key
+// names semantics the module no longer has, and a daemon restart must
+// rebuild from source rather than decode a stale snapshot.
+//
+// The successor generation is published only if the entry is still
+// resident — an LRU eviction racing the edit must not resurrect a
+// module the cache already dropped. A lost race reports errNotResident
+// (mapped to 404), exactly as if the eviction had won before the edit
+// arrived.
+func (c *moduleCache) edit(e *entry, src string) (gen uint64, proc string, reanalyzed int, err error) {
 	e.editMu.Lock()
 	defer e.editMu.Unlock()
 	old := e.gen.Load()
 	pe, err := old.mod.EditProc(src)
 	if err != nil {
 		return 0, "", 0, err
+	}
+	e.dirty.Store(true)
+	if c.cacheDir != "" {
+		// Best-effort: a leftover artifact is caught by the in-memory
+		// dirty latch while this process lives, and a restart recompiles
+		// the pristine source the artifact correctly describes.
+		_ = artifact.Remove(c.cacheDir, e.hash)
 	}
 	old.mu.Lock()
 	built := make(map[analyzerKey]*tbaa.Analyzer, len(old.analyzers))
@@ -95,9 +154,31 @@ func (e *entry) edit(src string) (gen uint64, proc string, reanalyzed int, err e
 			return 0, "", 0, err
 		}
 	}
-	next := &generation{seq: old.seq + 1, mod: old.mod, file: old.file, analyzers: built}
-	e.gen.Store(next)
+	next := &generation{
+		seq: old.seq + 1, mod: old.mod, file: old.file,
+		cacheDir: old.cacheDir, reg: old.reg, dirty: old.dirty,
+		analyzers: built,
+	}
+	if !c.publish(e, next) {
+		return 0, "", 0, errNotResident
+	}
 	return next.seq, pe.Proc(), len(built), nil
+}
+
+// publish stores next as e's current generation iff e is still the
+// resident entry for its hash. The check and the store happen under
+// the cache lock, so an eviction (or a swap-in of a different entry
+// object under the same hash) can never interleave with a publish it
+// should have suppressed.
+func (c *moduleCache) publish(e *entry, next *generation) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[e.hash]
+	if !ok || el.Value.(*entry) != e {
+		return false
+	}
+	e.gen.Store(next)
+	return true
 }
 
 // moduleCache is the LRU-bounded set of resident modules, keyed by
@@ -107,18 +188,23 @@ func (e *entry) edit(src string) (gen uint64, proc string, reanalyzed int, err e
 type moduleCache struct {
 	reg *metrics.Registry
 
+	// cacheDir is the disk-backed artifact tier shared by every entry;
+	// "" keeps the cache purely in-memory.
+	cacheDir string
+
 	mu      sync.Mutex
 	max     int
 	entries map[string]*list.Element // of *entry
 	order   *list.List               // front = most recently used
 }
 
-func newModuleCache(max int, reg *metrics.Registry) *moduleCache {
+func newModuleCache(max int, cacheDir string, reg *metrics.Registry) *moduleCache {
 	return &moduleCache{
-		reg:     reg,
-		max:     max,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+		reg:      reg,
+		cacheDir: cacheDir,
+		max:      max,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
 	}
 }
 
@@ -151,9 +237,15 @@ func (c *moduleCache) install(mod *tbaa.Module, file string) (e *entry, gen uint
 			seq:       old.seq + 1,
 			mod:       mod,
 			file:      file,
+			cacheDir:  c.cacheDir,
+			reg:       c.reg,
+			dirty:     &e.dirty,
 			analyzers: make(map[analyzerKey]*tbaa.Analyzer),
 		}
 		e.gen.Store(next)
+		// The swap installed a pristine compile of exactly the source the
+		// hash names, so the artifact key describes the module again.
+		e.dirty.Store(false)
 		c.order.MoveToFront(el)
 		return e, next.seq, true
 	}
@@ -166,7 +258,11 @@ func (c *moduleCache) install(mod *tbaa.Module, file string) (e *entry, gen uint
 		c.reg.Resident.Add(-1)
 	}
 	e = &entry{hash: hash, stats: &tbaa.Stats{}}
-	first := &generation{seq: 1, mod: mod, file: file, analyzers: make(map[analyzerKey]*tbaa.Analyzer)}
+	first := &generation{
+		seq: 1, mod: mod, file: file,
+		cacheDir: c.cacheDir, reg: c.reg, dirty: &e.dirty,
+		analyzers: make(map[analyzerKey]*tbaa.Analyzer),
+	}
 	e.gen.Store(first)
 	c.entries[hash] = c.order.PushFront(e)
 	c.reg.Resident.Add(1)

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"testing"
 
+	"tbaa"
 	"tbaa/internal/metrics"
 )
 
@@ -224,5 +226,48 @@ func TestEditGenerationSemantics(t *testing.T) {
 	}
 	if wantGen := up.Generation + 2*editsPerEditor; q.Generation != wantGen {
 		t.Fatalf("final generation %d, want %d", q.Generation, wantGen)
+	}
+}
+
+// TestEditEvictedHash404 pins the status for an edit naming a hash the
+// LRU already evicted: 404, exactly as for a hash never uploaded —
+// never a panic or a 500.
+func TestEditEvictedHash404(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxModules: 1})
+	up := upload(t, ts.URL, "editd.m3", editSrc)
+	file, src := srcModule(50)
+	upload(t, ts.URL, file, src) // evicts editd.m3
+	if _, st := postEdit(t, ts.URL, up.Hash, editBody("P", "u.b")); st != http.StatusNotFound {
+		t.Fatalf("edit of evicted hash: status %d, want 404", st)
+	}
+}
+
+// TestEditEvictionRaceNoPublish pins the narrower race: the edit has
+// already resolved its entry when the eviction lands. Publishing would
+// resurrect a module the cache dropped — a generation queryable by
+// nothing yet pinned in memory — so the edit must fail with the same
+// not-resident answer instead.
+func TestEditEvictionRaceNoPublish(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxModules: 1})
+	mod, err := tbaa.Compile("editd.m3", editSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, gen, _ := s.cache.install(mod, "editd.m3")
+
+	// The in-flight edit holds e; the eviction wins the race before the
+	// edit publishes.
+	file, src := srcModule(51)
+	other, err := tbaa.Compile(file, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cache.install(other, file)
+
+	if _, _, _, err := s.cache.edit(e, editBody("P", "u.b")); !errors.Is(err, errNotResident) {
+		t.Fatalf("edit after eviction: %v, want errNotResident", err)
+	}
+	if got := e.gen.Load().seq; got != gen {
+		t.Fatalf("edit published generation %d for a non-resident module (installed %d)", got, gen)
 	}
 }

@@ -54,6 +54,13 @@ type Config struct {
 	// RequestTimeout bounds one query request, enforced mid-batch via
 	// context. 0 means the default.
 	RequestTimeout time.Duration
+	// CacheDir enables the disk-backed artifact tier: analyzer builds
+	// persist their snapshots there and a restarted daemon warm-starts
+	// from them instead of re-analyzing. "" (the default) disables it.
+	// Artifacts of an edited module are invalidated before the edit's
+	// generation is published, so the tier can only serve snapshots that
+	// match their module's content hash.
+	CacheDir string
 }
 
 // The default limits: small enough to demonstrate eviction and
@@ -105,7 +112,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
-		cache:    newModuleCache(cfg.MaxModules, reg),
+		cache:    newModuleCache(cfg.MaxModules, cfg.CacheDir, reg),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 	}
 	mux := http.NewServeMux()
@@ -204,8 +211,14 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no module %q resident (upload it first)", r.PathValue("hash")), nil)
 		return
 	}
-	gen, proc, reanalyzed, err := e.edit(req.Source)
+	gen, proc, reanalyzed, err := s.cache.edit(e, req.Source)
 	if err != nil {
+		// The module was evicted while the edit was in flight (or between
+		// lookup and apply): same answer as an edit of an unknown hash.
+		if errors.Is(err, errNotResident) {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no module %q resident (upload it first)", r.PathValue("hash")), nil)
+			return
+		}
 		writeEditError(w, err)
 		return
 	}

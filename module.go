@@ -2,6 +2,7 @@ package tbaa
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"tbaa/internal/ast"
 	"tbaa/internal/driver"
@@ -38,6 +39,13 @@ type Module struct {
 	// rendering (readers). Queries never touch it — they run over each
 	// Analyzer's private program and published snapshots.
 	mu sync.RWMutex
+
+	// edited latches once EditProc succeeds: the module's semantics
+	// have diverged from the source its content hash names, so the
+	// artifact cache (keyed by that hash) must be bypassed for both
+	// reads and writes. Pristine modules of the same source stay
+	// cacheable — the flag is per-Module, never persisted.
+	edited atomic.Bool
 }
 
 // Compile parses and type-checks a MiniM3 module and precomputes the

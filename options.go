@@ -12,9 +12,10 @@ import (
 type Option func(*config) error
 
 type config struct {
-	opts   alias.Options
-	passes []Pass
-	stats  *Stats
+	opts     alias.Options
+	passes   []Pass
+	stats    *Stats
+	cacheDir string
 }
 
 func newConfig(options []Option) (*config, error) {
@@ -104,6 +105,31 @@ func WithPasses(passes ...Pass) Option {
 			}
 		}
 		c.passes = append([]Pass(nil), passes...)
+		return nil
+	}
+}
+
+// WithArtifactCache enables the persistent analysis-artifact cache
+// rooted at dir (created on first write). When the module's snapshot
+// for the requested (level, open-world) configuration is already on
+// disk — keyed by the module content hash, the artifact format version,
+// and the producing toolchain — NewAnalyzer decodes it and skips the
+// analysis build entirely; otherwise it builds from scratch and writes
+// the artifact for the next start. Any mismatch, truncation, or decode
+// failure silently falls back to a from-scratch build and overwrites
+// the bad artifact, so a corrupt cache can only cost performance, never
+// soundness. Analyzer.ArtifactStatus reports which road was taken.
+//
+// Configurations whose state is not a pure function of the keyed inputs
+// bypass the cache: an optimization pipeline (WithPasses) mutates the
+// program after lowering, and WithPerTypeGroups computes a different
+// table than the keyed default.
+func WithArtifactCache(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return errors.New("tbaa: WithArtifactCache: empty directory")
+		}
+		c.cacheDir = dir
 		return nil
 	}
 }

@@ -4,9 +4,20 @@
 # queries, scrape /metrics (kept as tbaad_metrics.txt for the CI
 # artifact), then SIGTERM and assert a clean drain. Any failure exits
 # non-zero. Run via `make tbaad-smoke`.
+#
+# Artifact-tier knobs (the CI warm-start job runs the script twice over
+# one directory):
+#   CACHE_DIR=DIR     start tbaad with -cache-dir DIR
+#   WARM_EXPECT=cold  assert the first analyzer build was from scratch
+#                     (artifact miss) and was persisted
+#   WARM_EXPECT=hit   assert the first analyzer build decoded the
+#                     persisted artifact: one hit, zero from-scratch
+#                     builds
 set -eu
 
 BIN=${BIN:-bin}
+CACHE_DIR=${CACHE_DIR:-}
+WARM_EXPECT=${WARM_EXPECT:-}
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
@@ -15,7 +26,11 @@ go build -o "$BIN/tbaad" ./cmd/tbaad
 go build -o "$BIN/tbaactl" ./cmd/tbaactl
 
 echo "== starting tbaad on a random port"
-"$BIN/tbaad" -addr 127.0.0.1:0 -portfile "$WORK/port" -max-modules 4 &
+if [ -n "$CACHE_DIR" ]; then
+    "$BIN/tbaad" -addr 127.0.0.1:0 -portfile "$WORK/port" -max-modules 4 -cache-dir "$CACHE_DIR" &
+else
+    "$BIN/tbaad" -addr 127.0.0.1:0 -portfile "$WORK/port" -max-modules 4 &
+fi
 TBAAD_PID=$!
 
 # Wait for the port file (the daemon writes it once listening).
@@ -33,6 +48,13 @@ ADDR=$(cat "$WORK/port")
 CTL="$BIN/tbaactl -addr $ADDR"
 echo "== tbaad is up on $ADDR"
 
+echo "== port file is owner-only"
+MODE=$(stat -c %a "$WORK/port" 2>/dev/null || stat -f %Lp "$WORK/port")
+if [ "$MODE" != "600" ]; then
+    echo "port file mode is $MODE, want 600" >&2
+    exit 1
+fi
+
 echo "== health check"
 $CTL health | grep -q ok
 
@@ -46,6 +68,29 @@ $CTL upload -bench m3cg | grep -q cached
 
 echo "== single may-alias query"
 $CTL mayalias "$HASH" a.line b.first | grep -q "may-alias="
+
+# The first query built the default analyzer; with a cache directory
+# this is where the artifact tier showed its hand.
+if [ -n "$WARM_EXPECT" ]; then
+    echo "== artifact tier: expecting a $WARM_EXPECT start"
+    $CTL metrics > "$WORK/warm_metrics.txt"
+    case "$WARM_EXPECT" in
+    cold)
+        grep -q "tbaad_artifact_misses_total 1" "$WORK/warm_metrics.txt"
+        grep -q "tbaad_artifact_hits_total 0" "$WORK/warm_metrics.txt"
+        ls "$CACHE_DIR/$HASH"-l*.art >/dev/null
+        ;;
+    hit)
+        grep -q "tbaad_artifact_hits_total 1" "$WORK/warm_metrics.txt"
+        grep -q "tbaad_artifact_misses_total 0" "$WORK/warm_metrics.txt"
+        grep -q "tbaad_artifact_invalid_total 0" "$WORK/warm_metrics.txt"
+        ;;
+    *)
+        echo "unknown WARM_EXPECT=$WARM_EXPECT (want cold or hit)" >&2
+        exit 1
+        ;;
+    esac
+fi
 
 echo "== batch query over real access paths"
 printf 'a.line a.line\na.line b.first\nb.id b.last\n' | $CTL batch "$HASH" | tee "$WORK/batch"
@@ -88,6 +133,22 @@ if [ "$REFS_BEFORE" = "$REFS_AFTER" ]; then
     echo "reference count unchanged by the edit" >&2; exit 1
 fi
 
+# An edited module's semantics no longer match its hash: the edit must
+# have deleted its persisted artifacts. A pristine force re-upload
+# restores the agreement and repopulates the tier, so the next daemon
+# over this directory warm-starts.
+if [ -n "$CACHE_DIR" ]; then
+    echo "== edit invalidated the persisted artifacts"
+    if ls "$CACHE_DIR/$HASH"-l*.art >/dev/null 2>&1; then
+        echo "stale artifacts survived the edit" >&2
+        exit 1
+    fi
+    echo "== pristine re-upload repopulates the tier"
+    $CTL upload -bench m3cg -force >/dev/null
+    $CTL mayalias "$HASH" a.line b.first >/dev/null
+    ls "$CACHE_DIR/$HASH"-l*.art >/dev/null
+fi
+
 echo "== scraping /metrics"
 $CTL metrics | tee tbaad_metrics.txt >/dev/null
 grep -q "tbaad_queries_total" tbaad_metrics.txt
@@ -100,6 +161,12 @@ echo "== SIGTERM and clean drain"
 kill -TERM "$TBAAD_PID"
 if ! wait "$TBAAD_PID"; then
     echo "tbaad did not exit cleanly" >&2
+    exit 1
+fi
+
+echo "== port file removed on drain"
+if [ -e "$WORK/port" ]; then
+    echo "port file survived the drain" >&2
     exit 1
 fi
 
