@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-baseline bench-scale bench-scale-full bench-scale-baseline tbaad-smoke profile cover api api-check examples ci
+.PHONY: build test test-race bench bench-smoke vet fmt fmt-check golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-baseline bench-scale bench-scale-full bench-scale-baseline tbaad-smoke tbaad-chaos profile cover api api-check examples ci
 
 build:
 	$(GO) build ./...
@@ -102,6 +102,15 @@ bench-scale-baseline: build
 tbaad-smoke:
 	./scripts/tbaad_smoke.sh
 
+# Chaos harness: run the fault-injection tests under the race detector
+# (panic isolation, quarantine, memory watermark, drain-mid-edit,
+# artifact corruption), then drive the built daemon through the same
+# degradation ladder end to end with -faults armed. Metrics from every
+# chaos phase land in tbaad_chaos_metrics.txt (CI uploads it).
+tbaad-chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestHandlerPanic|TestMemoryWatermark|TestReadyz|TestDrainWithInflightEdit|TestInjected' ./internal/fault ./internal/artifact ./internal/server
+	./scripts/tbaad_chaos.sh
+
 # pprof evidence for perf PRs: profile the Table 5 sweep (the pair
 # counters are the query-heaviest artifact).
 profile: build
@@ -141,4 +150,4 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
-ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-scale tbaad-smoke cover api-check examples
+ci: build vet fmt-check test-race bench-smoke golden golden-fs bench-fs golden-ip bench-ip bench-perf-json bench-perf bench-scale tbaad-smoke tbaad-chaos cover api-check examples

@@ -16,6 +16,20 @@
 //	tbaactl countpairs HASH            Table 5 static pair metrics
 //	tbaactl metrics                    dump /metrics (Prometheus text)
 //	tbaactl health                     liveness probe
+//	tbaactl ready                      readiness probe (/readyz)
+//
+// Transient failures — connection errors and 429/503/504 answers — are
+// retried with exponential backoff and jitter, honoring the server's
+// Retry-After header, for idempotent requests only (-retries bounds
+// the attempts, -max-wait each individual backoff). An edit is never
+// retried: the client cannot know whether the server applied it before
+// the connection died. Uploads are content-addressed, so re-sending
+// one is safe by construction.
+//
+// -timeout bounds one HTTP attempt end to end and should stay above
+// the server's own -timeout: then a long batch is answered by the
+// server's structured 504 (which the retry policy understands) rather
+// than a client-side abort.
 //
 // Exit status is 0 on success, 1 on any server or transport error.
 package main
@@ -27,8 +41,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,13 +54,22 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8347", "tbaad `address`")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-attempt HTTP timeout (keep above the server's -timeout)")
+	retries := flag.Int("retries", 4, "retry budget for idempotent requests on connection errors and 429/503/504")
+	maxWait := flag.Duration("max-wait", 15*time.Second, "cap on one backoff sleep between retries")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: "http://" + *addr, hc: &http.Client{Timeout: 60 * time.Second}}
+	c := &client{
+		base:    "http://" + *addr,
+		hc:      &http.Client{Timeout: *timeout},
+		retries: *retries,
+		maxWait: *maxWait,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
@@ -64,6 +89,8 @@ func main() {
 		err = c.text("/metrics")
 	case "health":
 		err = c.text("/healthz")
+	case "ready":
+		err = c.text("/readyz")
 	default:
 		fmt.Fprintf(os.Stderr, "tbaactl: unknown command %q\n", cmd)
 		usage()
@@ -86,12 +113,108 @@ commands:
   batch HASH [-level L] [-open]         pairs "P Q" per line on stdin
   countpairs HASH [-level L] [-open]    static pair metrics
   metrics                               dump Prometheus metrics
-  health                                liveness probe`)
+  health                                liveness probe
+  ready                                 readiness probe (503 while
+                                        draining or under memory pressure)
+
+flags: -addr, -timeout (per attempt), -retries, -max-wait`)
 }
 
 type client struct {
 	base string
 	hc   *http.Client
+
+	// Retry policy for idempotent requests; the zero values (no
+	// retries, no jitter source, real sleep) are valid, so tests that
+	// construct a bare client get exactly one attempt.
+	retries int
+	maxWait time.Duration
+	sleep   func(time.Duration)
+	rng     *rand.Rand
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// the server shed load (429, 503) or timed a request out (504).
+// Everything else — including a 500 panic answer and a 422 quarantine —
+// is a deterministic verdict a retry would only repeat.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// retryAfter parses a Retry-After header: integer seconds or an HTTP
+// date. 0 means absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// backoff computes the sleep before retry number attempt (0-based):
+// exponential from 200ms with ±50% jitter, raised to the server's
+// Retry-After when it asks for longer, capped at maxWait.
+func (c *client) backoff(attempt int, resp *http.Response) time.Duration {
+	d := 200 * time.Millisecond << uint(attempt)
+	if c.rng != nil {
+		d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	}
+	if ra := retryAfter(resp); ra > d {
+		d = ra
+	}
+	if c.maxWait > 0 && d > c.maxWait {
+		d = c.maxWait
+	}
+	return d
+}
+
+// send issues the request built by mk, retrying connection errors and
+// retryable statuses for idempotent requests until the retry budget is
+// spent. mk is called per attempt (a *http.Request body cannot be
+// replayed). The last response or error is returned for the caller's
+// normal handling, so an exhausted budget surfaces the server's own
+// final answer.
+func (c *client) send(idempotent bool, mk func() (*http.Request, error)) (*http.Response, error) {
+	doSleep := c.sleep
+	if doSleep == nil {
+		doSleep = time.Sleep
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		if !idempotent || attempt >= c.retries {
+			return resp, err
+		}
+		d := c.backoff(attempt, resp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tbaactl: %v; retrying in %s (%d/%d)\n", err, d, attempt+1, c.retries)
+		} else {
+			fmt.Fprintf(os.Stderr, "tbaactl: server answered %s; retrying in %s (%d/%d)\n", resp.Status, d, attempt+1, c.retries)
+			// Drain so the connection can be reused for the retry.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+		}
+		doSleep(d)
+	}
 }
 
 // httpError turns a non-2xx response into the error main prints on
@@ -116,13 +239,23 @@ func (c *client) httpError(method, path string, resp *http.Response) error {
 }
 
 // post sends a JSON body and decodes the JSON answer into out,
-// surfacing the server's error body on any non-2xx status.
-func (c *client) post(path string, in, out any) error {
+// surfacing the server's error body on any non-2xx status. idempotent
+// gates the retry policy: an upload is content-addressed (re-sending
+// the same bytes lands the same module) and queries are pure reads, so
+// both retry; an edit must not (see postOnce).
+func (c *client) post(path string, in, out any, idempotent bool) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	resp, err := c.send(idempotent, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}
@@ -134,7 +267,9 @@ func (c *client) post(path string, in, out any) error {
 }
 
 func (c *client) get(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
+	resp, err := c.send(true, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+path, nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -146,7 +281,9 @@ func (c *client) get(path string, out any) error {
 }
 
 func (c *client) text(path string) error {
-	resp, err := c.hc.Get(c.base + path)
+	resp, err := c.send(true, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+path, nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -182,7 +319,7 @@ func (c *client) upload(args []string) error {
 		return fmt.Errorf("upload wants one file argument or -bench NAME")
 	}
 	var resp server.UploadResponse
-	if err := c.post("/v1/modules", server.UploadRequest{File: file, Source: src, Force: *force}, &resp); err != nil {
+	if err := c.post("/v1/modules", server.UploadRequest{File: file, Source: src, Force: *force}, &resp, true); err != nil {
 		return err
 	}
 	state := "compiled"
@@ -212,7 +349,10 @@ func (c *client) edit(args []string) error {
 		return err
 	}
 	var resp server.EditResponse
-	if err := c.post("/v1/modules/"+hash+"/edit", server.EditRequest{Source: string(data)}, &resp); err != nil {
+	// Never retried: if the connection dies mid-edit the client cannot
+	// know whether the generation advanced, and a blind replay could
+	// apply the edit twice (observable in the generation counter).
+	if err := c.post("/v1/modules/"+hash+"/edit", server.EditRequest{Source: string(data)}, &resp, false); err != nil {
 		return err
 	}
 	fmt.Printf("%s edited proc=%s generation=%d reanalyzed=%d\n", resp.Hash, resp.Proc, resp.Generation, resp.Reanalyzed)
@@ -256,7 +396,7 @@ func (c *client) mayAlias(args []string) error {
 	}
 	var resp server.QueryResponse
 	req := server.QueryRequest{LevelRequest: lv, P: pos[1], Q: pos[2]}
-	if err := c.post("/v1/modules/"+pos[0]+"/mayalias", req, &resp); err != nil {
+	if err := c.post("/v1/modules/"+pos[0]+"/mayalias", req, &resp, true); err != nil {
 		return err
 	}
 	fmt.Printf("%s ~ %s: may-alias=%v generation=%d\n", pos[1], pos[2], resp.MayAlias, resp.Generation)
@@ -284,7 +424,7 @@ func (c *client) batch(args []string) error {
 		return err
 	}
 	var resp server.BatchResponse
-	if err := c.post("/v1/modules/"+pos[0]+"/mayalias-batch", req, &resp); err != nil {
+	if err := c.post("/v1/modules/"+pos[0]+"/mayalias-batch", req, &resp, true); err != nil {
 		return err
 	}
 	for _, v := range resp.Verdicts {
@@ -305,7 +445,7 @@ func (c *client) countPairs(args []string) error {
 		return err
 	}
 	var resp server.CountPairsResponse
-	if err := c.post("/v1/modules/"+pos[0]+"/countpairs", lv, &resp); err != nil {
+	if err := c.post("/v1/modules/"+pos[0]+"/countpairs", lv, &resp, true); err != nil {
 		return err
 	}
 	fmt.Printf("references=%d local-pairs=%d global-pairs=%d generation=%d\n",

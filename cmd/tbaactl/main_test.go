@@ -43,7 +43,7 @@ func TestErrorBodiesSurfaced(t *testing.T) {
 			defer ts.Close()
 			c := &client{base: ts.URL, hc: &http.Client{Timeout: 5 * time.Second}}
 			for name, err := range map[string]error{
-				"post": c.post("/v1/modules/x/mayalias-batch", server.BatchRequest{}, &server.BatchResponse{}),
+				"post": c.post("/v1/modules/x/mayalias-batch", server.BatchRequest{}, &server.BatchResponse{}, true),
 				"get":  c.get("/v1/modules", &server.ModulesResponse{}),
 				"text": c.text("/metrics"),
 			} {
@@ -55,6 +55,147 @@ func TestErrorBodiesSurfaced(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// retryClient builds a client with the retry policy armed and a
+// recording fake sleeper, so tests observe every backoff without
+// waiting it out.
+func retryClient(base string, retries int) (*client, *[]time.Duration) {
+	var slept []time.Duration
+	c := &client{
+		base:    base,
+		hc:      &http.Client{Timeout: 5 * time.Second},
+		retries: retries,
+		maxWait: 15 * time.Second,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	return c, &slept
+}
+
+// TestRetryPolicy pins the happy retry path: two 503s with Retry-After
+// then success means three attempts, two sleeps each at least the
+// server's Retry-After, and a nil error.
+func TestRetryPolicy(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"server over its memory watermark"}`)
+			return
+		}
+		io.WriteString(w, `{"modules":[]}`)
+	}))
+	defer ts.Close()
+	c, slept := retryClient(ts.URL, 4)
+	if err := c.get("/v1/modules", &server.ModulesResponse{}); err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("sleeps = %d, want 2", len(*slept))
+	}
+	for i, d := range *slept {
+		if d < 2*time.Second {
+			t.Errorf("sleep %d = %s, shorter than the server's Retry-After of 2s", i, d)
+		}
+	}
+}
+
+// TestRetryNonIdempotent pins that an edit is sent exactly once no
+// matter the answer: the client cannot know whether a failed edit
+// applied, so replaying it risks a double generation bump.
+func TestRetryNonIdempotent(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"server at capacity"}`)
+	}))
+	defer ts.Close()
+	c, slept := retryClient(ts.URL, 4)
+	err := c.post("/v1/modules/x/edit", server.EditRequest{Source: "PROCEDURE P() = BEGIN END P;"}, &server.EditResponse{}, false)
+	if err == nil {
+		t.Fatal("failed edit answered a nil error")
+	}
+	if attempts != 1 {
+		t.Fatalf("edit attempts = %d, want exactly 1", attempts)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("edit slept %d times, want 0", len(*slept))
+	}
+}
+
+// TestRetryConnError pins that connection failures retry too — the
+// server being down is the textbook transient — and that the final
+// error still surfaces after the budget is spent.
+func TestRetryConnError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens: every attempt is a connection error
+	c, slept := retryClient(ts.URL, 2)
+	if err := c.get("/v1/modules", &server.ModulesResponse{}); err == nil {
+		t.Fatal("dead server answered a nil error")
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("sleeps = %d, want 2 (the full budget)", len(*slept))
+	}
+	// Exponential: the second backoff's floor (400ms/2) exceeds the
+	// first's ceiling only in expectation, but both respect their band.
+	if (*slept)[0] < 100*time.Millisecond || (*slept)[0] > 200*time.Millisecond {
+		t.Errorf("backoff 0 = %s, want within [100ms, 200ms]", (*slept)[0])
+	}
+	if (*slept)[1] < 200*time.Millisecond || (*slept)[1] > 400*time.Millisecond {
+		t.Errorf("backoff 1 = %s, want within [200ms, 400ms]", (*slept)[1])
+	}
+}
+
+// TestRetryExhausted pins that a persistent 503 spends the whole budget
+// and then surfaces the server's final body — the operator sees why the
+// request kept being refused, not a bare "gave up".
+func TestRetryExhausted(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"server over its memory watermark; retry after evictions"}`)
+	}))
+	defer ts.Close()
+	c, _ := retryClient(ts.URL, 3)
+	err := c.get("/v1/modules", &server.ModulesResponse{})
+	if err == nil {
+		t.Fatal("persistent 503 answered a nil error")
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4 (1 + 3 retries)", attempts)
+	}
+	if !strings.Contains(err.Error(), "memory watermark") {
+		t.Errorf("exhausted error %q swallowed the final body", err)
+	}
+}
+
+// TestRetryNotOnDeterministicStatus pins the other half of the retry
+// matrix: 500 (a recovered panic) and 422 (quarantine, compile errors)
+// are deterministic verdicts, retried zero times.
+func TestRetryNotOnDeterministicStatus(t *testing.T) {
+	for _, status := range []int{http.StatusInternalServerError, http.StatusUnprocessableEntity, http.StatusNotFound} {
+		var attempts int
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			attempts++
+			w.WriteHeader(status)
+			io.WriteString(w, `{"error":"deterministic answer"}`)
+		}))
+		c, slept := retryClient(ts.URL, 4)
+		if err := c.get("/v1/modules", &server.ModulesResponse{}); err == nil {
+			t.Fatalf("status %d answered a nil error", status)
+		}
+		if attempts != 1 || len(*slept) != 0 {
+			t.Errorf("status %d: attempts=%d sleeps=%d, want 1 and 0", status, attempts, len(*slept))
+		}
+		ts.Close()
 	}
 }
 

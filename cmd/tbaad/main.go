@@ -20,6 +20,18 @@
 //	-cache-dir DIR      persist analysis artifacts in DIR; a restarted
 //	                    daemon warm-starts resident analyzers from them
 //	                    instead of re-analyzing (default off)
+//	-mem-limit BYTES    memory watermark ("512M", "8G", plain bytes);
+//	                    over it, uploads are shed with 503 and LRU
+//	                    modules evicted until the heap drops to 80% of
+//	                    the limit. Default: inherit GOMEMLIMIT when
+//	                    set; "off" (or 0) disables the watermark
+//	-mem-check D        watermark sampling interval (default 1s)
+//	-quarantine-after N panics one (module, level, open) configuration
+//	                    survives before being quarantined (default 3)
+//	-faults SPEC        arm deterministic fault injection, e.g.
+//	                    "artifact/read/bitflip:p=0.5,analyzer/build/panic:count=3"
+//	                    (default off; every injection point is inert)
+//	-fault-seed N       seed for the -faults randomness (default 1)
 //
 // Endpoints (see internal/server for the wire types):
 //
@@ -30,10 +42,14 @@
 //	POST /v1/modules/{hash}/countpairs      Table 5 static pair metrics
 //	GET  /metrics                           Prometheus text format
 //	GET  /healthz                           liveness probe
+//	GET  /readyz                            readiness probe: 503 while
+//	                                        draining or over the memory
+//	                                        watermark
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections, lets
-// in-flight requests finish (up to -drain), then exits 0. cmd/tbaactl
-// is the matching client.
+// On SIGINT/SIGTERM the daemon marks /readyz unready, stops accepting
+// connections, lets in-flight requests finish (up to -drain), then
+// exits 0 — an in-flight edit publishes its generation before the
+// process goes away. cmd/tbaactl is the matching client.
 package main
 
 import (
@@ -42,15 +58,52 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"tbaa/internal/fault"
 	"tbaa/internal/server"
 )
+
+// parseBytes parses a byte count with an optional K/M/G suffix
+// (binary: K = 1024). "" and "off" and "0" mean disabled (0).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	if s == "" || s == "OFF" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte count %q", s)
+	}
+	return n * mult, nil
+}
+
+// memLimitDefault resolves the -mem-limit default: inherit the
+// process's GOMEMLIMIT when one is set, else no watermark.
+func memLimitDefault() int64 {
+	if lim := debug.SetMemoryLimit(-1); lim < math.MaxInt64 {
+		return lim
+	}
+	return 0
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8347", "listen `address`")
@@ -61,20 +114,47 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request query timeout")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline")
 	cacheDir := flag.String("cache-dir", "", "persist analysis artifacts in `dir` for warm restarts")
+	memLimit := flag.String("mem-limit", "", "memory watermark in `bytes` (K/M/G suffixes; default GOMEMLIMIT; \"off\" disables)")
+	memCheck := flag.Duration("mem-check", server.DefaultMemCheckInterval, "memory watermark sampling interval")
+	quarAfter := flag.Int("quarantine-after", server.DefaultQuarantineAfter, "panics per analyzer configuration before quarantine")
+	faults := flag.String("faults", "", "fault-injection `spec` (point[:p=F][:after=N][:count=N][:sleep=D], comma-separated)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for -faults randomness")
 	flag.Parse()
 
 	log.SetPrefix("tbaad: ")
 	log.SetFlags(log.LstdFlags)
 
+	limit, err := parseBytes(*memLimit)
+	if err != nil {
+		log.Fatalf("-mem-limit: %v", err)
+	}
+	if *memLimit == "" {
+		limit = memLimitDefault()
+	}
+	if *faults != "" {
+		in, err := fault.ParseSpec(*faults, *faultSeed)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		fault.Configure(in)
+		log.Printf("fault injection armed: %s (seed %d)", in, *faultSeed)
+	}
+
 	s := server.New(server.Config{
-		MaxModules:     *maxModules,
-		MaxBatch:       *maxBatch,
-		MaxInflight:    *maxInflight,
-		RequestTimeout: *timeout,
-		CacheDir:       *cacheDir,
+		MaxModules:       *maxModules,
+		MaxBatch:         *maxBatch,
+		MaxInflight:      *maxInflight,
+		RequestTimeout:   *timeout,
+		CacheDir:         *cacheDir,
+		MemLimit:         limit,
+		MemCheckInterval: *memCheck,
+		QuarantineAfter:  *quarAfter,
 	})
 	if *cacheDir != "" {
 		log.Printf("artifact cache at %s", *cacheDir)
+	}
+	if limit > 0 {
+		log.Printf("memory watermark at %d bytes (check every %s)", limit, *memCheck)
 	}
 
 	// Listen before daemonizing concerns: with -addr host:0 the kernel
@@ -95,15 +175,23 @@ func main() {
 		}
 	}
 
+	// The full timeout ladder: headers promptly, whole request bodies
+	// within a minute, responses within the query timeout plus slack
+	// (so the server's own 504 wins the race against the socket
+	// deadline), and idle keep-alive connections reaped.
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      *timeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go s.WatchMemory(ctx)
 	select {
 	case err := <-errc:
 		log.Fatal(err)
@@ -111,8 +199,10 @@ func main() {
 	}
 	stop()
 
-	// Graceful drain: stop accepting, let in-flight requests finish,
-	// give up after -drain so a wedged client cannot hold the process.
+	// Graceful drain: flip /readyz so load balancers stop routing here,
+	// stop accepting, let in-flight requests finish, give up after
+	// -drain so a wedged client cannot hold the process.
+	s.BeginDrain()
 	log.Printf("draining (deadline %s)", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

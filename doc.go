@@ -177,6 +177,20 @@
 // the generation they resolved. cmd/tbaactl is the matching client;
 // see README.md "Running the analysis server".
 //
+// The daemon is built to degrade rather than die, and proves it under
+// injected faults (internal/fault, armed by tbaad -faults): every
+// request runs under a panic-recovery barrier (a panic answers 500,
+// never kills the process), a configuration that panics repeatedly is
+// quarantined per (module, level, open-world) key — answered 422
+// until a force re-upload recompiles pristine source — and a memory
+// watermark (-mem-limit, defaulting from GOMEMLIMIT) sheds uploads
+// with 503 + Retry-After and evicts least-recently-used modules while
+// queries against resident state keep answering. GET /readyz reports
+// readiness honestly (503 while draining or under pressure), and
+// tbaactl retries transient answers — connection errors, 429/503/504
+// — with jittered exponential backoff honoring Retry-After, for
+// idempotent requests only. See README.md "Fault tolerance".
+//
 // # Persistent artifacts and warm start
 //
 // WithArtifactCache(dir) adds a disk tier under analyzer

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"tbaa/internal/alias"
+	"tbaa/internal/fault"
 	"tbaa/internal/ir"
 	"tbaa/internal/modref"
 	"tbaa/internal/types"
@@ -162,7 +163,15 @@ func Write(dir string, key Key, prog *ir.Program, idx *ir.APIndex, aliasSnap *al
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	out := buf.Bytes()
+	// Chaos: a crash mid-write leaves only a prefix in the temp file,
+	// and the rename still lands — the installed artifact is torn, and
+	// the next Load must detect it (truncated header, short payload, or
+	// checksum mismatch) and rebuild.
+	if n, ok := fault.HitN(fault.ArtifactShortWrite, len(out)); ok {
+		out = out[:n]
+	}
+	if _, err := tmp.Write(out); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -170,6 +179,13 @@ func Write(dir string, key Key, prog *ir.Program, idx *ir.APIndex, aliasSnap *al
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
+	}
+	// Chaos: the install itself can fail (full disk, permission flap);
+	// callers treat a failed Write as "no warm start next time", never
+	// as fatal.
+	if fault.Hit(fault.ArtifactRenameFail) {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: injected rename failure (%s)", fault.ArtifactRenameFail)
 	}
 	if err := os.Rename(tmp.Name(), Path(dir, key)); err != nil {
 		os.Remove(tmp.Name())
@@ -216,6 +232,14 @@ func Load(dir string, key Key, u *types.Universe) (*Snapshot, error) {
 	data, err := os.ReadFile(Path(dir, key))
 	if err != nil {
 		return nil, err
+	}
+	// Chaos: a degraded disk stalls the read; a dying one corrupts it.
+	// CRC-32C detects every single-bit error, and the header fields are
+	// individually validated, so any injected flip must surface as an
+	// invalid artifact — never as a wrong verdict.
+	fault.Sleep(fault.ArtifactSlowRead)
+	if i, ok := fault.HitN(fault.ArtifactBitFlip, len(data)*8); ok {
+		data[i>>3] ^= 1 << (i & 7)
 	}
 	payload, err := checkHeader(data, key)
 	if err != nil {

@@ -1,0 +1,120 @@
+package artifact
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"testing"
+
+	"tbaa/internal/alias"
+	"tbaa/internal/driver"
+	"tbaa/internal/fault"
+	"tbaa/internal/randprog"
+)
+
+// TestInjectedWriteFaults pins the two write-side failure modes: a
+// rename failure surfaces as a Write error with nothing installed, and
+// a short write installs a torn artifact that Load detects and reports
+// as invalid (not as a miss, and never as a wrong decode).
+func TestInjectedWriteFaults(t *testing.T) {
+	src := randprog.Generate(71100, randprog.DefaultConfig())
+	opts := alias.Options{Level: alias.LevelSMFieldTypeRefs}
+	key := Key{ModuleHash: "h", Level: int(opts.Level)}
+
+	t.Run("rename failure", func(t *testing.T) {
+		dir := t.TempDir()
+		in, err := fault.NewInjector(1, fault.Rule{Point: fault.ArtifactRenameFail, Count: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := fault.Configure(in)
+		defer fault.Configure(prev)
+		prog, _, err := driver.Compile("m.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := alias.New(prog, opts)
+		if err := Write(dir, key, prog, a.Index(), a.Snapshot(), nil); err == nil {
+			t.Fatal("injected rename failure did not surface from Write")
+		}
+		if _, err := Load(dir, key, prog.Universe); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("failed install left something loadable: %v", err)
+		}
+		// The temp file must not linger either.
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("failed install left %d files behind", len(ents))
+		}
+		// With the budget spent, the same Write succeeds.
+		if err := Write(dir, key, prog, a.Index(), a.Snapshot(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir, key, prog.Universe); err != nil {
+			t.Fatalf("post-fault write did not load: %v", err)
+		}
+	})
+
+	t.Run("short write", func(t *testing.T) {
+		dir := t.TempDir()
+		in, err := fault.NewInjector(2, fault.Rule{Point: fault.ArtifactShortWrite, Count: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := fault.Configure(in)
+		defer fault.Configure(prev)
+		buildAndWrite(t, dir, src, opts, key)
+		if got := fault.Fires(fault.ArtifactShortWrite); got != 1 {
+			t.Fatalf("short-write point fired %d times, want 1", got)
+		}
+		prog, _, err := driver.Compile("m.m3", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Load(dir, key, prog.Universe)
+		if err == nil {
+			t.Fatal("torn artifact loaded cleanly")
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("torn artifact reported as a miss: %v", err)
+		}
+	})
+}
+
+// TestInjectedBitFlips flips one deterministic-random bit per load over
+// many loads and requires every corrupted read to surface as an invalid
+// artifact: CRC-32C catches all single-bit payload errors, and each
+// header field is validated individually.
+func TestInjectedBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	src := randprog.Generate(71101, randprog.DefaultConfig())
+	opts := alias.Options{Level: alias.LevelSMFieldTypeRefs}
+	key := Key{ModuleHash: "h", Level: int(opts.Level)}
+	buildAndWrite(t, dir, src, opts, key)
+	prog, _, err := driver.Compile("m.m3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := fault.NewInjector(3, fault.Rule{Point: fault.ArtifactBitFlip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := fault.Configure(in)
+	defer fault.Configure(prev)
+	for i := 0; i < 64; i++ {
+		if _, err := Load(dir, key, prog.Universe); err == nil {
+			t.Fatalf("load %d: single-bit flip went undetected", i)
+		} else if errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("load %d: corruption reported as a miss: %v", i, err)
+		}
+	}
+	// Disarmed, the untouched on-disk artifact still loads: the flips
+	// were applied to the read buffer, never written back.
+	fault.Configure(nil)
+	if _, err := Load(dir, key, prog.Universe); err != nil {
+		t.Fatalf("artifact corrupted on disk by read-side flips: %v", err)
+	}
+}

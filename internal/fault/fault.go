@@ -1,0 +1,359 @@
+// Package fault is a deterministic, seeded fault-injection framework
+// for the serving stack. Code under test declares named injection
+// points (Hit, HitN, Sleep) at the places real failures strike — a
+// torn artifact write, a flipped bit on a read, a panicking analyzer
+// build, a heap sample over the memory watermark — and a chaos harness
+// arms them with per-point rules: a fire probability, a number of hits
+// to skip first, a fire budget, a sleep duration. The same seed and
+// the same call sequence reproduce the same faults, so a chaos failure
+// replays.
+//
+// Injection is off by default and costs one atomic load per point when
+// off — nothing allocates, nothing locks, no timer runs — so the hooks
+// stay compiled into production binaries and the perf gates cannot see
+// them. Configure installs a process-global Injector (tbaad's -faults
+// flag parses one from a spec string); Configure(nil) disarms it.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The named injection points. Each names the failure it simulates, not
+// the code that hosts it, so a spec reads as a failure scenario.
+const (
+	// ArtifactShortWrite truncates the artifact temp file before the
+	// rename: a crash mid-write leaves a torn artifact installed.
+	ArtifactShortWrite = "artifact/write/short"
+	// ArtifactRenameFail fails the rename that installs an artifact:
+	// a full disk or permission flap at the worst moment.
+	ArtifactRenameFail = "artifact/write/rename"
+	// ArtifactBitFlip flips one bit of a loaded artifact before
+	// validation: silent media corruption.
+	ArtifactBitFlip = "artifact/read/bitflip"
+	// ArtifactSlowRead sleeps before returning a loaded artifact: a
+	// degraded disk or a cold network filesystem.
+	ArtifactSlowRead = "artifact/read/slow"
+	// BuildPanic panics while building an analyzer configuration: a
+	// latent analysis bug tripped by one module.
+	BuildPanic = "analyzer/build/panic"
+	// QueryPanic panics while answering a query on a built analyzer.
+	QueryPanic = "analyzer/query/panic"
+	// EditSlow sleeps inside the edit handler, holding the request in
+	// flight: how drain tests overlap shutdown with an active edit.
+	EditSlow = "server/edit/slow"
+	// MemPressure makes a memory-watermark check see heap use over the
+	// limit: the OOM killer's footsteps without the footprint.
+	MemPressure = "server/mem/pressure"
+)
+
+// points maps every known injection point to its one-line description;
+// NewInjector rejects rules naming anything else, so a typo in a chaos
+// spec fails loudly instead of silently injecting nothing.
+var points = map[string]string{
+	ArtifactShortWrite: "truncate the artifact temp file before rename",
+	ArtifactRenameFail: "fail the rename that installs an artifact",
+	ArtifactBitFlip:    "flip one bit of a loaded artifact",
+	ArtifactSlowRead:   "sleep before returning a loaded artifact",
+	BuildPanic:         "panic while building an analyzer configuration",
+	QueryPanic:         "panic while answering a query",
+	EditSlow:           "sleep inside the edit handler",
+	MemPressure:        "report heap use over the memory watermark",
+}
+
+// Points returns every known injection point, sorted.
+func Points() []string {
+	out := make([]string, 0, len(points))
+	for p := range points {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of a known point, or "".
+func Describe(point string) string { return points[point] }
+
+// Rule arms one injection point. The zero value of each trigger field
+// is the permissive default: fire on every hit (P=0 means 1.0), from
+// the first hit (After=0), with no budget (Count=0 means unlimited).
+type Rule struct {
+	// Point is the injection point the rule arms; it must be one of
+	// the package's named points.
+	Point string
+	// P is the probability one hit fires, in (0, 1]. 0 means 1.
+	P float64
+	// After skips the first After hits before the rule can fire:
+	// how a scenario sequences "the third build panics".
+	After uint64
+	// Count caps the total fires; once spent the point goes quiet.
+	// 0 means unlimited.
+	Count uint64
+	// Sleep is how long Sleep-style points stall when they fire.
+	Sleep time.Duration
+}
+
+// Injector holds armed rules and the seeded randomness that decides
+// probabilistic fires. All methods are safe for concurrent use; a nil
+// *Injector never fires.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]Rule
+	hits  map[string]uint64
+	fires map[string]uint64
+}
+
+// NewInjector builds an injector from rules, validating every point
+// name. The seed fixes the probabilistic decisions: the same seed and
+// the same hit sequence fire the same faults.
+func NewInjector(seed int64, rules ...Rule) (*Injector, error) {
+	in := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string]Rule, len(rules)),
+		hits:  make(map[string]uint64),
+		fires: make(map[string]uint64),
+	}
+	for _, r := range rules {
+		if _, ok := points[r.Point]; !ok {
+			return nil, fmt.Errorf("fault: unknown injection point %q (known: %s)", r.Point, strings.Join(Points(), ", "))
+		}
+		if r.P < 0 || r.P > 1 {
+			return nil, fmt.Errorf("fault: %s: probability %g outside (0, 1]", r.Point, r.P)
+		}
+		if r.P == 0 {
+			r.P = 1
+		}
+		if _, dup := in.rules[r.Point]; dup {
+			return nil, fmt.Errorf("fault: duplicate rule for %q", r.Point)
+		}
+		in.rules[r.Point] = r
+	}
+	return in, nil
+}
+
+// ParseSpec builds an injector from a spec string: comma-separated
+// rules, each a point name followed by colon-separated key=value
+// triggers — p=0.5 (fire probability), after=3 (skip the first three
+// hits), count=2 (fire budget), sleep=100ms (stall duration).
+//
+//	artifact/read/bitflip:p=0.5,analyzer/build/panic:after=1:count=3
+func ParseSpec(spec string, seed int64) (*Injector, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		fields := strings.Split(clause, ":")
+		r := Rule{Point: fields[0]}
+		for _, f := range fields[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: %s: trigger %q is not key=value", r.Point, f)
+			}
+			var err error
+			switch k {
+			case "p":
+				r.P, err = strconv.ParseFloat(v, 64)
+			case "after":
+				r.After, err = strconv.ParseUint(v, 10, 64)
+			case "count":
+				r.Count, err = strconv.ParseUint(v, 10, 64)
+			case "sleep":
+				r.Sleep, err = time.ParseDuration(v)
+			default:
+				return nil, fmt.Errorf("fault: %s: unknown trigger %q (want p, after, count, or sleep)", r.Point, k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: %s: bad %s value %q: %v", r.Point, k, v, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return NewInjector(seed, rules...)
+}
+
+// String renders the armed rules, one per line, for startup logs.
+func (in *Injector) String() string {
+	if in == nil {
+		return "fault injection disabled"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.rules))
+	for p := range in.rules {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, p := range names {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		r := in.rules[p]
+		fmt.Fprintf(&sb, "%s p=%g", p, r.P)
+		if r.After > 0 {
+			fmt.Fprintf(&sb, " after=%d", r.After)
+		}
+		if r.Count > 0 {
+			fmt.Fprintf(&sb, " count=%d", r.Count)
+		}
+		if r.Sleep > 0 {
+			fmt.Fprintf(&sb, " sleep=%s", r.Sleep)
+		}
+	}
+	return sb.String()
+}
+
+// hitLocked runs one trigger evaluation under in.mu: count the hit,
+// honor the After skip and the Count budget, roll the probability.
+func (in *Injector) hitLocked(point string) (Rule, bool) {
+	r, ok := in.rules[point]
+	if !ok {
+		return Rule{}, false
+	}
+	in.hits[point]++
+	if in.hits[point] <= r.After {
+		return Rule{}, false
+	}
+	if r.Count > 0 && in.fires[point] >= r.Count {
+		return Rule{}, false
+	}
+	if r.P < 1 && in.rng.Float64() >= r.P {
+		return Rule{}, false
+	}
+	in.fires[point]++
+	return r, true
+}
+
+// Hit reports whether the point fires this time.
+func (in *Injector) Hit(point string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	_, ok := in.hitLocked(point)
+	return ok
+}
+
+// HitN is Hit plus a deterministic pick in [0, n): which byte to
+// truncate at, which bit to flip. It reports (0, false) when the point
+// does not fire or n is not positive.
+func (in *Injector) HitN(point string, n int) (int, bool) {
+	if in == nil || n <= 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ok := in.hitLocked(point); !ok {
+		return 0, false
+	}
+	return in.rng.Intn(n), true
+}
+
+// SleepFor reports whether the point fires and, if so, the rule's
+// configured stall. The caller sleeps; the injector never blocks under
+// its own lock.
+func (in *Injector) SleepFor(point string) (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r, ok := in.hitLocked(point)
+	if !ok {
+		return 0, false
+	}
+	return r.Sleep, true
+}
+
+// Fires returns how many times the point has fired.
+func (in *Injector) Fires(point string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[point]
+}
+
+// Stats snapshots fires per point, for end-of-run chaos reports.
+func (in *Injector) Stats() map[string]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.fires))
+	for p, n := range in.fires {
+		out[p] = n
+	}
+	return out
+}
+
+// The process-global injector the package-level hooks consult. enabled
+// is the fast path: the one atomic load every disabled hook costs.
+var (
+	enabled atomic.Bool
+	global  atomic.Pointer[Injector]
+)
+
+// Configure installs in as the process-global injector and returns the
+// previous one (nil disables injection; tests restore with a deferred
+// Configure of the return value).
+func Configure(in *Injector) *Injector {
+	prev := global.Swap(in)
+	enabled.Store(in != nil)
+	return prev
+}
+
+// Enabled reports whether a global injector is armed.
+func Enabled() bool { return enabled.Load() }
+
+// Hit reports whether the named point fires on the global injector.
+// With injection disabled it is one atomic load and a not-taken
+// branch — the zero cost the perf gates rely on.
+func Hit(point string) bool {
+	if !enabled.Load() {
+		return false
+	}
+	return global.Load().Hit(point)
+}
+
+// HitN is Injector.HitN on the global injector.
+func HitN(point string, n int) (int, bool) {
+	if !enabled.Load() {
+		return 0, false
+	}
+	return global.Load().HitN(point, n)
+}
+
+// Sleep stalls for the point's configured duration if it fires,
+// reporting whether it did.
+func Sleep(point string) bool {
+	if !enabled.Load() {
+		return false
+	}
+	d, ok := global.Load().SleepFor(point)
+	if ok && d > 0 {
+		time.Sleep(d)
+	}
+	return ok
+}
+
+// Fires returns the global injector's fire count for the point.
+func Fires(point string) uint64 {
+	if !enabled.Load() {
+		return 0
+	}
+	return global.Load().Fires(point)
+}

@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustInjector(t *testing.T, seed int64, rules ...Rule) *Injector {
+	t.Helper()
+	in, err := NewInjector(seed, rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestTriggerSemantics pins After (skip), Count (budget), and the
+// always-fire default against a deterministic hit sequence.
+func TestTriggerSemantics(t *testing.T) {
+	in := mustInjector(t, 1, Rule{Point: BuildPanic, After: 2, Count: 3})
+	var fired []bool
+	for i := 0; i < 8; i++ {
+		fired = append(fired, in.Hit(BuildPanic))
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (after=2 count=3)", i, fired[i], want[i])
+		}
+	}
+	if got := in.Fires(BuildPanic); got != 3 {
+		t.Fatalf("Fires = %d, want 3", got)
+	}
+	// An unarmed point never fires, and never counts.
+	if in.Hit(QueryPanic) {
+		t.Fatal("unarmed point fired")
+	}
+	if got := in.Fires(QueryPanic); got != 0 {
+		t.Fatalf("unarmed point recorded %d fires", got)
+	}
+}
+
+// TestDeterminism pins that the same seed and hit sequence reproduce
+// the same probabilistic fires — the property that makes a chaos
+// failure replayable.
+func TestDeterminism(t *testing.T) {
+	run := func() []bool {
+		in := mustInjector(t, 42, Rule{Point: ArtifactBitFlip, P: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, in.Hit(ArtifactBitFlip))
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fires int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identically seeded runs", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == 64 {
+		t.Fatalf("p=0.5 fired %d/64 times; probability not applied", fires)
+	}
+}
+
+func TestHitNBounds(t *testing.T) {
+	in := mustInjector(t, 7, Rule{Point: ArtifactShortWrite})
+	for i := 0; i < 32; i++ {
+		n, ok := in.HitN(ArtifactShortWrite, 10)
+		if !ok {
+			t.Fatal("always-fire rule did not fire")
+		}
+		if n < 0 || n >= 10 {
+			t.Fatalf("HitN pick %d outside [0, 10)", n)
+		}
+	}
+	if _, ok := in.HitN(ArtifactShortWrite, 0); ok {
+		t.Fatal("HitN fired with n=0")
+	}
+}
+
+func TestSleepFor(t *testing.T) {
+	in := mustInjector(t, 1, Rule{Point: EditSlow, Sleep: 5 * time.Millisecond, Count: 1})
+	d, ok := in.SleepFor(EditSlow)
+	if !ok || d != 5*time.Millisecond {
+		t.Fatalf("SleepFor = (%v, %v), want (5ms, true)", d, ok)
+	}
+	if _, ok := in.SleepFor(EditSlow); ok {
+		t.Fatal("budget of 1 fired twice")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("artifact/read/bitflip:p=0.5, analyzer/build/panic:after=1:count=3,server/edit/slow:sleep=100ms", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := in.String()
+	for _, want := range []string{"artifact/read/bitflip p=0.5", "analyzer/build/panic p=1 after=1 count=3", "server/edit/slow p=1 sleep=100ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	for _, bad := range []string{
+		"no/such/point",
+		"analyzer/build/panic:p=2",
+		"analyzer/build/panic:count",
+		"analyzer/build/panic:bogus=1",
+		"analyzer/build/panic:after=x",
+		"analyzer/build/panic,analyzer/build/panic",
+	} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a bad spec", bad)
+		}
+	}
+	// The empty spec is a valid, quiet injector.
+	if in, err := ParseSpec("", 1); err != nil || in.Hit(BuildPanic) {
+		t.Fatalf("empty spec: err=%v", err)
+	}
+}
+
+// TestGlobalDisabledIsInert pins the production default: with no
+// injector configured, every hook answers false/zero.
+func TestGlobalDisabledIsInert(t *testing.T) {
+	prev := Configure(nil)
+	defer Configure(prev)
+	if Enabled() || Hit(BuildPanic) || Sleep(EditSlow) || Fires(BuildPanic) != 0 {
+		t.Fatal("disabled global injector fired")
+	}
+	if _, ok := HitN(ArtifactBitFlip, 8); ok {
+		t.Fatal("disabled HitN fired")
+	}
+	// A nil injector's methods are safe too (the Configure(nil) race
+	// window loads nil directly).
+	var nilIn *Injector
+	if nilIn.Hit(BuildPanic) || nilIn.Fires(BuildPanic) != 0 || nilIn.Stats() != nil {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestGlobalConfigureRestore(t *testing.T) {
+	in := mustInjector(t, 3, Rule{Point: MemPressure})
+	prev := Configure(in)
+	if !Enabled() || !Hit(MemPressure) {
+		t.Fatal("configured global injector did not fire")
+	}
+	if got := Fires(MemPressure); got != 1 {
+		t.Fatalf("global Fires = %d, want 1", got)
+	}
+	if restored := Configure(prev); restored != in {
+		t.Fatal("Configure did not return the injector it replaced")
+	}
+	if Hit(MemPressure) {
+		t.Fatal("restored (disabled) injector fired")
+	}
+}
+
+// TestConcurrentHits drives one injector from many goroutines under
+// -race and checks the budget holds exactly.
+func TestConcurrentHits(t *testing.T) {
+	in := mustInjector(t, 5, Rule{Point: QueryPanic, Count: 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.Hit(QueryPanic)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Fires(QueryPanic); got != 100 {
+		t.Fatalf("budget of 100 fired %d times", got)
+	}
+	if got := in.Stats()[QueryPanic]; got != 100 {
+		t.Fatalf("Stats reports %d fires, want 100", got)
+	}
+}
+
+func TestPointsRegistry(t *testing.T) {
+	ps := Points()
+	if len(ps) == 0 {
+		t.Fatal("no registered points")
+	}
+	for _, p := range ps {
+		if Describe(p) == "" {
+			t.Errorf("point %s has no description", p)
+		}
+	}
+	if Describe("no/such/point") != "" {
+		t.Fatal("unknown point has a description")
+	}
+}

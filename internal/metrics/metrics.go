@@ -116,10 +116,21 @@ type Registry struct {
 	Evictions   atomic.Uint64
 	Resident    atomic.Int64
 
-	// Load shedding: batches rejected for size (429) and requests
-	// rejected because the in-flight limit was reached (503).
+	// Load shedding: batches rejected for size (429), requests
+	// rejected because the in-flight limit was reached (503), and
+	// uploads rejected while the server is over its memory watermark
+	// (503 + Retry-After).
 	ShedBatch    atomic.Uint64
 	ShedInflight atomic.Uint64
+	ShedMemory   atomic.Uint64
+
+	// Fault isolation: requests answered 500 after a recovered panic,
+	// (module, level, open) configurations quarantined after repeated
+	// panics, and modules evicted by the memory watermark (distinct
+	// from the LRU-capacity Evictions above).
+	Panics          atomic.Uint64
+	Quarantines     atomic.Uint64
+	MemoryEvictions atomic.Uint64
 
 	// Edits counts accepted one-procedure edits (each advances a
 	// module generation and incrementally re-analyzes it).
@@ -175,11 +186,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	counter("tbaad_artifact_hits_total", "Analyzer builds decoded from a persisted artifact.", r.ArtifactHits.Load())
 	counter("tbaad_artifact_misses_total", "Analyzer builds with no persisted artifact on disk.", r.ArtifactMisses.Load())
 	counter("tbaad_artifact_invalid_total", "Analyzer builds that recovered from an invalid artifact.", r.ArtifactInvalid.Load())
+	counter("tbaad_panics_total", "Requests answered 500 after a recovered panic.", r.Panics.Load())
+	counter("tbaad_quarantines_total", "Analyzer configurations quarantined after repeated panics.", r.Quarantines.Load())
+	counter("tbaad_memory_evictions_total", "Modules evicted by the memory watermark.", r.MemoryEvictions.Load())
 	fmt.Fprintf(w, "# HELP tbaad_modules_resident Modules currently held in memory.\n")
 	fmt.Fprintf(w, "# TYPE tbaad_modules_resident gauge\ntbaad_modules_resident %d\n", r.Resident.Load())
 	fmt.Fprintf(w, "# HELP tbaad_shed_total Requests rejected by a limit.\n# TYPE tbaad_shed_total counter\n")
 	fmt.Fprintf(w, "tbaad_shed_total{reason=\"batch_size\"} %d\n", r.ShedBatch.Load())
 	fmt.Fprintf(w, "tbaad_shed_total{reason=\"inflight\"} %d\n", r.ShedInflight.Load())
+	fmt.Fprintf(w, "tbaad_shed_total{reason=\"memory\"} %d\n", r.ShedMemory.Load())
 	fmt.Fprintf(w, "# HELP tbaad_query_duration_ns Request latency per query op.\n")
 	fmt.Fprintf(w, "# TYPE tbaad_query_duration_ns summary\n")
 	for _, op := range Ops() {

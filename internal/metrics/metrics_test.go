@@ -82,6 +82,10 @@ func TestWritePrometheusFormat(t *testing.T) {
 	r.CacheHits.Add(1)
 	r.Resident.Store(2)
 	r.ShedBatch.Add(5)
+	r.ShedMemory.Add(4)
+	r.Panics.Add(6)
+	r.Quarantines.Add(1)
+	r.MemoryEvictions.Add(9)
 	r.Observe(OpMayAliasBatch, 2*time.Millisecond)
 	var sb strings.Builder
 	if err := r.WritePrometheus(&sb); err != nil {
@@ -95,6 +99,12 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"tbaad_cache_hits_total 1",
 		"tbaad_modules_resident 2",
 		`tbaad_shed_total{reason="batch_size"} 5`,
+		`tbaad_shed_total{reason="memory"} 4`,
+		"tbaad_panics_total 6",
+		"tbaad_quarantines_total 1",
+		"tbaad_memory_evictions_total 9",
+		"# TYPE tbaad_panics_total counter",
+		"# TYPE tbaad_memory_evictions_total counter",
 		`tbaad_query_duration_ns{op="MayAliasBatch",quantile="0.99"}`,
 		`tbaad_query_duration_ns_count{op="MayAliasBatch"} 1`,
 		"# TYPE tbaad_queries_total counter",

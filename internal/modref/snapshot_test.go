@@ -1,0 +1,190 @@
+package modref_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"tbaa/internal/ir"
+	"tbaa/internal/modref"
+)
+
+// effectsSig renders one summary in a comparable form: Mods/Refs come
+// out of materialize in ascending shape-ID order on both the fresh and
+// the decoded side, so a plain join is order-stable.
+func effectsSig(eff *modref.Effects) string {
+	var parts []string
+	for _, m := range eff.Mods {
+		parts = append(parts, "m:"+m.String())
+	}
+	for _, r := range eff.Refs {
+		parts = append(parts, "r:"+r.String())
+	}
+	var gs []string
+	for g := range eff.ModGlobals {
+		gs = append(gs, g.Name)
+	}
+	sort.Strings(gs)
+	parts = append(parts, "g:"+strings.Join(gs, ","))
+	parts = append(parts, fmt.Sprintf("locs=%v top=%v", eff.WritesThroughLocs, eff.Top))
+	return strings.Join(parts, ";")
+}
+
+// TestSnapshotRoundTrip pins the persistable form end to end inside the
+// package: a ModRef built over an interned program snapshots, the
+// snapshot rebuilds over an independently compiled (and re-interned)
+// copy of the same source, and every observable — per-procedure
+// summaries, call edges, RTA reachability, the instantiated set,
+// freshness, and MayRebind verdicts — matches the fresh build.
+func TestSnapshotRoundTrip(t *testing.T) {
+	prog := compile(t, rtaSrc)
+	ir.InternAPs(prog)
+	mr := modref.ComputeWith(prog, modref.Config{RTA: true})
+	snap := mr.Snapshot()
+	if snap == nil {
+		t.Fatal("interned build refused to snapshot")
+	}
+	if !snap.RTA || snap.OpenWorld {
+		t.Fatalf("snapshot mode rta=%v open=%v, want rta=true open=false", snap.RTA, snap.OpenWorld)
+	}
+
+	prog2 := compile(t, rtaSrc)
+	idx2 := ir.InternAPs(prog2)
+	mr2, err := modref.FromSnapshot(prog2, modref.Config{RTA: true}, idx2, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mr2.Interprocedural() {
+		t.Error("decoded ModRef must report an interprocedural build")
+	}
+
+	i1, i2 := mr.Instantiated(), mr2.Instantiated()
+	if fmt.Sprint(i1) != fmt.Sprint(i2) {
+		t.Errorf("instantiated sets differ: fresh %v, decoded %v", i1, i2)
+	}
+
+	addrTaken := map[*ir.Var]bool{}
+	for _, v := range prog2.Globals {
+		addrTaken[v] = true
+	}
+	for _, p := range prog.Procs {
+		q := prog2.ProcByName[p.Name]
+		if q == nil {
+			t.Fatalf("procedure %s missing from the re-compiled program", p.Name)
+		}
+		if w, g := effectsSig(mr.Effects(p)), effectsSig(mr2.Effects(q)); w != g {
+			t.Errorf("%s: summary drifted\nfresh:   %s\ndecoded: %s", p.Name, w, g)
+		}
+		var c1, c2 []string
+		for _, c := range mr.Callees(p) {
+			c1 = append(c1, c.Name)
+		}
+		for _, c := range mr2.Callees(q) {
+			c2 = append(c2, c.Name)
+		}
+		if strings.Join(c1, ",") != strings.Join(c2, ",") {
+			t.Errorf("%s: callees drifted: fresh %v, decoded %v", p.Name, c1, c2)
+		}
+		if w, g := mr.Reachable(p), mr2.Reachable(q); w != g {
+			t.Errorf("%s: reachability drifted: fresh %v, decoded %v", p.Name, w, g)
+		}
+		if w, g := mr.ReturnsFresh(p), mr2.ReturnsFresh(q); w != g {
+			t.Errorf("%s: freshness drifted: fresh %v, decoded %v", p.Name, w, g)
+		}
+		for i, v := range prog.Globals {
+			w := mr.Effects(p).MayRebind(v, nil)
+			g := mr2.Effects(q).MayRebind(prog2.Globals[i], nil)
+			if w != g {
+				t.Errorf("%s rebinds %s: fresh %v, decoded %v", p.Name, v.Name, w, g)
+			}
+			if w, g := mr.Effects(p).MayRebind(v, addrTaken), mr2.Effects(q).MayRebind(prog2.Globals[i], addrTaken); w != g {
+				t.Errorf("%s rebinds %s (addr-taken): fresh %v, decoded %v", p.Name, v.Name, w, g)
+			}
+		}
+	}
+}
+
+// TestSnapshotRequiresInterning: a ModRef over a program whose paths
+// were never interned has no stable identities to persist and must
+// refuse to snapshot rather than emit zero IIDs.
+func TestSnapshotRequiresInterning(t *testing.T) {
+	prog := compile(t, rtaSrc)
+	mr := modref.ComputeWith(prog, modref.Config{RTA: true})
+	if mr.Snapshot() != nil {
+		t.Fatal("snapshot over an uninterned program must refuse")
+	}
+}
+
+// TestSnapshotRejects drives FromSnapshot's validation: every corrupted
+// or mismatched snapshot must be rejected with an error, never decoded
+// into a ModRef that could answer unsoundly.
+func TestSnapshotRejects(t *testing.T) {
+	prog := compile(t, rtaSrc)
+	ir.InternAPs(prog)
+	snap := modref.ComputeWith(prog, modref.Config{RTA: true}).Snapshot()
+	if snap == nil {
+		t.Fatal("interned build refused to snapshot")
+	}
+	if len(snap.ShapeIIDs) == 0 || len(snap.Effects) == 0 {
+		t.Fatal("test premise: rtaSrc must produce shapes and summaries")
+	}
+
+	prog2 := compile(t, rtaSrc)
+	idx2 := ir.InternAPs(prog2)
+
+	// mutate deep-copies the snapshot's slices so each case corrupts its
+	// own copy.
+	mutate := func(f func(*modref.Snapshot)) *modref.Snapshot {
+		c := *snap
+		c.ShapeIIDs = append([]int32(nil), snap.ShapeIIDs...)
+		c.Effects = append([]modref.EffectsSnap(nil), snap.Effects...)
+		for i := range c.Effects {
+			c.Effects[i].Mods = append([]int32(nil), snap.Effects[i].Mods...)
+		}
+		c.ByProc = append([]int32(nil), snap.ByProc...)
+		c.Callees = append([][]int32(nil), snap.Callees...)
+		for i := range c.Callees {
+			c.Callees[i] = append([]int32(nil), snap.Callees[i]...)
+		}
+		f(&c)
+		return &c
+	}
+
+	cases := []struct {
+		name string
+		cfg  modref.Config
+		snap *modref.Snapshot
+	}{
+		{"nil snapshot", modref.Config{RTA: true}, nil},
+		{"mode mismatch", modref.Config{RTA: false}, snap},
+		{"world mismatch", modref.Config{RTA: true, OpenWorld: true}, snap},
+		{"unknown shape identity", modref.Config{RTA: true},
+			mutate(func(s *modref.Snapshot) { s.ShapeIIDs[0] = 1 << 28 })},
+		{"truncated procedure map", modref.Config{RTA: true},
+			mutate(func(s *modref.Snapshot) { s.ByProc = s.ByProc[:1] })},
+		{"out-of-range summary", modref.Config{RTA: true},
+			mutate(func(s *modref.Snapshot) { s.ByProc[0] = int32(len(s.Effects)) })},
+		{"out-of-range mod shape", modref.Config{RTA: true},
+			mutate(func(s *modref.Snapshot) { s.Effects[0].Mods = []int32{int32(len(s.ShapeIIDs))} })},
+		{"out-of-range callee", modref.Config{RTA: true},
+			mutate(func(s *modref.Snapshot) { s.Callees[0] = []int32{int32(len(s.ByProc))} })},
+		{"out-of-range global", modref.Config{RTA: true},
+			mutate(func(s *modref.Snapshot) { s.Effects[0].ModGlobals = []int32{int32(len(prog2.Globals))} })},
+		{"out-of-range reachable", modref.Config{RTA: true},
+			mutate(func(s *modref.Snapshot) { s.HasReachable, s.Reachable = true, []int32{int32(len(s.ByProc))} })},
+		{"out-of-range fresh", modref.Config{RTA: true},
+			mutate(func(s *modref.Snapshot) { s.HasReturnsFresh, s.ReturnsFresh = true, []int32{int32(len(s.ByProc))} })},
+	}
+	for _, tc := range cases {
+		if _, err := modref.FromSnapshot(prog2, tc.cfg, idx2, tc.snap); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+	if _, err := modref.FromSnapshot(prog2, modref.Config{RTA: true}, nil, snap); err == nil {
+		t.Error("nil index: decoded without error")
+	}
+	if _, err := modref.FromSnapshot(prog2, modref.Config{RTA: true}, idx2, snap); err != nil {
+		t.Errorf("pristine snapshot rejected: %v", err)
+	}
+}

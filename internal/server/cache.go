@@ -96,6 +96,11 @@ type entry struct {
 	gen   atomic.Pointer[generation]
 	stats *tbaa.Stats
 
+	// quar tracks recovered panics per analyzer configuration and
+	// refuses quarantined ones; a force re-upload (install's swap path)
+	// clears it along with the dirty latch.
+	quar quarantine
+
 	// dirty latches when an edit lands: the entry's semantics have
 	// diverged from the source its hash names, so persisted artifacts
 	// under that key must be neither served nor written. A re-upload
@@ -192,19 +197,23 @@ type moduleCache struct {
 	// "" keeps the cache purely in-memory.
 	cacheDir string
 
+	// quarAfter is the panic threshold each entry's quarantine inherits.
+	quarAfter int
+
 	mu      sync.Mutex
 	max     int
 	entries map[string]*list.Element // of *entry
 	order   *list.List               // front = most recently used
 }
 
-func newModuleCache(max int, cacheDir string, reg *metrics.Registry) *moduleCache {
+func newModuleCache(max int, cacheDir string, quarAfter int, reg *metrics.Registry) *moduleCache {
 	return &moduleCache{
-		reg:      reg,
-		cacheDir: cacheDir,
-		max:      max,
-		entries:  make(map[string]*list.Element),
-		order:    list.New(),
+		reg:       reg,
+		cacheDir:  cacheDir,
+		quarAfter: quarAfter,
+		max:       max,
+		entries:   make(map[string]*list.Element),
+		order:     list.New(),
 	}
 }
 
@@ -244,20 +253,21 @@ func (c *moduleCache) install(mod *tbaa.Module, file string) (e *entry, gen uint
 		}
 		e.gen.Store(next)
 		// The swap installed a pristine compile of exactly the source the
-		// hash names, so the artifact key describes the module again.
+		// hash names, so the artifact key describes the module again —
+		// and whatever was panicking deserves a retry against the fresh
+		// state, so the quarantine ledger resets too.
 		e.dirty.Store(false)
+		e.quar.clear()
 		c.order.MoveToFront(el)
 		return e, next.seq, true
 	}
 	for c.max > 0 && c.order.Len() >= c.max {
-		lru := c.order.Back()
-		victim := lru.Value.(*entry)
-		c.order.Remove(lru)
-		delete(c.entries, victim.hash)
+		if !c.evictLRULocked() {
+			break
+		}
 		c.reg.Evictions.Add(1)
-		c.reg.Resident.Add(-1)
 	}
-	e = &entry{hash: hash, stats: &tbaa.Stats{}}
+	e = &entry{hash: hash, stats: &tbaa.Stats{}, quar: quarantine{threshold: c.quarAfter}}
 	first := &generation{
 		seq: 1, mod: mod, file: file,
 		cacheDir: c.cacheDir, reg: c.reg, dirty: &e.dirty,
@@ -267,6 +277,31 @@ func (c *moduleCache) install(mod *tbaa.Module, file string) (e *entry, gen uint
 	c.entries[hash] = c.order.PushFront(e)
 	c.reg.Resident.Add(1)
 	return e, first.seq, false
+}
+
+// evictLRULocked drops the least-recently-used module, reporting false
+// when nothing is resident. It decrements the resident gauge but not an
+// eviction counter: the capacity path (install) and the memory
+// watermark (CheckMemory) account their evictions separately —
+// tbaad_evictions_total versus tbaad_memory_evictions_total.
+func (c *moduleCache) evictLRULocked() bool {
+	lru := c.order.Back()
+	if lru == nil {
+		return false
+	}
+	victim := lru.Value.(*entry)
+	c.order.Remove(lru)
+	delete(c.entries, victim.hash)
+	c.reg.Resident.Add(-1)
+	return true
+}
+
+// evictLRU is evictLRULocked under the cache lock, for callers outside
+// the cache (the memory watermark).
+func (c *moduleCache) evictLRU() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictLRULocked()
 }
 
 // moduleInfo is one row of the resident-module listing.

@@ -1,0 +1,378 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tbaa"
+	"tbaa/internal/fault"
+	"tbaa/internal/randprog"
+)
+
+// The chaos tests drive the full degradation ladder under injected
+// faults: artifact corruption must never change a verdict, panics must
+// cost one request (then one configuration) but never the daemon,
+// memory pressure must shed uploads while queries keep answering, and
+// a drain must let an in-flight edit publish before shutdown returns.
+
+// armFaults installs an injector for the test and restores the previous
+// global configuration on cleanup.
+func armFaults(t *testing.T, seed int64, rules ...fault.Rule) *fault.Injector {
+	t.Helper()
+	in, err := fault.NewInjector(seed, rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := fault.Configure(in)
+	t.Cleanup(func() { fault.Configure(prev) })
+	return in
+}
+
+// groundTruth computes the in-process verdict vector for every pair at
+// the level — the reference a fault-ridden server must still match.
+func groundTruth(t *testing.T, file, src, level string, pairs []PairJSON) []bool {
+	t.Helper()
+	lv, err := tbaa.ParseLevel(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tbaa.New(file, src, tbaa.WithLevel(lv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, len(pairs))
+	for i, p := range pairs {
+		may, err := a.MayAlias(p.P, p.Q)
+		if err != nil {
+			t.Fatalf("ground truth %s ? %s: %v", p.P, p.Q, err)
+		}
+		out[i] = may
+	}
+	return out
+}
+
+// TestChaosCycles hammers the artifact tier with probabilistic
+// corruption — bit flips on read, short writes, rename failures, slow
+// reads — across repeated force-upload/query cycles, and requires every
+// verdict at every level to stay byte-equal to the in-process answer.
+// Corruption may cost rebuilds (tbaad_artifact_invalid_total), never
+// soundness.
+func TestChaosCycles(t *testing.T) {
+	armFaults(t, 1337,
+		fault.Rule{Point: fault.ArtifactBitFlip, P: 0.5},
+		fault.Rule{Point: fault.ArtifactShortWrite, P: 0.4},
+		fault.Rule{Point: fault.ArtifactRenameFail, P: 0.3},
+		fault.Rule{Point: fault.ArtifactSlowRead, P: 0.2, Sleep: time.Millisecond},
+	)
+	_, ts := newTestServer(t, Config{CacheDir: t.TempDir()})
+
+	const file = "chaos.m3"
+	src := randprog.Generate(90210, randprog.DefaultConfig())
+	_, names := analyzerPaths(t, file, src)
+	if len(names) > 12 {
+		names = names[:12]
+	}
+	pairs := allPairs(names)
+	levels := []string{"typedecl", "smfieldtyperefs", "iptyperefs"}
+	want := make(map[string][]bool, len(levels))
+	for _, lvl := range levels {
+		want[lvl] = groundTruth(t, file, src, lvl, pairs)
+	}
+
+	up := upload(t, ts.URL, file, src)
+	for cycle := 0; cycle < 8; cycle++ {
+		// Force re-upload: drops analyzer state, so every level rebuilds
+		// through the (faulty) artifact tier next query.
+		var fresh UploadResponse
+		if st := postJSON(t, ts.URL+"/v1/modules", UploadRequest{File: file, Source: src, Force: true}, &fresh); st != http.StatusCreated {
+			t.Fatalf("cycle %d: force upload status %d", cycle, st)
+		}
+		for _, lvl := range levels {
+			var resp BatchResponse
+			req := BatchRequest{LevelRequest: LevelRequest{Level: lvl}, Pairs: pairs}
+			if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias-batch", req, &resp); st != http.StatusOK {
+				t.Fatalf("cycle %d level %s: batch status %d", cycle, lvl, st)
+			}
+			for i, v := range resp.Verdicts {
+				if v.Error != "" {
+					t.Fatalf("cycle %d level %s pair %d: %s", cycle, lvl, i, v.Error)
+				}
+				if v.MayAlias != want[lvl][i] {
+					t.Fatalf("cycle %d level %s: verdict %s ? %s = %v, in-process says %v — corruption changed an answer",
+						cycle, lvl, v.P, v.Q, v.MayAlias, want[lvl][i])
+				}
+			}
+		}
+	}
+}
+
+// TestChaosPanicQuarantineRecover pins the panic-isolation ladder: each
+// injected build panic costs its request a structured 500; at the
+// quarantine threshold the configuration is refused with 422 while
+// sibling configurations keep answering; a plain (cached) re-upload
+// does not lift the quarantine, a force re-upload does.
+func TestChaosPanicQuarantineRecover(t *testing.T) {
+	armFaults(t, 7, fault.Rule{Point: fault.BuildPanic, Count: 2})
+	s, ts := newTestServer(t, Config{QuarantineAfter: 2})
+	file, src := srcModule(41)
+	up := upload(t, ts.URL, file, src)
+	_, names := analyzerPaths(t, file, src)
+	q := QueryRequest{P: names[0], Q: names[1]}
+
+	// Two injected panics: two isolated 500s carrying the panic message.
+	for i := 1; i <= 2; i++ {
+		var er ErrorResponse
+		if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", q, &er); st != http.StatusInternalServerError {
+			t.Fatalf("panic %d: status %d, want 500", i, st)
+		} else if !strings.Contains(er.Error, "internal panic") {
+			t.Fatalf("panic %d: error %q lacks panic marker", i, er.Error)
+		}
+	}
+	// Threshold reached: the default configuration is quarantined.
+	var er ErrorResponse
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", q, &er); st != http.StatusUnprocessableEntity {
+		t.Fatalf("quarantined query: status %d, want 422", st)
+	}
+	if !strings.Contains(er.Error, "quarantined") {
+		t.Fatalf("quarantine error %q lacks reason", er.Error)
+	}
+	// A different level of the same module still answers: quarantine is
+	// per configuration, not per module.
+	tq := QueryRequest{LevelRequest: LevelRequest{Level: "typedecl"}, P: names[0], Q: names[1]}
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", tq, nil); st != http.StatusOK {
+		t.Fatalf("typedecl during quarantine: status %d, want 200", st)
+	}
+	// A plain upload is served from cache and clears nothing.
+	if got := upload(t, ts.URL, file, src); !got.Cached {
+		t.Fatal("plain re-upload was not served from cache")
+	}
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", q, nil); st != http.StatusUnprocessableEntity {
+		t.Fatalf("after cached upload: status %d, still want 422", st)
+	}
+	// Force re-upload swaps a pristine generation and lifts the
+	// quarantine; the fault budget is spent, so the query now answers.
+	if st := postJSON(t, ts.URL+"/v1/modules", UploadRequest{File: file, Source: src, Force: true}, nil); st != http.StatusCreated {
+		t.Fatalf("force upload: status %d", st)
+	}
+	var qr QueryResponse
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", q, &qr); st != http.StatusOK {
+		t.Fatalf("post-recovery query: status %d, want 200", st)
+	}
+	want := groundTruth(t, file, src, "smfieldtyperefs", []PairJSON{{P: q.P, Q: q.Q}})
+	if qr.MayAlias != want[0] {
+		t.Fatalf("post-recovery verdict %v, in-process says %v", qr.MayAlias, want[0])
+	}
+	if got := s.Metrics().Panics.Load(); got != 2 {
+		t.Errorf("Panics = %d, want 2", got)
+	}
+	if got := s.Metrics().Quarantines.Load(); got != 1 {
+		t.Errorf("Quarantines = %d, want 1", got)
+	}
+}
+
+// TestHandlerPanicIsolated pins the outer barrier: a panic outside the
+// guarded analyzer region (here, injected on the query path of a
+// metrics-free probe via a poisoned handler) answers 500 on that one
+// request and the next request is served normally.
+func TestHandlerPanicIsolated(t *testing.T) {
+	armFaults(t, 11, fault.Rule{Point: fault.QueryPanic, Count: 1})
+	s, ts := newTestServer(t, Config{})
+	file, src := srcModule(42)
+	up := upload(t, ts.URL, file, src)
+	_, names := analyzerPaths(t, file, src)
+	q := QueryRequest{P: names[0], Q: names[1]}
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", q, nil); st != http.StatusInternalServerError {
+		t.Fatalf("injected query panic: status %d, want 500", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up.Hash+"/mayalias", q, nil); st != http.StatusOK {
+		t.Fatalf("request after panic: status %d, want 200", st)
+	}
+	if got := s.Metrics().Panics.Load(); got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
+	}
+}
+
+// getStatus fetches a path and returns the status code and body.
+func getStatus(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp)
+}
+
+// TestMemoryWatermarkInjected drives one injected breach through
+// CheckMemory: one LRU module is evicted, pressure turns on (readyz
+// unready, uploads shed with Retry-After), queries keep answering, and
+// the next un-injected check — observing the real, far-below-limit
+// heap — clears the pressure.
+func TestMemoryWatermarkInjected(t *testing.T) {
+	armFaults(t, 5, fault.Rule{Point: fault.MemPressure, Count: 1})
+	s, ts := newTestServer(t, Config{MemLimit: 1 << 50})
+	f1, s1 := srcModule(51)
+	up1 := upload(t, ts.URL, f1, s1)
+	f2, s2 := srcModule(52)
+	upload(t, ts.URL, f2, s2)
+	_, names := analyzerPaths(t, f2, s2)
+
+	s.CheckMemory()
+	if !s.pressure.Load() {
+		t.Fatal("injected breach did not set pressure")
+	}
+	if got := s.Metrics().MemoryEvictions.Load(); got != 1 {
+		t.Fatalf("MemoryEvictions = %d, want 1", got)
+	}
+	if st, body := getStatus(t, ts.URL+"/readyz"); st != http.StatusServiceUnavailable || !strings.Contains(body, "memory pressure") {
+		t.Fatalf("readyz under pressure: status %d body %q", st, body)
+	}
+	var er ErrorResponse
+	if st := postJSON(t, ts.URL+"/v1/modules", UploadRequest{File: "new.m3", Source: s1}, &er); st != http.StatusServiceUnavailable {
+		t.Fatalf("upload under pressure: status %d, want 503", st)
+	}
+	if got := s.Metrics().ShedMemory.Load(); got != 1 {
+		t.Fatalf("ShedMemory = %d, want 1", got)
+	}
+	// Module 1 was the LRU victim; module 2 still answers queries.
+	q := QueryRequest{P: names[0], Q: names[1]}
+	if st := postJSON(t, ts.URL+"/v1/modules/"+tbaa.ModuleHash(s2)+"/mayalias", q, nil); st != http.StatusOK {
+		t.Fatalf("query under pressure: status %d, want 200", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/modules/"+up1.Hash+"/mayalias", q, nil); st != http.StatusNotFound {
+		t.Fatalf("evicted module query: status %d, want 404", st)
+	}
+	// Fault budget spent: the next check samples the real heap, which is
+	// nowhere near 2^50, and pressure clears.
+	s.CheckMemory()
+	if s.pressure.Load() {
+		t.Fatal("pressure did not clear once the heap was back under the low watermark")
+	}
+	if st, body := getStatus(t, ts.URL+"/readyz"); st != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz after recovery: status %d body %q", st, body)
+	}
+	if st := postJSON(t, ts.URL+"/v1/modules", UploadRequest{File: f1, Source: s1}, nil); st != http.StatusCreated {
+		t.Fatalf("upload after recovery: status %d, want 201", st)
+	}
+}
+
+// TestMemoryWatermarkRealHeap runs the un-injected path with an
+// impossible 1-byte limit: the watermark evicts everything resident,
+// stops when the cache is empty, and stays under pressure (the heap
+// cannot shrink below 1 byte).
+func TestMemoryWatermarkRealHeap(t *testing.T) {
+	s, ts := newTestServer(t, Config{MemLimit: 1})
+	for i := 60; i < 63; i++ {
+		f, src := srcModule(i)
+		upload(t, ts.URL, f, src)
+	}
+	s.CheckMemory()
+	if !s.pressure.Load() {
+		t.Fatal("1-byte limit did not set pressure")
+	}
+	if got := s.Metrics().Resident.Load(); got != 0 {
+		t.Fatalf("Resident = %d after full eviction, want 0", got)
+	}
+	if got := s.Metrics().MemoryEvictions.Load(); got != 3 {
+		t.Fatalf("MemoryEvictions = %d, want 3", got)
+	}
+	// Idempotent once empty: nothing left to evict, no counter drift.
+	s.CheckMemory()
+	if got := s.Metrics().MemoryEvictions.Load(); got != 3 {
+		t.Fatalf("MemoryEvictions after empty check = %d, want 3", got)
+	}
+}
+
+// TestReadyzDrain pins the readiness ladder: ready when idle, unready
+// once BeginDrain is called (drain outranks pressure in the body).
+func TestReadyzDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if st, body := getStatus(t, ts.URL+"/readyz"); st != http.StatusOK || body != "ready\n" {
+		t.Fatalf("idle readyz: status %d body %q", st, body)
+	}
+	if st, body := getStatus(t, ts.URL+"/healthz"); st != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: status %d body %q", st, body)
+	}
+	s.BeginDrain()
+	if st, body := getStatus(t, ts.URL+"/readyz"); st != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("draining readyz: status %d body %q", st, body)
+	}
+	// Liveness is unaffected by drain: the process is still up.
+	if st, _ := getStatus(t, ts.URL+"/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz during drain: status %d", st)
+	}
+}
+
+// TestDrainWithInflightEdit pins graceful shutdown around a slow edit:
+// SIGTERM-equivalent (BeginDrain + http.Server.Shutdown) while an edit
+// is mid-flight lets the edit publish its generation and answer 200
+// before Shutdown returns — the client never loses an accepted write.
+func TestDrainWithInflightEdit(t *testing.T) {
+	armFaults(t, 13, fault.Rule{Point: fault.EditSlow, Count: 1, Sleep: 300 * time.Millisecond})
+	s := New(Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	up := upload(t, base, "editd.m3", editSrc)
+	type editResult struct {
+		resp   EditResponse
+		status int
+	}
+	done := make(chan editResult, 1)
+	go func() {
+		var r editResult
+		r.resp, r.status = postEdit(t, base, up.Hash, editBody("P", "u.b"))
+		done <- r
+	}()
+	// The injected sleep fires once the edit handler has entered; only
+	// then is the drain racing a genuinely in-flight request.
+	deadline := time.Now().Add(5 * time.Second)
+	for fault.Fires(fault.EditSlow) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("edit never reached the handler")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.BeginDrain()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: status %d, want 503", rec.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not wait out the in-flight edit: %v", err)
+	}
+	r := <-done
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight edit: status %d, want 200", r.status)
+	}
+	if r.resp.Generation != up.Generation+1 {
+		t.Fatalf("in-flight edit published generation %d, want %d", r.resp.Generation, up.Generation+1)
+	}
+}
+
+// TestFaultSpecRoundTrip keeps ParseSpec aligned with what the daemon
+// flag accepts: the spec grammar used across the chaos harness.
+func TestFaultSpecRoundTrip(t *testing.T) {
+	spec := fmt.Sprintf("%s:p=0.5,%s:after=1:count=3:sleep=2ms", fault.ArtifactBitFlip, fault.BuildPanic)
+	in, err := fault.ParseSpec(spec, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.String(); !strings.Contains(got, fault.ArtifactBitFlip) || !strings.Contains(got, fault.BuildPanic) {
+		t.Fatalf("injector description %q lost a point", got)
+	}
+}

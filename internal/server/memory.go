@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"time"
+
+	"tbaa/internal/fault"
+)
+
+// heapBytes samples live heap usage via runtime/metrics. This is the
+// number the memory watermark compares against MemLimit: bytes held by
+// live and not-yet-swept heap objects, which is what resident modules
+// and their analyzers actually cost.
+func heapBytes() int64 {
+	sample := []runtimemetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	runtimemetrics.Read(sample)
+	if sample[0].Value.Kind() != runtimemetrics.KindUint64 {
+		return 0
+	}
+	return int64(sample[0].Value.Uint64())
+}
+
+// CheckMemory runs one watermark check: if the live heap exceeds
+// MemLimit the server enters memory pressure — uploads are shed with
+// 503 + Retry-After and /readyz answers unready — and least-recently-
+// used modules are evicted until the heap drops to the low watermark
+// (80% of the limit) or nothing is left to evict. The gap between the
+// two watermarks is hysteresis: pressure clears only at the low mark,
+// so the server does not flap between shedding and admitting while the
+// heap hovers at the limit.
+//
+// Queries against resident modules keep answering throughout: shedding
+// new state while serving existing state is the degradation contract.
+//
+// Tests call this directly; WatchMemory drives it on a ticker.
+func (s *Server) CheckMemory() {
+	if s.cfg.MemLimit <= 0 {
+		return
+	}
+	limit := s.cfg.MemLimit
+	low := limit * 4 / 5
+	heap := s.sampleHeap()
+	// An injected breach simulates crossing the limit without the cost
+	// (and test flakiness) of actually allocating past it. The synthetic
+	// heap cannot shrink through eviction, so the loop below evicts
+	// exactly one module and leaves pressure set; the next un-injected
+	// check observes the real heap and clears it. The injection budget
+	// is consumed only while something is resident — a breach with
+	// nothing to evict would demonstrate nothing, and harnesses arm the
+	// fault before their upload lands.
+	injected := s.reg.Resident.Load() > 0 && fault.Hit(fault.MemPressure)
+	if injected && heap <= limit {
+		heap = limit + 1
+	}
+	if heap <= low {
+		s.pressure.Store(false)
+		return
+	}
+	if heap <= limit {
+		// Between the watermarks: keep whatever state pressure is in.
+		return
+	}
+	s.pressure.Store(true)
+	for heap > low {
+		if !s.cache.evictLRU() {
+			break
+		}
+		s.reg.MemoryEvictions.Add(1)
+		if injected {
+			break
+		}
+		runtime.GC()
+		heap = s.sampleHeap()
+	}
+	if !injected && heap <= low {
+		s.pressure.Store(false)
+	}
+}
+
+// WatchMemory runs CheckMemory every MemCheckInterval until ctx is
+// done. cmd/tbaad starts it alongside the HTTP listener when a memory
+// limit is configured.
+func (s *Server) WatchMemory(ctx context.Context) {
+	if s.cfg.MemLimit <= 0 {
+		return
+	}
+	t := time.NewTicker(s.cfg.MemCheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.CheckMemory()
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// quarantine isolates crash-looping analyzer configurations. Panics
+// while building or querying one (module, level, open) configuration
+// are recovered and counted per configuration; once the count reaches
+// the threshold the configuration is quarantined — subsequent queries
+// against it are refused up front with 422 and the quarantine reason
+// instead of re-entering the panicking path. Other configurations of
+// the same module, and every other module, keep answering: one bad
+// (module, configuration) pair is expendable, the daemon is not.
+//
+// A force re-upload of the module clears its quarantine (install's
+// swap path calls clear): the operator has declared the state worth
+// rebuilding, and a pristine recompile is the cleanest slate there is.
+type quarantine struct {
+	// threshold is how many panics one configuration survives before
+	// quarantining; immutable after the entry is created.
+	threshold int
+
+	mu      sync.Mutex
+	panics  map[analyzerKey]int
+	reasons map[analyzerKey]string
+}
+
+// record counts one recovered panic against the configuration,
+// quarantining it when the count reaches the threshold. It returns the
+// new count and whether this call crossed the threshold (the caller
+// bumps the quarantine counter exactly once per quarantined config).
+func (q *quarantine) record(key analyzerKey, p any) (count int, quarantined bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.panics == nil {
+		q.panics = make(map[analyzerKey]int)
+		q.reasons = make(map[analyzerKey]string)
+	}
+	q.panics[key]++
+	count = q.panics[key]
+	if count >= q.threshold {
+		if _, already := q.reasons[key]; !already {
+			q.reasons[key] = fmt.Sprintf(
+				"configuration quarantined after %d panics (last: %v); re-upload with force to clear", count, p)
+			quarantined = true
+		}
+	}
+	return count, quarantined
+}
+
+// blocked reports whether the configuration is quarantined and why.
+func (q *quarantine) blocked(key analyzerKey) (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	reason, ok := q.reasons[key]
+	return reason, ok
+}
+
+// clear lifts every quarantine and forgets the panic counts: the
+// module has been force re-uploaded and recompiled from pristine
+// source.
+func (q *quarantine) clear() {
+	q.mu.Lock()
+	q.panics, q.reasons = nil, nil
+	q.mu.Unlock()
+}
+
+// panicError is what guardConfig turns a recovered panic into: the
+// handler answers 500 with this message while the quarantine ledger
+// decides whether the configuration has panicked once too often.
+type panicError struct {
+	val   any
+	count int
+	limit int
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("internal panic (%d of %d tolerated before quarantine): %v", e.count, e.limit, e.val)
+}
+
+// guardConfig runs fn with panic isolation scoped to one analyzer
+// configuration: a panic is recovered, counted globally
+// (tbaad_panics_total) and against the configuration's quarantine
+// ledger, and returned as a *panicError for the handler to map to a
+// structured 500. The daemon never sees the panic.
+func (s *Server) guardConfig(e *entry, key analyzerKey, fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.reg.Panics.Add(1)
+			n, quarantined := e.quar.record(key, p)
+			if quarantined {
+				s.reg.Quarantines.Add(1)
+			}
+			err = &panicError{val: p, count: n, limit: e.quar.threshold}
+		}
+	}()
+	return fn()
+}

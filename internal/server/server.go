@@ -31,9 +31,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"tbaa"
+	"tbaa/internal/fault"
 	"tbaa/internal/metrics"
 )
 
@@ -61,16 +63,30 @@ type Config struct {
 	// generation is published, so the tier can only serve snapshots that
 	// match their module's content hash.
 	CacheDir string
+	// MemLimit is the memory watermark in bytes: when the live heap
+	// exceeds it the server sheds uploads with 503 + Retry-After and
+	// evicts least-recently-used modules until the heap drops to 80% of
+	// the limit. 0 (the default) disables the watermark.
+	MemLimit int64
+	// MemCheckInterval is how often WatchMemory samples the heap against
+	// MemLimit. 0 means the default.
+	MemCheckInterval time.Duration
+	// QuarantineAfter is how many recovered panics one (module, level,
+	// open-world) configuration survives before being quarantined (422
+	// until a force re-upload). 0 means the default.
+	QuarantineAfter int
 }
 
 // The default limits: small enough to demonstrate eviction and
 // shedding in tests, large enough for real sessions.
 const (
-	DefaultMaxModules     = 16
-	DefaultMaxBatch       = 1 << 16
-	DefaultMaxInflight    = 128
-	DefaultMaxSourceBytes = 16 << 20
-	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxModules       = 16
+	DefaultMaxBatch         = 1 << 16
+	DefaultMaxInflight      = 128
+	DefaultMaxSourceBytes   = 16 << 20
+	DefaultRequestTimeout   = 30 * time.Second
+	DefaultMemCheckInterval = time.Second
+	DefaultQuarantineAfter  = 3
 )
 
 // Defaults returns the configuration with every unset field filled.
@@ -90,6 +106,12 @@ func (c Config) Defaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = DefaultRequestTimeout
 	}
+	if c.MemCheckInterval <= 0 {
+		c.MemCheckInterval = DefaultMemCheckInterval
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = DefaultQuarantineAfter
+	}
 	return c
 }
 
@@ -102,6 +124,18 @@ type Server struct {
 	cache    *moduleCache
 	inflight chan struct{}
 	mux      *http.ServeMux
+
+	// draining latches when graceful shutdown begins (BeginDrain):
+	// /readyz turns unready so load balancers stop routing new work,
+	// while in-flight requests run to completion under http.Server's
+	// Shutdown. pressure latches while the heap is over the memory
+	// watermark (see CheckMemory): uploads are shed, queries still serve.
+	draining atomic.Bool
+	pressure atomic.Bool
+
+	// sampleHeap reports live heap bytes; tests substitute a fake to
+	// drive the watermark deterministically.
+	sampleHeap func() int64
 }
 
 // New returns a Server with the given limits (zero fields take
@@ -110,10 +144,11 @@ func New(cfg Config) *Server {
 	cfg = cfg.Defaults()
 	reg := metrics.New()
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		cache:    newModuleCache(cfg.MaxModules, cfg.CacheDir, reg),
-		inflight: make(chan struct{}, cfg.MaxInflight),
+		cfg:        cfg,
+		reg:        reg,
+		cache:      newModuleCache(cfg.MaxModules, cfg.CacheDir, cfg.QuarantineAfter, reg),
+		inflight:   make(chan struct{}, cfg.MaxInflight),
+		sampleHeap: heapBytes,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/modules", s.limited(s.handleUpload))
@@ -124,12 +159,38 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/modules/{hash}/countpairs", s.limited(s.handleCountPairs))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux = mux
 	return s
 }
 
-// Handler returns the root handler, ready for http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler, ready for http.Server. The mux is
+// wrapped in the last-resort panic barrier: analyzer panics are already
+// recovered per configuration (guardConfig), but a panic anywhere else
+// in a handler must cost that one request a 500, never the daemon.
+func (s *Server) Handler() http.Handler { return s.recovered(s.mux) }
+
+// BeginDrain marks the server draining: /readyz answers 503 so load
+// balancers route new work elsewhere while in-flight requests finish.
+// cmd/tbaad calls it on SIGTERM/SIGINT before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// recovered converts a handler panic into a structured 500 and the
+// tbaad_panics_total counter. If the handler already wrote a partial
+// response the ResponseWriter is left as-is (the client sees a torn
+// body, which its retry policy treats like any connection fault).
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Panics.Add(1)
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal panic (request isolated): %v", p), nil)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Metrics returns the server's counter registry (shared with the
 // /metrics endpoint); tests and embedders read it directly.
@@ -153,6 +214,15 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	// Under memory pressure new state is the one thing the server cannot
+	// afford: shed the upload cheaply and keep serving queries against
+	// what is already resident.
+	if s.pressure.Load() {
+		s.reg.ShedMemory.Add(1)
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusServiceUnavailable, "server over its memory watermark; retry after evictions", nil)
+		return
+	}
 	var req UploadRequest
 	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
 		return
@@ -206,6 +276,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
 		return
 	}
+	fault.Sleep(fault.EditSlow)
 	e := s.cache.lookup(r.PathValue("hash"))
 	if e == nil {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no module %q resident (upload it first)", r.PathValue("hash")), nil)
@@ -244,6 +315,12 @@ func (s *Server) handleModules(w http.ResponseWriter, r *http.Request) {
 // resolve turns the request's {hash} and level selection into the
 // entry, its current generation, and the generation's analyzer. A nil
 // analyzer return means resolve already answered the request.
+//
+// The analyzer build (and the fault-injection panic points that stand
+// in for analyzer bugs) runs under guardConfig: a panic is recovered
+// into a 500 counted against the configuration's quarantine ledger,
+// and a quarantined configuration is refused up front with 422 —
+// other configurations of the same module keep answering.
 func (s *Server) resolve(w http.ResponseWriter, r *http.Request, lv LevelRequest) (*entry, *generation, *tbaa.Analyzer) {
 	e := s.cache.lookup(r.PathValue("hash"))
 	if e == nil {
@@ -258,11 +335,30 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request, lv LevelRequest
 			return nil, nil, nil
 		}
 	}
+	key := analyzerKey{level: level, open: lv.Open}
+	if reason, ok := e.quar.blocked(key); ok {
+		writeError(w, http.StatusUnprocessableEntity, reason, nil)
+		return nil, nil, nil
+	}
 	// Load the generation pointer exactly once: everything below — the
 	// lazily built analyzer and every verdict of the request — comes
 	// from this one generation even if a re-upload swaps mid-request.
 	g := e.gen.Load()
-	a, err := g.analyzer(analyzerKey{level: level, open: lv.Open}, e.stats)
+	var a *tbaa.Analyzer
+	err := s.guardConfig(e, key, func() error {
+		if fault.Hit(fault.BuildPanic) {
+			panic("injected analyzer build panic (" + fault.BuildPanic + ")")
+		}
+		var err error
+		a, err = g.analyzer(key, e.stats)
+		if err != nil {
+			return err
+		}
+		if fault.Hit(fault.QueryPanic) {
+			panic("injected analyzer query panic (" + fault.QueryPanic + ")")
+		}
+		return nil
+	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error(), nil)
 		return nil, nil, nil
@@ -380,6 +476,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: unlike /healthz (liveness — the
+// process is up), /readyz answers 503 while the server should not
+// receive new work: during graceful drain, and while the heap is over
+// the memory watermark.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+	case s.pressure.Load():
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "memory pressure\n")
+	default:
+		io.WriteString(w, "ready\n")
+	}
 }
 
 // ---------------------------------------------------------------------------

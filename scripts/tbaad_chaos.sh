@@ -1,0 +1,202 @@
+#!/bin/sh
+# tbaad chaos harness: drive the daemon through its degradation ladder
+# with deterministic fault injection (-faults) and assert it degrades
+# the way the README promises. Three phases, each its own daemon:
+#
+#   1. corruption   — bit flips and torn writes in the artifact tier;
+#                     verdicts must stay byte-equal to the fault-free
+#                     baseline, corruption shows up only as
+#                     tbaad_artifact_invalid_total rebuilds.
+#   2. quarantine   — injected analyzer panics; each costs one request
+#                     a 500, the threshold quarantines one
+#                     configuration (422), a force re-upload clears it
+#                     and the verdicts match the baseline again.
+#   3. memory+drain — an injected watermark breach evicts a module and
+#                     flips /readyz; recovery re-admits uploads; then a
+#                     SIGTERM lands mid-edit and the edit still
+#                     publishes its generation before a clean exit.
+#
+# All three daemons' /metrics scrapes are appended to
+# tbaad_chaos_metrics.txt (the CI artifact). Any failure exits
+# non-zero. Run via `make tbaad-chaos`.
+set -eu
+
+BIN=${BIN:-bin}
+WORK=$(mktemp -d)
+TBAAD_PID=
+# jobs -p is unreliable inside an EXIT trap in some shells; track the
+# one live daemon explicitly so a failed assertion never orphans it.
+trap 'rm -rf "$WORK"; [ -n "$TBAAD_PID" ] && kill "$TBAAD_PID" 2>/dev/null || true' EXIT
+METRICS_OUT=tbaad_chaos_metrics.txt
+: > "$METRICS_OUT"
+
+echo "== building tbaad and tbaactl"
+go build -o "$BIN/tbaad" ./cmd/tbaad
+go build -o "$BIN/tbaactl" ./cmd/tbaactl
+
+# start_tbaad NAME [extra flags...]: launch a daemon on a random port
+# with its own portfile, wait for it, and set ADDR/CTL/TBAAD_PID.
+start_tbaad() {
+    name=$1; shift
+    "$BIN/tbaad" -addr 127.0.0.1:0 -portfile "$WORK/$name.port" "$@" &
+    TBAAD_PID=$!
+    i=0
+    while [ ! -s "$WORK/$name.port" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "tbaad ($name) never wrote its port file" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR=$(cat "$WORK/$name.port")
+    # The client's retry policy is part of what this harness exercises:
+    # shed answers carry Retry-After and the ctl waits them out.
+    CTL="$BIN/tbaactl -addr $ADDR -retries 2 -max-wait 2s"
+    echo "== tbaad ($name) is up on $ADDR"
+}
+
+stop_tbaad() {
+    kill -TERM "$TBAAD_PID"
+    if ! wait "$TBAAD_PID"; then
+        echo "tbaad did not exit cleanly" >&2
+        exit 1
+    fi
+    TBAAD_PID=
+}
+
+scrape() {
+    { echo "# ---- phase: $1 ----"; $CTL metrics; } >> "$METRICS_OUT"
+}
+
+# The query vector replayed in every phase: identical output means
+# identical verdicts, whatever faults the daemon weathered.
+PAIRS='a.line a.line
+a.line b.first
+b.id b.last
+a.op a.src1'
+
+echo "=============================================="
+echo "== phase 0: fault-free baseline"
+start_tbaad baseline
+$CTL upload -bench m3cg | tee "$WORK/upload"
+HASH=$(awk '{print $1}' "$WORK/upload")
+[ -n "$HASH" ] || { echo "no hash in upload output" >&2; exit 1; }
+printf '%s\n' "$PAIRS" | $CTL batch "$HASH" | grep may-alias > "$WORK/baseline"
+printf '%s\n' "$PAIRS" | $CTL batch "$HASH" -level typedecl | grep may-alias > "$WORK/baseline.typedecl"
+stop_tbaad
+
+echo "=============================================="
+echo "== phase 1: artifact corruption cannot change a verdict"
+start_tbaad corrupt \
+    -cache-dir "$WORK/art" \
+    -faults 'artifact/read/bitflip:p=1:count=2,artifact/write/short:after=3:count=1'
+$CTL upload -bench m3cg >/dev/null
+for i in 1 2 3 4; do
+    $CTL upload -bench m3cg -force >/dev/null
+    printf '%s\n' "$PAIRS" | $CTL batch "$HASH" | grep may-alias > "$WORK/corrupt.$i"
+    cmp "$WORK/baseline" "$WORK/corrupt.$i" || {
+        echo "cycle $i: corrupted artifact tier changed a verdict" >&2; exit 1; }
+done
+scrape corruption
+INVALID=$(grep '^tbaad_artifact_invalid_total' "$METRICS_OUT" | tail -1 | awk '{print $2}')
+[ "$INVALID" -ge 2 ] || {
+    echo "tbaad_artifact_invalid_total=$INVALID: the injected bit flips were never detected" >&2; exit 1; }
+echo "== corruption was detected $INVALID times and never altered output"
+stop_tbaad
+
+echo "=============================================="
+echo "== phase 2: panics isolate, then quarantine, then recover"
+start_tbaad panic -quarantine-after 3 -faults 'analyzer/build/panic:count=3'
+$CTL upload -bench m3cg >/dev/null
+for i in 1 2 3; do
+    # A 500 is a deterministic verdict: the ctl must NOT retry it and
+    # must exit non-zero, carrying the panic message.
+    if $CTL mayalias "$HASH" a.line b.first > "$WORK/panic.$i" 2>&1; then
+        echo "panic $i: query succeeded despite the injected panic" >&2; exit 1
+    fi
+    grep -q "internal panic" "$WORK/panic.$i" || {
+        echo "panic $i: 500 body lost the panic message" >&2; cat "$WORK/panic.$i" >&2; exit 1; }
+done
+if $CTL mayalias "$HASH" a.line b.first > "$WORK/quar" 2>&1; then
+    echo "query succeeded on a quarantined configuration" >&2; exit 1
+fi
+grep -q "quarantined" "$WORK/quar" || {
+    echo "quarantine answer lost its reason" >&2; cat "$WORK/quar" >&2; exit 1; }
+echo "== other configurations keep answering during quarantine"
+$CTL mayalias "$HASH" a.line b.first -level typedecl | grep -q "may-alias="
+echo "== force re-upload clears the quarantine"
+$CTL upload -bench m3cg -force >/dev/null
+printf '%s\n' "$PAIRS" | $CTL batch "$HASH" | grep may-alias > "$WORK/recovered"
+cmp "$WORK/baseline" "$WORK/recovered" || {
+    echo "post-recovery verdicts differ from the baseline" >&2; exit 1; }
+scrape quarantine
+grep -q "tbaad_panics_total 3" "$METRICS_OUT" || {
+    echo "expected exactly 3 recovered panics" >&2; exit 1; }
+grep -q "tbaad_quarantines_total 1" "$METRICS_OUT" || {
+    echo "expected exactly 1 quarantined configuration" >&2; exit 1; }
+stop_tbaad
+
+echo "=============================================="
+echo "== phase 3: memory watermark, recovery, and drain mid-edit"
+start_tbaad memory \
+    -mem-limit 8G -mem-check 100ms \
+    -faults 'server/mem/pressure:count=1,server/edit/slow:sleep=700ms'
+$CTL upload -bench m3cg >/dev/null
+# One watermark check fires the injected breach: one LRU eviction.
+sleep 0.5
+scrape memory
+grep -q "tbaad_memory_evictions_total 1" "$METRICS_OUT" || {
+    echo "injected memory pressure evicted nothing" >&2; exit 1; }
+echo "== pressure cleared on the next real heap sample"
+i=0
+until $CTL ready 2>/dev/null | grep -q ready; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "/readyz never recovered from the injected pressure" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "== re-admitted: upload and verdicts match the baseline"
+$CTL upload -bench m3cg >/dev/null
+printf '%s\n' "$PAIRS" | $CTL batch "$HASH" | grep may-alias > "$WORK/postmem"
+cmp "$WORK/baseline" "$WORK/postmem" || {
+    echo "post-pressure verdicts differ from the baseline" >&2; exit 1; }
+echo "== SIGTERM mid-edit: the in-flight edit still publishes"
+cat > "$WORK/edit.m3" <<'EOF'
+PROCEDURE SumAnnots(): INTEGER =
+VAR a: Annot; s: INTEGER;
+BEGIN
+  s := 0;
+  a := annots;
+  WHILE a # NIL DO
+    s := (s + a.line * 3 + a.op + a.src1) MOD 99991;
+    a := a.anext;
+  END;
+  RETURN s;
+END SumAnnots;
+EOF
+$CTL edit "$HASH" "$WORK/edit.m3" > "$WORK/edit.out" 2>&1 &
+EDIT_PID=$!
+# The injected 700ms sleep holds the edit in the handler; land the
+# SIGTERM inside that window.
+sleep 0.3
+kill -TERM "$TBAAD_PID"
+if ! wait "$EDIT_PID"; then
+    echo "in-flight edit failed during drain" >&2; cat "$WORK/edit.out" >&2; exit 1
+fi
+grep -q "generation=2" "$WORK/edit.out" || {
+    echo "drained edit did not publish its generation" >&2; cat "$WORK/edit.out" >&2; exit 1; }
+if ! wait "$TBAAD_PID"; then
+    echo "tbaad did not exit cleanly after the mid-edit drain" >&2
+    exit 1
+fi
+TBAAD_PID=
+if [ -e "$WORK/memory.port" ]; then
+    echo "port file survived the drain" >&2
+    exit 1
+fi
+
+echo "=============================================="
+echo "== chaos OK (metrics kept in $METRICS_OUT)"
